@@ -1,0 +1,1 @@
+bench/experiments.ml: Document Jupiter_cscw Jupiter_css Jupiter_logoot Jupiter_rga Jupiter_ttf List Printf Random Replica_id Rlist_model Rlist_sim Rlist_spec Rlist_workload Sys

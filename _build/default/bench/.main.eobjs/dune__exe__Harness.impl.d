@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Float Hashtbl Instance Measure Printf Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Document Element Experiments Harness Jupiter_cscw Jupiter_css Jupiter_rga Printf Random Rlist_model Rlist_ot Rlist_sim Rlist_spec Staged Sys Test

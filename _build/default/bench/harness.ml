@@ -1,0 +1,44 @@
+(* A small wrapper around bechamel: run each test, OLS-fit the
+   monotonic clock against the run count, and print one line per test.
+   Plain-text output so the harness works in pipes and CI logs. *)
+
+open Bechamel
+open Toolkit
+
+let ns_per_run results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols -> (
+    match Analyze.OLS.estimates ols with
+    | Some (est :: _) -> est
+    | Some [] | None -> nan)
+
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1e3 then Printf.sprintf "%8.1f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%8.2f s " (ns /. 1e9)
+
+(* [run tests] benchmarks the given bechamel tests and prints
+   "name: time/run" lines, returning the raw estimates. *)
+let run ?(quota = 0.5) tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"bench" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) ->
+        Printf.printf "  %-42s %s/op\n" name (pretty_ns est)
+      | Some [] | None -> Printf.printf "  %-42s (no estimate)\n" name)
+    results;
+  ignore ns_per_run;
+  results

@@ -1,0 +1,90 @@
+(* The benchmark harness: regenerates every paper figure (F-sections),
+   measures every quantitative claim (C-sections), and micro-benchmarks
+   the protocols with bechamel (C4).  EXPERIMENTS.md records a
+   reference run of this executable.
+
+   Run with: dune exec bench/main.exe
+   Pass --quick to skip the (slower) bechamel micro-benchmarks. *)
+
+open Rlist_model
+open Bechamel
+
+(* Whole-session micro-benchmarks: one fixed 50-update 4-client
+   session per run, per protocol. *)
+let css_session () =
+  let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+  let t = E.create ~nclients:4 () in
+  let rng = Random.State.make [| 1234 |] in
+  ignore
+    (E.run_random t ~rng
+       ~params:{ Rlist_sim.Schedule.default_params with updates = 50 })
+
+let cscw_session () =
+  let module E = Rlist_sim.Engine.Make (Jupiter_cscw.Protocol) in
+  let t = E.create ~nclients:4 () in
+  let rng = Random.State.make [| 1234 |] in
+  ignore
+    (E.run_random t ~rng
+       ~params:{ Rlist_sim.Schedule.default_params with updates = 50 })
+
+let rga_session () =
+  let module E = Rlist_sim.Engine.Make (Jupiter_rga.Protocol) in
+  let t = E.create ~nclients:4 () in
+  let rng = Random.State.make [| 1234 |] in
+  ignore
+    (E.run_random t ~rng
+       ~params:{ Rlist_sim.Schedule.default_params with updates = 50 })
+
+(* Primitive-operation micro-benchmarks. *)
+let xform_bench =
+  let doc = Document.of_string "abcdefgh" in
+  let o1 =
+    let id = Rlist_model.Op_id.make ~client:1 ~seq:1 in
+    Rlist_ot.Op.make_ins ~id (Element.make ~value:'x' ~id) 3
+  in
+  let o2 =
+    Rlist_ot.Op.make_del
+      ~id:(Rlist_model.Op_id.make ~client:2 ~seq:1)
+      (Document.nth doc 5) 5
+  in
+  fun () -> ignore (Rlist_ot.Transform.xform_pair o1 o2)
+
+let weak_check_bench =
+  (* Fixed 40-update trace, checked per run. *)
+  let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+  let t = E.create ~nclients:4 () in
+  let rng = Random.State.make [| 99 |] in
+  ignore
+    (E.run_random t ~rng
+       ~params:{ Rlist_sim.Schedule.default_params with updates = 40 });
+  let trace = E.trace t in
+  fun () -> ignore (Rlist_spec.Weak_spec.check trace)
+
+let micro_benchmarks () =
+  Printf.printf "\n=== C4: bechamel micro-benchmarks ===\n";
+  Printf.printf
+    "  (one Test.make per measured quantity; times are per operation)\n";
+  ignore
+    (Harness.run
+       [
+         Test.make ~name:"ot/xform_pair" (Staged.stage xform_bench);
+         Test.make ~name:"css/session-50ops-4clients"
+           (Staged.stage css_session);
+         Test.make ~name:"cscw/session-50ops-4clients"
+           (Staged.stage cscw_session);
+         Test.make ~name:"rga/session-50ops-4clients"
+           (Staged.stage rga_session);
+         Test.make ~name:"spec/weak-check-40ops"
+           (Staged.stage weak_check_bench);
+       ])
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  print_endline
+    "Jupiter Protocol Revisited — benchmark & figure-regeneration harness";
+  print_endline
+    "(paper: Wei, Huang, Lu — PODC'18 / arXiv:1708.04754; see EXPERIMENTS.md)";
+  Experiments.figures ();
+  Experiments.claims ();
+  if not quick then micro_benchmarks ();
+  print_endline "\ndone."

@@ -1,0 +1,468 @@
+(* jupiter-sim: command-line driver for the replicated-list protocols.
+
+   Subcommands:
+     simulate  run a random workload under a protocol and report
+               convergence, specification verdicts, and cost counters
+     check     run one protocol over many seeds and report the first
+               specification violation found (none expected for the
+               correct protocols; the naive foil fails quickly)
+     viz       print (and optionally write DOT for) the CSS state-space
+               of a named figure scenario
+     figures   replay every figure scenario and print its verdicts *)
+
+open Rlist_model
+open Cmdliner
+
+type protocol_choice =
+  | P_css
+  | P_cscw
+  | P_rga
+  | P_naive
+  | P_pruned
+  | P_logoot
+  | P_sequencer
+  | P_treedoc
+  | P_css_p2p
+  | P_ttf
+
+let protocol_names =
+  [
+    "css", P_css;
+    "cscw", P_cscw;
+    "rga", P_rga;
+    "naive", P_naive;
+    "css-pruned", P_pruned;
+    "logoot", P_logoot;
+    "css-seq", P_sequencer;
+    "treedoc", P_treedoc;
+    "css-p2p", P_css_p2p;
+    "ttf", P_ttf;
+  ]
+
+(* Run a protocol (chosen at runtime) through one random workload and
+   return a uniform summary. *)
+type summary = {
+  s_protocol : string;
+  s_events : int;
+  s_converged : bool;
+  s_final : string;
+  s_ots : int;
+  s_metadata : int;
+  s_convergence : Rlist_spec.Check.result;
+  s_weak : Rlist_spec.Check.result;
+  s_strong : Rlist_spec.Check.result;
+}
+
+let run_one (type c s c2s s2c)
+    (module P : Rlist_sim.Protocol_intf.PROTOCOL
+      with type client = c
+       and type server = s
+       and type c2s = c2s
+       and type s2c = s2c) ~nclients ~profile ~updates ~seed =
+  let module E = Rlist_sim.Engine.Make (P) in
+  let t = E.create ~nclients () in
+  let rng = Random.State.make [| seed |] in
+  let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
+  let params = Rlist_workload.Workload.params profile ~updates in
+  let schedule = E.run_random ~intent t ~rng ~params in
+  let trace = E.trace t in
+  {
+    s_protocol = P.name;
+    s_events = List.length schedule;
+    s_converged = E.converged t;
+    s_final =
+      Document.to_string
+        (if P.server_is_replica then E.server_document t
+         else E.client_document t 1);
+    s_ots = E.total_ot_count t;
+    s_metadata = E.total_metadata_size t;
+    s_convergence = Rlist_spec.Convergence.check trace;
+    s_weak = Rlist_spec.Weak_spec.check trace;
+    s_strong = Rlist_spec.Strong_spec.check trace;
+  }
+
+let replay_one (type c s c2s s2c)
+    (module P : Rlist_sim.Protocol_intf.PROTOCOL
+      with type client = c
+       and type server = s
+       and type c2s = c2s
+       and type s2c = s2c) (file : Rlist_sim.Schedule_text.file) =
+  let module E = Rlist_sim.Engine.Make (P) in
+  let t = E.create ~initial:file.initial ~nclients:file.nclients () in
+  E.run t file.events;
+  let trace = E.trace t in
+  {
+    s_protocol = P.name;
+    s_events = List.length file.events;
+    s_converged = E.converged t;
+    s_final = Document.to_string (E.client_document t 1);
+    s_ots = E.total_ot_count t;
+    s_metadata = E.total_metadata_size t;
+    s_convergence = Rlist_spec.Convergence.check trace;
+    s_weak = Rlist_spec.Weak_spec.check trace;
+    s_strong = Rlist_spec.Strong_spec.check trace;
+  }
+
+let replay_protocol choice file =
+  match choice with
+  | P_css -> replay_one (module Jupiter_css.Protocol) file
+  | P_cscw -> replay_one (module Jupiter_cscw.Protocol) file
+  | P_rga -> replay_one (module Jupiter_rga.Protocol) file
+  | P_naive -> replay_one (module Jupiter_cscw.Naive_p2p) file
+  | P_pruned -> replay_one (module Jupiter_css.Pruned_protocol) file
+  | P_logoot -> replay_one (module Jupiter_logoot.Protocol) file
+  | P_sequencer -> replay_one (module Jupiter_css.Sequencer_protocol) file
+  | P_treedoc -> replay_one (module Jupiter_treedoc.Protocol) file
+  | P_css_p2p | P_ttf ->
+    prerr_endline
+      "replay: peer-to-peer protocols use a different schedule shape; use \
+       simulate instead";
+    exit 1
+
+let record_schedule ~profile ~nclients ~updates ~seed ~path =
+  let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+  let t = E.create ~nclients () in
+  let rng = Random.State.make [| seed |] in
+  let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
+  let params = Rlist_workload.Workload.params profile ~updates in
+  let schedule = E.run_random ~intent t ~rng ~params in
+  Rlist_sim.Schedule_text.save ~path ~nclients schedule;
+  Printf.printf "recorded %d events to %s (generated under the css protocol)\n"
+    (List.length schedule) path
+
+(* Serverless protocols run on the peer-to-peer engine but report the
+   same summary shape. *)
+let run_one_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL)
+    ~nclients ~profile ~updates ~seed =
+  let module E = Rlist_sim.P2p_engine.Make (P) in
+  let t = E.create ~npeers:nclients () in
+  let rng = Random.State.make [| seed |] in
+  let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
+  let params = Rlist_workload.Workload.params profile ~updates in
+  let schedule = E.run_random ~intent t ~rng ~params in
+  let trace = E.trace t in
+  {
+    s_protocol = P.name;
+    s_events = List.length schedule;
+    s_converged = E.converged t;
+    s_final = Document.to_string (E.document t 1);
+    s_ots = E.total_ot_count t;
+    s_metadata = E.total_metadata_size t;
+    s_convergence = Rlist_spec.Convergence.check trace;
+    s_weak = Rlist_spec.Weak_spec.check trace;
+    s_strong = Rlist_spec.Strong_spec.check trace;
+  }
+
+let run_protocol choice ~nclients ~profile ~updates ~seed =
+  match choice with
+  | P_css ->
+    run_one (module Jupiter_css.Protocol) ~nclients ~profile ~updates ~seed
+  | P_cscw ->
+    run_one (module Jupiter_cscw.Protocol) ~nclients ~profile ~updates ~seed
+  | P_rga ->
+    run_one (module Jupiter_rga.Protocol) ~nclients ~profile ~updates ~seed
+  | P_naive ->
+    run_one (module Jupiter_cscw.Naive_p2p) ~nclients ~profile ~updates ~seed
+  | P_pruned ->
+    run_one (module Jupiter_css.Pruned_protocol) ~nclients ~profile ~updates
+      ~seed
+  | P_logoot ->
+    run_one (module Jupiter_logoot.Protocol) ~nclients ~profile ~updates ~seed
+  | P_sequencer ->
+    run_one (module Jupiter_css.Sequencer_protocol) ~nclients ~profile
+      ~updates ~seed
+  | P_treedoc ->
+    run_one (module Jupiter_treedoc.Protocol) ~nclients ~profile ~updates
+      ~seed
+  | P_css_p2p ->
+    run_one_p2p (module Jupiter_css.Distributed_protocol) ~nclients ~profile
+      ~updates ~seed
+  | P_ttf ->
+    run_one_p2p (module Jupiter_ttf.Adopted_protocol) ~nclients ~profile
+      ~updates ~seed
+
+let pp_summary s =
+  Printf.printf "protocol:    %s\n" s.s_protocol;
+  Printf.printf "events:      %d\n" s.s_events;
+  Printf.printf "converged:   %b\n" s.s_converged;
+  Printf.printf "final:       %S\n" s.s_final;
+  Printf.printf "OT calls:    %d\n" s.s_ots;
+  Printf.printf "metadata:    %d\n" s.s_metadata;
+  Format.printf "convergence: %a@." Rlist_spec.Check.pp s.s_convergence;
+  Format.printf "weak spec:   %a@." Rlist_spec.Check.pp s.s_weak;
+  Format.printf "strong spec: %a@." Rlist_spec.Check.pp s.s_strong
+
+(* --- arguments -------------------------------------------------------- *)
+
+let protocol_arg =
+  let protocol_conv = Arg.enum protocol_names in
+  Arg.(value & opt protocol_conv P_css
+       & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+           ~doc:
+             "Protocol to run: css, cscw, rga, logoot, treedoc, css-pruned, \
+              css-seq, css-p2p, ttf, or naive (the broken foil).")
+
+let profile_arg =
+  let parse s =
+    match Rlist_workload.Workload.profile_of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown workload profile %S" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Rlist_workload.Workload.profile_name p)
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Rlist_workload.Workload.Uniform
+       & info [ "w"; "workload" ] ~docv:"PROFILE"
+           ~doc:"Workload profile: uniform, typing, hotspot, append-log, churn.")
+
+let clients_arg =
+  Arg.(value & opt int 4 & info [ "n"; "clients" ] ~docv:"N"
+         ~doc:"Number of clients.")
+
+let updates_arg =
+  Arg.(value & opt int 100 & info [ "u"; "updates" ] ~docv:"K"
+         ~doc:"Number of update operations to generate.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Random seed (runs are deterministic per seed).")
+
+let seeds_arg =
+  Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"COUNT"
+         ~doc:"How many seeds to explore.")
+
+(* --- simulate --------------------------------------------------------- *)
+
+let simulate protocol profile nclients updates seed =
+  pp_summary (run_protocol protocol ~nclients ~profile ~updates ~seed)
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run one random collaborative-editing session and report on it.")
+    Term.(const simulate $ protocol_arg $ profile_arg $ clients_arg
+          $ updates_arg $ seed_arg)
+
+(* --- check ------------------------------------------------------------ *)
+
+let check protocol profile nclients updates seeds =
+  let violations = ref 0 in
+  let crashes = ref 0 in
+  for seed = 1 to seeds do
+    match run_protocol protocol ~nclients ~profile ~updates ~seed with
+    | s ->
+      let bad r = not (Rlist_spec.Check.is_satisfied r) in
+      if (not s.s_converged) || bad s.s_convergence || bad s.s_weak then begin
+        incr violations;
+        if !violations = 1 then begin
+          Printf.printf "first violation at seed %d:\n" seed;
+          pp_summary s
+        end
+      end
+    | exception Invalid_argument msg ->
+      incr crashes;
+      if !crashes = 1 then
+        Printf.printf "first crash at seed %d: %s\n" seed msg
+  done;
+  Printf.printf
+    "checked %d seeds: %d convergence/weak-spec violations, %d crashes\n"
+    seeds !violations !crashes;
+  if !violations + !crashes > 0 then exit 1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Hunt for convergence or weak-list-specification violations across \
+          many seeds.  Exits non-zero when any is found (expected for the \
+          naive protocol only).")
+    Term.(const check $ protocol_arg $ profile_arg $ clients_arg $ updates_arg
+          $ seeds_arg)
+
+(* --- viz ------------------------------------------------------------- *)
+
+let viz name emit_dot =
+  match Rlist_sim.Figures.find name with
+  | None ->
+    Printf.eprintf "unknown scenario %S; available: %s\n" name
+      (String.concat ", "
+         (List.map
+            (fun (s : Rlist_sim.Figures.scenario) -> s.sname)
+            Rlist_sim.Figures.all));
+    exit 1
+  | Some scenario ->
+    let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+    let t = E.create ~initial:scenario.initial ~nclients:scenario.nclients () in
+    E.run t scenario.schedule;
+    let space = Jupiter_css.Protocol.server_space (E.server t) in
+    Printf.printf "%s: %s\n\n" scenario.sname scenario.description;
+    print_string (Jupiter_css.Render.to_ascii space ~initial:scenario.initial);
+    if emit_dot then begin
+      let path = scenario.sname ^ ".dot" in
+      let oc = open_out path in
+      output_string oc
+        (Jupiter_css.Render.to_dot space ~initial:scenario.initial
+           ~name:scenario.sname);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path
+    end
+
+let viz_cmd =
+  let name_arg =
+    Arg.(value & pos 0 string "figure7"
+         & info [] ~docv:"SCENARIO" ~doc:"Figure scenario name.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Also write a Graphviz .dot file.")
+  in
+  Cmd.v
+    (Cmd.info "viz"
+       ~doc:"Render the CSS n-ary ordered state-space of a figure scenario.")
+    Term.(const viz $ name_arg $ dot_arg)
+
+(* --- record / replay --------------------------------------------------- *)
+
+let record profile nclients updates seed path =
+  record_schedule ~profile ~nclients ~updates ~seed ~path
+
+let record_cmd =
+  let path_arg =
+    Arg.(value & opt string "session.sched"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output schedule file.")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a random session under the CSS protocol and save the concrete \
+          schedule for later replay.")
+    Term.(const record $ profile_arg $ clients_arg $ updates_arg $ seed_arg
+          $ path_arg)
+
+let replay protocol path =
+  match Rlist_sim.Schedule_text.load ~path with
+  | Error msg ->
+    Printf.eprintf "cannot load %s: %s\n" path msg;
+    exit 1
+  | Ok file ->
+    (match replay_protocol protocol file with
+    | summary -> pp_summary summary
+    | exception Invalid_argument msg ->
+      (* Replaying a Jupiter schedule on a non-equivalent protocol can
+         go out of bounds; report rather than crash. *)
+      Printf.printf "replay aborted: %s\n" msg;
+      exit 1)
+
+let replay_cmd =
+  let path_arg =
+    Arg.(value & pos 0 string "session.sched"
+         & info [] ~docv:"FILE" ~doc:"Schedule file to replay.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a recorded schedule under a protocol and report on it.")
+    Term.(const replay $ protocol_arg $ path_arg)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let stats name schedule_file =
+  let build initial nclients events =
+    let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+    let t = E.create ~initial ~nclients () in
+    E.run t events;
+    let space = Jupiter_css.Protocol.server_space (E.server t) in
+    Format.printf "%a@." Jupiter_css.Analysis.pp_stats
+      (Jupiter_css.Analysis.stats space);
+    match
+      Jupiter_css.Analysis.check_all space ~nclients ~initial
+    with
+    | Ok () -> print_endline "structural lemmas (6.1/6.3/8.4/8.5/8.7): all hold"
+    | Error e -> Printf.printf "structural lemma violated: %s\n" e
+  in
+  match schedule_file with
+  | Some path -> (
+    match Rlist_sim.Schedule_text.load ~path with
+    | Error msg ->
+      Printf.eprintf "cannot load %s: %s\n" path msg;
+      exit 1
+    | Ok file -> build file.initial file.nclients file.events)
+  | None -> (
+    match Rlist_sim.Figures.find name with
+    | None ->
+      Printf.eprintf "unknown scenario %S\n" name;
+      exit 1
+    | Some scenario ->
+      build scenario.initial scenario.nclients scenario.schedule)
+
+let stats_cmd =
+  let name_arg =
+    Arg.(value & pos 0 string "figure7"
+         & info [] ~docv:"SCENARIO" ~doc:"Figure scenario name.")
+  in
+  let file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "schedule" ] ~docv:"FILE"
+             ~doc:"Analyze a recorded schedule file instead of a figure.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Structural statistics and lemma checks of the CSS state-space \
+          built by a figure scenario or a recorded schedule.")
+    Term.(const stats $ name_arg $ file_arg)
+
+(* --- figures ---------------------------------------------------------- *)
+
+let figures () =
+  List.iter
+    (fun (scenario : Rlist_sim.Figures.scenario) ->
+      let broken = scenario.sname = "figure8" in
+      let verdicts =
+        if broken then begin
+          let module E = Rlist_sim.Engine.Make (Jupiter_cscw.Naive_p2p) in
+          let t = E.create ~initial:scenario.initial
+                    ~nclients:scenario.nclients () in
+          E.run t scenario.schedule;
+          let trace = E.trace t in
+          ( E.converged t,
+            Rlist_spec.Convergence.check trace,
+            Rlist_spec.Weak_spec.check trace,
+            Rlist_spec.Strong_spec.check trace,
+            Document.to_string (E.client_document t 1) )
+        end
+        else begin
+          let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+          let t = E.create ~initial:scenario.initial
+                    ~nclients:scenario.nclients () in
+          E.run t scenario.schedule;
+          let trace = E.trace t in
+          ( E.converged t,
+            Rlist_spec.Convergence.check trace,
+            Rlist_spec.Weak_spec.check trace,
+            Rlist_spec.Strong_spec.check trace,
+            Document.to_string (E.server_document t) )
+        end
+      in
+      let converged, conv, weak, strong, final = verdicts in
+      let protocol = if broken then "naive" else "css" in
+      let show r = if Rlist_spec.Check.is_satisfied r then "yes" else "NO" in
+      Printf.printf "%-8s [%-5s] converged=%-5b final=%-10S conv=%-3s weak=%-3s strong=%-3s\n"
+        scenario.sname protocol converged final (show conv) (show weak)
+        (show strong))
+    Rlist_sim.Figures.all
+
+let figures_cmd =
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:"Replay every paper figure and print a verdict summary.")
+    Term.(const figures $ const ())
+
+let () =
+  let info =
+    Cmd.info "jupiter-sim" ~version:"1.0.0"
+      ~doc:
+        "Simulate and check replicated-list protocols (CSS/CSCW Jupiter, \
+         RGA, and a broken OT foil)."
+  in
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; check_cmd; viz_cmd; figures_cmd; record_cmd; replay_cmd;
+            stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/collab_session.ml: Array Document Jupiter_cscw Jupiter_css Jupiter_rga List Printf Random Replica_id Rlist_model Rlist_sim Rlist_spec Rlist_workload Sys

@@ -1,0 +1,1 @@
+examples/collab_session.mli:

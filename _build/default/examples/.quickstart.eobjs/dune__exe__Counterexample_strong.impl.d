@@ -1,0 +1,1 @@
+examples/counterexample_strong.ml: Document Format Jupiter_css Jupiter_rga List Printf Rlist_model Rlist_sim Rlist_spec

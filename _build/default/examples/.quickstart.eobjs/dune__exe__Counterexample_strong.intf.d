@@ -1,0 +1,1 @@
+examples/counterexample_strong.mli:

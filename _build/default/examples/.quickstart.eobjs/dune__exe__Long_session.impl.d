@@ -1,0 +1,1 @@
+examples/long_session.ml: Array Char Document Intent Jupiter_css List Printf Rlist_model Rlist_sim Sys

@@ -1,0 +1,1 @@
+examples/long_session.mli:

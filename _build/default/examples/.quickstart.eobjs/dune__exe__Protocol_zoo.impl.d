@@ -1,0 +1,1 @@
+examples/protocol_zoo.ml: Array Jupiter_cscw Jupiter_css Jupiter_logoot Jupiter_rga Jupiter_treedoc Jupiter_ttf List Printf Random Rlist_sim Rlist_spec Rlist_workload Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Document Format Intent Jupiter_css Printf Rlist_model Rlist_sim Rlist_spec

@@ -1,0 +1,1 @@
+examples/state_space_viz.ml: Array Jupiter_css List Op_id Printf Rlist_model Rlist_sim String Sys

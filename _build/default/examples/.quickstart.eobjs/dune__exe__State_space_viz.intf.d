@@ -1,0 +1,1 @@
+examples/state_space_viz.mli:

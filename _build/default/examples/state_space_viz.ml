@@ -1,0 +1,90 @@
+(* Visualize n-ary ordered state-spaces for the paper's figures.
+
+   Prints an ASCII rendering and emits Graphviz DOT files (one per
+   scenario) to the current directory; render them with e.g.
+     dot -Tpng figure4.dot -o figure4.png
+
+   Also demonstrates Proposition 6.6: after quiescence the server and
+   every client hold the *same* state-space, each having walked a
+   different path through it.
+
+   Run with: dune exec examples/state_space_viz.exe [-- scenario] *)
+
+open Rlist_model
+module Engine = Rlist_sim.Engine.Make (Jupiter_css.Protocol)
+
+let render (scenario : Rlist_sim.Figures.scenario) =
+  Printf.printf "=== %s ===\n%s\n\n" scenario.sname scenario.description;
+  let t = Engine.create ~initial:scenario.initial ~nclients:scenario.nclients () in
+  Engine.run t scenario.schedule;
+  let space = Jupiter_css.Protocol.server_space (Engine.server t) in
+  Printf.printf "states: %d, transitions: %d\n"
+    (Jupiter_css.State_space.num_states space)
+    (Jupiter_css.State_space.num_transitions space);
+
+  (* Proposition 6.6: one compact space, shared by all replicas. *)
+  let all_equal =
+    List.for_all
+      (fun i ->
+        Jupiter_css.State_space.equal space
+          (Jupiter_css.Protocol.client_space (Engine.client t i)))
+      (List.init scenario.nclients (fun i -> i + 1))
+  in
+  Printf.printf "all %d replica state-spaces equal (Prop 6.6): %b\n"
+    (scenario.nclients + 1) all_equal;
+
+  print_endline "";
+  print_string (Jupiter_css.Render.to_ascii space ~initial:scenario.initial);
+
+  (* Each replica's behaviour is a path through the shared space. *)
+  Printf.printf "\nconstruction paths (Example 6.3):\n";
+  Printf.printf "server: %s\n"
+    (String.concat " -> "
+       (List.map
+          (fun s -> "{" ^ String.concat "," (List.map Op_id.to_string (Op_id.Set.canonical s)) ^ "}")
+          (Jupiter_css.Protocol.server_path (Engine.server t))));
+  List.iter
+    (fun i ->
+      Printf.printf "c%d:     %s\n" i
+        (String.concat " -> "
+           (List.map
+              (fun s ->
+                "{"
+                ^ String.concat ","
+                    (List.map Op_id.to_string (Op_id.Set.canonical s))
+                ^ "}")
+              (Jupiter_css.Protocol.client_path (Engine.client t i)))))
+    (List.init scenario.nclients (fun i -> i + 1));
+
+  (* Emit DOT for offline rendering. *)
+  let dot =
+    Jupiter_css.Render.to_dot space ~initial:scenario.initial
+      ~name:scenario.sname
+  in
+  let path = scenario.sname ^ ".dot" in
+  let oc = open_out path in
+  output_string oc dot;
+  close_out oc;
+  Printf.printf "\nwrote %s\n\n" path
+
+let () =
+  let scenarios =
+    if Array.length Sys.argv > 1 then
+      match Rlist_sim.Figures.find Sys.argv.(1) with
+      | Some s -> [ s ]
+      | None ->
+        Printf.eprintf "unknown scenario %S; rendering the CSS figures\n"
+          Sys.argv.(1);
+        []
+    else []
+  in
+  let scenarios =
+    match scenarios with
+    | [] ->
+      (* Figure 8 is the broken protocol's scenario — not a CSS space. *)
+      List.filter
+        (fun (s : Rlist_sim.Figures.scenario) -> s.sname <> "figure8")
+        Rlist_sim.Figures.all
+    | l -> l
+  in
+  List.iter render scenarios

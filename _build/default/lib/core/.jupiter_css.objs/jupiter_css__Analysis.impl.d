@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Document Format Hashtbl List Op Op_id Option Queue Result Rlist_model Rlist_ot State_space

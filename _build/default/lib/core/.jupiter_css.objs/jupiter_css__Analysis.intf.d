@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Document Format Rlist_model State_space

@@ -1,0 +1,1 @@
+lib/core/distributed_protocol.ml: Array Context Document Format Int List Op Op_id Order_key Rlist_model Rlist_ot Rlist_sim State_space

@@ -1,0 +1,1 @@
+lib/core/distributed_protocol.mli: Context Op Rlist_ot Rlist_sim State_space

@@ -1,0 +1,1 @@
+lib/core/order_key.ml: Format Int

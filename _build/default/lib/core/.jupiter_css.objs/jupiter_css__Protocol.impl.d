@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Context Document Format List Op Op_id Order_key Rlist_model Rlist_ot Rlist_sim State_space

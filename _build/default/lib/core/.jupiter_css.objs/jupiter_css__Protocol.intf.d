@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Context Op Rlist_model Rlist_ot Rlist_sim State_space

@@ -1,0 +1,1 @@
+lib/core/pruned_protocol.ml: Array Context Document Format Hashtbl List Op Op_id Order_key Printf Rlist_model Rlist_ot Rlist_sim State_space

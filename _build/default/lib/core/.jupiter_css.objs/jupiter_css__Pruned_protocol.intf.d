@@ -1,0 +1,1 @@
+lib/core/pruned_protocol.mli: Context Op Rlist_ot Rlist_sim State_space

@@ -1,0 +1,1 @@
+lib/core/render.ml: Analysis Buffer Document Format Int List Op_id Printf Rlist_model Rlist_ot State_space String

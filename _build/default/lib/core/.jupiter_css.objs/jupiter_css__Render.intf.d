@@ -1,0 +1,1 @@
+lib/core/render.mli: Document Rlist_model State_space

@@ -1,0 +1,1 @@
+lib/core/sequencer_protocol.ml: Document List Op_id Protocol Rlist_model Rlist_ot

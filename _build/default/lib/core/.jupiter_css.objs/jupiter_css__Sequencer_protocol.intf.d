@@ -1,0 +1,1 @@
+lib/core/sequencer_protocol.mli: Protocol Rlist_sim State_space

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Buffer Char Document Element Format Fun List Op Op_id Printf Protocol Rlist_model Rlist_ot State_space String

@@ -1,0 +1,1 @@
+lib/core/state_space.ml: Context Format Int List Op Op_id Option Order_key Rlist_model Rlist_ot Transform

@@ -1,0 +1,1 @@
+lib/core/state_space.mli: Context Format Op Op_id Order_key Rlist_model Rlist_ot

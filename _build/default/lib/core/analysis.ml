@@ -1,0 +1,263 @@
+open Rlist_model
+open Rlist_ot
+
+type state = State_space.state
+
+let documents t ~initial =
+  (* Breadth-first replay from the initial state.  Each state's
+     document is computed once; any further path reaching it must
+     agree (confluence, from CP1). *)
+  let docs : Document.t Op_id.State_table.t = Op_id.State_table.create 64 in
+  Op_id.State_table.add docs (State_space.root t) initial;
+  let queue = Queue.create () in
+  Queue.push (State_space.root t) queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    let doc = Op_id.State_table.find docs s in
+    List.iter
+      (fun tr ->
+        let doc' = Op.apply tr.State_space.form doc in
+        match Op_id.State_table.find_opt docs tr.State_space.target with
+        | None ->
+          Op_id.State_table.add docs tr.State_space.target doc';
+          Queue.push tr.State_space.target queue
+        | Some existing ->
+          if not (Document.equal existing doc') then
+            invalid_arg
+              (Format.asprintf
+                 "Analysis.documents: paths to state %a disagree (%a vs %a) — \
+                  the state-space is not confluent"
+                 Op_id.Set.pp tr.State_space.target Document.pp existing
+                 Document.pp doc'))
+      (State_space.transitions t s)
+  done;
+  List.map
+    (fun s -> s, Op_id.State_table.find docs s)
+    (State_space.states t)
+
+let document_at t ~initial s =
+  match
+    List.find_opt (fun (s', _) -> Op_id.Set.equal s s') (documents t ~initial)
+  with
+  | Some (_, doc) -> doc
+  | None ->
+    invalid_arg
+      (Format.asprintf "Analysis.document_at: unknown state %a" Op_id.Set.pp s)
+
+let all_paths ?(limit = 10_000) t ~src ~dst =
+  let count = ref 0 in
+  let rec go s acc =
+    if Op_id.Set.equal s dst then begin
+      incr count;
+      if !count > limit then
+        invalid_arg "Analysis.all_paths: too many paths";
+      [ List.rev acc ]
+    end
+    else
+      List.concat_map
+        (fun tr ->
+          (* States grow along transitions, so only transitions whose
+             target stays below [dst] can be on a path to it. *)
+          if Op_id.Set.subset tr.State_space.target dst then
+            go tr.State_space.target (tr :: acc)
+          else [])
+        (State_space.transitions t s)
+  in
+  go src []
+
+(* Reachability: [s'] is an ancestor of [s] iff a path leads from [s']
+   to [s].  Since states are the sets of processed operations and
+   transitions only add operations, reachability implies set
+   inclusion; we still follow actual transitions (inclusion alone is
+   not sufficient, cf. Example 8.2). *)
+let descendants t s =
+  let seen : unit Op_id.State_table.t = Op_id.State_table.create 16 in
+  let rec go s =
+    if not (Op_id.State_table.mem seen s) then begin
+      Op_id.State_table.add seen s ();
+      List.iter
+        (fun tr -> go tr.State_space.target)
+        (State_space.transitions t s)
+    end
+  in
+  go s;
+  seen
+
+let reaches t s1 s2 = Op_id.State_table.mem (descendants t s1) s2
+
+let lowest_common_ancestors t s1 s2 =
+  let common =
+    List.filter
+      (fun s -> reaches t s s1 && reaches t s s2)
+      (State_space.states t)
+  in
+  List.filter
+    (fun s ->
+      not
+        (List.exists
+           (fun s' ->
+             (not (Op_id.Set.equal s s'))
+             && reaches t s s')
+           common))
+    common
+
+let check_nary t ~nclients =
+  let bad =
+    List.find_opt
+      (fun s -> List.length (State_space.transitions t s) > nclients)
+      (State_space.states t)
+  in
+  match bad with
+  | None -> Ok ()
+  | Some s ->
+    Error
+      (Format.asprintf "state %a has %d children, more than the %d clients"
+         Op_id.Set.pp s
+         (List.length (State_space.transitions t s))
+         nclients)
+
+let path_ops path = List.map (fun tr -> tr.State_space.orig) path
+
+let check_simple_paths t =
+  let exception Bad of string in
+  try
+    List.iter
+      (fun s ->
+        List.iter
+          (fun path ->
+            let ops = path_ops path in
+            let set = Op_id.Set.of_list ops in
+            if Op_id.Set.cardinal set <> List.length ops then
+              raise
+                (Bad
+                   (Format.asprintf
+                      "a path from the root to %a repeats an operation"
+                      Op_id.Set.pp s)))
+          (all_paths t ~src:(State_space.root t) ~dst:s))
+      (State_space.states t);
+    Ok ()
+  with Bad msg -> Error msg
+
+let rec all_pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> x, y) rest @ all_pairs rest
+
+let check_unique_lca t =
+  let exception Bad of string in
+  try
+    List.iter
+      (fun (s1, s2) ->
+        match lowest_common_ancestors t s1 s2 with
+        | [ _ ] -> ()
+        | lcas ->
+          raise
+            (Bad
+               (Format.asprintf "states %a and %a have %d LCAs" Op_id.Set.pp s1
+                  Op_id.Set.pp s2 (List.length lcas))))
+      (all_pairs (State_space.states t));
+    Ok ()
+  with Bad msg -> Error msg
+
+let check_disjoint_paths t =
+  let exception Bad of string in
+  try
+    List.iter
+      (fun (s1, s2) ->
+        match lowest_common_ancestors t s1 s2 with
+        | [ lca ] ->
+          let ops_to s =
+            List.map
+              (fun path -> Op_id.Set.of_list (path_ops path))
+              (all_paths t ~src:lca ~dst:s)
+          in
+          List.iter
+            (fun o1 ->
+              List.iter
+                (fun o2 ->
+                  if not (Op_id.Set.is_empty (Op_id.Set.inter o1 o2)) then
+                    raise
+                      (Bad
+                         (Format.asprintf
+                            "paths from the LCA %a to %a and %a share \
+                             operations"
+                            Op_id.Set.pp lca Op_id.Set.pp s1 Op_id.Set.pp s2)))
+                (ops_to s2))
+            (ops_to s1)
+        | _ -> () (* reported by check_unique_lca *))
+      (all_pairs (State_space.states t));
+    Ok ()
+  with Bad msg -> Error msg
+
+let check_pairwise_compatibility t ~initial =
+  let docs = documents t ~initial in
+  let rec go = function
+    | [] -> Ok ()
+    | ((s1, d1), (s2, d2)) :: rest ->
+      if Document.compatible d1 d2 then go rest
+      else
+        Error
+          (Format.asprintf
+             "states %a (%a) and %a (%a) are incompatible (Definition 8.2)"
+             Op_id.Set.pp s1 Document.pp d1 Op_id.Set.pp s2 Document.pp d2)
+  in
+  go (all_pairs docs)
+
+let check_all t ~nclients ~initial =
+  let ( let* ) = Result.bind in
+  let* () = check_nary t ~nclients in
+  let* () = check_simple_paths t in
+  let* () = check_unique_lca t in
+  let* () = check_disjoint_paths t in
+  let* () = check_pairwise_compatibility t ~initial in
+  Ok ()
+
+type stats = {
+  states : int;
+  transitions : int;
+  depth : int;
+  max_branching : int;
+  nop_forms : int;
+  width_per_level : (int * int) list;
+}
+
+let stats t =
+  let states = State_space.states t in
+  let transitions, max_branching, nop_forms =
+    List.fold_left
+      (fun (total, widest, nops) s ->
+        let outgoing = State_space.transitions t s in
+        let nops_here =
+          List.length
+            (List.filter (fun tr -> Op.is_nop tr.State_space.form) outgoing)
+        in
+        ( total + List.length outgoing,
+          max widest (List.length outgoing),
+          nops + nops_here ))
+      (0, 0, 0) states
+  in
+  let widths = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let level = Op_id.Set.cardinal s in
+      Hashtbl.replace widths level
+        (1 + Option.value (Hashtbl.find_opt widths level) ~default:0))
+    states;
+  {
+    states = List.length states;
+    transitions;
+    depth = Op_id.Set.cardinal (State_space.final t);
+    max_branching;
+    nop_forms;
+    width_per_level =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) widths []);
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>states: %d@,transitions: %d@,depth: %d@,max branching: %d@,nop \
+     forms: %d@,width per level: %a@]"
+    s.states s.transitions s.depth s.max_branching s.nop_forms
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (level, width) -> Format.fprintf ppf "%d:%d" level width))
+    s.width_per_level

@@ -1,0 +1,83 @@
+(** Structural analysis of n-ary ordered state-spaces.
+
+    The weak-list-specification proof (paper, Section 8.2) rests on
+    properties of states and paths of the single compact state-space:
+    unique lowest common ancestors (Lemma 8.4), simple paths
+    (Lemma 6.3), disjoint paths from the LCA (Lemma 8.5), and pairwise
+    compatibility of all states (Theorem 8.7).  This module computes
+    the objects these lemmas talk about and checks the lemmas on
+    concrete spaces — the executable counterpart of the paper's
+    Figures 9 and 10. *)
+
+open Rlist_model
+
+type state = State_space.state
+
+(** The document at every state, obtained by replaying transition
+    forms from the initial state.  Every path to a state yields the
+    same document (a consequence of CP1, Definition 4.4); if two paths
+    disagree the space is corrupt and the function raises
+    [Invalid_argument]. *)
+val documents :
+  State_space.t -> initial:Document.t -> (state * Document.t) list
+
+(** [document_at t ~initial s] is the document at state [s].
+    @raise Invalid_argument if [s] is absent. *)
+val document_at : State_space.t -> initial:Document.t -> state -> Document.t
+
+(** All simple paths from one state to another, as transition lists;
+    raises [Invalid_argument] if more than [limit] paths exist
+    (default 10_000 — path counts are exponential in pathological
+    spaces). *)
+val all_paths :
+  ?limit:int ->
+  State_space.t ->
+  src:state ->
+  dst:state ->
+  State_space.transition list list
+
+(** The {e lowest} common ancestors of two states: common ancestors
+    from which no strictly lower common ancestor is reachable.
+    Lemma 8.4 asserts the result is a singleton for spaces built by
+    the CSS protocol. *)
+val lowest_common_ancestors : State_space.t -> state -> state -> state list
+
+(** Per-lemma structural checks.  Each returns [Ok ()] or a
+    description of the first violation found. *)
+
+(** Lemma 6.1: every state has at most [nclients] child states. *)
+val check_nary : State_space.t -> nclients:int -> (unit, string) result
+
+(** Lemma 6.3: no path repeats an (original) operation. *)
+val check_simple_paths : State_space.t -> (unit, string) result
+
+(** Lemma 8.4: every pair of states has a unique LCA. *)
+val check_unique_lca : State_space.t -> (unit, string) result
+
+(** Lemma 8.5: the operation sets along paths from the LCA to the two
+    states are disjoint (checked for {e all} simple paths). *)
+val check_disjoint_paths : State_space.t -> (unit, string) result
+
+(** Theorem 8.7: the documents at every pair of states are compatible
+    (Definition 8.2). *)
+val check_pairwise_compatibility :
+  State_space.t -> initial:Document.t -> (unit, string) result
+
+(** All of the above in sequence. *)
+val check_all :
+  State_space.t -> nclients:int -> initial:Document.t -> (unit, string) result
+
+(** Structural metrics of a state-space. *)
+type stats = {
+  states : int;
+  transitions : int;
+  depth : int;  (** Operations in the final state (longest path). *)
+  max_branching : int;  (** Widest state (bounded by n, Lemma 6.1). *)
+  nop_forms : int;  (** Transitions whose form degenerated to [Nop]
+                        (concurrent deletions of the same element). *)
+  width_per_level : (int * int) list;  (** States per operation count. *)
+}
+
+val stats : State_space.t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

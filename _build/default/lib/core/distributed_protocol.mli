@@ -1,0 +1,35 @@
+(** The fully distributed CSS protocol — the paper's first future-work
+    direction realized: the compact n-ary ordered state-space combined
+    with a decentralized total-ordering scheme, with no server at all.
+
+    Peers broadcast their original operations (with context) stamped
+    with Lamport timestamps; the total order is [(timestamp, peer)],
+    lexicographic — the TIBOT-style alternative the paper cites.  A
+    remote operation is integrated into the state-space only once it
+    is {e stable}: the peer has heard a clock value ≥ the operation's
+    timestamp from every other peer, so nothing that would order
+    before it can still arrive (clock announcements are broadcast in
+    reaction to every operation receipt).  Own operations are executed
+    optimistically at generation, exactly as in the client/server CSS
+    protocol — their total-order position is already known, because
+    the generator stamps the timestamp itself.
+
+    Remote operations integrate strictly in total order, which also
+    guarantees their contexts are present (a context operation always
+    carries a smaller timestamp, and pairwise FIFO channels deliver it
+    first). *)
+
+open Rlist_ot
+
+type message =
+  | Op_msg of {
+      op : Op.t;  (** Original operation. *)
+      ctx : Context.t;
+      ts : int;  (** Lamport timestamp. *)
+    }
+  | Clock of int
+      (** Clock announcement, driving stability at the other peers. *)
+
+include Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL with type message := message
+
+val space : peer -> State_space.t

@@ -1,0 +1,14 @@
+type t =
+  | Serialized of int
+  | Pending of int
+
+let compare a b =
+  match a, b with
+  | Serialized x, Serialized y -> Int.compare x y
+  | Pending x, Pending y -> Int.compare x y
+  | Serialized _, Pending _ -> -1
+  | Pending _, Serialized _ -> 1
+
+let pp ppf = function
+  | Serialized s -> Format.fprintf ppf "#%d" s
+  | Pending g -> Format.fprintf ppf "pending.%d" g

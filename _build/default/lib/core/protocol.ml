@@ -1,0 +1,160 @@
+open Rlist_model
+open Rlist_ot
+
+let name = "css"
+
+let server_is_replica = true
+
+type c2s = {
+  op : Op.t;
+  ctx : Context.t;
+}
+
+type s2c = {
+  op : Op.t;
+  ctx : Context.t;
+  serial : int;
+  origin : int;
+}
+
+type replica = {
+  space : State_space.t;
+  serials : int Op_id.Table.t;
+  mutable doc : Document.t;
+  mutable path : State_space.state list;  (* reversed *)
+}
+
+type client = {
+  id : int;
+  replica : replica;
+  mutable next_seq : int;
+}
+
+type server = {
+  nclients : int;
+  server_replica : replica;
+  mutable next_serial : int;
+}
+
+let make_replica ~initial ~own_client =
+  let serials = Op_id.Table.create 64 in
+  let key_of id =
+    match Op_id.Table.find_opt serials id with
+    | Some serial -> Order_key.Serialized serial
+    | None ->
+      (* Only the replica's own unacknowledged operations may lack a
+         serial number (FIFO channels deliver every other operation
+         with its serial). *)
+      if id.Op_id.client = own_client then Order_key.Pending id.Op_id.seq
+      else
+        invalid_arg
+          (Format.asprintf
+             "CSS replica %d: no order key for foreign operation %a"
+             own_client Op_id.pp id)
+  in
+  let space = State_space.create ~key_of () in
+  { space; serials; doc = initial; path = [ State_space.initial_state ] }
+
+(* Uniform processing (Section 6.2): match the context, extend the
+   state-space per Algorithm 1, and execute the transformed form. *)
+let process replica (oc : Context.op_in_context) =
+  let form = State_space.add_op replica.space oc in
+  replica.doc <- Op.apply form replica.doc;
+  replica.path <- State_space.final replica.space :: replica.path
+
+let create_client ~nclients ~id ~initial =
+  ignore nclients;
+  if id < 1 then invalid_arg "CSS: client identifiers start at 1";
+  { id; replica = make_replica ~initial ~own_client:id; next_seq = 1 }
+
+let create_server ~nclients ~initial =
+  {
+    nclients;
+    (* The server has no own operations; [own_client = 0] makes every
+       unknown identifier an error. *)
+    server_replica = make_replica ~initial ~own_client:0;
+    next_serial = 1;
+  }
+
+let client_generate t intent =
+  let r = t.replica in
+  let { Rlist_sim.Intent_resolver.outcome; op } =
+    Rlist_sim.Intent_resolver.resolve ~client:t.id ~seq:t.next_seq ~doc:r.doc
+      intent
+  in
+  match op with
+  | None -> outcome, None
+  | Some op ->
+    t.next_seq <- t.next_seq + 1;
+    let ctx = State_space.final r.space in
+    process r (Context.with_context op ~ctx);
+    outcome, Some { op; ctx }
+
+let server_receive t ~from ({ op; ctx } : c2s) =
+  let serial = t.next_serial in
+  t.next_serial <- serial + 1;
+  Op_id.Table.replace t.server_replica.serials op.Op.id serial;
+  process t.server_replica (Context.with_context op ~ctx);
+  List.init t.nclients (fun i -> i + 1, { op; ctx; serial; origin = from })
+
+let client_receive t ({ op; ctx; serial; origin } : s2c) =
+  let r = t.replica in
+  Op_id.Table.replace r.serials op.Op.id serial;
+  if origin <> t.id then process r (Context.with_context op ~ctx)
+(* else: acknowledgement of an own operation — already processed at
+   generation time; recording the serial above is all that is needed
+   (the pending transition silently becomes serialized, keeping its
+   relative order, cf. Order_key). *)
+
+let client_document t = t.replica.doc
+
+let server_document t = t.server_replica.doc
+
+let client_visible t = State_space.final t.replica.space
+
+let server_visible t = State_space.final t.server_replica.space
+
+let client_ot_count t = State_space.ot_count t.replica.space
+
+let server_ot_count t = State_space.ot_count t.server_replica.space
+
+let client_metadata_size t = State_space.size t.replica.space
+
+let server_metadata_size t = State_space.size t.server_replica.space
+
+let client_space t = t.replica.space
+
+let server_space t = t.server_replica.space
+
+let client_path t = List.rev t.replica.path
+
+let server_path t = List.rev t.server_replica.path
+
+let client_state t =
+  let serials =
+    Op_id.Table.fold (fun id s acc -> (id, s) :: acc) t.replica.serials []
+  in
+  t.id, t.next_seq, t.replica.doc, serials
+
+let rebuild_client ~id ~next_seq ~doc ~serials ~space ~root ~final =
+  if id < 1 then invalid_arg "CSS: client identifiers start at 1";
+  let table = Op_id.Table.create 64 in
+  List.iter (fun (op_id, serial) -> Op_id.Table.replace table op_id serial)
+    serials;
+  let key_of op_id =
+    match Op_id.Table.find_opt table op_id with
+    | Some serial -> Order_key.Serialized serial
+    | None ->
+      if op_id.Op_id.client = id then Order_key.Pending op_id.Op_id.seq
+      else
+        invalid_arg
+          (Format.asprintf
+             "CSS rebuild %d: no order key for foreign operation %a" id
+             Op_id.pp op_id)
+  in
+  let space = State_space.of_raw ~key_of ~root ~final space in
+  {
+    id;
+    replica = { space; serials = table; doc; path = [ final ] };
+    next_seq;
+  }

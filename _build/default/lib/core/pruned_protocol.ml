@@ -1,0 +1,172 @@
+open Rlist_model
+open Rlist_ot
+
+let name = "css-pruned"
+
+let server_is_replica = true
+
+type c2s = {
+  op : Op.t;
+  ctx : Context.t;
+  acked : int;
+}
+
+type s2c = {
+  op : Op.t;
+  ctx : Context.t;
+  serial : int;
+  origin : int;
+  stable : int;
+}
+
+type replica = {
+  space : State_space.t;
+  serials : int Op_id.Table.t;
+  by_serial : (int, Op_id.t) Hashtbl.t;
+  mutable doc : Document.t;
+  mutable base_doc : Document.t;  (* document at the space's root *)
+  mutable pruned_to : int;
+}
+
+type client = {
+  id : int;
+  replica : replica;
+  mutable next_seq : int;
+  mutable acked : int;  (* highest serial processed *)
+}
+
+type server = {
+  nclients : int;
+  server_replica : replica;
+  mutable next_serial : int;
+  client_acked : int array;  (* per-client acknowledged serial *)
+}
+
+let make_replica ~initial ~own_client =
+  let serials = Op_id.Table.create 64 in
+  let key_of id =
+    match Op_id.Table.find_opt serials id with
+    | Some serial -> Order_key.Serialized serial
+    | None ->
+      if id.Op_id.client = own_client then Order_key.Pending id.Op_id.seq
+      else
+        invalid_arg
+          (Format.asprintf
+             "css-pruned replica %d: no order key for foreign operation %a"
+             own_client Op_id.pp id)
+  in
+  {
+    space = State_space.create ~key_of ();
+    serials;
+    by_serial = Hashtbl.create 64;
+    doc = initial;
+    base_doc = initial;
+    pruned_to = 0;
+  }
+
+let record_serial r id serial =
+  Op_id.Table.replace r.serials id serial;
+  Hashtbl.replace r.by_serial serial id
+
+let process r (oc : Context.op_in_context) =
+  let form = State_space.add_op r.space oc in
+  r.doc <- Op.apply form r.doc
+
+(* Compact the replica's space onto the state holding every operation
+   with serial <= [stable]. *)
+let prune r ~stable =
+  if stable > r.pruned_to then begin
+    let stable_state =
+      let rec extend state serial =
+        if serial > stable then state
+        else
+          match Hashtbl.find_opt r.by_serial serial with
+          | Some id -> extend (Op_id.Set.add id state) (serial + 1)
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "css-pruned: stable serial %d references an unknown \
+                  operation %d"
+                 stable serial)
+      in
+      extend (State_space.root r.space) (r.pruned_to + 1)
+    in
+    r.base_doc <-
+      State_space.compact r.space ~stable:stable_state ~base_doc:r.base_doc;
+    r.pruned_to <- stable
+  end
+
+let create_client ~nclients ~id ~initial =
+  ignore nclients;
+  if id < 1 then invalid_arg "css-pruned: client identifiers start at 1";
+  { id; replica = make_replica ~initial ~own_client:id; next_seq = 1; acked = 0 }
+
+let create_server ~nclients ~initial =
+  {
+    nclients;
+    server_replica = make_replica ~initial ~own_client:0;
+    next_serial = 1;
+    client_acked = Array.make (nclients + 1) 0;
+  }
+
+let client_generate t intent =
+  let r = t.replica in
+  let { Rlist_sim.Intent_resolver.outcome; op } =
+    Rlist_sim.Intent_resolver.resolve ~client:t.id ~seq:t.next_seq ~doc:r.doc
+      intent
+  in
+  match op with
+  | None -> outcome, None
+  | Some op ->
+    t.next_seq <- t.next_seq + 1;
+    let ctx = State_space.final r.space in
+    process r (Context.with_context op ~ctx);
+    outcome, Some { op; ctx; acked = t.acked }
+
+let stable_serial t =
+  let stable = ref max_int in
+  for i = 1 to t.nclients do
+    stable := min !stable t.client_acked.(i)
+  done;
+  !stable
+
+let server_receive t ~from ({ op; ctx; acked } : c2s) =
+  t.client_acked.(from) <- max t.client_acked.(from) acked;
+  let serial = t.next_serial in
+  t.next_serial <- serial + 1;
+  record_serial t.server_replica op.Op.id serial;
+  process t.server_replica (Context.with_context op ~ctx);
+  let stable = stable_serial t in
+  prune t.server_replica ~stable;
+  List.init t.nclients (fun i -> i + 1, { op; ctx; serial; origin = from; stable })
+
+let client_receive t ({ op; ctx; serial; origin; stable } : s2c) =
+  let r = t.replica in
+  record_serial r op.Op.id serial;
+  if origin <> t.id then process r (Context.with_context op ~ctx);
+  t.acked <- max t.acked serial;
+  prune r ~stable
+
+let client_document t = t.replica.doc
+
+let server_document t = t.server_replica.doc
+
+let client_visible t = State_space.final t.replica.space
+
+let server_visible t = State_space.final t.server_replica.space
+
+let client_ot_count t = State_space.ot_count t.replica.space
+
+let server_ot_count t = State_space.ot_count t.server_replica.space
+
+let client_metadata_size t = State_space.size t.replica.space
+
+let server_metadata_size t = State_space.size t.server_replica.space
+
+let client_space t = t.replica.space
+
+let server_space t = t.server_replica.space
+
+let client_pruned_to t = t.replica.pruned_to
+
+let server_pruned_to t = t.server_replica.pruned_to

@@ -1,0 +1,50 @@
+(** The CSS protocol with acknowledgement-driven state-space pruning —
+    the executable answer to the metadata-overhead question the paper's
+    conclusion raises.
+
+    Without garbage collection, the n-ary ordered state-space (like the
+    CSCW protocol's 2D spaces) grows for the lifetime of the execution
+    (benchmark C5).  This variant adds the classic Jupiter remedy:
+
+    - every client piggybacks on its update messages the highest
+      serial number it has processed;
+    - the server maintains the minimum acknowledged serial across all
+      clients — the {e stable} prefix of the total order: every replica
+      has processed those operations, and (by FIFO) every operation
+      still in flight was generated on a context containing them;
+    - the stable serial rides on every broadcast, and each replica
+      {!State_space.compact}s its space onto the stable state.
+
+    The protocol is observationally identical to {!Protocol} (the test
+    suite replays identical schedules against both); only the metadata
+    footprint changes.  The classic caveat applies: a client that never
+    generates operations never acknowledges, so the stable prefix — and
+    pruning — stalls (benchmark C7 quantifies both situations). *)
+
+open Rlist_ot
+
+type c2s = {
+  op : Op.t;
+  ctx : Context.t;
+  acked : int;  (** Highest serial this client has processed. *)
+}
+
+type s2c = {
+  op : Op.t;
+  ctx : Context.t;
+  serial : int;
+  origin : int;
+  stable : int;  (** Minimum acknowledged serial across clients. *)
+}
+
+include
+  Rlist_sim.Protocol_intf.PROTOCOL with type c2s := c2s and type s2c := s2c
+
+val client_space : client -> State_space.t
+
+val server_space : server -> State_space.t
+
+(** The serial up to which this replica has pruned. *)
+val client_pruned_to : client -> int
+
+val server_pruned_to : server -> int

@@ -1,0 +1,21 @@
+(** Rendering n-ary ordered state-spaces, for the figure
+    reproductions (paper, Figures 3, 4, 6, 7b).
+
+    {!to_dot} emits Graphviz DOT; {!to_ascii} a levelled text listing
+    (states grouped by the number of processed operations, transitions
+    left to right in their total order). *)
+
+open Rlist_model
+
+(** [to_dot t ~initial ~name] renders the space.  Node labels show the
+    state (operation set) and the document at it; edge labels show the
+    transition's operation form, with child order encoded by edge
+    position (Graphviz [ordering=out]). *)
+val to_dot : State_space.t -> initial:Document.t -> name:string -> string
+
+val to_ascii : State_space.t -> initial:Document.t -> string
+
+(** Render a replica's behaviour — its path through the state-space
+    (thick lines of the paper's Figure 4) — as one state per line. *)
+val path_to_ascii :
+  State_space.t -> initial:Document.t -> State_space.state list -> string

@@ -1,0 +1,24 @@
+(** The CSS protocol with the server reduced to a pure sequencer — a
+    step toward the paper's first future-work direction ("extending
+    the CSS protocol to a distributed setting, by integrating the
+    compact n-ary ordered state-space with a distributed scheme to
+    totally order operations").
+
+    The enabler is a defining feature of the CSS protocol: the server
+    redirects {e original} operations (Section 6.2, footnote 7), so
+    unlike the CSCW server it never needs to transform anything.  All
+    the center must provide is a total order; here it is a stateless
+    sequencer holding no document, no state-space, and performing zero
+    transformations — any total-order broadcast service could replace
+    it.  Clients are {e bit-for-bit} the clients of {!Protocol}.
+
+    Because the center is not a replica, convergence is judged over
+    the clients only ([server_is_replica = false]). *)
+
+include
+  Rlist_sim.Protocol_intf.PROTOCOL
+    with type client = Protocol.client
+     and type c2s = Protocol.c2s
+     and type s2c = Protocol.s2c
+
+val client_space : client -> State_space.t

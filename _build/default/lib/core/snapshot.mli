@@ -1,0 +1,24 @@
+(** Snapshot and restore of CSS clients — crash recovery.
+
+    A client's entire protocol state (document, sequence counter,
+    serial table, and the full n-ary ordered state-space with its
+    transition forms and ordering) round-trips through a line-oriented
+    text format.  A restored client is observationally identical to
+    the original: same document, same visible set, and a structurally
+    equal state-space, so it continues the session as if nothing
+    happened (the test suite feeds both the original and the restored
+    client the same messages and compares).
+
+    Pending (unacknowledged) operations are preserved: they are the
+    client's own, and their order keys are reconstructed from their
+    sequence numbers. *)
+
+val client_to_string : Protocol.client -> string
+
+(** @raise Invalid_argument on malformed input (message names the
+    offending line). *)
+val client_of_string : string -> Protocol.client
+
+val save_client : path:string -> Protocol.client -> unit
+
+val load_client : path:string -> Protocol.client

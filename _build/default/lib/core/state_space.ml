@@ -1,0 +1,320 @@
+open Rlist_model
+open Rlist_ot
+
+type state = Op_id.Set.t
+
+type transition = {
+  orig : Op_id.t;
+  form : Op.t;
+  target : state;
+}
+
+type node = {
+  state : state;
+  mutable transitions : transition list;  (* sorted, leftmost first *)
+}
+
+type t = {
+  (* Keyed by the state set itself, with a content hash over all
+     elements (states share long prefixes, which defeats the generic
+     prefix-sampling Hashtbl.hash). *)
+  nodes : node Op_id.State_table.t;
+  key_of : Op_id.t -> Order_key.t;
+  transform : Op.t -> Op.t -> Op.t;
+  mutable root : state;
+  mutable final : state;
+  mutable ot_count : int;
+}
+
+let initial_state = Op_id.Set.empty
+
+let create ?(transform = Transform.xform) ~key_of () =
+  let nodes = Op_id.State_table.create 64 in
+  Op_id.State_table.add nodes initial_state
+    { state = initial_state; transitions = [] };
+  {
+    nodes;
+    key_of;
+    transform;
+    root = initial_state;
+    final = initial_state;
+    ot_count = 0;
+  }
+
+let root t = t.root
+
+let final t = t.final
+
+let find_node_opt t state = Op_id.State_table.find_opt t.nodes state
+
+let find_node t state =
+  match find_node_opt t state with
+  | Some node -> node
+  | None ->
+    invalid_arg
+      (Format.asprintf "State_space: no state matches context %a" Op_id.Set.pp
+         state)
+
+let find_or_create t state =
+  match find_node_opt t state with
+  | Some node -> node
+  | None ->
+    let node = { state; transitions = [] } in
+    Op_id.State_table.add t.nodes state node;
+    node
+
+let mem_state t state = find_node_opt t state <> None
+
+let transitions t state = (find_node t state).transitions
+
+let states t =
+  Op_id.State_table.fold (fun _ node acc -> node.state :: acc) t.nodes []
+
+let num_states t = Op_id.State_table.length t.nodes
+
+let num_transitions t =
+  Op_id.State_table.fold
+    (fun _ node acc -> acc + List.length node.transitions)
+    t.nodes 0
+
+let size t = num_states t + num_transitions t
+
+(* Insert a transition among a node's ordered children.  Equal keys
+   cannot occur: an operation identifier labels at most one transition
+   per state (Lemma 6.3's "parallel transitions" are at distinct
+   states). *)
+let insert_transition t node tr =
+  let key = t.key_of tr.orig in
+  let rec insert = function
+    | [] -> [ tr ]
+    | tr' :: rest as all ->
+      if Op_id.equal tr'.orig tr.orig then
+        invalid_arg
+          (Format.asprintf
+             "State_space: operation %a already has a transition from state \
+              %a"
+             Op_id.pp tr.orig Op_id.Set.pp node.state)
+      else if Order_key.compare key (t.key_of tr'.orig) < 0 then tr :: all
+      else tr' :: insert rest
+  in
+  node.transitions <- insert node.transitions
+
+let leftmost_path t state =
+  let node = find_node t state in
+  let rec walk node acc =
+    match node.transitions with
+    | [] ->
+      if not (Op_id.Set.equal node.state t.final) then
+        invalid_arg
+          (Format.asprintf
+             "State_space: leftmost path from %a ends at %a, not at the \
+              final state %a"
+             Op_id.Set.pp state Op_id.Set.pp node.state Op_id.Set.pp t.final);
+      List.rev acc
+    | leftmost :: _ -> walk (find_node t leftmost.target) (leftmost :: acc)
+  in
+  walk node []
+
+let xform t o1 o2 =
+  t.ot_count <- t.ot_count + 1;
+  t.transform o1 o2
+
+let add_op t { Context.op; ctx } =
+  if Op_id.Set.mem op.Op.id t.final then
+    invalid_arg
+      (Format.asprintf "State_space: operation %a already processed" Op_id.pp
+         op.Op.id);
+  let path = leftmost_path t ctx in
+  let o = ref op in
+  let src = ref (find_node t ctx) in
+  (* One "square" of the commuting ladder per step: from the current
+     source [s] with leftmost transition [tr : s -> s'], add
+     [s -o-> s+o] (in its order among the children of [s]) and
+     [s+o -tr{o}-> s'+o], then continue from [s'] with [o{tr}]. *)
+  List.iter
+    (fun tr ->
+      let o_here = !o in
+      let s = !src in
+      let s_plus = Op_id.Set.add op.Op.id s.state in
+      insert_transition t s { orig = op.Op.id; form = o_here; target = s_plus };
+      let node_plus = find_or_create t s_plus in
+      let target_plus = Op_id.Set.add op.Op.id tr.target in
+      let tr_form' = xform t tr.form o_here in
+      insert_transition t node_plus
+        { orig = tr.orig; form = tr_form'; target = target_plus };
+      ignore (find_or_create t target_plus);
+      o := xform t o_here tr.form;
+      src := find_node t tr.target)
+    path;
+  (* [src] is now the final state: record the fully transformed form. *)
+  let final_plus = Op_id.Set.add op.Op.id !src.state in
+  insert_transition t !src { orig = op.Op.id; form = !o; target = final_plus };
+  ignore (find_or_create t final_plus);
+  t.final <- final_plus;
+  !o
+
+let ot_count t = t.ot_count
+
+let compact t ~stable ~base_doc =
+  if find_node_opt t stable = None then
+    invalid_arg
+      (Format.asprintf "State_space.compact: %a is not a state" Op_id.Set.pp
+         stable);
+  if not (Op_id.Set.subset t.root stable) then
+    invalid_arg "State_space.compact: stable state below the current root";
+  (* The document at the stable state: the stable operations are the
+     first ones in total order, so the leftmost path from the root
+     passes through [stable] (Lemma 6.4); replay its prefix. *)
+  let rec replay doc state =
+    if Op_id.Set.equal state stable then doc
+    else
+      match (find_node t state).transitions with
+      | [] ->
+        invalid_arg
+          (Format.asprintf
+             "State_space.compact: stable state %a not reachable along the \
+              leftmost path"
+             Op_id.Set.pp stable)
+      | leftmost :: _ ->
+        if not (Op_id.Set.subset leftmost.target stable) then
+          invalid_arg
+            (Format.asprintf
+               "State_space.compact: %a is not a prefix of the total order"
+               Op_id.Set.pp stable)
+        else replay (Op.apply leftmost.form doc) leftmost.target
+  in
+  let stable_doc = replay base_doc t.root in
+  (* Drop every state that does not contain the stable set: no future
+     context can match it. *)
+  let doomed =
+    Op_id.State_table.fold
+      (fun state _ acc ->
+        if Op_id.Set.subset stable state then acc else state :: acc)
+      t.nodes []
+  in
+  List.iter (fun state -> Op_id.State_table.remove t.nodes state) doomed;
+  t.root <- stable;
+  stable_doc
+
+let transition_equal a b =
+  Op_id.equal a.orig b.orig && Op.equal a.form b.form
+  && Op_id.Set.equal a.target b.target
+
+let equal t1 t2 =
+  Op_id.Set.equal t1.final t2.final
+  && num_states t1 = num_states t2
+  && Op_id.State_table.fold
+       (fun key node acc ->
+         acc
+         &&
+         match Op_id.State_table.find_opt t2.nodes key with
+         | None -> false
+         | Some node' ->
+           List.length node.transitions = List.length node'.transitions
+           && List.for_all2 transition_equal node.transitions node'.transitions)
+       t1.nodes true
+
+let of_raw ~key_of ~root ~final assoc =
+  let t =
+    {
+      nodes = Op_id.State_table.create 64;
+      key_of;
+      transform = Transform.xform;
+      root;
+      final;
+      ot_count = 0;
+    }
+  in
+  List.iter
+    (fun (state, _) ->
+      if Op_id.State_table.mem t.nodes state then
+        invalid_arg
+          (Format.asprintf "State_space.of_raw: duplicate state %a"
+             Op_id.Set.pp state);
+      Op_id.State_table.add t.nodes state { state; transitions = [] })
+    assoc;
+  let require state =
+    if not (Op_id.State_table.mem t.nodes state) then
+      invalid_arg
+        (Format.asprintf "State_space.of_raw: missing state %a" Op_id.Set.pp
+           state)
+  in
+  require root;
+  require final;
+  List.iter
+    (fun (state, transitions) ->
+      let node = Op_id.State_table.find t.nodes state in
+      List.iter
+        (fun tr ->
+          require tr.target;
+          insert_transition t node tr)
+        transitions)
+    assoc;
+  t
+
+let union a b =
+  let listing space =
+    List.map (fun s -> s, (find_node space s).transitions) (states space)
+  in
+  let merged : transition list Op_id.State_table.t =
+    Op_id.State_table.create 64
+  in
+  let add (state, transitions) =
+    let existing =
+      Option.value (Op_id.State_table.find_opt merged state) ~default:[]
+    in
+    let extended =
+      List.fold_left
+        (fun acc tr ->
+          match List.find_opt (fun tr' -> Op_id.equal tr'.orig tr.orig) acc with
+          | None -> tr :: acc
+          | Some tr' ->
+            if transition_equal tr tr' then acc
+            else
+              invalid_arg
+                (Format.asprintf
+                   "State_space.union: conflicting transitions for %a at %a"
+                   Op_id.pp tr.orig Op_id.Set.pp state))
+        existing transitions
+    in
+    Op_id.State_table.replace merged state extended
+  in
+  List.iter add (listing a);
+  List.iter add (listing b);
+  let final =
+    if Op_id.Set.cardinal (final a) >= Op_id.Set.cardinal (final b) then
+      final a
+    else final b
+  in
+  let assoc =
+    Op_id.State_table.fold (fun state trs acc -> (state, trs) :: acc) merged []
+  in
+  of_raw ~key_of:a.key_of ~root:a.root ~final assoc
+
+let pp_state ppf state =
+  if Op_id.Set.is_empty state then Format.pp_print_string ppf "{0}"
+  else Op_id.Set.pp ppf state
+
+let pp ppf t =
+  let all =
+    List.sort
+      (fun n1 n2 -> Op_id.Set.compare n1.state n2.state)
+      (Op_id.State_table.fold (fun _ node acc -> node :: acc) t.nodes [])
+  in
+  let all =
+    List.sort
+      (fun n1 n2 ->
+        Int.compare (Op_id.Set.cardinal n1.state) (Op_id.Set.cardinal n2.state))
+      all
+  in
+  Format.fprintf ppf "@[<v>final: %a@," pp_state t.final;
+  List.iter
+    (fun node ->
+      Format.fprintf ppf "%a:@," pp_state node.state;
+      List.iter
+        (fun tr ->
+          Format.fprintf ppf "  -[%a %a]-> %a@," Op_id.pp tr.orig Op.pp tr.form
+            pp_state tr.target)
+        node.transitions)
+    all;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,145 @@
+(** The n-ary ordered state-space (paper, Section 6.1) and the uniform
+    operation processing of the CSS protocol (Section 6.2,
+    Algorithm 1).
+
+    States are sets of (original) operation identifiers — the
+    operations a replica passing through that state has processed
+    (Definition 4.5).  A transition between two states is labelled
+    with the (original or transformed) operation involved; the
+    transitions leaving a state are totally ordered by the server's
+    serialization order ({!Order_key}).  Unlike a 2D state-space, a
+    state may have up to [n] children (Lemma 6.1).
+
+    {!add_op} implements Algorithm 1: look up the state matching the
+    operation's context, save the operation there along the transition
+    of the right order, transform it iteratively along the {e leftmost}
+    transitions to the final state — arranging every new transition in
+    its appropriate order — and return the fully transformed form for
+    execution. *)
+
+open Rlist_model
+open Rlist_ot
+
+type state = Op_id.Set.t
+
+type transition = {
+  orig : Op_id.t;  (** Identity of the (original) operation. *)
+  form : Op.t;  (** The possibly-transformed operation labelling this
+                    transition. *)
+  target : state;
+}
+
+type t
+
+(** [create ~key_of ()] builds a state-space containing only the
+    initial state [{}].  [key_of] maps an operation identifier to its
+    current ordering key; it is consulted at every insertion, so it
+    may answer [Pending] early on and [Serialized] later (the relative
+    order never changes, see {!Order_key}).
+
+    [transform] is the transformation function driving Algorithm 1's
+    ladders (default: the Jupiter view-position functions,
+    {!Rlist_ot.Transform.xform}).  Passing a CP2-satisfying function
+    (e.g. the TTF functions) makes the space tolerate integration in
+    {e any} causally-consistent order, which is what the
+    total-order-free adOPTed-style protocol exploits. *)
+val create :
+  ?transform:(Rlist_ot.Op.t -> Rlist_ot.Op.t -> Rlist_ot.Op.t) ->
+  key_of:(Op_id.t -> Order_key.t) ->
+  unit ->
+  t
+
+(** The empty state every space starts from. *)
+val initial_state : state
+
+(** The current root of the space: {!initial_state} until a
+    {!compact} rebases it onto a stable state. *)
+val root : t -> state
+
+val final : t -> state
+
+val mem_state : t -> state -> bool
+
+(** Ordered outgoing transitions of a state (leftmost first).
+    @raise Invalid_argument if the state is absent. *)
+val transitions : t -> state -> transition list
+
+val states : t -> state list
+
+val num_states : t -> int
+
+val num_transitions : t -> int
+
+(** States plus transitions: the replica's metadata footprint. *)
+val size : t -> int
+
+(** The operations along the leftmost transitions from [state] to the
+    final state — the sequence [L] of Algorithm 1 (empty iff [state]
+    is final, Lemma 6.4).
+    @raise Invalid_argument if the state is absent. *)
+val leftmost_path : t -> state -> transition list
+
+(** [add_op t op_in_ctx] processes one operation per Algorithm 1 and
+    returns its fully transformed form [o{L}], which the caller must
+    execute on its document.  The final state gains the operation.
+
+    @raise Invalid_argument if no state matches the operation's
+    context (a protocol violation), or if the operation was already
+    processed. *)
+val add_op : t -> Context.op_in_context -> Op.t
+
+(** Number of primitive transformation-function calls performed by
+    this state-space so far. *)
+val ot_count : t -> int
+
+(** [compact t ~stable ~base_doc] prunes every state that is not a
+    superset of [stable] and rebases the space's root onto [stable] —
+    the garbage collection addressing the metadata-overhead question
+    the paper's conclusion raises.  [stable] must be safe: every
+    operation context that can still arrive is a superset of it (in
+    the pruning protocol, the set of operations acknowledged by every
+    client).  [base_doc] is the document at the current root; the
+    document at the new root is returned.
+
+    @raise Invalid_argument if [stable] is not a state of the space or
+    is not reachable from the root along serialized operations. *)
+val compact : t -> stable:state -> base_doc:Rlist_model.Document.t ->
+  Rlist_model.Document.t
+
+(** Structural equality: same states, and the same ordered transition
+    lists (identity, form, and target) at every state.  This is the
+    equality of Proposition 6.6. *)
+val equal : t -> t -> bool
+
+(** {2 Algebra}
+
+    The paper's second future-work direction is to "algebraically
+    manipulate and reason about n-ary ordered state-spaces".  These
+    operations support the executable counterparts of Examples 8.2
+    and 8.3: taking the union of replica state-spaces {e without} the
+    guarantee of Proposition 6.6 produces spaces on which the
+    Section 8 lemmas fail. *)
+
+(** [of_raw ~key_of ~root ~final assoc] builds a space from an explicit
+    state/transition listing (analysis and testing only — protocol
+    spaces are built through {!add_op}).  Transitions are re-sorted by
+    [key_of].
+    @raise Invalid_argument if [root], [final], or a transition target
+    is missing from [assoc], or if a state repeats. *)
+val of_raw :
+  key_of:(Op_id.t -> Order_key.t) ->
+  root:state ->
+  final:state ->
+  (state * transition list) list ->
+  t
+
+(** [union a b] merges two spaces state by state (ordering keys and
+    root from [a]; the final state is the larger of the two finals).
+    Transitions with the same origin from the same state must agree.
+    The result need not satisfy the Section 8 lemmas — that is the
+    point of Example 8.2. *)
+val union : t -> t -> t
+
+val pp_state : Format.formatter -> state -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cscw/naive_p2p.ml: Array Document Element Format Intent List Op Op_id Rlist_model Rlist_ot Rlist_sim Rlist_spec Transform

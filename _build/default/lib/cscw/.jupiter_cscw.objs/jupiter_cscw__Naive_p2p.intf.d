@@ -1,0 +1,1 @@
+lib/cscw/naive_p2p.mli: Op Rlist_ot Rlist_sim

@@ -1,0 +1,1 @@
+lib/cscw/protocol.ml: Array Document Element Format Intent List Op Op_id Rlist_model Rlist_ot Rlist_sim Rlist_spec Two_d_space

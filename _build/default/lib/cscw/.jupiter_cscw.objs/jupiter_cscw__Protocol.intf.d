@@ -1,0 +1,1 @@
+lib/cscw/protocol.mli: Op Rlist_ot Rlist_sim

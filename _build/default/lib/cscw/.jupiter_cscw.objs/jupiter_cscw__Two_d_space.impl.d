@@ -1,0 +1,1 @@
+lib/cscw/two_d_space.ml: Hashtbl Op Printf Rlist_ot Transform

@@ -1,0 +1,1 @@
+lib/cscw/two_d_space.mli: Op Rlist_ot

@@ -1,0 +1,69 @@
+open Rlist_ot
+
+type t = {
+  right : (int * int, Op.t) Hashtbl.t;  (* (l,g) -> (l+1,g) *)
+  up : (int * int, Op.t) Hashtbl.t;  (* (l,g) -> (l,g+1) *)
+  mutable local_count : int;
+  mutable global_count : int;
+  ot_counter : int ref;
+}
+
+let create ~ot_counter () =
+  {
+    right = Hashtbl.create 64;
+    up = Hashtbl.create 64;
+    local_count = 0;
+    global_count = 0;
+    ot_counter;
+  }
+
+let extent t = t.local_count, t.global_count
+
+let xform t o1 o2 =
+  incr t.ot_counter;
+  Transform.xform o1 o2
+
+(* Fill the grid lazily, square by square.  Both recursions bottom out
+   at stored original operations: [right] entries decrease [g], [up]
+   entries decrease [l]. *)
+let rec get_right t (l, g) =
+  match Hashtbl.find_opt t.right (l, g) with
+  | Some op -> op
+  | None ->
+    let r = get_right t (l, g - 1) in
+    let u = get_up t (l, g - 1) in
+    let r' = xform t r u in
+    Hashtbl.add t.right (l, g) r';
+    r'
+
+and get_up t (l, g) =
+  match Hashtbl.find_opt t.up (l, g) with
+  | Some op -> op
+  | None ->
+    let u = get_up t (l - 1, g) in
+    let r = get_right t (l - 1, g) in
+    let u' = xform t u r in
+    Hashtbl.add t.up (l, g) u';
+    u'
+
+let add_local t op ~at_global =
+  if at_global < 0 || at_global > t.global_count then
+    invalid_arg
+      (Printf.sprintf "Two_d_space.add_local: context global level %d not in \
+                       [0, %d]" at_global t.global_count);
+  Hashtbl.add t.right (t.local_count, at_global) op;
+  let top = get_right t (t.local_count, t.global_count) in
+  t.local_count <- t.local_count + 1;
+  top
+
+let add_global t op ~at_local =
+  if at_local < 0 || at_local > t.local_count then
+    invalid_arg
+      (Printf.sprintf "Two_d_space.add_global: context local level %d not in \
+                       [0, %d]" at_local t.local_count);
+  Hashtbl.add t.up (at_local, t.global_count) op;
+  let top = get_up t (t.local_count, t.global_count) in
+  t.global_count <- t.global_count + 1;
+  top
+
+let size t = Hashtbl.length t.right + Hashtbl.length t.up

@@ -1,0 +1,43 @@
+(** 2D state-spaces, the data structure of the CSCW Jupiter protocol
+    (paper, Section 5.1).
+
+    A 2D state-space is a grid of states indexed by [(l, g)]: [l]
+    operations along the {e local} dimension and [g] along the
+    {e global} dimension have been processed.  A transition to the
+    right, [right (l, g)], is the [(l+1)]-st local operation
+    transformed to global level [g]; a transition upwards, [up (l, g)],
+    is the [(g+1)]-st global operation transformed to local level [l].
+    Each original operation is stored at the state matching its
+    context; the rest of the grid is filled square by square with
+    [OT], memoizing every computed transition — the grid {e is} the
+    replica's dispersed state metadata, which the CSS protocol's
+    single n-ary space makes compact (Proposition 6.6 and the "2n 2D
+    state-spaces" comparison). *)
+
+open Rlist_ot
+
+type t
+
+(** [create ~ot_counter ()] — every transformation performed by the
+    grid increments [ot_counter]. *)
+val create : ot_counter:int ref -> unit -> t
+
+(** Current top-right corner of the grid: [(local, global)] counts. *)
+val extent : t -> int * int
+
+(** [add_local t op ~at_global:g0] stores a new local-dimension
+    operation whose context is [(local count, g0)] and returns its
+    form transformed to the current global level — the [o{L1}] of the
+    paper's server processing (Section 5.2.2), or [op] itself when the
+    context is current.  Advances the local count. *)
+val add_local : t -> Op.t -> at_global:int -> Op.t
+
+(** [add_global t op ~at_local:a] stores a new global-dimension
+    operation whose context is [(a, global count)] and returns its
+    form transformed to the current local level — the remote
+    processing of Section 5.2.3.  Advances the global count. *)
+val add_global : t -> Op.t -> at_local:int -> Op.t
+
+(** Number of materialized cells (stored transitions), the metadata
+    footprint of this space. *)
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/list_model/document.ml: Element Format List Op_id Printf String

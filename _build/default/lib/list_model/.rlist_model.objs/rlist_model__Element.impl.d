@@ -1,0 +1,1 @@
+lib/list_model/element.ml: Format Int Op_id

@@ -1,0 +1,1 @@
+lib/list_model/element.mli: Format Op_id

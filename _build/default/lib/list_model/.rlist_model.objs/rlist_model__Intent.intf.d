@@ -1,0 +1,1 @@
+lib/list_model/intent.mli: Format

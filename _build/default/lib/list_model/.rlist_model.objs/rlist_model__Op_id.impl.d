@@ -1,0 +1,1 @@
+lib/list_model/op_id.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/list_model/op_id.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/list_model/replica_id.mli: Format

@@ -1,0 +1,17 @@
+type t = {
+  value : char;
+  id : Op_id.t;
+}
+
+let make ~value ~id = { value; id }
+
+let compare a b = Op_id.compare a.id b.id
+
+let equal a b = compare a b = 0
+
+let priority a b =
+  match Int.compare a.id.Op_id.client b.id.Op_id.client with
+  | 0 -> Int.compare a.id.Op_id.seq b.id.Op_id.seq
+  | c -> c
+
+let pp ppf t = Format.fprintf ppf "%c<%a>" t.value Op_id.pp t.id

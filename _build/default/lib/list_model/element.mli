@@ -1,0 +1,30 @@
+(** List elements.
+
+    An element couples a user-visible value (a character, as in the
+    paper's collaborative text-editing scenarios) with the identifier
+    of the insertion that created it.  Element uniqueness (paper,
+    Section 3.1) therefore holds by construction, and there is a
+    one-to-one correspondence between inserted elements and insert
+    operations. *)
+
+type t = {
+  value : char;
+  id : Op_id.t;
+}
+
+val make : value:char -> id:Op_id.t -> t
+
+(** Comparison is by identity ([id]) only: the same character inserted
+    twice yields two distinct elements. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [priority a b] is positive when [a] takes priority over [b] in the
+    insert/insert transformation tie-break.  Following the paper
+    (Figure 7 caption), an element inserted by a client with a larger
+    identifier has higher priority; sequence numbers break the
+    remaining (impossible in well-formed executions) ties. *)
+val priority : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

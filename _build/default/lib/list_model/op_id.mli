@@ -1,0 +1,67 @@
+(** Globally unique operation identifiers.
+
+    Every user operation (insertion or deletion) is identified by the
+    client that generated it together with a per-client sequence
+    number.  The paper assumes all inserted elements are unique, "which
+    can be done by attaching replica identifiers and sequence numbers"
+    (Section 3.1); the identifier of an insertion doubles as the
+    identity of the inserted element.
+
+    Replica states in the Jupiter protocols are represented by the
+    {e set} of (original) operations a replica has processed
+    (Definition 4.5), so this module also provides canonical sets of
+    operation identifiers. *)
+
+type t = {
+  client : int;  (** Generating client; [0] is reserved for pre-existing
+                     elements of a non-empty initial document. *)
+  seq : int;     (** Per-client sequence number, starting at 1. *)
+}
+
+val make : client:int -> seq:int -> t
+
+(** Identifier for the [seq]-th element of the initial document.  The
+    initial elements are not produced by any do event; they use the
+    reserved client number [0]. *)
+val initial : seq:int -> t
+
+val is_initial : t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Sets of operation identifiers, used as replica states and as
+    operation contexts. *)
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+
+  (** Canonical representation: elements in increasing order.  Two
+      equal sets produce structurally equal lists, so the result is a
+      valid hash-table key (unlike the balanced-tree representation of
+      the set itself). *)
+  val canonical : t -> elt list
+
+  (** A content hash over {e all} elements (in ascending order).
+      [Hashtbl.hash] inspects only a prefix of a structure, which
+      degenerates badly on sets sharing long prefixes — exactly what
+      replica states do. *)
+  val content_hash : t -> int
+end
+
+(** Hash tables keyed by operation-identifier sets (replica states),
+    using {!Set.content_hash} and {!Set.equal}. *)
+module State_table : Hashtbl.S with type key = Set.t
+
+module Map : Map.S with type key = t
+
+(** Hash table keyed by operation identifiers. *)
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,26 @@
+type t =
+  | Server
+  | Client of int
+
+let compare a b =
+  match a, b with
+  | Server, Server -> 0
+  | Server, Client _ -> -1
+  | Client _, Server -> 1
+  | Client i, Client j -> Int.compare i j
+
+let equal a b = compare a b = 0
+
+let is_client = function
+  | Server -> false
+  | Client _ -> true
+
+let client_exn = function
+  | Client i -> i
+  | Server -> invalid_arg "Replica_id.client_exn: server"
+
+let pp ppf = function
+  | Server -> Format.pp_print_string ppf "server"
+  | Client i -> Format.fprintf ppf "c%d" i
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,24 @@
+(** Identifiers of replicas in the client/server system.
+
+    Jupiter adopts a centralized architecture (paper, Section 4.4): a
+    single server plus [n] collaborating clients connected to it over
+    FIFO channels.  The server holds its own copy of the replicated
+    list, so it is itself a replica. *)
+
+type t =
+  | Server
+  | Client of int  (** Clients are numbered from [1] to [n]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val is_client : t -> bool
+
+(** [client_exn r] returns the client number of [r].
+    @raise Invalid_argument if [r] is the server. *)
+val client_exn : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

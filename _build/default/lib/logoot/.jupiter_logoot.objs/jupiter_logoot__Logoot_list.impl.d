@@ -1,0 +1,1 @@
+lib/logoot/logoot_list.ml: Document Element Format List Op_id Position Printf Random Rlist_model

@@ -1,0 +1,1 @@
+lib/logoot/logoot_list.mli: Document Element Op_id Position Random Rlist_model

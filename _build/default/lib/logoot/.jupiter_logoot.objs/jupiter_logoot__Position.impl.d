@@ -1,0 +1,1 @@
+lib/logoot/position.ml: Format Int Random

@@ -1,0 +1,1 @@
+lib/logoot/position.mli: Format Random

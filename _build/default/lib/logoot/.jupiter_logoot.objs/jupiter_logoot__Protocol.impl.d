@@ -1,0 +1,1 @@
+lib/logoot/protocol.ml: Element List Logoot_list Op_id Position Random Rlist_model Rlist_ot Rlist_sim Rlist_spec

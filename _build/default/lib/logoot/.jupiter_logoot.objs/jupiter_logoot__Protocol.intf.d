@@ -1,0 +1,1 @@
+lib/logoot/protocol.mli: Element Op_id Position Rlist_model Rlist_sim

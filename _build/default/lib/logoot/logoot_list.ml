@@ -1,0 +1,69 @@
+open Rlist_model
+
+type entry = {
+  at : Position.t;
+  elt : Element.t;
+}
+
+type t = {
+  mutable entries : entry list;  (* sorted by position *)
+  rng : Random.State.t;
+  site : int;
+  mutable clock : int;
+}
+
+let create ~rng ~site ~initial =
+  (* Seed the initial document with evenly spaced site-0 positions. *)
+  let elements = Document.elements initial in
+  let entries =
+    List.mapi
+      (fun i elt ->
+        {
+          at = [ { Position.digit = i + 1; site = 0; clock = 0 } ];
+          elt;
+        })
+      elements
+  in
+  if List.length entries >= Position.base - 1 then
+    invalid_arg "Logoot_list.create: initial document too large to seed";
+  { entries; rng; site; clock = 0 }
+
+let document t = Document.of_elements (List.map (fun e -> e.elt) t.entries)
+
+let size t = List.length t.entries
+
+let bounds t ~pos =
+  let n = List.length t.entries in
+  if pos < 0 || pos > n then
+    invalid_arg (Printf.sprintf "Logoot_list: position %d out of bounds" pos);
+  let lo = if pos = 0 then Position.head else (List.nth t.entries (pos - 1)).at
+  and hi = if pos = n then Position.tail else (List.nth t.entries pos).at in
+  lo, hi
+
+let allocate t ~pos =
+  let lo, hi = bounds t ~pos in
+  t.clock <- t.clock + 1;
+  Position.between ~rng:t.rng ~site:t.site ~clock:t.clock lo hi
+
+let insert t ~elt ~at =
+  let rec place = function
+    | [] -> [ { at; elt } ]
+    | entry :: rest as all ->
+      let c = Position.compare at entry.at in
+      if c < 0 then { at; elt } :: all
+      else if c = 0 then
+        invalid_arg
+          (Format.asprintf "Logoot_list.insert: position %a already occupied"
+             Position.pp at)
+      else entry :: place rest
+  in
+  t.entries <- place t.entries
+
+let delete t ~target =
+  t.entries <-
+    List.filter (fun e -> not (Op_id.equal e.elt.Element.id target)) t.entries
+
+let position_of t id =
+  List.find_map
+    (fun e -> if Op_id.equal e.elt.Element.id id then Some e.at else None)
+    t.entries

@@ -1,0 +1,30 @@
+(** The Logoot replicated list: elements keyed by {!Position}
+    identifiers, kept sorted; deletion actually removes (no
+    tombstones), which is Logoot's advantage over TreeDoc/RGA in the
+    paper's related-work taxonomy (Section 9). *)
+
+open Rlist_model
+
+type t
+
+val create : rng:Random.State.t -> site:int -> initial:Document.t -> t
+
+val document : t -> Document.t
+
+(** Live node count — Logoot's whole metadata footprint. *)
+val size : t -> int
+
+(** [allocate t ~pos] creates a fresh position for an insertion at
+    visible position [pos] (between the current neighbours). *)
+val allocate : t -> pos:int -> Position.t
+
+(** [insert t ~elt ~at] integrates a (local or remote) insertion.
+    @raise Invalid_argument if the position is already occupied. *)
+val insert : t -> elt:Element.t -> at:Position.t -> unit
+
+(** [delete t ~target] removes the element; concurrent duplicate
+    deletions are ignored (the element is already gone). *)
+val delete : t -> target:Op_id.t -> unit
+
+(** Position of an element, while it is present. *)
+val position_of : t -> Op_id.t -> Position.t option

@@ -1,0 +1,109 @@
+type level = {
+  digit : int;
+  site : int;
+  clock : int;
+}
+
+type t = level list
+
+let base = 64
+
+let compare_level a b =
+  match Int.compare a.digit b.digit with
+  | 0 -> (
+    match Int.compare a.site b.site with
+    | 0 -> Int.compare a.clock b.clock
+    | c -> c)
+  | c -> c
+
+(* Lexicographic; a strict prefix is strictly smaller. *)
+let rec compare p q =
+  match p, q with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: p', b :: q' -> (
+    match compare_level a b with
+    | 0 -> compare p' q'
+    | c -> c)
+
+let equal p q = compare p q = 0
+
+let head = [ { digit = 0; site = min_int; clock = 0 } ]
+
+let tail = [ { digit = base; site = max_int; clock = 0 } ]
+
+(* Allocation.  The recursion walks the two bounds level by level:
+
+   - a digit gap > 1 lets us finish with a fresh digit strictly in
+     between (never 0, never base — so no identifier ever *ends* with
+     an extreme digit);
+   - a digit gap of exactly 1 descends on the low side (copying the
+     low bound's level, or emitting a fresh 0-digit level when the low
+     bound is exhausted — safe because the digit is still strictly
+     below the high bound's);
+   - equal digits either descend both bounds (identical levels),
+     descend the low side (the low level is smaller by site/clock), or
+     descend the high side when the low bound is exhausted (0-digit
+     levels never terminate an identifier, so the high bound always
+     continues). *)
+let between ~rng ~site ~clock lo hi =
+  if compare lo hi >= 0 then
+    invalid_arg "Position.between: bounds are not ordered";
+  let strip fence p = if equal p fence then [] else p in
+  let lo = strip head lo and hi = strip tail hi in
+  let fresh digit = { digit; site; clock } in
+  let pick dl dh =
+    (* a digit strictly between dl and dh *)
+    dl + 1 + Random.State.int rng (dh - dl - 1)
+  in
+  let rec go lo hi =
+    let dl =
+      match lo with
+      | [] -> 0
+      | l :: _ -> l.digit
+    in
+    let dh =
+      match hi with
+      | [] -> base
+      | h :: _ -> h.digit
+    in
+    if dh - dl > 1 then [ fresh (pick dl dh) ]
+    else if dh - dl = 1 then
+      (* adjacent digits: descend on the low side *)
+      match lo with
+      | l :: lo_rest -> l :: go lo_rest []
+      | [] -> fresh 0 :: go [] []
+    else begin
+      (* equal digits *)
+      match lo, hi with
+      | l :: lo_rest, h :: hi_rest ->
+        if compare_level l h = 0 then l :: go lo_rest hi_rest
+        else begin
+          (* l < h by site/clock: anything below l keeps us below h *)
+          assert (compare_level l h < 0);
+          l :: go lo_rest []
+        end
+      | [], h :: hi_rest ->
+        (* dl is the virtual 0 and h.digit = 0: we cannot place our own
+           site at this level, so follow the high bound down.  Internal
+           0-digit levels never end an identifier, so hi_rest is
+           non-empty. *)
+        assert (hi_rest <> []);
+        h :: go [] hi_rest
+      | _ :: _, [] | [], [] ->
+        (* dl = dh with hi exhausted would mean dl = base *)
+        assert false
+    end
+  in
+  let result = go lo hi in
+  assert (compare (if lo = [] then head else lo) result < 0);
+  assert (compare result (if hi = [] then tail else hi) < 0);
+  result
+
+let pp ppf p =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '.')
+       (fun ppf l -> Format.fprintf ppf "%d:%d:%d" l.digit l.site l.clock))
+    p

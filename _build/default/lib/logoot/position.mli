@@ -1,0 +1,40 @@
+(** Logoot position identifiers (Weiss, Urso, Molli 2009) — the
+    tombstone-free CRDT approach the paper's related work contrasts
+    with RGA and TreeDoc (Section 9).
+
+    A position is a non-empty path of levels, each a triple
+    [(digit, site, clock)]; positions are compared lexicographically.
+    Between any two positions another can always be allocated by
+    choosing an intermediate digit or descending a level, and the
+    [(site, clock)] components make concurrently allocated positions
+    distinct, so replicas sorting elements by position converge
+    without coordination. *)
+
+type level = {
+  digit : int;  (** In [\[1, base - 1\]] for allocated levels. *)
+  site : int;  (** Allocating client. *)
+  clock : int;  (** Per-client allocation counter. *)
+}
+
+type t = level list
+
+(** The digit space per level. *)
+val base : int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Virtual fences: [head] is smaller and [tail] larger than every
+    allocatable position. *)
+val head : t
+
+val tail : t
+
+(** [between ~rng ~site ~clock lo hi] allocates a fresh position
+    strictly between [lo] and [hi].
+    @raise Invalid_argument if [lo >= hi]. *)
+val between :
+  rng:Random.State.t -> site:int -> clock:int -> t -> t -> t
+
+val pp : Format.formatter -> t -> unit

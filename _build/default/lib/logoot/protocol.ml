@@ -1,0 +1,115 @@
+open Rlist_model
+
+let name = "logoot"
+
+let server_is_replica = true
+
+type logoot_op =
+  | Lins of {
+      elt : Element.t;
+      at : Position.t;
+    }
+  | Ldel of {
+      id : Op_id.t;
+      target : Op_id.t;
+    }
+
+let op_id = function
+  | Lins { elt; _ } -> elt.Element.id
+  | Ldel { id; _ } -> id
+
+type c2s = { lop : logoot_op }
+
+type s2c =
+  | Forward of logoot_op
+  | Ack
+
+type client = {
+  id : int;
+  list : Logoot_list.t;
+  mutable next_seq : int;
+  mutable visible : Op_id.Set.t;
+}
+
+type server = {
+  nclients : int;
+  slist : Logoot_list.t;
+  mutable svisible : Op_id.Set.t;
+}
+
+let create_client ~nclients ~id ~initial =
+  ignore nclients;
+  {
+    id;
+    (* The RNG only drives digit choices inside freshly allocated
+       positions — determinism across replicas is irrelevant because
+       allocations happen at one site and travel by message. *)
+    list = Logoot_list.create ~rng:(Random.State.make [| 0x109007; id |])
+             ~site:id ~initial;
+    next_seq = 1;
+    visible = Op_id.Set.empty;
+  }
+
+let create_server ~nclients ~initial =
+  {
+    nclients;
+    slist =
+      Logoot_list.create ~rng:(Random.State.make [| 0x109007; 0 |]) ~site:0
+        ~initial;
+    svisible = Op_id.Set.empty;
+  }
+
+let integrate list = function
+  | Lins { elt; at } -> Logoot_list.insert list ~elt ~at
+  | Ldel { target; _ } -> Logoot_list.delete list ~target
+
+let client_generate t intent =
+  let doc = Logoot_list.document t.list in
+  let { Rlist_sim.Intent_resolver.outcome; op } =
+    Rlist_sim.Intent_resolver.resolve ~client:t.id ~seq:t.next_seq ~doc intent
+  in
+  match op, outcome.Rlist_sim.Protocol_intf.op with
+  | None, _ -> outcome, None
+  | Some _, Rlist_spec.Event.Do_ins (elt, pos) ->
+    t.next_seq <- t.next_seq + 1;
+    let at = Logoot_list.allocate t.list ~pos in
+    let lop = Lins { elt; at } in
+    integrate t.list lop;
+    t.visible <- Op_id.Set.add elt.Element.id t.visible;
+    outcome, Some { lop }
+  | Some op, Rlist_spec.Event.Do_del (elt, _pos) ->
+    t.next_seq <- t.next_seq + 1;
+    let lop = Ldel { id = op.Rlist_ot.Op.id; target = elt.Element.id } in
+    integrate t.list lop;
+    t.visible <- Op_id.Set.add op.Rlist_ot.Op.id t.visible;
+    outcome, Some { lop }
+  | Some _, Rlist_spec.Event.Do_read -> assert false
+
+let server_receive t ~from ({ lop } : c2s) =
+  integrate t.slist lop;
+  t.svisible <- Op_id.Set.add (op_id lop) t.svisible;
+  List.init t.nclients (fun i ->
+      let dest = i + 1 in
+      if dest = from then dest, Ack else dest, Forward lop)
+
+let client_receive t = function
+  | Ack -> ()
+  | Forward lop ->
+    integrate t.list lop;
+    t.visible <- Op_id.Set.add (op_id lop) t.visible
+
+let client_document t = Logoot_list.document t.list
+
+let server_document t = Logoot_list.document t.slist
+
+let client_visible t = t.visible
+
+let server_visible t = t.svisible
+
+let client_ot_count _ = 0
+
+let server_ot_count _ = 0
+
+let client_metadata_size t = Logoot_list.size t.list
+
+let server_metadata_size t = Logoot_list.size t.slist

@@ -1,0 +1,32 @@
+(** Logoot as a client/server protocol for the simulation engine: the
+    server is a pure relay (CRDT — no transformation, no
+    serialization logic beyond FIFO fan-out), and the originator gets
+    an acknowledgement to keep schedules aligned with the other
+    protocols.
+
+    Like RGA, Logoot satisfies the {e strong} list specification: the
+    position order is a total order over all elements, fixed at
+    insertion time, and every returned list is sorted by it. *)
+
+open Rlist_model
+
+type logoot_op =
+  | Lins of {
+      elt : Element.t;
+      at : Position.t;
+    }
+  | Ldel of {
+      id : Op_id.t;  (** The delete operation's own identity. *)
+      target : Op_id.t;
+    }
+
+val op_id : logoot_op -> Op_id.t
+
+type c2s = { lop : logoot_op }
+
+type s2c =
+  | Forward of logoot_op
+  | Ack
+
+include
+  Rlist_sim.Protocol_intf.PROTOCOL with type c2s := c2s and type s2c := s2c

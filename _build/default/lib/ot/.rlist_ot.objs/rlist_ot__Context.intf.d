@@ -1,0 +1,1 @@
+lib/ot/context.mli: Format Op Op_id Rlist_model

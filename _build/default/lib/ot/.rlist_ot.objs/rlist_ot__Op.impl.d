@@ -1,0 +1,1 @@
+lib/ot/op.ml: Document Element Format Int Op_id Rlist_model

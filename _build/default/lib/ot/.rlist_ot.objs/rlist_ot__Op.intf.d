@@ -1,0 +1,1 @@
+lib/ot/op.mli: Document Element Format Op_id Rlist_model

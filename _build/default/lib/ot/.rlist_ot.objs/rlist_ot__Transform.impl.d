@@ -1,0 +1,1 @@
+lib/ot/transform.ml: Document Element List Op Rlist_model

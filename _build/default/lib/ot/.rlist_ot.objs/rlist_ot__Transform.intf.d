@@ -1,0 +1,1 @@
+lib/ot/transform.mli: Document Op Rlist_model

@@ -1,0 +1,28 @@
+open Rlist_model
+
+type t = Op_id.Set.t
+
+let empty = Op_id.Set.empty
+
+let extend ctx op = Op_id.Set.add op.Op.id ctx
+
+let mem ctx op = Op_id.Set.mem op.Op.id ctx
+
+let equal = Op_id.Set.equal
+
+let subset = Op_id.Set.subset
+
+type op_in_context = {
+  op : Op.t;
+  ctx : t;
+}
+
+let with_context op ~ctx =
+  if Op_id.Set.mem op.Op.id ctx then
+    invalid_arg "Context.with_context: operation is inside its own context";
+  { op; ctx }
+
+let pp = Op_id.Set.pp
+
+let pp_op_in_context ppf { op; ctx } =
+  Format.fprintf ppf "%a @@ %a" Op.pp op pp ctx

@@ -1,0 +1,60 @@
+(** List operations, in original and transformed form.
+
+    Following the paper (Section 3.1 and footnote 2), an operation
+    carries both the element it concerns and a position: operational
+    transformation acts on positions, while the strong/weak list
+    specifications refer to the element itself.
+
+    An operation keeps its identity ({!Op_id.t}) across
+    transformations: [o{L}] — the result of transforming [o] against a
+    sequence [L] — is a different {e form} of the same original
+    operation [org(o)] (Definition 4.5).  A delete transformed against
+    the deletion of the same element degenerates to [Nop], the idle
+    operation (paper, footnote 10). *)
+
+open Rlist_model
+
+type action =
+  | Ins of Element.t * int  (** Insert the element at the position. *)
+  | Del of Element.t * int  (** Delete the element at the position. *)
+  | Nop  (** Idle: the effect was cancelled by a transformation. *)
+
+type t = {
+  id : Op_id.t;  (** Identity of the original operation. *)
+  action : action;
+}
+
+val make_ins : id:Op_id.t -> Element.t -> int -> t
+
+val make_del : id:Op_id.t -> Element.t -> int -> t
+
+val nop : id:Op_id.t -> t
+
+val is_nop : t -> bool
+
+val is_ins : t -> bool
+
+val is_del : t -> bool
+
+(** The element an operation inserts or deletes; [None] for [Nop]. *)
+val element : t -> Element.t option
+
+(** The position an operation acts on; [None] for [Nop]. *)
+val position : t -> int option
+
+(** [apply op doc] executes [op] on [doc].
+
+    @raise Invalid_argument if the position is out of bounds, or if a
+    delete's position does not hold the operation's element — both
+    indicate a protocol bug (an operation applied outside the state it
+    is defined on). *)
+val apply : t -> Document.t -> Document.t
+
+(** Structural equality of forms: same identity {e and} same action. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,66 @@
+open Rlist_model
+
+(* The transformation functions below adjust the position of [o1] to
+   account for a concurrent [o2] applied first.  The cases follow the
+   standard list-OT functions (Ellis & Gibbs 1989; Imine et al. 2006):
+
+   - Ins/Ins: shift right if [o2] inserted strictly before, or at the
+     same position with higher priority (the higher-priority element
+     ends up leftmost).
+   - Ins/Del: shift left if [o2] deleted strictly before.
+   - Del/Ins: shift right if [o2] inserted at or before.
+   - Del/Del: shift left if [o2] deleted strictly before; deleting the
+     same position on the same state means deleting the same element,
+     so the result is the idle operation Nop (footnote 10). *)
+
+let generic_xform ~tie_shifts ~strict o1 o2 =
+  match o1.Op.action, o2.Op.action with
+  | Op.Nop, _ | _, Op.Nop -> o1
+  | Op.Ins (e1, p1), Op.Ins (e2, p2) ->
+    if p1 < p2 then o1
+    else if p1 > p2 then Op.make_ins ~id:o1.Op.id e1 (p1 + 1)
+    else if tie_shifts && Element.priority e1 e2 < 0 then
+      Op.make_ins ~id:o1.Op.id e1 (p1 + 1)
+    else o1
+  | Op.Ins (e1, p1), Op.Del (_, p2) ->
+    if p1 <= p2 then o1 else Op.make_ins ~id:o1.Op.id e1 (p1 - 1)
+  | Op.Del (e1, p1), Op.Ins (_, p2) ->
+    if p1 < p2 then o1 else Op.make_del ~id:o1.Op.id e1 (p1 + 1)
+  | Op.Del (e1, p1), Op.Del (e2, p2) ->
+    if p1 < p2 then o1
+    else if p1 > p2 then Op.make_del ~id:o1.Op.id e1 (p1 - 1)
+    else begin
+      (* Same position on the same state: necessarily the same element.
+         Only the broken variant, whose contexts are wrong by design,
+         can reach this case with distinct elements. *)
+      if strict then assert (Element.equal e1 e2);
+      Op.nop ~id:o1.Op.id
+    end
+
+let xform o1 o2 = generic_xform ~tie_shifts:true ~strict:true o1 o2
+
+let xform_no_priority o1 o2 =
+  generic_xform ~tie_shifts:false ~strict:false o1 o2
+
+let xform_pair o1 o2 = xform o1 o2, xform o2 o1
+
+let xform_seq o l =
+  let o', rev_l' =
+    List.fold_left
+      (fun (o, rev_l') ox ->
+        let o', ox' = xform_pair o ox in
+        o', ox' :: rev_l')
+      (o, []) l
+  in
+  o', List.rev rev_l'
+
+let check_cp2 o1 o2 o3 =
+  let via_o1_first = xform (xform o3 o1) (xform o2 o1) in
+  let via_o2_first = xform (xform o3 o2) (xform o1 o2) in
+  Op.equal via_o1_first via_o2_first
+
+let check_cp1 doc o1 o2 =
+  let o1', o2' = xform_pair o1 o2 in
+  let left = Op.apply o2' (Op.apply o1 doc) in
+  let right = Op.apply o1' (Op.apply o2 doc) in
+  Document.equal left right

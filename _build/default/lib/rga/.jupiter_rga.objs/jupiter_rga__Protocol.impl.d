@@ -1,0 +1,1 @@
+lib/rga/protocol.ml: Document Element Format Intent List Op_id Rga_list Rlist_model Rlist_sim Rlist_spec

@@ -1,0 +1,1 @@
+lib/rga/protocol.mli: Element Op_id Rga_list Rlist_model Rlist_sim

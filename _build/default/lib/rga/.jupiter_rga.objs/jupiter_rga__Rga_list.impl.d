@@ -1,0 +1,1 @@
+lib/rga/rga_list.ml: Document Element Format Int List Op_id Rlist_model

@@ -1,0 +1,1 @@
+lib/rga/rga_list.mli: Document Element Op_id Rlist_model

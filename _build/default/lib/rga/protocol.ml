@@ -1,0 +1,128 @@
+open Rlist_model
+
+let name = "rga"
+
+let server_is_replica = true
+
+type rga_op =
+  | Rins of {
+      elt : Element.t;
+      after : Op_id.t option;
+      ts : Rga_list.timestamp;
+    }
+  | Rdel of {
+      id : Op_id.t;
+      target : Op_id.t;
+      ts : Rga_list.timestamp;
+    }
+
+let op_id = function
+  | Rins { elt; _ } -> elt.Element.id
+  | Rdel { id; _ } -> id
+
+let op_ts = function
+  | Rins { ts; _ } | Rdel { ts; _ } -> ts
+
+type c2s = { rop : rga_op }
+
+type s2c =
+  | Forward of rga_op
+  | Ack of Rga_list.timestamp
+
+type client = {
+  id : int;
+  rga : Rga_list.t;
+  mutable next_seq : int;
+  mutable visible : Op_id.Set.t;
+}
+
+type server = {
+  nclients : int;
+  srga : Rga_list.t;
+  mutable svisible : Op_id.Set.t;
+}
+
+let create_client ~nclients ~id ~initial =
+  ignore nclients;
+  { id; rga = Rga_list.create ~initial; next_seq = 1; visible = Op_id.Set.empty }
+
+let create_server ~nclients ~initial =
+  { nclients; srga = Rga_list.create ~initial; svisible = Op_id.Set.empty }
+
+let integrate rga op =
+  Rga_list.observe_timestamp rga (op_ts op);
+  match op with
+  | Rins { elt; after; ts } -> Rga_list.insert rga ~elt ~after ~ts
+  | Rdel { target; _ } -> Rga_list.delete rga ~target
+
+let client_generate t intent =
+  let doc = Rga_list.document t.rga in
+  let doc_length = Document.length doc in
+  if not (Intent.valid_for ~doc_length intent) then
+    invalid_arg
+      (Format.asprintf "RGA client %d: intent %a out of bounds (length %d)"
+         t.id Intent.pp intent doc_length);
+  let emit rop outcome =
+    integrate t.rga rop;
+    t.visible <- Op_id.Set.add (op_id rop) t.visible;
+    outcome, Some { rop }
+  in
+  match intent with
+  | Intent.Read ->
+    ( { Rlist_sim.Protocol_intf.op = Rlist_spec.Event.Do_read; op_id = None },
+      None )
+  | Intent.Insert (value, pos) ->
+    let id = Op_id.make ~client:t.id ~seq:t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    let elt = Element.make ~value ~id in
+    let after = Rga_list.anchor_of t.rga ~pos in
+    let ts = Rga_list.next_timestamp t.rga ~client:t.id in
+    emit
+      (Rins { elt; after; ts })
+      {
+        Rlist_sim.Protocol_intf.op = Rlist_spec.Event.Do_ins (elt, pos);
+        op_id = Some id;
+      }
+  | Intent.Delete pos ->
+    let elt = Document.nth doc pos in
+    let id = Op_id.make ~client:t.id ~seq:t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    let ts = Rga_list.next_timestamp t.rga ~client:t.id in
+    emit
+      (Rdel { id; target = elt.Element.id; ts })
+      {
+        Rlist_sim.Protocol_intf.op = Rlist_spec.Event.Do_del (elt, pos);
+        op_id = Some id;
+      }
+
+let server_receive t ~from ({ rop } : c2s) =
+  integrate t.srga rop;
+  t.svisible <- Op_id.Set.add (op_id rop) t.svisible;
+  List.init t.nclients (fun i ->
+      let dest = i + 1 in
+      if dest = from then dest, Ack (op_ts rop) else dest, Forward rop)
+
+let client_receive t = function
+  | Ack ts -> Rga_list.observe_timestamp t.rga ts
+  | Forward rop ->
+    integrate t.rga rop;
+    t.visible <- Op_id.Set.add (op_id rop) t.visible
+
+let client_document t = Rga_list.document t.rga
+
+let server_document t = Rga_list.document t.srga
+
+let client_visible t = t.visible
+
+let server_visible t = t.svisible
+
+(* CRDTs perform no transformations. *)
+let client_ot_count _ = 0
+
+let server_ot_count _ = 0
+
+let client_metadata_size t = Rga_list.size t.rga
+
+let server_metadata_size t = Rga_list.size t.srga
+
+let client_tombstones t = Rga_list.tombstones t.rga

@@ -1,0 +1,38 @@
+(** RGA as a client/server protocol, pluggable into the simulation
+    engine alongside the Jupiter protocols.
+
+    The server holds an RGA replica and relays operations in arrival
+    order — total-order (hence causal) delivery over the FIFO
+    channels, the setting in which {!Rga_list}'s integration is
+    correct.  No transformation ever happens; convergence comes from
+    the commutativity of integration (the CRDT approach, paper
+    Section 9).  The originator receives a pure acknowledgement to
+    keep message schedules aligned with the Jupiter protocols. *)
+
+open Rlist_model
+
+type rga_op =
+  | Rins of {
+      elt : Element.t;
+      after : Op_id.t option;  (** Anchor element, [None] for head. *)
+      ts : Rga_list.timestamp;
+    }
+  | Rdel of {
+      id : Op_id.t;  (** The delete operation's own identity. *)
+      target : Op_id.t;  (** Element to delete. *)
+      ts : Rga_list.timestamp;
+    }
+
+val op_id : rga_op -> Op_id.t
+
+type c2s = { rop : rga_op }
+
+type s2c =
+  | Forward of rga_op
+  | Ack of Rga_list.timestamp
+
+include
+  Rlist_sim.Protocol_intf.PROTOCOL with type c2s := c2s and type s2c := s2c
+
+(** Tombstone count at a client, for the metadata experiments. *)
+val client_tombstones : client -> int

@@ -1,0 +1,101 @@
+open Rlist_model
+
+type timestamp = int * int
+
+let compare_timestamp (c1, i1) (c2, i2) =
+  match Int.compare c1 c2 with
+  | 0 -> Int.compare i1 i2
+  | c -> c
+
+type node = {
+  elt : Element.t;
+  ts : timestamp;
+  mutable tombstone : bool;
+}
+
+type t = {
+  mutable nodes : node list;  (* RGA order, tombstones included *)
+  mutable clock : int;
+  index : node Op_id.Table.t;  (* by element identity *)
+}
+
+let create ~initial =
+  let index = Op_id.Table.create 64 in
+  let nodes =
+    List.map
+      (fun elt ->
+        let node = { elt; ts = 0, 0; tombstone = false } in
+        Op_id.Table.replace index elt.Element.id node;
+        node)
+      (Document.elements initial)
+  in
+  { nodes; clock = 0; index }
+
+let document t =
+  Document.of_elements
+    (List.filter_map
+       (fun node -> if node.tombstone then None else Some node.elt)
+       t.nodes)
+
+let size t = List.length t.nodes
+
+let tombstones t =
+  List.length (List.filter (fun node -> node.tombstone) t.nodes)
+
+let observe_timestamp t (clock, _) = t.clock <- max t.clock clock
+
+let next_timestamp t ~client =
+  t.clock <- t.clock + 1;
+  t.clock, client
+
+let anchor_of t ~pos =
+  if pos = 0 then None
+  else begin
+    let rec go visible = function
+      | [] -> invalid_arg "Rga_list.anchor_of: position out of bounds"
+      | node :: rest ->
+        if node.tombstone then go visible rest
+        else if visible = pos - 1 then Some node.elt.Element.id
+        else go (visible + 1) rest
+    in
+    go 0 t.nodes
+  end
+
+let insert t ~elt ~after ~ts =
+  if Op_id.Table.mem t.index elt.Element.id then
+    invalid_arg
+      (Format.asprintf "Rga_list.insert: element %a already present" Element.pp
+         elt);
+  (match after with
+  | Some anchor_id when not (Op_id.Table.mem t.index anchor_id) ->
+    invalid_arg
+      (Format.asprintf "Rga_list.insert: unknown anchor %a" Op_id.pp anchor_id)
+  | Some _ | None -> ());
+  observe_timestamp t ts;
+  let fresh = { elt; ts; tombstone = false } in
+  Op_id.Table.replace t.index elt.Element.id fresh;
+  (* Walk to the anchor, then skip successors with larger timestamps:
+     concurrent same-anchor inserts end up ordered by descending
+     timestamp, and causally later subtrees carry larger Lamport
+     clocks, so they are skipped as units. *)
+  let rec skip = function
+    | node :: rest when compare_timestamp node.ts ts > 0 -> node :: skip rest
+    | tail -> fresh :: tail
+  in
+  match after with
+  | None -> t.nodes <- skip t.nodes
+  | Some anchor_id ->
+    let rec place = function
+      | [] -> assert false (* anchor is in the index, hence in the list *)
+      | node :: rest ->
+        if Op_id.equal node.elt.Element.id anchor_id then node :: skip rest
+        else node :: place rest
+    in
+    t.nodes <- place t.nodes
+
+let delete t ~target =
+  match Op_id.Table.find_opt t.index target with
+  | None ->
+    invalid_arg
+      (Format.asprintf "Rga_list.delete: unknown element %a" Op_id.pp target)
+  | Some node -> node.tombstone <- true

@@ -1,0 +1,52 @@
+(** The RGA (Replicated Growable Array) sequence CRDT (Roh et al.
+    2011), the baseline protocol of the paper's related work: Attiya
+    et al. proved that a variant of RGA satisfies the {e strong} list
+    specification, which Jupiter does not (paper, Sections 8.1 and 9).
+
+    The state is a linked sequence of timestamped nodes; deletions
+    leave tombstones.  A remote insertion is anchored at the node
+    after which it was generated and placed among the anchor's
+    successors by skipping nodes with larger Lamport timestamps —
+    correct under causal delivery because every node inside a skipped
+    subtree carries a timestamp larger than its root's. *)
+
+open Rlist_model
+
+(** Lamport timestamp: (clock, client) — totally ordered, causality-
+    compatible. *)
+type timestamp = int * int
+
+val compare_timestamp : timestamp -> timestamp -> int
+
+type t
+
+val create : initial:Document.t -> t
+
+(** The visible document (tombstones excluded). *)
+val document : t -> Document.t
+
+(** Total node count including tombstones — the CRDT's metadata
+    footprint. *)
+val size : t -> int
+
+val tombstones : t -> int
+
+(** Lamport clock bump on message receipt. *)
+val observe_timestamp : t -> timestamp -> unit
+
+(** Fresh timestamp for a local operation. *)
+val next_timestamp : t -> client:int -> timestamp
+
+(** [anchor_of t ~pos] is the identity of the visible element to the
+    left of visible position [pos] ([None] at the head) — the insert
+    anchor. *)
+val anchor_of : t -> pos:int -> Op_id.t option
+
+(** [insert t ~elt ~after ~ts] integrates an insertion (local or
+    remote).  @raise Invalid_argument if the anchor is unknown or the
+    element already present. *)
+val insert : t -> elt:Element.t -> after:Op_id.t option -> ts:timestamp -> unit
+
+(** [delete t ~target] marks the element as deleted (idempotent).
+    @raise Invalid_argument if the element was never inserted. *)
+val delete : t -> target:Op_id.t -> unit

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Char Document Float Intent List Printf Protocol_intf Queue Random Replica_id Rlist_model Rlist_spec Schedule

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Document Intent Protocol_intf Random Replica_id Rlist_model Rlist_spec Schedule

@@ -1,0 +1,1 @@
+lib/sim/figures.ml: Document Intent List Rlist_model Schedule

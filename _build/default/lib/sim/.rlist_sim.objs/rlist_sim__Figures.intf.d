@@ -1,0 +1,1 @@
+lib/sim/figures.mli: Document Rlist_model Schedule

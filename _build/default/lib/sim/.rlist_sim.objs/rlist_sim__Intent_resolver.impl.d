@@ -1,0 +1,1 @@
+lib/sim/intent_resolver.ml: Document Element Format Intent Op_id Protocol_intf Rlist_model Rlist_ot Rlist_spec

@@ -1,0 +1,1 @@
+lib/sim/intent_resolver.mli: Document Intent Protocol_intf Rlist_model Rlist_ot

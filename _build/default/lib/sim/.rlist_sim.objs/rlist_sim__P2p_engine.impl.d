@@ -1,0 +1,1 @@
+lib/sim/p2p_engine.ml: Array Char Document Format Intent List P2p_protocol_intf Printf Protocol_intf Queue Random Replica_id Rlist_model Rlist_spec Schedule

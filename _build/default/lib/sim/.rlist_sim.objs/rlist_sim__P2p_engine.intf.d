@@ -1,0 +1,1 @@
+lib/sim/p2p_engine.mli: Document Format Intent P2p_protocol_intf Random Rlist_model Rlist_spec Schedule

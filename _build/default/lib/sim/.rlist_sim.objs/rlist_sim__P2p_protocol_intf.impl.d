@@ -1,0 +1,1 @@
+lib/sim/p2p_protocol_intf.ml: Document Intent Op_id Protocol_intf Rlist_model

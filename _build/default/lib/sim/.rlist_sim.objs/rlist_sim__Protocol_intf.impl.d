@@ -1,0 +1,1 @@
+lib/sim/protocol_intf.ml: Document Intent Op_id Rlist_model Rlist_spec

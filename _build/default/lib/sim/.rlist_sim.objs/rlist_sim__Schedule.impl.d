@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Format Intent List Printf Rlist_model

@@ -1,0 +1,1 @@
+lib/sim/schedule.mli: Format Intent Rlist_model

@@ -1,0 +1,1 @@
+lib/sim/schedule_text.ml: Buffer Document Format Fun Intent List Printf Rlist_model Schedule String

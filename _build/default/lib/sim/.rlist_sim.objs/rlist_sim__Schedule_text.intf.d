@@ -1,0 +1,1 @@
+lib/sim/schedule_text.mli: Document Rlist_model Schedule

@@ -1,0 +1,315 @@
+open Rlist_model
+
+module Make (P : Protocol_intf.PROTOCOL) = struct
+  type t = {
+    nclients : int;
+    server : P.server;
+    clients : P.client array;  (* index 0 unused; clients are 1-based *)
+    to_server : P.c2s Queue.t array;
+    to_client : P.s2c Queue.t array;
+    mutable events : Rlist_spec.Event.t list;  (* reversed *)
+    mutable next_eid : int;
+    mutable behavior : (Replica_id.t * Document.t) list;  (* reversed *)
+    initial : Document.t;
+  }
+
+  let create ?(initial = Document.empty) ~nclients () =
+    if nclients < 1 then invalid_arg "Engine.create: need at least one client";
+    {
+      nclients;
+      server = P.create_server ~nclients ~initial;
+      clients =
+        Array.init (nclients + 1) (fun i ->
+            P.create_client ~nclients ~id:(max i 1) ~initial);
+      to_server = Array.init (nclients + 1) (fun _ -> Queue.create ());
+      to_client = Array.init (nclients + 1) (fun _ -> Queue.create ());
+      events = [];
+      next_eid = 0;
+      behavior = [];
+      initial;
+    }
+
+  let nclients t = t.nclients
+
+  let check_client t i =
+    if i < 1 || i > t.nclients then
+      invalid_arg (Printf.sprintf "Engine: client %d out of range" i)
+
+  let record_behavior t replica doc =
+    t.behavior <- (replica, doc) :: t.behavior
+
+  let record_do t i (outcome : Protocol_intf.do_outcome) =
+    let client = t.clients.(i) in
+    let event =
+      Rlist_spec.Event.make ~eid:t.next_eid ~replica:(Replica_id.Client i)
+        ~op:outcome.Protocol_intf.op ~op_id:outcome.Protocol_intf.op_id
+        ~result:(P.client_document client)
+        ~visible:(P.client_visible client)
+    in
+    t.next_eid <- t.next_eid + 1;
+    t.events <- event :: t.events
+
+  let apply_event t = function
+    | Schedule.Generate (i, intent) ->
+      check_client t i;
+      let outcome, msg = P.client_generate t.clients.(i) intent in
+      record_do t i outcome;
+      (match msg with
+      | None -> ()
+      | Some m -> Queue.push m t.to_server.(i));
+      record_behavior t (Replica_id.Client i) (P.client_document t.clients.(i))
+    | Schedule.Deliver_to_server i ->
+      check_client t i;
+      if Queue.is_empty t.to_server.(i) then
+        invalid_arg
+          (Printf.sprintf "Engine: no pending message from client %d" i);
+      let msg = Queue.pop t.to_server.(i) in
+      let outgoing = P.server_receive t.server ~from:i msg in
+      List.iter
+        (fun (dest, m) ->
+          check_client t dest;
+          Queue.push m t.to_client.(dest))
+        outgoing;
+      record_behavior t Replica_id.Server (P.server_document t.server)
+    | Schedule.Deliver_to_client i ->
+      check_client t i;
+      if Queue.is_empty t.to_client.(i) then
+        invalid_arg
+          (Printf.sprintf "Engine: no pending message for client %d" i);
+      let msg = Queue.pop t.to_client.(i) in
+      P.client_receive t.clients.(i) msg;
+      record_behavior t (Replica_id.Client i) (P.client_document t.clients.(i))
+
+  let run t schedule = List.iter (apply_event t) schedule
+
+  let pending_messages t =
+    let count = ref 0 in
+    for i = 1 to t.nclients do
+      count := !count + Queue.length t.to_server.(i);
+      count := !count + Queue.length t.to_client.(i)
+    done;
+    !count
+
+  let quiesce t =
+    let performed = ref [] in
+    let step ev =
+      apply_event t ev;
+      performed := ev :: !performed
+    in
+    (* Client messages first: only they can produce new (server)
+       messages, so one pass over each direction suffices. *)
+    for i = 1 to t.nclients do
+      while not (Queue.is_empty t.to_server.(i)) do
+        step (Schedule.Deliver_to_server i)
+      done
+    done;
+    for i = 1 to t.nclients do
+      while not (Queue.is_empty t.to_client.(i)) do
+        step (Schedule.Deliver_to_client i)
+      done
+    done;
+    assert (pending_messages t = 0);
+    List.rev !performed
+
+  let client_document t i =
+    check_client t i;
+    P.client_document t.clients.(i)
+
+  let random_intent t rng ~params i =
+    let doc_length = Document.length (client_document t i) in
+    if Random.State.float rng 1.0 < params.Schedule.read_fraction then
+      Intent.Read
+    else if
+      doc_length > 0
+      && Random.State.float rng 1.0 < params.Schedule.delete_fraction
+    then Intent.Delete (Random.State.int rng doc_length)
+    else
+      let value = Char.chr (Char.code 'a' + Random.State.int rng 26) in
+      Intent.Insert (value, Random.State.int rng (doc_length + 1))
+
+  (* Timed driver: a virtual-clock event heap.  Per-channel "last
+     arrival" stamps keep deliveries FIFO under random latencies. *)
+  let run_timed ?intent t ~rng ~params =
+    let open Schedule in
+    let exponential mean = -.mean *. log (1.0 -. Random.State.float rng 1.0) in
+    (* pending timed actions, kept sorted by time *)
+    let agenda = ref [] in
+    let push time action =
+      let rec insert = function
+        | [] -> [ time, action ]
+        | ((time', _) :: _) as all when time < time' -> (time, action) :: all
+        | x :: rest -> x :: insert rest
+      in
+      agenda := insert !agenda
+    in
+    let last_c2s = Array.make (t.nclients + 1) 0.0 in
+    let last_s2c = Array.make (t.nclients + 1) 0.0 in
+    let remaining = ref params.t_updates in
+    let performed = ref [] in
+    let step ev =
+      apply_event t ev;
+      performed := ev :: !performed
+    in
+    let choose_intent i =
+      let doc_length = Document.length (client_document t i) in
+      match intent with
+      | Some choose -> choose ~client:i ~doc_length
+      | None ->
+        if Random.State.float rng 1.0 < params.t_read_fraction then Intent.Read
+        else if
+          doc_length > 0
+          && Random.State.float rng 1.0 < params.t_delete_fraction
+        then Intent.Delete (Random.State.int rng doc_length)
+        else
+          Intent.Insert
+            ( Char.chr (Char.code 'a' + Random.State.int rng 26),
+              Random.State.int rng (doc_length + 1) )
+    in
+    (* seed one future generation per client *)
+    for i = 1 to t.nclients do
+      push (exponential params.t_think_time) (`Gen i)
+    done;
+    let arrival last index now =
+      let time = Float.max last.(index) (now +. exponential params.t_mean_latency) in
+      (* strictly increasing per channel keeps the heap order stable *)
+      let time = time +. 1e-9 in
+      last.(index) <- time;
+      time
+    in
+    let rec loop () =
+      match !agenda with
+      | [] -> ()
+      | (now, action) :: rest ->
+        agenda := rest;
+        (match action with
+        | `Gen i ->
+          if !remaining > 0 then begin
+            let intent = choose_intent i in
+            (match intent with
+            | Intent.Read -> ()
+            | Intent.Insert _ | Intent.Delete _ -> decr remaining);
+            let before = Queue.length t.to_server.(i) in
+            step (Generate (i, intent));
+            if Queue.length t.to_server.(i) > before then
+              push (arrival last_c2s i now) (`C2s i);
+            if !remaining > 0 then
+              push (now +. exponential params.t_think_time) (`Gen i)
+          end
+        | `C2s i ->
+          (* deliveries fan out a broadcast: schedule its arrivals *)
+          let before = Array.init (t.nclients + 1) (fun j ->
+              if j = 0 then 0 else Queue.length t.to_client.(j))
+          in
+          step (Deliver_to_server i);
+          for j = 1 to t.nclients do
+            for _ = 1 to Queue.length t.to_client.(j) - before.(j) do
+              push (arrival last_s2c j now) (`S2c j)
+            done
+          done
+        | `S2c i -> step (Deliver_to_client i));
+        loop ()
+    in
+    loop ();
+    assert (pending_messages t = 0);
+    List.iter step (Schedule.final_reads ~nclients:t.nclients);
+    List.rev !performed
+
+  let run_random ?intent t ~rng ~params =
+    let performed = ref [] in
+    let step ev =
+      apply_event t ev;
+      performed := ev :: !performed
+    in
+    let deliverable () =
+      let evs = ref [] in
+      for i = t.nclients downto 1 do
+        if not (Queue.is_empty t.to_server.(i)) then
+          evs := Schedule.Deliver_to_server i :: !evs;
+        if not (Queue.is_empty t.to_client.(i)) then
+          evs := Schedule.Deliver_to_client i :: !evs
+      done;
+      !evs
+    in
+    let remaining = ref params.Schedule.updates in
+    while !remaining > 0 || pending_messages t > 0 do
+      let deliveries = deliverable () in
+      let deliver () =
+        let n = List.length deliveries in
+        step (List.nth deliveries (Random.State.int rng n))
+      in
+      let generate () =
+        let i = 1 + Random.State.int rng t.nclients in
+        let intent =
+          match intent with
+          | None -> random_intent t rng ~params i
+          | Some choose ->
+            choose ~client:i
+              ~doc_length:(Document.length (client_document t i))
+        in
+        (match intent with
+        | Intent.Read -> ()
+        | Intent.Insert _ | Intent.Delete _ -> decr remaining);
+        step (Schedule.Generate (i, intent))
+      in
+      match deliveries, !remaining with
+      | [], n when n > 0 -> generate ()
+      | [], _ -> assert false (* loop condition guarantees work exists *)
+      | _ :: _, 0 -> deliver ()
+      | _ :: _, _ ->
+        if Random.State.float rng 1.0 < params.Schedule.deliver_bias then
+          deliver ()
+        else generate ()
+    done;
+    let reads = Schedule.final_reads ~nclients:t.nclients in
+    List.iter step reads;
+    List.rev !performed
+
+  let server_document t = P.server_document t.server
+
+  let converged t =
+    let reference =
+      if P.server_is_replica then server_document t else client_document t 1
+    in
+    let ok = ref true in
+    for i = 1 to t.nclients do
+      if not (Document.equal reference (client_document t i)) then ok := false
+    done;
+    !ok
+
+  let trace t =
+    Rlist_spec.Trace.make ~initial:t.initial ~events:(List.rev t.events)
+
+  let behavior t = List.rev t.behavior
+
+  let client_ot_count t i =
+    check_client t i;
+    P.client_ot_count t.clients.(i)
+
+  let server_ot_count t = P.server_ot_count t.server
+
+  let total_ot_count t =
+    let sum = ref (server_ot_count t) in
+    for i = 1 to t.nclients do
+      sum := !sum + client_ot_count t i
+    done;
+    !sum
+
+  let client_metadata_size t i =
+    check_client t i;
+    P.client_metadata_size t.clients.(i)
+
+  let server_metadata_size t = P.server_metadata_size t.server
+
+  let total_metadata_size t =
+    let sum = ref (server_metadata_size t) in
+    for i = 1 to t.nclients do
+      sum := !sum + client_metadata_size t i
+    done;
+    !sum
+
+  let server t = t.server
+
+  let client t i =
+    check_client t i;
+    t.clients.(i)
+end

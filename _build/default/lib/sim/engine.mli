@@ -1,0 +1,96 @@
+(** The simulation engine: drives a protocol through a schedule.
+
+    The engine owns the FIFO channels (one per direction per client,
+    Section 4.4), records the trace of do events for the specification
+    checkers, and records each replica's behaviour — the sequence of
+    list states it goes through (Definition 2.5) — for the equivalence
+    theorem tests. *)
+
+open Rlist_model
+
+module Make (P : Protocol_intf.PROTOCOL) : sig
+  type t
+
+  val create : ?initial:Document.t -> nclients:int -> unit -> t
+
+  val nclients : t -> int
+
+  (** Apply one schedule event.
+      @raise Invalid_argument on a delivery from an empty channel or an
+      out-of-bounds intent. *)
+  val apply_event : t -> Schedule.event -> unit
+
+  val run : t -> Schedule.t -> unit
+
+  (** Drive the engine through a random but valid interleaving of
+      generations and deliveries, then quiesce and issue one final read
+      per client.  Deterministic in the given RNG state.  Returns the
+      concrete schedule performed, ready to be replayed verbatim
+      against another protocol.
+
+      [intent], when given, chooses each generated intent (it must be
+      valid for the given document length) — this is how the workload
+      profiles plug in; by default intents are drawn uniformly
+      following [params]. *)
+  val run_random :
+    ?intent:(client:int -> doc_length:int -> Intent.t) ->
+    t ->
+    rng:Random.State.t ->
+    params:Schedule.random_params ->
+    Schedule.t
+
+  (** Drive the engine under a latency model: clients generate at
+      exponentially distributed intervals, every message takes an
+      exponentially distributed one-way latency, and deliveries happen
+      in virtual-time order — but FIFO per channel, like TCP, so the
+      protocols' channel assumption holds.  Quiesces (all messages
+      delivered) before returning the realized schedule, which replays
+      verbatim on any behaviour-equivalent protocol. *)
+  val run_timed :
+    ?intent:(client:int -> doc_length:int -> Intent.t) ->
+    t ->
+    rng:Random.State.t ->
+    params:Schedule.timed_params ->
+    Schedule.t
+
+  (** Deliver every pending message (client-to-server first, then
+      server-to-client, round-robin) until all channels are empty.
+      Returns the delivery events performed, so the completed schedule
+      can be replayed against another protocol. *)
+  val quiesce : t -> Schedule.event list
+
+  val pending_messages : t -> int
+
+  val client_document : t -> int -> Document.t
+
+  val server_document : t -> Document.t
+
+  (** All replicas (server included) hold equal documents. *)
+  val converged : t -> bool
+
+  (** The recorded trace of do events, for specification checking. *)
+  val trace : t -> Rlist_spec.Trace.t
+
+  (** The concatenated behaviours: after each processed event, which
+      replica changed and its document.  Two protocols are equivalent
+      under a schedule iff these sequences agree (Theorem 7.1). *)
+  val behavior : t -> (Replica_id.t * Document.t) list
+
+  val total_ot_count : t -> int
+
+  val client_ot_count : t -> int -> int
+
+  val server_ot_count : t -> int
+
+  val total_metadata_size : t -> int
+
+  val client_metadata_size : t -> int -> int
+
+  val server_metadata_size : t -> int
+
+  (** Direct access for protocol-specific inspection (rendering state
+      spaces, structural lemma checks). *)
+  val server : t -> P.server
+
+  val client : t -> int -> P.client
+end

@@ -1,0 +1,150 @@
+open Rlist_model
+
+type scenario = {
+  sname : string;
+  description : string;
+  nclients : int;
+  initial : Document.t;
+  schedule : Schedule.t;
+}
+
+let gen i intent = Schedule.Generate (i, intent)
+
+let ds i = Schedule.Deliver_to_server i
+
+(* [dc i k] delivers the next [k] pending server messages to client
+   [i]. *)
+let dc i k = List.init k (fun _ -> Schedule.Deliver_to_client i)
+
+let reads n = Schedule.final_reads ~nclients:n
+
+let figure1 =
+  {
+    sname = "figure1";
+    description =
+      "OT motivation: o1 = Ins(f,1) || o2 = Del(e,5) on \"efecte\"; both \
+       replicas converge to \"effect\"";
+    nclients = 2;
+    initial = Document.of_string "efecte";
+    schedule =
+      [ gen 1 (Intent.Insert ('f', 1)); gen 2 (Intent.Delete 5); ds 1; ds 2 ]
+      @ dc 1 2 @ dc 2 2 @ reads 2;
+  }
+
+let figure2 =
+  {
+    sname = "figure2";
+    description =
+      "three pairwise-concurrent operations, one per client, serialized o1 \
+       => o2 => o3 (drives the Figure 4 state-space)";
+    nclients = 3;
+    initial = Document.empty;
+    schedule =
+      [
+        gen 1 (Intent.Insert ('a', 0));
+        gen 2 (Intent.Insert ('b', 0));
+        gen 3 (Intent.Insert ('c', 0));
+        ds 1;
+        ds 2;
+        ds 3;
+      ]
+      @ dc 1 3 @ dc 2 3 @ dc 3 3 @ reads 3;
+  }
+
+let figure3 =
+  {
+    sname = "figure3";
+    description =
+      "o3 || (o1 || o2) -> o4: client 1 receives o3 last, transforming it \
+       along L = <o1, o2, o4> (Algorithm 1, Example 6.1)";
+    nclients = 3;
+    initial = Document.empty;
+    schedule =
+      [
+        gen 1 (Intent.Insert ('a', 0));  (* o1 *)
+        gen 2 (Intent.Insert ('b', 0));  (* o2 *)
+        ds 1;  (* serial 1 *)
+        ds 2;  (* serial 2 *)
+      ]
+      @ dc 1 2  (* client 1 sees ack(o1) and o2 *)
+      @ [
+          gen 1 (Intent.Insert ('d', 0));  (* o4, context {1,2} *)
+          gen 3 (Intent.Insert ('c', 0));  (* o3, context {} *)
+          ds 3;  (* serial 3 *)
+          ds 1;  (* serial 4 *)
+        ]
+      @ dc 1 2 @ dc 2 4 @ dc 3 4 @ reads 3;
+  }
+
+let figure6 =
+  {
+    sname = "figure6";
+    description =
+      "the CSCW paper's schedule: o4 causally after o1 only, o3 concurrent \
+       with everything; serialized o1 => o2 => o3 => o4";
+    nclients = 3;
+    initial = Document.empty;
+    schedule =
+      [
+        gen 1 (Intent.Insert ('a', 0));  (* o1 *)
+        ds 1;  (* serial 1 *)
+      ]
+      @ dc 1 1  (* ack(o1): client 1's context becomes {1} *)
+      @ [
+          gen 1 (Intent.Insert ('d', 1));  (* o4, context {1} *)
+          gen 2 (Intent.Insert ('b', 0));  (* o2, context {} *)
+          gen 3 (Intent.Insert ('c', 0));  (* o3, context {} *)
+          ds 2;  (* serial 2 *)
+          ds 3;  (* serial 3 *)
+          ds 1;  (* serial 4 *)
+        ]
+      @ dc 1 3 @ dc 2 4 @ dc 3 4 @ reads 3;
+  }
+
+let figure7 =
+  {
+    sname = "figure7";
+    description =
+      "Jupiter violates the strong list specification: after Ins(x,0), \
+       concurrently Del(x,0) / Ins(a,0) / Ins(b,1); lists \"ax\", \"xb\" and \
+       the final \"ba\" force the cycle (a,x),(x,b),(b,a)";
+    nclients = 3;
+    initial = Document.empty;
+    schedule =
+      [ gen 1 (Intent.Insert ('x', 0)); ds 1 ]
+      @ dc 1 1 @ dc 2 1 @ dc 3 1
+      @ [
+          gen 1 (Intent.Delete 0);  (* o2 = Del(x,0), context {1} *)
+          gen 2 (Intent.Insert ('a', 0));  (* o3, context {1}: list "ax" *)
+          gen 3 (Intent.Insert ('b', 1));  (* o4, context {1}: list "xb" *)
+          ds 1;
+          ds 2;
+          ds 3;
+        ]
+      @ dc 1 3 @ dc 2 3 @ dc 3 3 @ reads 3;
+  }
+
+let figure8 =
+  {
+    sname = "figure8";
+    description =
+      "Example 8.1: o1 = Ins(x,2) / o2 = Del(b,1) / o3 = Ins(y,1) on \
+       \"abc\", relayed in the order o3, o2, o1 — the incorrect dOPT-style \
+       protocol diverges (\"ayxc\" vs \"axyc\")";
+    nclients = 3;
+    initial = Document.of_string "abc";
+    schedule =
+      [
+        gen 1 (Intent.Insert ('x', 2));
+        gen 2 (Intent.Delete 1);
+        gen 3 (Intent.Insert ('y', 1));
+        ds 3;
+        ds 2;
+        ds 1;
+      ]
+      @ dc 1 3 @ dc 2 3 @ dc 3 3 @ reads 3;
+  }
+
+let all = [ figure1; figure2; figure3; figure6; figure7; figure8 ]
+
+let find name = List.find_opt (fun s -> s.sname = name) all

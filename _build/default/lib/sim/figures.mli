@@ -1,0 +1,49 @@
+(** The paper's worked scenarios, as explicit schedules.
+
+    Each scenario fixes the number of clients, the initial document,
+    and a complete schedule — generations, every message delivery, and
+    final reads — so it can be replayed verbatim against any protocol.
+    The serialization order (and hence operation numbering) follows
+    the paper's figures. *)
+
+open Rlist_model
+
+type scenario = {
+  sname : string;
+  description : string;
+  nclients : int;
+  initial : Document.t;
+  schedule : Schedule.t;
+}
+
+(** Figure 1: clients 1 and 2 edit "efecte"; [o1 = Ins(f,1)] concurrent
+    with [o2 = Del(e,5)]; with OT both converge to "effect". *)
+val figure1 : scenario
+
+(** Figure 2 (driving Figure 4): three pairwise-concurrent operations,
+    one per client, serialized [o1 => o2 => o3]. *)
+val figure2 : scenario
+
+(** Figure 3: [o3 || (o1 || o2) -> o4], serialized
+    [o1 => o2 => o3 => o4]; client 1 receives [o3] after generating
+    [o4], exercising Algorithm 1's iterated transformation with
+    [L = <o1, o2, o4>]. *)
+val figure3 : scenario
+
+(** Figure 6: the CSCW paper's four-operation schedule — [o4] causally
+    after [o1] only, [o3] concurrent with everything. *)
+val figure6 : scenario
+
+(** Figure 7: the counterexample showing Jupiter violates the strong
+    list specification: intermediate lists "ax" (client 2) and "xb"
+    (client 3) against the final "ba" force a cyclic list order. *)
+val figure7 : scenario
+
+(** Figure 8 / Example 8.1: three concurrent operations on "abc",
+    relayed in the order [o3, o2, o1] — under the incorrect dOPT-style
+    protocol the replicas diverge ("ayxc" vs "axyc"). *)
+val figure8 : scenario
+
+val all : scenario list
+
+val find : string -> scenario option

@@ -1,0 +1,41 @@
+open Rlist_model
+
+type resolution = {
+  outcome : Protocol_intf.do_outcome;
+  op : Rlist_ot.Op.t option;
+}
+
+let resolve ~client ~seq ~doc intent =
+  let doc_length = Document.length doc in
+  if not (Intent.valid_for ~doc_length intent) then
+    invalid_arg
+      (Format.asprintf "client %d: intent %a out of bounds (length %d)" client
+         Intent.pp intent doc_length);
+  match intent with
+  | Intent.Read ->
+    {
+      outcome = { Protocol_intf.op = Rlist_spec.Event.Do_read; op_id = None };
+      op = None;
+    }
+  | Intent.Insert (value, pos) ->
+    let id = Op_id.make ~client ~seq in
+    let elt = Element.make ~value ~id in
+    {
+      outcome =
+        {
+          Protocol_intf.op = Rlist_spec.Event.Do_ins (elt, pos);
+          op_id = Some id;
+        };
+      op = Some (Rlist_ot.Op.make_ins ~id elt pos);
+    }
+  | Intent.Delete pos ->
+    let elt = Document.nth doc pos in
+    let id = Op_id.make ~client ~seq in
+    {
+      outcome =
+        {
+          Protocol_intf.op = Rlist_spec.Event.Do_del (elt, pos);
+          op_id = Some id;
+        };
+      op = Some (Rlist_ot.Op.make_del ~id elt pos);
+    }

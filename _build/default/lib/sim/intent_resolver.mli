@@ -1,0 +1,24 @@
+(** Turning user intents into concrete operations.
+
+    Every protocol's client does the same first step when a user
+    invokes an operation: validate the position against the current
+    document, mint a fresh element (for insertions) or look up the
+    targeted element (for deletions), and describe the do event for
+    the trace.  This module centralizes that step. *)
+
+open Rlist_model
+
+type resolution = {
+  outcome : Protocol_intf.do_outcome;  (** For trace recording. *)
+  op : Rlist_ot.Op.t option;  (** The concrete operation; [None] for
+                                  reads. *)
+}
+
+(** [resolve ~client ~seq ~doc intent] resolves [intent] against
+    [doc].  [seq] is the client's next sequence number; it is consumed
+    only when an operation is actually minted (i.e. not for reads).
+
+    @raise Invalid_argument if the intent's position is out of bounds
+    for [doc]. *)
+val resolve :
+  client:int -> seq:int -> doc:Document.t -> Intent.t -> resolution

@@ -1,0 +1,209 @@
+open Rlist_model
+
+type event =
+  | Generate of int * Intent.t
+  | Deliver of int * int
+
+let pp_event ppf = function
+  | Generate (i, intent) -> Format.fprintf ppf "p%d: %a" i Intent.pp intent
+  | Deliver (src, dst) -> Format.fprintf ppf "deliver p%d->p%d" src dst
+
+module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
+  type t = {
+    npeers : int;
+    peers : P.peer array;  (* 1-based *)
+    channels : (int * P.message) Queue.t array array;  (* channels.(src).(dst) *)
+    mutable events : Rlist_spec.Event.t list;  (* reversed *)
+    mutable next_eid : int;
+    initial : Document.t;
+  }
+
+  let create ?(initial = Document.empty) ~npeers () =
+    if npeers < 2 then invalid_arg "P2p_engine.create: need at least two peers";
+    {
+      npeers;
+      peers =
+        Array.init (npeers + 1) (fun i ->
+            P.create_peer ~npeers ~id:(max i 1) ~initial);
+      channels =
+        Array.init (npeers + 1) (fun _ ->
+            Array.init (npeers + 1) (fun _ -> Queue.create ()));
+      events = [];
+      next_eid = 0;
+      initial;
+    }
+
+  let npeers t = t.npeers
+
+  let check_peer t i =
+    if i < 1 || i > t.npeers then
+      invalid_arg (Printf.sprintf "P2p_engine: peer %d out of range" i)
+
+  let broadcast t ~from message =
+    for dst = 1 to t.npeers do
+      if dst <> from then Queue.push (from, message) t.channels.(from).(dst)
+    done
+
+  let record_do t i (outcome : Protocol_intf.do_outcome) =
+    let peer = t.peers.(i) in
+    let event =
+      Rlist_spec.Event.make ~eid:t.next_eid ~replica:(Replica_id.Client i)
+        ~op:outcome.Protocol_intf.op ~op_id:outcome.Protocol_intf.op_id
+        ~result:(P.document peer) ~visible:(P.visible peer)
+    in
+    t.next_eid <- t.next_eid + 1;
+    t.events <- event :: t.events
+
+  let apply_event t = function
+    | Generate (i, intent) -> (
+      check_peer t i;
+      let outcome, message = P.generate t.peers.(i) intent in
+      record_do t i outcome;
+      match message with
+      | None -> ()
+      | Some m -> broadcast t ~from:i m)
+    | Deliver (src, dst) -> (
+      check_peer t src;
+      check_peer t dst;
+      if Queue.is_empty t.channels.(src).(dst) then
+        invalid_arg
+          (Printf.sprintf "P2p_engine: channel p%d->p%d is empty" src dst);
+      let from, message = Queue.pop t.channels.(src).(dst) in
+      match P.receive t.peers.(dst) ~from message with
+      | None -> ()
+      | Some reaction -> broadcast t ~from:dst reaction)
+
+  let run t events = List.iter (apply_event t) events
+
+  let pending_messages t =
+    let count = ref 0 in
+    for src = 1 to t.npeers do
+      for dst = 1 to t.npeers do
+        count := !count + Queue.length t.channels.(src).(dst)
+      done
+    done;
+    !count
+
+  let quiesce t =
+    let performed = ref [] in
+    (* Round-robin until no channel holds a message; reactions keep the
+       loop going. *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for src = 1 to t.npeers do
+        for dst = 1 to t.npeers do
+          while not (Queue.is_empty t.channels.(src).(dst)) do
+            apply_event t (Deliver (src, dst));
+            performed := Deliver (src, dst) :: !performed;
+            progress := true
+          done
+        done
+      done
+    done;
+    assert (pending_messages t = 0);
+    List.rev !performed
+
+  let document t i =
+    check_peer t i;
+    P.document t.peers.(i)
+
+  let converged t =
+    let reference = document t 1 in
+    let ok = ref true in
+    for i = 2 to t.npeers do
+      if not (Document.equal reference (document t i)) then ok := false
+    done;
+    !ok
+
+  let trace t =
+    Rlist_spec.Trace.make ~initial:t.initial ~events:(List.rev t.events)
+
+  let total_ot_count t =
+    let sum = ref 0 in
+    for i = 1 to t.npeers do
+      sum := !sum + P.ot_count t.peers.(i)
+    done;
+    !sum
+
+  let total_metadata_size t =
+    let sum = ref 0 in
+    for i = 1 to t.npeers do
+      sum := !sum + P.metadata_size t.peers.(i)
+    done;
+    !sum
+
+  let total_buffered t =
+    let sum = ref 0 in
+    for i = 1 to t.npeers do
+      sum := !sum + P.buffered t.peers.(i)
+    done;
+    !sum
+
+  let peer t i =
+    check_peer t i;
+    t.peers.(i)
+
+  let random_intent t rng ~params i =
+    let doc_length = Document.length (document t i) in
+    if Random.State.float rng 1.0 < params.Schedule.read_fraction then
+      Intent.Read
+    else if
+      doc_length > 0
+      && Random.State.float rng 1.0 < params.Schedule.delete_fraction
+    then Intent.Delete (Random.State.int rng doc_length)
+    else
+      let value = Char.chr (Char.code 'a' + Random.State.int rng 26) in
+      Intent.Insert (value, Random.State.int rng (doc_length + 1))
+
+  let run_random ?intent t ~rng ~params =
+    let performed = ref [] in
+    let step ev =
+      apply_event t ev;
+      performed := ev :: !performed
+    in
+    let deliverable () =
+      let evs = ref [] in
+      for src = t.npeers downto 1 do
+        for dst = t.npeers downto 1 do
+          if not (Queue.is_empty t.channels.(src).(dst)) then
+            evs := Deliver (src, dst) :: !evs
+        done
+      done;
+      !evs
+    in
+    let remaining = ref params.Schedule.updates in
+    while !remaining > 0 || pending_messages t > 0 do
+      let deliveries = deliverable () in
+      let deliver () =
+        let n = List.length deliveries in
+        step (List.nth deliveries (Random.State.int rng n))
+      in
+      let generate () =
+        let i = 1 + Random.State.int rng t.npeers in
+        let chosen =
+          match intent with
+          | None -> random_intent t rng ~params i
+          | Some choose ->
+            choose ~client:i ~doc_length:(Document.length (document t i))
+        in
+        (match chosen with
+        | Intent.Read -> ()
+        | Intent.Insert _ | Intent.Delete _ -> decr remaining);
+        step (Generate (i, chosen))
+      in
+      match deliveries, !remaining with
+      | [], n when n > 0 -> generate ()
+      | [], _ -> assert false
+      | _ :: _, 0 -> deliver ()
+      | _ :: _, _ ->
+        if Random.State.float rng 1.0 < params.Schedule.deliver_bias then
+          deliver ()
+        else generate ()
+    done;
+    List.iter
+      (fun i -> step (Generate (i, Intent.Read)))
+      (List.init t.npeers (fun i -> i + 1));
+    List.rev !performed
+  [@@warning "-27"]
+end

@@ -1,0 +1,55 @@
+(** Simulation engine for peer-to-peer protocols: [n] peers with a
+    FIFO channel per ordered pair, schedule-driven like
+    {!Engine}. *)
+
+open Rlist_model
+
+type event =
+  | Generate of int * Intent.t  (** Peer [i] performs an intent. *)
+  | Deliver of int * int  (** Deliver the oldest message on the channel
+                              from the first peer to the second. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
+  type t
+
+  val create : ?initial:Document.t -> npeers:int -> unit -> t
+
+  val npeers : t -> int
+
+  val apply_event : t -> event -> unit
+
+  val run : t -> event list -> unit
+
+  (** Deliver all pending messages (round-robin over channels) until
+      quiescent; reactions may enqueue further messages.  Returns the
+      deliveries performed. *)
+  val quiesce : t -> event list
+
+  val pending_messages : t -> int
+
+  val document : t -> int -> Document.t
+
+  val converged : t -> bool
+
+  val trace : t -> Rlist_spec.Trace.t
+
+  val total_ot_count : t -> int
+
+  val total_metadata_size : t -> int
+
+  val total_buffered : t -> int
+
+  val peer : t -> int -> P.peer
+
+  (** Random driver, mirroring [Engine.run_random]: generates [updates]
+      intents at random peers under random valid interleavings, then
+      quiesces and reads everywhere.  Returns the concrete schedule. *)
+  val run_random :
+    ?intent:(client:int -> doc_length:int -> Intent.t) ->
+    t ->
+    rng:Random.State.t ->
+    params:Schedule.random_params ->
+    event list
+end

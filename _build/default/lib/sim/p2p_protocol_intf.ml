@@ -1,0 +1,42 @@
+(** The interface for fully distributed (server-less) replicated-list
+    protocols: [n] peers, pairwise FIFO channels, broadcast-based
+    dissemination.
+
+    This is the substrate for the paper's first future-work direction:
+    running the CSS protocol over "a distributed scheme to totally
+    order operations" instead of a central server. *)
+
+open Rlist_model
+
+module type P2P_PROTOCOL = sig
+  val name : string
+
+  type peer
+
+  type message
+
+  val create_peer : npeers:int -> id:int -> initial:Document.t -> peer
+
+  (** Perform a user intent; the returned message, if any, is
+      broadcast to every other peer.
+      @raise Invalid_argument on out-of-bounds positions. *)
+  val generate : peer -> Intent.t -> Protocol_intf.do_outcome * message option
+
+  (** Receive one message from peer [from]; the returned message, if
+      any, is broadcast in reaction (e.g. a clock announcement for
+      stability detection).  Reactions to reactions must eventually
+      stop for executions to quiesce. *)
+  val receive : peer -> from:int -> message -> message option
+
+  val document : peer -> Document.t
+
+  val visible : peer -> Op_id.Set.t
+
+  val ot_count : peer -> int
+
+  val metadata_size : peer -> int
+
+  (** Operations received but not yet integrated (awaiting
+      stability). *)
+  val buffered : peer -> int
+end

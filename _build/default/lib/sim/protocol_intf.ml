@@ -1,0 +1,83 @@
+(** The interface every replicated-list protocol implementation
+    (CSS Jupiter, CSCW Jupiter, RGA, the broken dOPT foil) exposes to
+    the simulation engine.
+
+    The architecture is the paper's (Section 4.4): one server, [n]
+    clients, FIFO channels in both directions.  The server does not
+    generate operations; it serializes and propagates them.  To keep
+    schedules comparable across protocols (needed for the equivalence
+    theorem, Theorem 7.1), every protocol produces exactly one
+    server-to-client message per client per update — the message to
+    the originating client acts as an acknowledgement. *)
+
+open Rlist_model
+
+(** What a [do] event performed, as reported by the client to the
+    engine for trace recording. *)
+type do_outcome = {
+  op : Rlist_spec.Event.operation;
+  op_id : Op_id.t option;  (** [None] for reads. *)
+}
+
+module type PROTOCOL = sig
+  val name : string
+
+  (** Whether the server holds a document replica of its own.  The
+      Jupiter servers and CRDT relays do; a pure sequencer (the
+      decoupled CSS variant) does not, and convergence is then judged
+      on the clients only. *)
+  val server_is_replica : bool
+
+  type client
+
+  type server
+
+  type c2s
+  (** Client-to-server message. *)
+
+  type s2c
+  (** Server-to-client message. *)
+
+  val create_client : nclients:int -> id:int -> initial:Document.t -> client
+
+  val create_server : nclients:int -> initial:Document.t -> server
+
+  (** Perform a user intent at a client: execute it locally and
+      immediately (optimistic replication) and return the message to
+      propagate, if any ([Read] produces none).
+
+      @raise Invalid_argument if the intent's position is out of
+      bounds for the client's current document. *)
+  val client_generate : client -> Intent.t -> do_outcome * c2s option
+
+  (** Process one client message at the server; returns the messages
+      to send, in order, as [(destination client, message)] pairs. *)
+  val server_receive : server -> from:int -> c2s -> (int * s2c) list
+
+  val client_receive : client -> s2c -> unit
+
+  val client_document : client -> Document.t
+
+  val server_document : server -> Document.t
+
+  (** Identifiers of the update operations the replica has processed —
+      its state in the sense of Definition 4.5, and the visibility set
+      of its next do event. *)
+  val client_visible : client -> Op_id.Set.t
+
+  val server_visible : server -> Op_id.Set.t
+
+  (** Cumulative number of primitive transformation-function calls
+      performed, for the redundant-OT experiment (paper,
+      Section 7.2). *)
+  val client_ot_count : client -> int
+
+  val server_ot_count : server -> int
+
+  (** An abstract measure of the replica's metadata footprint (number
+      of states plus transitions of its state-space(s), or node count
+      for CRDTs), for the compactness experiments (Proposition 6.6). *)
+  val client_metadata_size : client -> int
+
+  val server_metadata_size : server -> int
+end

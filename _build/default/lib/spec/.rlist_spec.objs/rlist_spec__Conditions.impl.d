@@ -1,0 +1,1 @@
+lib/spec/conditions.ml: Check Document Element Event Format List Op_id Rlist_model Trace

@@ -1,0 +1,1 @@
+lib/spec/conditions.mli: Check Trace

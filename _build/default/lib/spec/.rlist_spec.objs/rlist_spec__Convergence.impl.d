@@ -1,0 +1,1 @@
+lib/spec/convergence.ml: Check Document Event Format Hashtbl Op_id Rlist_model Trace

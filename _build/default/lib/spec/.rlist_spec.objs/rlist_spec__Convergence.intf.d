@@ -1,0 +1,1 @@
+lib/spec/convergence.mli: Check Trace

@@ -1,0 +1,1 @@
+lib/spec/event.ml: Document Element Format Op_id Replica_id Rlist_model

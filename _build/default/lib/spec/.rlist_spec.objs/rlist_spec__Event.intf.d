@@ -1,0 +1,1 @@
+lib/spec/event.mli: Document Element Format Op_id Replica_id Rlist_model

@@ -1,0 +1,1 @@
+lib/spec/list_order.ml: Document Element List Op_id Option Rlist_model

@@ -1,0 +1,1 @@
+lib/spec/list_order.mli: Document Element Rlist_model

@@ -1,0 +1,1 @@
+lib/spec/strong_spec.ml: Check Conditions Element Event Format List List_order Rlist_model Trace

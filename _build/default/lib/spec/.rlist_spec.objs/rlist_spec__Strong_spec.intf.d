@@ -1,0 +1,1 @@
+lib/spec/strong_spec.mli: Check Rlist_model Trace

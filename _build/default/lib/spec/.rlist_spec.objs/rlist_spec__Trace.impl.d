@@ -1,0 +1,1 @@
+lib/spec/trace.ml: Document Element Event Format Hashtbl List Op_id Replica_id Rlist_model

@@ -1,0 +1,1 @@
+lib/spec/trace.mli: Document Element Event Format Op_id Rlist_model

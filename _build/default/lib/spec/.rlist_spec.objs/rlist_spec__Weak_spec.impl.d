@@ -1,0 +1,1 @@
+lib/spec/weak_spec.ml: Check Conditions Document Element Event Format List List_order Rlist_model Trace

@@ -1,0 +1,1 @@
+lib/spec/weak_spec.mli: Check List_order Trace

@@ -1,0 +1,33 @@
+type violation = {
+  spec : string;
+  reason : string;
+  culprits : Event.t list;
+}
+
+type result =
+  | Satisfied
+  | Violated of violation
+
+let is_satisfied = function
+  | Satisfied -> true
+  | Violated _ -> false
+
+let violated ~spec ~culprits reason = Violated { spec; reason; culprits }
+
+let rec all = function
+  | [] -> Satisfied
+  | check :: rest -> (
+    match check () with
+    | Satisfied -> all rest
+    | Violated _ as v -> v)
+
+let pp ppf = function
+  | Satisfied -> Format.pp_print_string ppf "satisfied"
+  | Violated v ->
+    Format.fprintf ppf "@[<v>violated (%s): %s%a@]" v.spec v.reason
+      (fun ppf -> function
+        | [] -> ()
+        | culprits ->
+          Format.fprintf ppf "@,@[<v2>witnesses:@,%a@]"
+            (Format.pp_print_list Event.pp) culprits)
+      v.culprits

@@ -1,0 +1,21 @@
+(** Results of specification checks. *)
+
+type violation = {
+  spec : string;  (** Which specification was violated. *)
+  reason : string;  (** Human-readable description of the witness. *)
+  culprits : Event.t list;  (** Events witnessing the violation. *)
+}
+
+type result =
+  | Satisfied
+  | Violated of violation
+
+val is_satisfied : result -> bool
+
+val violated : spec:string -> culprits:Event.t list -> string -> result
+
+(** [all checks] is the first violation among [checks] (evaluated
+    lazily, in order), or [Satisfied]. *)
+val all : (unit -> result) list -> result
+
+val pp : Format.formatter -> result -> unit

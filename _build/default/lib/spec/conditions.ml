@@ -1,0 +1,100 @@
+open Rlist_model
+
+let spec = "list specification, condition 1"
+
+(* Classify every update identifier of the trace as the insertion or
+   deletion of an element; initial elements count as pre-visible
+   insertions. *)
+let classify trace =
+  let inserts = ref Op_id.Map.empty in
+  let deletes = ref Op_id.Map.empty in
+  List.iter
+    (fun elt -> inserts := Op_id.Map.add elt.Element.id elt !inserts)
+    (Document.elements trace.Trace.initial);
+  List.iter
+    (fun e ->
+      match e.Event.op, e.Event.op_id with
+      | Event.Do_ins (elt, _), Some id ->
+        inserts := Op_id.Map.add id elt !inserts
+      | Event.Do_del (elt, _), Some id ->
+        deletes := Op_id.Map.add id elt !deletes
+      | _ -> ())
+    trace.Trace.events;
+  !inserts, !deletes
+
+(* The set of elements an event must return: visible insertions minus
+   visible deletions, plus the initial elements not visibly deleted. *)
+let expected_elements ~inserts ~deletes e =
+  let visible_or_initial id =
+    Op_id.is_initial id || Op_id.Set.mem id e.Event.visible
+  in
+  let alive = ref [] in
+  Op_id.Map.iter
+    (fun id elt ->
+      let inserted = visible_or_initial id in
+      let deleted =
+        Op_id.Map.exists
+          (fun del_id del_elt ->
+            Element.equal del_elt elt && Op_id.Set.mem del_id e.Event.visible)
+          deletes
+      in
+      if inserted && not deleted then alive := elt :: !alive)
+    inserts;
+  !alive
+
+let check_content trace =
+  let inserts, deletes = classify trace in
+  let rec go = function
+    | [] -> Check.Satisfied
+    | e :: rest ->
+      let expected = expected_elements ~inserts ~deletes e in
+      let got = Document.elements e.Event.result in
+      let sort = List.sort Element.compare in
+      let expected = sort expected and got = sort got in
+      if List.length expected = List.length got
+         && List.for_all2 Element.equal expected got
+      then go rest
+      else
+        Check.violated ~spec ~culprits:[ e ]
+          (Format.asprintf
+             "event #%d returned {%a} but its visible live elements are {%a} \
+              (condition 1a)"
+             e.Event.eid
+             (Format.pp_print_list ~pp_sep:Format.pp_print_space Element.pp)
+             got
+             (Format.pp_print_list ~pp_sep:Format.pp_print_space Element.pp)
+             expected)
+  in
+  go trace.Trace.events
+
+let check_insert_position trace =
+  let rec go = function
+    | [] -> Check.Satisfied
+    | e :: rest -> (
+      match e.Event.op with
+      | Event.Do_del _ | Event.Do_read -> go rest
+      | Event.Do_ins (a, k) ->
+        let n = Document.length e.Event.result in
+        let idx = min k (n - 1) in
+        if n > 0 && Element.equal (Document.nth e.Event.result idx) a then
+          go rest
+        else
+          Check.violated ~spec ~culprits:[ e ]
+            (Format.asprintf
+               "insertion of %a at %d did not land at index min(%d, %d) \
+                (condition 1c)"
+               Element.pp a k k (n - 1)))
+  in
+  go trace.Trace.events
+
+let check_no_duplicates trace =
+  let rec go = function
+    | [] -> Check.Satisfied
+    | e :: rest ->
+      if Document.has_duplicates e.Event.result then
+        Check.violated ~spec ~culprits:[ e ]
+          (Format.asprintf "event #%d returned a list with duplicate elements"
+             e.Event.eid)
+      else go rest
+  in
+  go trace.Trace.events

@@ -1,0 +1,15 @@
+(** Condition 1 of the strong/weak list specifications
+    (Definitions 3.2 and 3.3) — the two specifications share it
+    verbatim. *)
+
+(** Condition 1a: every returned list contains exactly the elements
+    visible to the event that have been inserted but not deleted. *)
+val check_content : Trace.t -> Check.result
+
+(** Condition 1c: an insertion [Ins(a, k)] returning [w = a_0...a_{n-1}]
+    has [a = a_{min(k, n-1)}]. *)
+val check_insert_position : Trace.t -> Check.result
+
+(** No returned list repeats an element (needed for irreflexivity of
+    any list order containing the lists' orders; cf. Lemma 6.3). *)
+val check_no_duplicates : Trace.t -> Check.result

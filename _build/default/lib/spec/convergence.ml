@@ -1,0 +1,36 @@
+open Rlist_model
+
+let spec = "convergence property"
+
+let check_events events =
+  (* Index events by their visible update set; all events in a bucket
+     must return the same list. *)
+  let buckets = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> Check.Satisfied
+    | e :: rest -> (
+      let key = Op_id.Set.canonical e.Event.visible in
+      match Hashtbl.find_opt buckets key with
+      | None ->
+        Hashtbl.add buckets key e;
+        go rest
+      | Some e0 ->
+        if Document.equal e0.Event.result e.Event.result then go rest
+        else
+          Check.violated ~spec ~culprits:[ e0; e ]
+            (Format.asprintf
+               "events #%d and #%d observe the same updates %a but return %a \
+                and %a"
+               e0.Event.eid e.Event.eid Op_id.Set.pp e.Event.visible
+               Document.pp e0.Event.result Document.pp e.Event.result))
+  in
+  go events
+
+let check trace = check_events (Trace.reads trace)
+
+let check_all_events trace =
+  (* An update is visible to itself, so two distinct updates never
+     share a bucket with each other — but each shares a bucket with
+     the reads (and there is at most one update per bucket), which is
+     exactly the comparison we want. *)
+  check_events (Trace.events trace)

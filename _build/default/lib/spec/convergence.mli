@@ -1,0 +1,10 @@
+(** The convergence property (paper, Definition 3.1): two reads that
+    observe the same set of list updates return the same list. *)
+
+val check : Trace.t -> Check.result
+
+(** Like {!check} but treats {e every} do event as an observation —
+    convenient for traces without explicit reads (every do event
+    returns the updated list, so updates observing the same update set
+    must also agree). *)
+val check_all_events : Trace.t -> Check.result

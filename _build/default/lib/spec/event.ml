@@ -1,0 +1,36 @@
+open Rlist_model
+
+type operation =
+  | Do_ins of Element.t * int
+  | Do_del of Element.t * int
+  | Do_read
+
+type t = {
+  eid : int;
+  replica : Replica_id.t;
+  op : operation;
+  op_id : Op_id.t option;
+  result : Document.t;
+  visible : Op_id.Set.t;
+}
+
+let make ~eid ~replica ~op ~op_id ~result ~visible =
+  (match op, op_id with
+  | (Do_ins _ | Do_del _), None ->
+    invalid_arg "Event.make: update event without operation identifier"
+  | Do_read, Some _ -> invalid_arg "Event.make: read event with identifier"
+  | (Do_ins _ | Do_del _), Some _ | Do_read, None -> ());
+  { eid; replica; op; op_id; result; visible }
+
+let is_update t = t.op_id <> None
+
+let is_read t = t.op_id = None
+
+let pp_operation ppf = function
+  | Do_ins (e, p) -> Format.fprintf ppf "Ins(%a, %d)" Element.pp e p
+  | Do_del (e, p) -> Format.fprintf ppf "Del(%a, %d)" Element.pp e p
+  | Do_read -> Format.pp_print_string ppf "Read"
+
+let pp ppf t =
+  Format.fprintf ppf "#%d@%a: do(%a) -> %a" t.eid Replica_id.pp t.replica
+    pp_operation t.op Document.pp t.result

@@ -1,0 +1,31 @@
+open Rlist_model
+
+let spec = "strong list specification"
+
+let digraph trace =
+  List_order.of_documents
+    (List.map (fun e -> e.Event.result) (Trace.events trace))
+
+let check_acyclic trace =
+  match List_order.find_cycle (digraph trace) with
+  | None -> Check.Satisfied
+  | Some cycle ->
+    Check.violated ~spec ~culprits:[]
+      (Format.asprintf
+         "the list order contains the cycle %a, so no total order on all \
+          inserted elements exists (condition 2)"
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+            Element.pp)
+         cycle)
+
+let check trace =
+  Check.all
+    [
+      (fun () -> Conditions.check_content trace);
+      (fun () -> Conditions.check_insert_position trace);
+      (fun () -> Conditions.check_no_duplicates trace);
+      (fun () -> check_acyclic trace);
+    ]
+
+let witness_order trace = List_order.linear_extension (digraph trace)

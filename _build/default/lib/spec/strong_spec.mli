@@ -1,0 +1,15 @@
+(** The strong list specification (paper, Definition 3.2).
+
+    Beyond the weak specification, the strong one requires the list
+    order [lo] to be transitive, irreflexive, and total over {e all}
+    inserted elements — orderings relative to deleted elements must
+    hold even after the deletion.  Since condition 1b forces [lo] to
+    contain the order of every returned list, such an [lo] exists iff
+    the union list-order digraph is acyclic (any linear extension then
+    works).  The check is exact. *)
+
+val check : Trace.t -> Check.result
+
+(** A concrete total list order witnessing satisfaction, when one
+    exists. *)
+val witness_order : Trace.t -> Rlist_model.Element.t list option

@@ -1,0 +1,34 @@
+open Rlist_model
+
+let spec = "weak list specification"
+
+let results trace =
+  List.map (fun e -> e.Event.result) (Trace.events trace)
+
+let check_compatibility trace =
+  let docs = results trace in
+  match List_order.first_incompatible docs with
+  | None -> Check.Satisfied
+  | Some (d1, d2, a, b) ->
+    let witness_events =
+      List.filter
+        (fun e ->
+          Document.equal e.Event.result d1 || Document.equal e.Event.result d2)
+        (Trace.events trace)
+    in
+    Check.violated ~spec ~culprits:witness_events
+      (Format.asprintf
+         "returned lists %a and %a are incompatible: they order %a and %a \
+          differently (no irreflexive list order exists, Lemma 8.3)"
+         Document.pp d1 Document.pp d2 Element.pp a Element.pp b)
+
+let check trace =
+  Check.all
+    [
+      (fun () -> Conditions.check_content trace);
+      (fun () -> Conditions.check_insert_position trace);
+      (fun () -> Conditions.check_no_duplicates trace);
+      (fun () -> check_compatibility trace);
+    ]
+
+let list_order trace = List_order.of_documents (results trace)

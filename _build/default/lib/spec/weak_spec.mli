@@ -1,0 +1,17 @@
+(** The weak list specification (paper, Definition 3.3).
+
+    An abstract execution satisfies the weak list specification iff
+    there is an irreflexive list order [lo] containing the order of
+    every returned list, transitive and total on the elements of each
+    returned list.  As condition 1b forces [lo] restricted to a
+    returned list [w] to coincide with [w]'s own (total) order, such an
+    [lo] exists iff all returned lists are pairwise compatible
+    (Definition 8.2; this is the content of Lemma 8.3).  The check is
+    therefore exact: condition 1a, condition 1c, no duplicates, and
+    pairwise compatibility of all returned lists. *)
+
+val check : Trace.t -> Check.result
+
+(** The list order itself: the union, over all returned lists, of
+    their element orders (Definition 8.1). *)
+val list_order : Trace.t -> List_order.t

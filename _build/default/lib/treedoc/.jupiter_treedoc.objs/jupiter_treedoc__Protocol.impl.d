@@ -1,0 +1,1 @@
+lib/treedoc/protocol.ml: Element List Op_id Rlist_model Rlist_ot Rlist_sim Rlist_spec Tree_path Treedoc_list

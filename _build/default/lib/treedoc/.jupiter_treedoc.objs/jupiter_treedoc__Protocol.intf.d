@@ -1,0 +1,1 @@
+lib/treedoc/protocol.mli: Element Op_id Rlist_model Rlist_sim Tree_path

@@ -1,0 +1,1 @@
+lib/treedoc/tree_path.mli: Format

@@ -1,0 +1,1 @@
+lib/treedoc/treedoc_list.ml: Document Element Format List Op_id Printf Rlist_model Tree_path

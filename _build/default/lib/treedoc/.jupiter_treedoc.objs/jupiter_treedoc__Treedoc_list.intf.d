@@ -1,0 +1,1 @@
+lib/treedoc/treedoc_list.mli: Document Element Op_id Rlist_model Tree_path

@@ -1,0 +1,111 @@
+open Rlist_model
+
+let name = "treedoc"
+
+let server_is_replica = true
+
+type treedoc_op =
+  | Tins of {
+      elt : Element.t;
+      at : Tree_path.t;
+    }
+  | Tdel of {
+      id : Op_id.t;
+      target : Op_id.t;
+    }
+
+let op_id = function
+  | Tins { elt; _ } -> elt.Element.id
+  | Tdel { id; _ } -> id
+
+type c2s = { top : treedoc_op }
+
+type s2c =
+  | Forward of treedoc_op
+  | Ack
+
+type client = {
+  id : int;
+  list : Treedoc_list.t;
+  mutable next_seq : int;
+  mutable visible : Op_id.Set.t;
+}
+
+type server = {
+  nclients : int;
+  slist : Treedoc_list.t;
+  mutable svisible : Op_id.Set.t;
+}
+
+let create_client ~nclients ~id ~initial =
+  ignore nclients;
+  {
+    id;
+    list = Treedoc_list.create ~site:id ~initial;
+    next_seq = 1;
+    visible = Op_id.Set.empty;
+  }
+
+let create_server ~nclients ~initial =
+  {
+    nclients;
+    slist = Treedoc_list.create ~site:0 ~initial;
+    svisible = Op_id.Set.empty;
+  }
+
+let integrate list = function
+  | Tins { elt; at } -> Treedoc_list.insert list ~elt ~at
+  | Tdel { target; _ } -> Treedoc_list.delete list ~target
+
+let client_generate t intent =
+  let doc = Treedoc_list.document t.list in
+  let { Rlist_sim.Intent_resolver.outcome; op } =
+    Rlist_sim.Intent_resolver.resolve ~client:t.id ~seq:t.next_seq ~doc intent
+  in
+  match op, outcome.Rlist_sim.Protocol_intf.op with
+  | None, _ -> outcome, None
+  | Some _, Rlist_spec.Event.Do_ins (elt, pos) ->
+    t.next_seq <- t.next_seq + 1;
+    let at = Treedoc_list.allocate t.list ~pos in
+    let top = Tins { elt; at } in
+    integrate t.list top;
+    t.visible <- Op_id.Set.add elt.Element.id t.visible;
+    outcome, Some { top }
+  | Some op, Rlist_spec.Event.Do_del (elt, _pos) ->
+    t.next_seq <- t.next_seq + 1;
+    let top = Tdel { id = op.Rlist_ot.Op.id; target = elt.Element.id } in
+    integrate t.list top;
+    t.visible <- Op_id.Set.add op.Rlist_ot.Op.id t.visible;
+    outcome, Some { top }
+  | Some _, Rlist_spec.Event.Do_read -> assert false
+
+let server_receive t ~from ({ top } : c2s) =
+  integrate t.slist top;
+  t.svisible <- Op_id.Set.add (op_id top) t.svisible;
+  List.init t.nclients (fun i ->
+      let dest = i + 1 in
+      if dest = from then dest, Ack else dest, Forward top)
+
+let client_receive t = function
+  | Ack -> ()
+  | Forward top ->
+    integrate t.list top;
+    t.visible <- Op_id.Set.add (op_id top) t.visible
+
+let client_document t = Treedoc_list.document t.list
+
+let server_document t = Treedoc_list.document t.slist
+
+let client_visible t = t.visible
+
+let server_visible t = t.svisible
+
+let client_ot_count _ = 0
+
+let server_ot_count _ = 0
+
+let client_metadata_size t = Treedoc_list.size t.list
+
+let server_metadata_size t = Treedoc_list.size t.slist
+
+let client_tombstones t = Treedoc_list.tombstones t.list

@@ -1,0 +1,50 @@
+type step = {
+  bit : int;
+  site : int;
+  seq : int;
+}
+
+type t = step list
+
+let compare_step a b =
+  match Int.compare a.bit b.bit with
+  | 0 -> (
+    match Int.compare a.site b.site with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c)
+  | c -> c
+
+(* Infix order: when one path is a strict prefix of the other, the
+   longer one sorts by the bit of its first extra step — left subtree
+   (0) before the node, right subtree (1) after. *)
+let rec compare p q =
+  match p, q with
+  | [], [] -> 0
+  | [], s :: _ -> if s.bit = 0 then 1 else -1
+  | s :: _, [] -> if s.bit = 0 then -1 else 1
+  | a :: p', b :: q' -> (
+    match compare_step a b with
+    | 0 -> compare p' q'
+    | c -> c)
+
+let equal p q = compare p q = 0
+
+let child p ~bit ~site ~seq =
+  if bit <> 0 && bit <> 1 then invalid_arg "Tree_path.child: bit must be 0/1";
+  p @ [ { bit; site; seq } ]
+
+let rec first_step_below ~parent path =
+  match parent, path with
+  | [], [] -> None
+  | [], s :: _ -> Some s.bit
+  | _ :: _, [] -> None
+  | a :: parent', b :: path' ->
+    if compare_step a b = 0 then first_step_below ~parent:parent' path'
+    else None
+
+let pp ppf p =
+  Format.fprintf ppf "/%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '/')
+       (fun ppf s -> Format.fprintf ppf "%d:%d:%d" s.bit s.site s.seq))
+    p

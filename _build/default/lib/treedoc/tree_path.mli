@@ -1,0 +1,33 @@
+(** TreeDoc position identifiers (Preguiça et al. 2009): paths in a
+    binary tree, read in infix order; concurrent same-position inserts
+    become sibling "mini-nodes" told apart by a disambiguator.
+
+    The list order is the infix order: a node's left subtree comes
+    before the node, which comes before its right subtree; sibling
+    mini-nodes are ordered by disambiguator.  Identifiers never change,
+    so TreeDoc — like RGA — satisfies the strong list specification
+    (paper, Section 9). *)
+
+type step = {
+  bit : int;  (** 0 = left, 1 = right. *)
+  site : int;
+  seq : int;  (** Per-site counter, making steps unique. *)
+}
+
+type t = step list
+(** Root-to-node path; the empty path is the (virtual, element-less)
+    root. *)
+
+(** Infix order. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [child p ~bit ~site ~seq] extends the path one level down. *)
+val child : t -> bit:int -> site:int -> seq:int -> t
+
+(** [first_step_below ~parent path] is the bit of [path]'s first step
+    under [parent], if [path] is strictly below it. *)
+val first_step_below : parent:t -> t -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+open Rlist_model
+
+type node = {
+  path : Tree_path.t;
+  elt : Element.t;
+  mutable tombstone : bool;
+}
+
+type t = {
+  mutable nodes : node list;  (* sorted in infix (document) order *)
+  site : int;
+  mutable next_seq : int;
+  index : node Op_id.Table.t;
+}
+
+let create ~site ~initial =
+  let index = Op_id.Table.create 64 in
+  (* Seed initial elements as a right-leaning vine under the root. *)
+  let rec vine path i = function
+    | [] -> []
+    | elt :: rest ->
+      let path = Tree_path.child path ~bit:1 ~site:0 ~seq:i in
+      let node = { path; elt; tombstone = false } in
+      Op_id.Table.replace index elt.Element.id node;
+      node :: vine path (i + 1) rest
+  in
+  let nodes = vine [] 1 (Document.elements initial) in
+  { nodes; site; next_seq = 1; index }
+
+let document t =
+  Document.of_elements
+    (List.filter_map
+       (fun node -> if node.tombstone then None else Some node.elt)
+       t.nodes)
+
+let size t = List.length t.nodes
+
+let tombstones t =
+  List.length (List.filter (fun node -> node.tombstone) t.nodes)
+
+(* Does any stored node lie strictly below [parent] with its first step
+   on the given side? *)
+let has_child t parent ~bit =
+  List.exists
+    (fun node -> Tree_path.first_step_below ~parent node.path = Some bit)
+    t.nodes
+
+(* The all-node (tombstones included) neighbours around visible
+   position [pos]: the node that will precede the new element and the
+   node that will follow it. *)
+let all_node_bounds t ~pos =
+  let visible = List.filter (fun n -> not n.tombstone) t.nodes in
+  let n = List.length visible in
+  if pos < 0 || pos > n then
+    invalid_arg (Printf.sprintf "Treedoc_list: position %d out of bounds" pos);
+  let hi = if pos = n then None else Some (List.nth visible pos) in
+  (* predecessor among ALL nodes: the last node strictly before hi (or
+     the overall last when inserting at the end) *)
+  let before =
+    match hi with
+    | None -> t.nodes
+    | Some h ->
+      List.filter (fun node -> Tree_path.compare node.path h.path < 0) t.nodes
+  in
+  let lo =
+    match List.rev before with
+    | [] -> None
+    | last :: _ -> Some last
+  in
+  lo, hi
+
+let allocate t ~pos =
+  let lo, hi = all_node_bounds t ~pos in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  match lo, hi with
+  | None, None -> Tree_path.child [] ~bit:1 ~site:t.site ~seq
+  | Some p, _ when not (has_child t p.path ~bit:1) ->
+    Tree_path.child p.path ~bit:1 ~site:t.site ~seq
+  | _, Some q ->
+    (* p has a right subtree, so its in-order successor q is that
+       subtree's leftmost node: q has no left child. *)
+    assert (not (has_child t q.path ~bit:0));
+    Tree_path.child q.path ~bit:0 ~site:t.site ~seq
+  | Some p, None ->
+    (* inserting at the very end: the last node has no right child *)
+    invalid_arg
+      (Format.asprintf
+         "Treedoc_list.allocate: last node %a unexpectedly has a right child"
+         Tree_path.pp p.path)
+
+let insert t ~elt ~at =
+  if Op_id.Table.mem t.index elt.Element.id then
+    invalid_arg
+      (Format.asprintf "Treedoc_list.insert: element %a already present"
+         Element.pp elt);
+  let fresh = { path = at; elt; tombstone = false } in
+  let rec place = function
+    | [] -> [ fresh ]
+    | node :: rest as all ->
+      let c = Tree_path.compare at node.path in
+      if c < 0 then fresh :: all
+      else if c = 0 then
+        invalid_arg
+          (Format.asprintf "Treedoc_list.insert: path %a already taken"
+             Tree_path.pp at)
+      else node :: place rest
+  in
+  t.nodes <- place t.nodes;
+  Op_id.Table.replace t.index elt.Element.id fresh
+
+let delete t ~target =
+  match Op_id.Table.find_opt t.index target with
+  | None ->
+    invalid_arg
+      (Format.asprintf "Treedoc_list.delete: unknown element %a" Op_id.pp
+         target)
+  | Some node -> node.tombstone <- true

@@ -1,0 +1,32 @@
+(** The TreeDoc replicated list: tree-path-identified elements with
+    tombstoned deletion (Section 9's second CRDT baseline, between RGA
+    and Logoot in the design space: a tree like RGA's timestamps
+    induce, with tombstones like RGA but path identifiers like
+    Logoot). *)
+
+open Rlist_model
+
+type t
+
+val create : site:int -> initial:Document.t -> t
+
+val document : t -> Document.t
+
+(** Nodes including tombstones — the metadata footprint. *)
+val size : t -> int
+
+val tombstones : t -> int
+
+(** [allocate t ~pos] picks a fresh path for an insertion at visible
+    position [pos]: a new leaf hanging off one of the two all-node
+    neighbours (right child of the predecessor if free, else left
+    child of the successor). *)
+val allocate : t -> pos:int -> Tree_path.t
+
+(** [insert t ~elt ~at] integrates an insertion.
+    @raise Invalid_argument if the path is already taken. *)
+val insert : t -> elt:Element.t -> at:Tree_path.t -> unit
+
+(** Tombstone the element (idempotent).
+    @raise Invalid_argument if the element was never inserted. *)
+val delete : t -> target:Op_id.t -> unit

@@ -1,0 +1,1 @@
+lib/ttf/adopted_protocol.ml: Array Context Lattice List Op Op_id Rlist_model Rlist_ot Rlist_sim Ttf_model Ttf_transform

@@ -1,0 +1,1 @@
+lib/ttf/adopted_protocol.mli: Context Op Rlist_ot Rlist_sim

@@ -1,0 +1,1 @@
+lib/ttf/lattice.ml: Format Hashtbl Op Op_id Rlist_model Rlist_ot

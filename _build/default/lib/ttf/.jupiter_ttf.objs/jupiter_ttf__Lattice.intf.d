@@ -1,0 +1,1 @@
+lib/ttf/lattice.mli: Op Op_id Rlist_model Rlist_ot

@@ -1,0 +1,1 @@
+lib/ttf/ttf_model.ml: Document Element Format List Printf Rlist_model

@@ -1,0 +1,1 @@
+lib/ttf/ttf_model.mli: Document Element Rlist_model

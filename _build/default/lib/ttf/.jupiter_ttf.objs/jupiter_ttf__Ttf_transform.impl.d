@@ -1,0 +1,1 @@
+lib/ttf/ttf_transform.ml: Document Element Format Op Rlist_model Rlist_ot Ttf_model

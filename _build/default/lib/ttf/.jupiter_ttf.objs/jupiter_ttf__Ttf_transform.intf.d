@@ -1,0 +1,1 @@
+lib/ttf/ttf_transform.mli: Op Rlist_model Rlist_ot Ttf_model

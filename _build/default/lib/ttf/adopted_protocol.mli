@@ -1,0 +1,36 @@
+(** An adOPTed-style peer-to-peer OT protocol (Ressel et al. 1996)
+    over the TTF functions: {e causal} broadcast only — no server, no
+    sequencer, no Lamport total order, no stability waiting.
+
+    Each peer applies its own operations immediately and integrates a
+    remote operation as soon as it is causally ready (vector clocks),
+    into an n-ary ordered state-space driven by the TTF functions —
+    no waiting for stability.  Different peers integrate concurrent
+    operations in different orders — which is exactly what broke the
+    naive dOPT foil (Figure 8), and what forces the Lamport-stability
+    wait in {!Jupiter_css.Distributed_protocol} — but because the TTF
+    functions satisfy CP1 {e and} CP2, the ladders commute and all
+    integration orders build the same space.
+
+    This contrasts all three coordination points in the repository:
+    Jupiter needs a total order because its view-position functions
+    violate CP2; TTF pays tombstones to satisfy CP2 and needs only
+    causality; CRDTs pay identifiers and need even less. *)
+
+open Rlist_ot
+
+type message = {
+  op : Op.t;  (** Model-position original operation. *)
+  ctx : Context.t;  (** The state it was generated on. *)
+  vc : int array;  (** Vector clock at generation (counting the
+                       operation itself). *)
+  lamport : int;  (** Canonical-order stamp — used only to order
+                      sibling transitions deterministically, never
+                      waited on. *)
+  origin : int;
+}
+
+include Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL with type message := message
+
+(** Tombstones at a peer. *)
+val tombstones : peer -> int

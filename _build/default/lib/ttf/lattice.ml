@@ -1,0 +1,84 @@
+open Rlist_model
+open Rlist_ot
+
+module Memo = Hashtbl.Make (struct
+  type t = Op_id.t * Op_id.Set.t
+
+  let equal (id1, s1) (id2, s2) = Op_id.equal id1 id2 && Op_id.Set.equal s1 s2
+
+  let hash (id, s) = (Op_id.hash id * 31) lxor Op_id.Set.content_hash s
+end)
+
+type t = {
+  originals : (Op.t * Op_id.Set.t) Op_id.Table.t;
+  memo : Op.t Memo.t;
+  transform : Op.t -> Op.t -> Op.t;
+  mutable ot_count : int;
+}
+
+let create ~transform () =
+  {
+    originals = Op_id.Table.create 64;
+    memo = Memo.create 256;
+    transform;
+    ot_count = 0;
+  }
+
+let register t op ~ctx =
+  if Op_id.Table.mem t.originals op.Op.id then
+    invalid_arg
+      (Format.asprintf "Lattice.register: %a already registered" Op_id.pp
+         op.Op.id);
+  Op_id.Table.replace t.originals op.Op.id (op, ctx)
+
+let original t id =
+  match Op_id.Table.find_opt t.originals id with
+  | Some entry -> entry
+  | None ->
+    invalid_arg
+      (Format.asprintf "Lattice: operation %a is not registered" Op_id.pp id)
+
+let rec form_at t id state =
+  let op, ctx = original t id in
+  if Op_id.Set.equal state ctx then op
+  else
+    match Memo.find_opt t.memo (id, state) with
+    | Some form -> form
+    | None ->
+      let extra = Op_id.Set.diff state ctx in
+      if Op_id.Set.is_empty extra then
+        invalid_arg
+          (Format.asprintf
+             "Lattice.form_at: state %a does not extend the context of %a"
+             Op_id.Set.pp state Op_id.pp id);
+      (* A causally maximal extra operation: none of the other extra
+         operations has it in its context.  (Operations in ctx cannot,
+         or it would be in ctx too, by transitivity of contexts.) *)
+      let maximal =
+        Op_id.Set.filter
+          (fun y ->
+            Op_id.Set.for_all
+              (fun z ->
+                Op_id.equal y z
+                ||
+                let _, ctx_z = original t z in
+                not (Op_id.Set.mem y ctx_z))
+              extra)
+          extra
+      in
+      let y =
+        match Op_id.Set.max_elt_opt maximal with
+        | Some y -> y
+        | None -> assert false (* a finite nonempty poset has maxima *)
+      in
+      let below = Op_id.Set.remove y state in
+      let fx = form_at t id below in
+      let fy = form_at t y below in
+      t.ot_count <- t.ot_count + 1;
+      let form = t.transform fx fy in
+      Memo.replace t.memo (id, state) form;
+      form
+
+let size t = Memo.length t.memo + Op_id.Table.length t.originals
+
+let ot_count t = t.ot_count

@@ -1,0 +1,44 @@
+(** The adOPTed interaction lattice (Ressel et al. 1996), memoized.
+
+    [form_at] computes the form an operation takes at any causally
+    closed state containing its generation context, by recursively
+    transforming it up one operation at a time:
+
+    {v form_at x σ = xform (form_at x (σ\{y})) (form_at y (σ\{y})) v}
+
+    for a causally maximal [y ∈ σ \ ctx(x)].  With transformation
+    functions satisfying CP1 {e and} CP2 the choice of [y] does not
+    matter — every recursion order yields the same form (the classic
+    adOPTed correctness argument), so replicas integrating concurrent
+    operations in different causal orders still converge.  The n-ary
+    ordered state-space cannot play this role without a total order:
+    its ladders only materialize states along serialization prefixes. *)
+
+open Rlist_model
+open Rlist_ot
+
+type t
+
+(** [create ~transform ()] — [transform] must satisfy CP1 and CP2
+    (e.g. {!Ttf_transform.xform}); with a CP2-violating function the
+    lattice is still computable but different recursion orders may
+    disagree, which is exactly Figure 8's bug. *)
+val create : transform:(Op.t -> Op.t -> Op.t) -> unit -> t
+
+(** Register an operation's original form and generation context.
+    @raise Invalid_argument on re-registration. *)
+val register : t -> Op.t -> ctx:Op_id.Set.t -> unit
+
+(** [form_at t id state] is the operation's form at [state], which
+    must be causally closed and contain the operation's context but
+    not the operation itself.
+    @raise Invalid_argument if the operation (or one needed along the
+    recursion) is unregistered. *)
+val form_at : t -> Op_id.t -> Op_id.Set.t -> Op.t
+
+(** Number of memoized forms plus registered originals — the
+    protocol's transformation-metadata footprint. *)
+val size : t -> int
+
+(** Transformation-function invocations so far. *)
+val ot_count : t -> int

@@ -1,0 +1,73 @@
+open Rlist_model
+
+type slot = {
+  elt : Element.t;
+  mutable tombstone : bool;
+}
+
+type t = { mutable slots : slot list }
+
+let create ~initial =
+  {
+    slots =
+      List.map
+        (fun elt -> { elt; tombstone = false })
+        (Document.elements initial);
+  }
+
+let view t =
+  Document.of_elements
+    (List.filter_map
+       (fun slot -> if slot.tombstone then None else Some slot.elt)
+       t.slots)
+
+let model_length t = List.length t.slots
+
+let tombstones t =
+  List.length (List.filter (fun slot -> slot.tombstone) t.slots)
+
+let model_position_of_view t pos =
+  if pos < 0 then invalid_arg "Ttf_model: negative position";
+  let rec go model_index visible = function
+    | [] ->
+      if visible = pos then model_index
+      else invalid_arg "Ttf_model: view position out of bounds"
+    | slot :: rest ->
+      if (not slot.tombstone) && visible = pos then model_index
+      else
+        go (model_index + 1)
+          (if slot.tombstone then visible else visible + 1)
+          rest
+  in
+  go 0 0 t.slots
+
+let insert t ~elt ~pos =
+  if pos < 0 || pos > List.length t.slots then
+    invalid_arg
+      (Printf.sprintf "Ttf_model.insert: model position %d out of bounds" pos);
+  if List.exists (fun s -> Element.equal s.elt elt) t.slots then
+    invalid_arg
+      (Format.asprintf "Ttf_model.insert: element %a already present"
+         Element.pp elt);
+  let rec go i = function
+    | rest when i = pos -> { elt; tombstone = false } :: rest
+    | [] -> assert false
+    | slot :: rest -> slot :: go (i + 1) rest
+  in
+  t.slots <- go 0 t.slots
+
+let delete t ~pos =
+  match List.nth_opt t.slots pos with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Ttf_model.delete: model position %d out of bounds" pos)
+  | Some slot ->
+    slot.tombstone <- true;
+    slot.elt
+
+let element_at t pos =
+  match List.nth_opt t.slots pos with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Ttf_model.element_at: position %d out of bounds" pos)
+  | Some slot -> slot.elt

@@ -1,0 +1,37 @@
+(** The TTF model document (Oster et al. 2006): deletion tombstones
+    elements instead of removing them, so positions in the {e model}
+    never shift under deletion.  This is what buys the transformation
+    functions CP2 (see {!Ttf_transform}) — and costs tombstone
+    metadata, the same trade RGA and TreeDoc make on the CRDT side. *)
+
+open Rlist_model
+
+type t
+
+val create : initial:Document.t -> t
+
+(** The user-visible document (tombstones hidden). *)
+val view : t -> Document.t
+
+(** Model length, tombstones included. *)
+val model_length : t -> int
+
+val tombstones : t -> int
+
+(** Translate a view position into a model position: the model index
+    of the [pos]-th visible element ([model_length] when [pos] equals
+    the view length).
+    @raise Invalid_argument when out of bounds. *)
+val model_position_of_view : t -> int -> int
+
+(** [insert t ~elt ~pos] inserts at model position [pos].
+    @raise Invalid_argument when out of bounds or duplicate. *)
+val insert : t -> elt:Element.t -> pos:int -> unit
+
+(** [delete t ~pos] tombstones the element at model position [pos]
+    (idempotent on already-deleted elements) and returns it.
+    @raise Invalid_argument when out of bounds. *)
+val delete : t -> pos:int -> Element.t
+
+(** Element at a model position. *)
+val element_at : t -> int -> Element.t

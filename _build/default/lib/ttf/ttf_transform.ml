@@ -1,0 +1,47 @@
+open Rlist_model
+open Rlist_ot
+
+(* Positions are model positions; deletions tombstone in place, so
+   only insertions ever shift anything. *)
+let xform o1 o2 =
+  match o1.Op.action, o2.Op.action with
+  | Op.Nop, _ | _, Op.Nop -> o1
+  | _, Op.Del _ -> o1  (* deletions move nothing *)
+  | Op.Ins (e1, p1), Op.Ins (e2, p2) ->
+    if p1 < p2 then o1
+    else if p1 > p2 then Op.make_ins ~id:o1.Op.id e1 (p1 + 1)
+    else if Element.priority e1 e2 < 0 then Op.make_ins ~id:o1.Op.id e1 (p1 + 1)
+    else o1
+  | Op.Del (e1, p1), Op.Ins (_, p2) ->
+    if p1 < p2 then o1 else Op.make_del ~id:o1.Op.id e1 (p1 + 1)
+
+let xform_pair o1 o2 = xform o1 o2, xform o2 o1
+
+let apply op model =
+  match op.Op.action with
+  | Op.Nop -> ()
+  | Op.Ins (elt, pos) -> Ttf_model.insert model ~elt ~pos
+  | Op.Del (elt, pos) ->
+    let deleted = Ttf_model.delete model ~pos in
+    if not (Element.equal deleted elt) then
+      invalid_arg
+        (Format.asprintf
+           "Ttf_transform.apply: delete %a at model position %d found %a"
+           Element.pp elt pos Element.pp deleted)
+
+let check_cp1 base o1 o2 =
+  let snapshot () = Ttf_model.create ~initial:base in
+  let o1', o2' = xform_pair o1 o2 in
+  let left = snapshot () in
+  apply o1 left;
+  apply o2' left;
+  let right = snapshot () in
+  apply o2 right;
+  apply o1' right;
+  Document.equal (Ttf_model.view left) (Ttf_model.view right)
+  && Ttf_model.model_length left = Ttf_model.model_length right
+
+let check_cp2 o1 o2 o3 =
+  let via_o1_first = xform (xform o3 o1) (xform o2 o1) in
+  let via_o2_first = xform (xform o3 o2) (xform o1 o2) in
+  Op.equal via_o1_first via_o2_first

@@ -1,0 +1,31 @@
+(** Tombstone transformation functions (Oster et al. 2006).
+
+    Because deletion never shifts model positions, the case analysis
+    loses exactly the cases that break CP2 for the view-based
+    functions: transforming against a deletion is the identity, and
+    deletions only ever shift right past insertions.  These functions
+    satisfy {e both} CP1 and CP2 (property-tested exhaustively in
+    [test/test_ttf.ml]), which is what lets the adOPTed-style protocol
+    converge with {e only causal} delivery — no server, no sequencer,
+    no timestamps (contrast with every Jupiter variant). *)
+
+open Rlist_ot
+
+(** Operations are {!Rlist_ot.Op.t} values interpreted against model
+    positions: [Ins] inserts at a model position, [Del] tombstones a
+    model position. *)
+
+val xform : Op.t -> Op.t -> Op.t
+
+val xform_pair : Op.t -> Op.t -> Op.t * Op.t
+
+(** Apply to a TTF model. *)
+val apply : Op.t -> Ttf_model.t -> unit
+
+(** CP1 on a model instance: starting from a fresh model of the given
+    document, both execution orders leave equal views and equal model
+    lengths.  The operations must be defined on that model. *)
+val check_cp1 : Rlist_model.Document.t -> Op.t -> Op.t -> bool
+
+(** CP2 instance check (pure, on operations). *)
+val check_cp2 : Op.t -> Op.t -> Op.t -> bool

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Char Intent List Random Rlist_model Rlist_sim

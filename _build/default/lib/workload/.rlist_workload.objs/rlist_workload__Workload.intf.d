@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Intent Random Rlist_model Rlist_sim

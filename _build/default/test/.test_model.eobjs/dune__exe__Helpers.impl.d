@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Document Element Jupiter_cscw Jupiter_css Jupiter_rga List Op_id QCheck2 QCheck_alcotest Random Rlist_model Rlist_ot Rlist_sim Rlist_spec String

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Document Hashtbl Helpers Jupiter_css List Op Op_id QCheck2 Result Rlist_model Rlist_ot Rlist_sim Transform

@@ -1,0 +1,1 @@
+test/test_cscw.ml: Alcotest Document Helpers Intent Jupiter_cscw List Op QCheck2 Replica_id Rlist_model Rlist_ot Rlist_sim Rlist_spec

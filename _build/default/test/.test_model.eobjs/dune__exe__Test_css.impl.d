@@ -1,0 +1,1 @@
+test/test_css.ml: Alcotest Context Document Hashtbl Helpers Intent Jupiter_css List Op Op_id Option QCheck2 Result Rlist_model Rlist_ot Rlist_sim Rlist_spec String

@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Document Helpers Intent Jupiter_css List QCheck2 Random Result Rlist_model Rlist_sim Rlist_spec

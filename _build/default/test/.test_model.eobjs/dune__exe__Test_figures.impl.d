@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Char Document Element Format Helpers Jupiter_css List Op_id Printf Replica_id Rlist_model Rlist_ot Rlist_sim Rlist_spec String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Char Document Helpers Intent Jupiter_css Jupiter_logoot Jupiter_treedoc List QCheck2 Rlist_model Rlist_sim Rlist_spec

@@ -1,0 +1,1 @@
+test/test_logoot.ml: Alcotest Document Element Helpers Jupiter_logoot QCheck2 Random Result Rlist_model Rlist_sim Rlist_spec

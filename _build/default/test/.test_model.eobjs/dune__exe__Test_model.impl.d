@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Bool Document Element Helpers Intent List Op_id QCheck2 Replica_id Rlist_model

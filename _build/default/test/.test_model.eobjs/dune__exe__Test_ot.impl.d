@@ -1,0 +1,1 @@
+test/test_ot.ml: Alcotest Context Document Element Helpers Intent List Op Op_id Printf Random Rlist_model Rlist_ot Rlist_sim Rlist_spec String Transform

@@ -1,0 +1,1 @@
+test/test_pruning.ml: Alcotest Context Document Hashtbl Helpers Intent Jupiter_css List Op Op_id Printf QCheck2 Random Replica_id Rlist_model Rlist_ot Rlist_sim Rlist_spec

@@ -1,0 +1,1 @@
+test/test_rga.ml: Alcotest Document Element Helpers Intent Jupiter_rga List Op_id QCheck2 Result Rlist_model Rlist_sim Rlist_spec

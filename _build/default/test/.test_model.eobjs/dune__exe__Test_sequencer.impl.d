@@ -1,0 +1,1 @@
+test/test_sequencer.ml: Alcotest Document Helpers Intent Jupiter_css List QCheck2 Random Rlist_model Rlist_sim Rlist_spec

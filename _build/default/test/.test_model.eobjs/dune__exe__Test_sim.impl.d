@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Document Helpers Intent List Random Replica_id Result Rlist_model Rlist_sim Rlist_spec

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Char Document Element Filename Fun Helpers Intent Jupiter_css List Op_id QCheck2 Random Rlist_model Rlist_ot Sys

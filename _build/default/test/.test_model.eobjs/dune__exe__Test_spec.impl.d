@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Conditions Convergence Document Element Event Helpers List List_order Op_id QCheck2 Replica_id Result Rlist_model Rlist_sim Rlist_spec Strong_spec Trace Weak_spec

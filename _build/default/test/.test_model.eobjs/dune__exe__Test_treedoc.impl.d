@@ -1,0 +1,1 @@
+test/test_treedoc.ml: Alcotest Document Element Helpers Jupiter_treedoc Op_id QCheck2 Result Rlist_model Rlist_sim Rlist_spec

@@ -1,0 +1,1 @@
+test/test_ttf.ml: Alcotest Document Element Helpers Intent Jupiter_ttf List Op Op_id QCheck2 Random Result Rlist_model Rlist_ot Rlist_sim Rlist_spec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Document Helpers Intent List QCheck2 Random Rlist_model Rlist_sim Rlist_spec Rlist_workload

@@ -1,0 +1,113 @@
+(* Shared utilities for the test suites. *)
+
+open Rlist_model
+
+let document : Document.t Alcotest.testable =
+  Alcotest.testable Document.pp_detailed Document.equal
+
+let doc_string : Document.t Alcotest.testable =
+  Alcotest.testable Document.pp (fun a b ->
+      String.equal (Document.to_string a) (Document.to_string b))
+
+let op : Rlist_ot.Op.t Alcotest.testable =
+  Alcotest.testable Rlist_ot.Op.pp Rlist_ot.Op.equal
+
+let op_id : Op_id.t Alcotest.testable = Alcotest.testable Op_id.pp Op_id.equal
+
+let op_id_set : Op_id.Set.t Alcotest.testable =
+  Alcotest.testable Op_id.Set.pp Op_id.Set.equal
+
+let check_satisfied what result =
+  match result with
+  | Rlist_spec.Check.Satisfied -> ()
+  | Rlist_spec.Check.Violated _ ->
+    Alcotest.failf "%s: expected satisfied, got %a" what Rlist_spec.Check.pp
+      result
+
+let check_violated what result =
+  match result with
+  | Rlist_spec.Check.Violated _ -> ()
+  | Rlist_spec.Check.Satisfied ->
+    Alcotest.failf "%s: expected a violation, got satisfied" what
+
+let elt ?(client = 1) ?(seq = 1) value =
+  Element.make ~value ~id:(Op_id.make ~client ~seq)
+
+let ins ?(client = 1) ?(seq = 1) value pos =
+  let id = Op_id.make ~client ~seq in
+  Rlist_ot.Op.make_ins ~id (Element.make ~value ~id) pos
+
+let del ?(client = 1) ?(seq = 1) element pos =
+  Rlist_ot.Op.make_del ~id:(Op_id.make ~client ~seq) element pos
+
+(* QCheck generators. *)
+
+let gen_char = QCheck2.Gen.char_range 'a' 'z'
+
+(* A document of distinct elements attributed to pseudo-client 9. *)
+let gen_document =
+  QCheck2.Gen.(
+    map
+      (fun values ->
+        Document.of_elements
+          (List.mapi
+             (fun i value ->
+               Element.make ~value ~id:(Op_id.make ~client:9 ~seq:(i + 1)))
+             values))
+      (list_size (int_range 0 12) gen_char))
+
+(* A pair of operations defined on the same document, from two distinct
+   clients (as required for a meaningful CP1 check). *)
+let gen_op_on ~client ~seq doc =
+  QCheck2.Gen.(
+    let len = Document.length doc in
+    let insert =
+      map2
+        (fun value pos ->
+          let id = Op_id.make ~client ~seq in
+          Rlist_ot.Op.make_ins ~id (Element.make ~value ~id) pos)
+        gen_char (int_range 0 len)
+    in
+    if len = 0 then insert
+    else
+      let delete =
+        map
+          (fun pos ->
+            Rlist_ot.Op.make_del
+              ~id:(Op_id.make ~client ~seq)
+              (Document.nth doc pos) pos)
+          (int_range 0 (len - 1))
+      in
+      oneof [ insert; delete ])
+
+let gen_cp1_instance =
+  QCheck2.Gen.(
+    gen_document >>= fun doc ->
+    gen_op_on ~client:1 ~seq:1 doc >>= fun o1 ->
+    gen_op_on ~client:2 ~seq:1 doc >>= fun o2 -> return (doc, o1, o2))
+
+(* Run a named figure scenario under a protocol's engine. *)
+module Run (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
+  module E = Rlist_sim.Engine.Make (P)
+
+  let scenario (s : Rlist_sim.Figures.scenario) =
+    let t = E.create ~initial:s.initial ~nclients:s.nclients () in
+    E.run t s.schedule;
+    t
+
+  let random ?intent ?(nclients = 4) ?(initial = Document.empty)
+      ?(params = Rlist_sim.Schedule.default_params) seed =
+    let t = E.create ~initial ~nclients () in
+    let rng = Random.State.make [| seed; 0xC0FFEE |] in
+    let schedule = E.run_random ?intent t ~rng ~params in
+    t, schedule
+end
+
+module Css_run = Run (Jupiter_css.Protocol)
+module Cscw_run = Run (Jupiter_cscw.Protocol)
+module Rga_run = Run (Jupiter_rga.Protocol)
+module Naive_run = Run (Jupiter_cscw.Naive_p2p)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)

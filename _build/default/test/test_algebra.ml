@@ -1,0 +1,193 @@
+(* Tests for the state-space algebra (union / of_raw) and the
+   executable counterparts of Examples 8.2 and 8.3: union of replica
+   spaces *with* Proposition 6.6 is idempotent, while the union of the
+   Figure 8 (incorrect protocol) behaviours breaks confluence, LCA
+   uniqueness, and path disjointness. *)
+
+open Rlist_model
+open Rlist_ot
+module Space = Jupiter_css.State_space
+module Css = Helpers.Css_run.E
+
+let serial_key serials id =
+  match Hashtbl.find_opt serials id with
+  | Some s -> Jupiter_css.Order_key.Serialized s
+  | None -> Jupiter_css.Order_key.Pending id.Op_id.seq
+
+(* --- of_raw ------------------------------------------------------------ *)
+
+let test_of_raw_validation () =
+  let serials = Hashtbl.create 4 in
+  let key = serial_key serials in
+  let o1 = Helpers.ins ~client:1 'a' 0 in
+  Hashtbl.replace serials o1.Op.id 1;
+  let s1 = Op_id.Set.singleton o1.Op.id in
+  Alcotest.(check bool)
+    "missing target rejected" true
+    (try
+       ignore
+         (Space.of_raw ~key_of:key ~root:Space.initial_state ~final:s1
+            [
+              ( Space.initial_state,
+                [ { Space.orig = o1.Op.id; form = o1; target = s1 } ] );
+            ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "missing root rejected" true
+    (try
+       ignore (Space.of_raw ~key_of:key ~root:Space.initial_state ~final:s1
+                 [ s1, [] ]);
+       false
+     with Invalid_argument _ -> true);
+  (* a valid raw space behaves like a built one *)
+  let space =
+    Space.of_raw ~key_of:key ~root:Space.initial_state ~final:s1
+      [
+        ( Space.initial_state,
+          [ { Space.orig = o1.Op.id; form = o1; target = s1 } ] );
+        s1, [];
+      ]
+  in
+  Alcotest.(check int) "two states" 2 (Space.num_states space);
+  Alcotest.(check int)
+    "leftmost path length" 1
+    (List.length (Space.leftmost_path space Space.initial_state))
+
+(* --- union under Proposition 6.6 --------------------------------------- *)
+
+let test_union_idempotent_for_css () =
+  (* With Prop 6.6 the replica spaces are equal, so unions add
+     nothing. *)
+  let t = Helpers.Css_run.scenario Rlist_sim.Figures.figure2 in
+  let server = Jupiter_css.Protocol.server_space (Css.server t) in
+  let c2 = Jupiter_css.Protocol.client_space (Css.client t 2) in
+  let u = Space.union server c2 in
+  Alcotest.(check bool) "union equals server space" true
+    (Space.equal u server);
+  Alcotest.(check bool) "union equals client space" true (Space.equal u c2)
+
+(* --- Example 8.2: union without Prop 6.6 -------------------------------- *)
+
+(* The Figure 8 execution, as two per-client chains of (incorrectly)
+   transformed operations over "abc":
+     C1: {} -o1-> {1} -o3{1}-> {1,3} -o2{1,3}-> {1,2,3}
+     C2: {} -o2-> {2} -o3{2}-> {2,3} -o1{2,3}-> {1,2,3}         *)
+let figure8_union () =
+  let doc = Document.of_string "abc" in
+  let o1 = Helpers.ins ~client:1 'x' 2 in
+  let o2 = Helpers.del ~client:2 (Document.nth doc 1) 1 in
+  let o3 = Helpers.ins ~client:3 'y' 1 in
+  let serials = Hashtbl.create 4 in
+  Hashtbl.replace serials o1.Op.id 3;
+  Hashtbl.replace serials o2.Op.id 2;
+  Hashtbl.replace serials o3.Op.id 1;
+  let key = serial_key serials in
+  let id op = op.Op.id in
+  let set ops = Op_id.Set.of_list (List.map id ops) in
+  let tr orig form target = { Space.orig = orig.Op.id; form; target } in
+  let np = Transform.xform_no_priority in
+  let chain1 =
+    (* C1's execution: o1; o3 transformed against o1; o2 transformed
+       against o1 then o3{1}. *)
+    let o3_1 = np o3 o1 in
+    let o2_13 = np (np o2 o1) o3_1 in
+    Space.of_raw ~key_of:key ~root:Space.initial_state ~final:(set [ o1; o2; o3 ])
+      [
+        Space.initial_state, [ tr o1 o1 (set [ o1 ]) ];
+        set [ o1 ], [ tr o3 o3_1 (set [ o1; o3 ]) ];
+        set [ o1; o3 ], [ tr o2 o2_13 (set [ o1; o2; o3 ]) ];
+        set [ o1; o2; o3 ], [];
+      ]
+  in
+  let chain2 =
+    let o3_2 = np o3 o2 in
+    let o1_23 = np (np o1 o2) o3_2 in
+    Space.of_raw ~key_of:key ~root:Space.initial_state ~final:(set [ o1; o2; o3 ])
+      [
+        Space.initial_state, [ tr o2 o2 (set [ o2 ]) ];
+        set [ o2 ], [ tr o3 o3_2 (set [ o2; o3 ]) ];
+        set [ o2; o3 ], [ tr o1 o1_23 (set [ o1; o2; o3 ]) ];
+        set [ o1; o2; o3 ], [];
+      ]
+  in
+  Space.union chain1 chain2
+
+let test_example_8_2_confluence_fails () =
+  (* The two chains reach the "same" state {1,2,3} with different
+     documents ("ayxc" vs "axyc") — replaying the union detects it. *)
+  let u = figure8_union () in
+  Alcotest.(check bool)
+    "document replay detects non-confluence" true
+    (try
+       ignore
+         (Jupiter_css.Analysis.documents u
+            ~initial:(Document.of_string "abc"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_example_8_3_disjoint_paths_fail () =
+  (* Lemma 8.5 fails on the union: the paths from the initial state to
+     {1,3} and to {2,3} both involve o3. *)
+  let u = figure8_union () in
+  Alcotest.(check bool)
+    "disjoint-paths lemma fails" true
+    (Result.is_error (Jupiter_css.Analysis.check_disjoint_paths u))
+
+let test_union_conflicting_transitions_rejected () =
+  (* Merging spaces that disagree on a transition's form must fail
+     loudly rather than silently pick one. *)
+  let serials = Hashtbl.create 4 in
+  let key = serial_key serials in
+  let o1 = Helpers.ins ~client:1 'a' 0 in
+  let o1' = Helpers.ins ~client:1 'a' 1 in
+  (* same identity, different form *)
+  Hashtbl.replace serials o1.Op.id 1;
+  let s1 = Op_id.Set.singleton o1.Op.id in
+  let mk form =
+    Space.of_raw ~key_of:key ~root:Space.initial_state ~final:s1
+      [
+        ( Space.initial_state,
+          [ { Space.orig = o1.Op.id; form; target = s1 } ] );
+        s1, [];
+      ]
+  in
+  Alcotest.(check bool)
+    "conflict rejected" true
+    (try
+       ignore (Space.union (mk o1) (mk o1'));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_union_commutes_on_css_spaces =
+  Helpers.qtest ~count:30 "union of equal spaces is equal both ways"
+    (QCheck2.Gen.int_range 1 1_000_000) (fun seed ->
+      let params =
+        { Rlist_sim.Schedule.default_params with updates = 12 }
+      in
+      let t, _ = Helpers.Css_run.random ~nclients:3 ~params seed in
+      let s = Jupiter_css.Protocol.server_space (Css.server t) in
+      let c = Jupiter_css.Protocol.client_space (Css.client t 1) in
+      Space.equal (Space.union s c) (Space.union c s))
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "of_raw",
+        [ Alcotest.test_case "validation" `Quick test_of_raw_validation ] );
+      ( "union",
+        [
+          Alcotest.test_case "idempotent under Prop 6.6" `Quick
+            test_union_idempotent_for_css;
+          Alcotest.test_case "conflicts rejected" `Quick
+            test_union_conflicting_transitions_rejected;
+          prop_union_commutes_on_css_spaces;
+        ] );
+      ( "examples 8.2 / 8.3",
+        [
+          Alcotest.test_case "confluence fails on the figure-8 union" `Quick
+            test_example_8_2_confluence_fails;
+          Alcotest.test_case "disjoint paths fail on the figure-8 union"
+            `Quick test_example_8_3_disjoint_paths_fail;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(* Tests for the CSCW Jupiter protocol: the 2D state-space grid, the
+   protocol's convergence, its equivalence with the CSS protocol
+   (Theorem 7.1), the redundant-OT-elimination claim (Section 7.2),
+   and the broken dOPT-style foil. *)
+
+open Rlist_model
+open Rlist_ot
+module Grid = Jupiter_cscw.Two_d_space
+module Css = Helpers.Css_run.E
+module Cscw = Helpers.Cscw_run.E
+module Naive = Helpers.Naive_run.E
+
+(* --- 2D state-space unit tests ---------------------------------------- *)
+
+let test_grid_empty () =
+  let grid = Grid.create ~ot_counter:(ref 0) () in
+  Alcotest.(check (pair int int)) "empty extent" (0, 0) (Grid.extent grid);
+  Alcotest.(check int) "no cells" 0 (Grid.size grid)
+
+let test_grid_local_then_global () =
+  (* A local op at (0,0) and a concurrent global op at (0,0): the
+     global op must come back transformed against the local one. *)
+  let counter = ref 0 in
+  let grid = Grid.create ~ot_counter:counter () in
+  let local = Helpers.ins ~client:1 'a' 0 in
+  let top = Grid.add_local grid local ~at_global:0 in
+  Alcotest.check Helpers.op "local untransformed" local top;
+  let remote = Helpers.ins ~client:2 'b' 0 in
+  let transformed = Grid.add_global grid remote ~at_local:0 in
+  (* b has priority (client 2 > 1), so it keeps position 0. *)
+  Alcotest.(check (option int))
+    "remote stays at 0" (Some 0)
+    (Op.position transformed);
+  Alcotest.(check (pair int int)) "extent" (1, 1) (Grid.extent grid);
+  Alcotest.(check bool) "transformations counted" true (!counter > 0)
+
+let test_grid_global_then_local () =
+  let grid = Grid.create ~ot_counter:(ref 0) () in
+  let remote = Helpers.ins ~client:2 'b' 0 in
+  let top = Grid.add_global grid remote ~at_local:0 in
+  Alcotest.check Helpers.op "global at top untransformed" remote top;
+  let local = Helpers.ins ~client:1 'a' 0 in
+  let transformed = Grid.add_local grid local ~at_global:0 in
+  (* a has lower priority, so it shifts past b. *)
+  Alcotest.(check (option int))
+    "local shifted" (Some 1)
+    (Op.position transformed)
+
+let test_grid_deep_fill () =
+  (* One local op lagging behind three global ops: the fill walks three
+     squares. *)
+  let grid = Grid.create ~ot_counter:(ref 0) () in
+  List.iteri
+    (fun i pos ->
+      ignore
+        (Grid.add_global grid
+           (Helpers.ins ~client:2 ~seq:(i + 1) 'g' pos)
+           ~at_local:0))
+    [ 0; 1; 2 ];
+  let local = Helpers.ins ~client:1 'a' 0 in
+  let transformed = Grid.add_local grid local ~at_global:0 in
+  Alcotest.(check bool)
+    "transformed against all three" true
+    (Op.position transformed <> Some 0);
+  Alcotest.(check (pair int int)) "extent" (1, 3) (Grid.extent grid)
+
+let test_grid_rejects_bad_context () =
+  let grid = Grid.create ~ot_counter:(ref 0) () in
+  Alcotest.(check bool)
+    "future global context rejected" true
+    (try
+       ignore (Grid.add_local grid (Helpers.ins 'a' 0) ~at_global:1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "future local context rejected" true
+    (try
+       ignore (Grid.add_global grid (Helpers.ins 'a' 0) ~at_local:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Protocol-level tests --------------------------------------------- *)
+
+let test_figure1_cscw () =
+  let t = Helpers.Cscw_run.scenario Rlist_sim.Figures.figure1 in
+  Alcotest.(check string)
+    "c1 converges to effect" "effect"
+    (Document.to_string (Cscw.client_document t 1));
+  Alcotest.(check bool) "all converged" true (Cscw.converged t)
+
+let test_figure7_cscw () =
+  (* Theorem 7.1 in action: the CSCW protocol produces the same final
+     list as the CSS protocol on the strong-spec counterexample. *)
+  let t = Helpers.Cscw_run.scenario Rlist_sim.Figures.figure7 in
+  Alcotest.(check string)
+    "final ba" "ba"
+    (Document.to_string (Cscw.server_document t));
+  Alcotest.(check bool) "converged" true (Cscw.converged t)
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let small_params =
+  { Rlist_sim.Schedule.default_params with updates = 20; deliver_bias = 0.5 }
+
+let prop_convergence =
+  Helpers.qtest ~count:60 "CSCW satisfies convergence" gen_seed (fun seed ->
+      let t, _ = Helpers.Cscw_run.random ~params:small_params seed in
+      Cscw.converged t
+      && Rlist_spec.Check.is_satisfied
+           (Rlist_spec.Convergence.check_all_events (Cscw.trace t)))
+
+let prop_equivalence =
+  Helpers.qtest ~count:60
+    "Theorem 7.1: CSS and CSCW behave identically under the same schedule"
+    gen_seed (fun seed ->
+      let css, schedule = Helpers.Css_run.random ~params:small_params seed in
+      let cscw = Cscw.create ~nclients:4 () in
+      Cscw.run cscw schedule;
+      let b1 = Css.behavior css and b2 = Cscw.behavior cscw in
+      List.length b1 = List.length b2
+      && List.for_all2
+           (fun (r1, d1) (r2, d2) ->
+             Replica_id.equal r1 r2 && Document.equal d1 d2)
+           b1 b2)
+
+let prop_weak_spec =
+  Helpers.qtest ~count:40 "CSCW satisfies the weak list spec (via 7.1 + 8.2)"
+    gen_seed (fun seed ->
+      let t, _ = Helpers.Cscw_run.random ~params:small_params seed in
+      Rlist_spec.Check.is_satisfied
+        (Rlist_spec.Weak_spec.check (Cscw.trace t)))
+
+let prop_fewer_client_ots =
+  (* Section 7.2: the CSCW protocol eliminates redundant OTs at
+     clients — under any schedule a CSCW client performs no more
+     transformations than the corresponding CSS client. *)
+  Helpers.qtest ~count:40 "CSCW clients perform no more OTs than CSS clients"
+    gen_seed (fun seed ->
+      let css, schedule = Helpers.Css_run.random ~params:small_params seed in
+      let cscw = Cscw.create ~nclients:4 () in
+      Cscw.run cscw schedule;
+      List.for_all
+        (fun i -> Cscw.client_ot_count cscw i <= Css.client_ot_count css i)
+        [ 1; 2; 3; 4 ])
+
+(* --- The broken foil --------------------------------------------------- *)
+
+let test_naive_figure8_divergence () =
+  let t = Helpers.Naive_run.scenario Rlist_sim.Figures.figure8 in
+  Alcotest.(check string)
+    "c1 sees ayxc" "ayxc"
+    (Document.to_string (Naive.client_document t 1));
+  Alcotest.(check string)
+    "c2 sees axyc" "axyc"
+    (Document.to_string (Naive.client_document t 2));
+  Alcotest.(check bool) "diverged" false (Naive.converged t);
+  let trace = Naive.trace t in
+  Helpers.check_violated "convergence" (Rlist_spec.Convergence.check trace);
+  Helpers.check_violated "weak" (Rlist_spec.Weak_spec.check trace)
+
+let test_naive_sequential_ok () =
+  (* Without concurrency the naive protocol is fine — the breakage is
+     specifically about transforming concurrent operations in
+     different orders. *)
+  let t = Naive.create ~nclients:2 () in
+  Naive.run t [ Generate (1, Intent.Insert ('a', 0)) ];
+  ignore (Naive.quiesce t);
+  Naive.run t [ Generate (2, Intent.Insert ('b', 1)) ];
+  ignore (Naive.quiesce t);
+  Alcotest.(check string)
+    "sequential edits converge" "ab"
+    (Document.to_string (Naive.client_document t 1));
+  Alcotest.(check bool) "converged" true (Naive.converged t)
+
+let test_naive_divergence_found_by_search () =
+  (* Among random highly-concurrent schedules some must break the
+     naive protocol: this guards against the foil accidentally
+     becoming correct.  Breakage shows up either as divergence or as a
+     stale delete caught by Op.apply's element check. *)
+  let params =
+    { Rlist_sim.Schedule.default_params with updates = 12; deliver_bias = 0.3 }
+  in
+  let diverged = ref false in
+  (try
+     for seed = 1 to 300 do
+       match Helpers.Naive_run.random ~nclients:3 ~params seed with
+       | t, _ ->
+         if not (Naive.converged t) then begin
+           diverged := true;
+           raise Exit
+         end
+       | exception Invalid_argument _ ->
+         diverged := true;
+         raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "some schedule misbehaves" true !diverged
+
+let () =
+  Alcotest.run "cscw"
+    [
+      ( "two_d_space",
+        [
+          Alcotest.test_case "empty grid" `Quick test_grid_empty;
+          Alcotest.test_case "local then global" `Quick
+            test_grid_local_then_global;
+          Alcotest.test_case "global then local" `Quick
+            test_grid_global_then_local;
+          Alcotest.test_case "deep lazy fill" `Quick test_grid_deep_fill;
+          Alcotest.test_case "context bounds" `Quick
+            test_grid_rejects_bad_context;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1_cscw;
+          Alcotest.test_case "figure 7" `Quick test_figure7_cscw;
+          prop_convergence;
+          prop_equivalence;
+          prop_weak_spec;
+          prop_fewer_client_ots;
+        ] );
+      ( "naive foil",
+        [
+          Alcotest.test_case "figure 8 divergence" `Quick
+            test_naive_figure8_divergence;
+          Alcotest.test_case "sequential schedules fine" `Quick
+            test_naive_sequential_ok;
+          Alcotest.test_case "divergence found by search" `Quick
+            test_naive_divergence_found_by_search;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Tests for the fully distributed CSS protocol (peer-to-peer, Lamport
+   total order, stability-based delivery): convergence, the weak list
+   specification, compactness of the shared state-space, and the
+   stability mechanics themselves. *)
+
+open Rlist_model
+module E = Rlist_sim.P2p_engine.Make (Jupiter_css.Distributed_protocol)
+module Space = Jupiter_css.State_space
+
+let run_random ?(npeers = 3) ?(params = Rlist_sim.Schedule.default_params) seed
+    =
+  let t = E.create ~npeers () in
+  let rng = Random.State.make [| seed; 0xD157 |] in
+  let schedule = E.run_random t ~rng ~params in
+  t, schedule
+
+let small_params =
+  { Rlist_sim.Schedule.default_params with updates = 20; deliver_bias = 0.5 }
+
+let test_two_peer_exchange () =
+  let t = E.create ~npeers:2 () in
+  E.run t
+    [
+      Generate (1, Intent.Insert ('h', 0));
+      Generate (2, Intent.Insert ('i', 0));
+    ];
+  Alcotest.(check int) "two broadcasts pending" 2 (E.pending_messages t);
+  ignore (E.quiesce t);
+  Alcotest.(check bool) "converged" true (E.converged t);
+  Alcotest.(check int) "nothing buffered" 0 (E.total_buffered t);
+  (* peer 2 has the higher identifier, so its insert wins the front *)
+  Alcotest.(check string)
+    "deterministic tie-break" "ih"
+    (Document.to_string (E.document t 1))
+
+let test_stability_delays_integration () =
+  (* With three peers, an operation received from one peer must wait
+     for evidence from the third before it can be integrated. *)
+  let t = E.create ~npeers:3 () in
+  E.apply_event t (Generate (1, Intent.Insert ('x', 0)));
+  (* deliver p1's operation to p2 only *)
+  E.apply_event t (Deliver (1, 2));
+  Alcotest.(check string)
+    "p2 has not integrated x yet" ""
+    (Document.to_string (E.document t 2));
+  Alcotest.(check int)
+    "x is buffered at p2" 1
+    (Jupiter_css.Distributed_protocol.buffered (E.peer t 2));
+  (* deliver p1's operation to p3; p3 reacts with a clock announcement *)
+  E.apply_event t (Deliver (1, 3));
+  (* deliver p3's clock announcement to p2: now x is stable at p2 *)
+  E.apply_event t (Deliver (3, 2));
+  Alcotest.(check string)
+    "p2 integrated after stability" "x"
+    (Document.to_string (E.document t 2));
+  ignore (E.quiesce t);
+  Alcotest.(check bool) "converged" true (E.converged t)
+
+let test_own_ops_optimistic () =
+  let t = E.create ~npeers:3 () in
+  E.apply_event t (Generate (1, Intent.Insert ('a', 0)));
+  E.apply_event t (Generate (1, Intent.Insert ('b', 1)));
+  Alcotest.(check string)
+    "own operations applied immediately" "ab"
+    (Document.to_string (E.document t 1))
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let prop_convergence =
+  Helpers.qtest ~count:60 "distributed CSS converges" gen_seed (fun seed ->
+      let t, _ = run_random ~params:small_params seed in
+      E.converged t && E.total_buffered t = 0
+      && Rlist_spec.Check.is_satisfied
+           (Rlist_spec.Convergence.check_all_events (E.trace t)))
+
+let prop_weak_spec =
+  Helpers.qtest ~count:40 "distributed CSS satisfies the weak list spec"
+    gen_seed (fun seed ->
+      let t, _ = run_random ~params:small_params seed in
+      let trace = E.trace t in
+      Result.is_ok (Rlist_spec.Trace.validate trace)
+      && Rlist_spec.Check.is_satisfied (Rlist_spec.Weak_spec.check trace))
+
+let prop_compactness =
+  Helpers.qtest ~count:40
+    "Prop 6.6 extends: all peer state-spaces equal at quiescence" gen_seed
+    (fun seed ->
+      let t, _ = run_random ~params:small_params seed in
+      let reference = Jupiter_css.Distributed_protocol.space (E.peer t 1) in
+      List.for_all
+        (fun i ->
+          Space.equal reference
+            (Jupiter_css.Distributed_protocol.space (E.peer t i)))
+        [ 2; 3 ])
+
+let prop_lemmas =
+  Helpers.qtest ~count:25 "Section 8 lemmas hold on distributed spaces"
+    gen_seed (fun seed ->
+      let tiny =
+        { Rlist_sim.Schedule.default_params with
+          updates = 8;
+          deliver_bias = 0.45;
+        }
+      in
+      let t, _ = run_random ~npeers:3 ~params:tiny seed in
+      match
+        Jupiter_css.Analysis.check_all
+          (Jupiter_css.Distributed_protocol.space (E.peer t 1))
+          ~nclients:3 ~initial:Document.empty
+      with
+      | Ok () -> true
+      | Error e -> QCheck2.Test.fail_report e)
+
+let prop_more_peers =
+  Helpers.qtest ~count:20 "five peers converge too" gen_seed (fun seed ->
+      let t, _ = run_random ~npeers:5 ~params:small_params seed in
+      E.converged t)
+
+let test_engine_guards () =
+  let t = E.create ~npeers:2 () in
+  Alcotest.(check bool)
+    "empty channel rejected" true
+    (try
+       E.apply_event t (Deliver (1, 2));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "unknown peer rejected" true
+    (try
+       E.apply_event t (Generate (7, Intent.Read));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "need two peers" true
+    (try
+       ignore (E.create ~npeers:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "distributed"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "two-peer exchange" `Quick test_two_peer_exchange;
+          Alcotest.test_case "stability delays integration" `Quick
+            test_stability_delays_integration;
+          Alcotest.test_case "own operations optimistic" `Quick
+            test_own_ops_optimistic;
+          Alcotest.test_case "engine guards" `Quick test_engine_guards;
+        ] );
+      ( "properties",
+        [
+          prop_convergence;
+          prop_weak_spec;
+          prop_compactness;
+          prop_lemmas;
+          prop_more_peers;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Exact reproductions of the paper's figures, asserted value by value.
+   Each test pins the concrete lists, state counts, and verdicts the
+   paper reports; EXPERIMENTS.md cross-references these. *)
+
+open Rlist_model
+module Css = Helpers.Css_run.E
+module Naive = Helpers.Naive_run.E
+module Space = Jupiter_css.State_space
+
+let doc_str engine_doc = Document.to_string engine_doc
+
+(* Figure 1: o1 = Ins(f,1) || o2 = Del(e,5) on "efecte".  Without OT
+   the replicas would end with "effece" / "effect"; with OT both reach
+   "effect". *)
+let test_figure1_without_ot () =
+  let doc = Document.of_string "efecte" in
+  let o1 = Helpers.ins ~client:1 'f' 1 in
+  let o2 = Helpers.del ~client:2 (Document.nth doc 5) 5 in
+  (* Naively applying the remote operation untransformed: *)
+  let r1 = Rlist_ot.Op.apply o1 doc in
+  (* applying Del(e,5) on "effecte" deletes the wrong element — this is
+     precisely the divergence of Figure 1a:  "effece" at R1 *)
+  let deleted, r1_bad = Document.delete (Rlist_ot.Op.apply o1 doc) ~pos:5 in
+  Alcotest.(check char) "wrong element deleted" 't' deleted.Element.value;
+  Alcotest.(check string) "R1 diverges to effece" "effece"
+    (Document.to_string r1_bad);
+  let r2 = Rlist_ot.Op.apply o2 doc in
+  Alcotest.(check string) "R2 before o1" "efect" (Document.to_string r2);
+  Alcotest.(check string) "R1 after o1" "effecte" (Document.to_string r1)
+
+let test_figure1_with_ot () =
+  let t = Helpers.Css_run.scenario Rlist_sim.Figures.figure1 in
+  Alcotest.(check string) "c1" "effect" (doc_str (Css.client_document t 1));
+  Alcotest.(check string) "c2" "effect" (doc_str (Css.client_document t 2));
+  Alcotest.(check string) "server" "effect" (doc_str (Css.server_document t));
+  (* Intermediate behaviours match Figure 1b: c1 goes efecte -> effecte
+     -> effect; c2 goes efecte -> efect -> effect. *)
+  let c1_states, c2_states =
+    List.fold_left
+      (fun (c1, c2) (replica, doc) ->
+        match replica with
+        | Replica_id.Client 1 -> Document.to_string doc :: c1, c2
+        | Replica_id.Client 2 -> c1, Document.to_string doc :: c2
+        | _ -> c1, c2)
+      ([], []) (Css.behavior t)
+  in
+  let c1_states = List.rev c1_states and c2_states = List.rev c2_states in
+  Alcotest.(check (list string))
+    "c1 behaviour"
+    [ "effecte"; "effecte"; "effect"; "effect" ]
+    c1_states;
+  Alcotest.(check (list string))
+    "c2 behaviour"
+    [ "efect"; "effect"; "effect"; "effect" ]
+    c2_states
+
+(* Figures 2 and 4: 3 pairwise-concurrent operations; every replica
+   ends with the same 7-state space, walked along different paths. *)
+let test_figure4_state_space () =
+  let s = Rlist_sim.Figures.figure2 in
+  let t = Helpers.Css_run.scenario s in
+  let space = Jupiter_css.Protocol.server_space (Css.server t) in
+  let state ids =
+    Op_id.Set.of_list (List.map (fun c -> Op_id.make ~client:c ~seq:1) ids)
+  in
+  List.iter
+    (fun ids ->
+      Alcotest.(check bool)
+        (Printf.sprintf "state {%s} present"
+           (String.concat "," (List.map string_of_int ids)))
+        true
+        (Space.mem_state space (state ids)))
+    [ []; [ 1 ]; [ 2 ]; [ 3 ]; [ 1; 2 ]; [ 1; 3 ]; [ 1; 2; 3 ] ];
+  Alcotest.(check int) "exactly 7 states" 7 (Space.num_states space);
+  Alcotest.(check bool)
+    "{2,3} never materializes" false
+    (Space.mem_state space (state [ 2; 3 ]));
+  (* The four replicas walk four different paths but build the same
+     space (Example 6.3). *)
+  let paths =
+    Jupiter_css.Protocol.server_path (Css.server t)
+    :: List.init 3 (fun i ->
+           Jupiter_css.Protocol.client_path (Css.client t (i + 1)))
+  in
+  let distinct =
+    List.sort_uniq compare
+      (List.map
+         (fun p -> List.map Op_id.Set.canonical p)
+         paths)
+  in
+  Alcotest.(check bool) "at least 3 distinct paths" true
+    (List.length distinct >= 3)
+
+(* Figure 3: when client 1 receives o3 it transforms along
+   L = <o1, o2{1}, o4{1,2}> — the three-step iterated OT of
+   Example 6.1. *)
+let test_figure3_leftmost_sequence () =
+  let s = Rlist_sim.Figures.figure3 in
+  let t = Helpers.Css_run.scenario s in
+  let space = Jupiter_css.Protocol.server_space (Css.server t) in
+  (* Before o3 is integrated the leftmost path from {} passes o1, o2,
+     o4; afterwards o3's ladder rungs hang off each of those states.
+     We verify the ladder: o3's transition exists at {}, {1}, {1,2},
+     and {1,2,4}. *)
+  let o id_client id_seq = Op_id.make ~client:id_client ~seq:id_seq in
+  let expect_rung state_ids =
+    let state = Op_id.Set.of_list state_ids in
+    let has_o3 =
+      List.exists
+        (fun tr -> Op_id.equal tr.Space.orig (o 3 1))
+        (Space.transitions space state)
+    in
+    Alcotest.(check bool)
+      (Format.asprintf "o3 rung at %a" Op_id.Set.pp state)
+      true has_o3
+  in
+  expect_rung [];
+  expect_rung [ o 1 1 ];
+  expect_rung [ o 1 1; o 2 1 ];
+  expect_rung [ o 1 1; o 2 1; o 1 2 ]
+
+(* Figure 7: the strong-list-specification counterexample, list by
+   list. *)
+let test_figure7_lists () =
+  let s = Rlist_sim.Figures.figure7 in
+  let t = Helpers.Css_run.scenario s in
+  let trace = Css.trace t in
+  let events = Rlist_spec.Trace.events trace in
+  let result_of_event i = (List.nth events i).Rlist_spec.Event.result in
+  (* Event order: 0 Ins(x)@c1, 1 Del@c1, 2 Ins(a)@c2, 3 Ins(b)@c3,
+     4-6 final reads. *)
+  Alcotest.(check string) "w1 = x" "x" (Document.to_string (result_of_event 0));
+  Alcotest.(check string) "w12 = empty" ""
+    (Document.to_string (result_of_event 1));
+  Alcotest.(check string) "w13 = ax" "ax"
+    (Document.to_string (result_of_event 2));
+  Alcotest.(check string) "w14 = xb" "xb"
+    (Document.to_string (result_of_event 3));
+  Alcotest.(check string) "final = ba" "ba"
+    (Document.to_string (result_of_event 4));
+  (* Verdicts: convergence and weak hold; strong is violated by the
+     cycle (a,x),(x,b),(b,a). *)
+  Helpers.check_satisfied "convergence" (Rlist_spec.Convergence.check trace);
+  Helpers.check_satisfied "weak" (Rlist_spec.Weak_spec.check trace);
+  Helpers.check_violated "strong" (Rlist_spec.Strong_spec.check trace);
+  (* The violation is precisely a cycle among x, a, b. *)
+  let g =
+    Rlist_spec.List_order.of_documents
+      (List.map (fun e -> e.Rlist_spec.Event.result) events)
+  in
+  match Rlist_spec.List_order.find_cycle g with
+  | Some cycle ->
+    let values =
+      List.sort Char.compare (List.map (fun e -> e.Element.value) cycle)
+    in
+    Alcotest.(check (list char)) "cycle on a, b, x" [ 'a'; 'b'; 'x' ] values
+  | None -> Alcotest.fail "expected the Figure 7 cycle"
+
+let test_figure7_state_documents () =
+  (* The documents at the 8 states of the Figure 7b state-space. *)
+  let s = Rlist_sim.Figures.figure7 in
+  let t = Helpers.Css_run.scenario s in
+  let space = Jupiter_css.Protocol.server_space (Css.server t) in
+  Alcotest.(check int) "8 states" 8 (Space.num_states space);
+  let docs = Jupiter_css.Analysis.documents space ~initial:Document.empty in
+  let doc_of ids =
+    let target =
+      Op_id.Set.of_list
+        (List.map (fun (c, q) -> Op_id.make ~client:c ~seq:q) ids)
+    in
+    match List.find_opt (fun (st, _) -> Op_id.Set.equal st target) docs with
+    | Some (_, d) -> Document.to_string d
+    | None -> Alcotest.failf "missing state"
+  in
+  Alcotest.(check string) "{} empty" "" (doc_of []);
+  Alcotest.(check string) "{1} = x" "x" (doc_of [ 1, 1 ]);
+  Alcotest.(check string) "{1,2} = empty" "" (doc_of [ 1, 1; 1, 2 ]);
+  Alcotest.(check string) "{1,3} = ax" "ax" (doc_of [ 1, 1; 2, 1 ]);
+  Alcotest.(check string) "{1,4} = xb" "xb" (doc_of [ 1, 1; 3, 1 ]);
+  Alcotest.(check string) "{1,2,3} = a" "a" (doc_of [ 1, 1; 1, 2; 2, 1 ]);
+  Alcotest.(check string) "{1,2,4} = b" "b" (doc_of [ 1, 1; 1, 2; 3, 1 ]);
+  Alcotest.(check string) "{1,2,3,4} = ba" "ba"
+    (doc_of [ 1, 1; 1, 2; 2, 1; 3, 1 ])
+
+(* Figure 8: the incorrect protocol's exact diverging lists. *)
+let test_figure8_lists () =
+  let t = Helpers.Naive_run.scenario Rlist_sim.Figures.figure8 in
+  Alcotest.(check string) "c1 = ayxc" "ayxc"
+    (doc_str (Naive.client_document t 1));
+  Alcotest.(check string) "c2 = axyc" "axyc"
+    (doc_str (Naive.client_document t 2));
+  Alcotest.(check string) "c3 = ayxc" "ayxc"
+    (doc_str (Naive.client_document t 3));
+  let trace = Naive.trace t in
+  Helpers.check_violated "convergence" (Rlist_spec.Convergence.check trace);
+  Helpers.check_violated "weak" (Rlist_spec.Weak_spec.check trace)
+
+(* Figure 8 under the *correct* protocols: same schedule, no
+   divergence. *)
+let test_figure8_correct_protocols () =
+  let s = Rlist_sim.Figures.figure8 in
+  let css = Helpers.Css_run.scenario s in
+  Alcotest.(check bool) "css converges" true (Css.converged css);
+  Helpers.check_satisfied "css weak"
+    (Rlist_spec.Weak_spec.check (Css.trace css));
+  let cscw = Helpers.Cscw_run.scenario s in
+  Alcotest.(check bool) "cscw converges" true (Helpers.Cscw_run.E.converged cscw)
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "figure 1",
+        [
+          Alcotest.test_case "without OT: divergence" `Quick
+            test_figure1_without_ot;
+          Alcotest.test_case "with OT: convergence to effect" `Quick
+            test_figure1_with_ot;
+        ] );
+      ( "figures 2 and 4",
+        [
+          Alcotest.test_case "state-space shape and paths" `Quick
+            test_figure4_state_space;
+        ] );
+      ( "figure 3",
+        [
+          Alcotest.test_case "iterated transformation ladder" `Quick
+            test_figure3_leftmost_sequence;
+        ] );
+      ( "figure 7",
+        [
+          Alcotest.test_case "lists and verdicts" `Quick test_figure7_lists;
+          Alcotest.test_case "per-state documents" `Quick
+            test_figure7_state_documents;
+        ] );
+      ( "figure 8",
+        [
+          Alcotest.test_case "naive protocol diverges" `Quick
+            test_figure8_lists;
+          Alcotest.test_case "correct protocols converge" `Quick
+            test_figure8_correct_protocols;
+        ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the Logoot baseline: position-identifier allocation and
+   ordering, the list operations, and — as for RGA — convergence plus
+   the strong list specification on random schedules. *)
+
+open Rlist_model
+module Pos = Jupiter_logoot.Position
+module Llist = Jupiter_logoot.Logoot_list
+module E = Rlist_sim.Engine.Make (Jupiter_logoot.Protocol)
+
+module Run = Helpers.Run (Jupiter_logoot.Protocol)
+
+(* --- positions -------------------------------------------------------- *)
+
+let test_fences () =
+  Alcotest.(check bool) "head < tail" true (Pos.compare Pos.head Pos.tail < 0)
+
+let test_prefix_order () =
+  let p = [ { Pos.digit = 5; site = 1; clock = 1 } ] in
+  let q = p @ [ { Pos.digit = 1; site = 2; clock = 1 } ] in
+  Alcotest.(check bool) "prefix is smaller" true (Pos.compare p q < 0);
+  Alcotest.(check bool) "reflexive" true (Pos.equal p p)
+
+let test_site_tiebreak () =
+  let p = [ { Pos.digit = 5; site = 1; clock = 1 } ] in
+  let q = [ { Pos.digit = 5; site = 2; clock = 1 } ] in
+  Alcotest.(check bool) "site breaks ties" true (Pos.compare p q < 0)
+
+let test_between_basic () =
+  let rng = Random.State.make [| 1 |] in
+  let p = Pos.between ~rng ~site:1 ~clock:1 Pos.head Pos.tail in
+  Alcotest.(check bool) "above head" true (Pos.compare Pos.head p < 0);
+  Alcotest.(check bool) "below tail" true (Pos.compare p Pos.tail < 0);
+  Alcotest.(check bool)
+    "bad bounds rejected" true
+    (try
+       ignore (Pos.between ~rng ~site:1 ~clock:2 p p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_between_adjacent_digits () =
+  (* Bounds one digit apart force a descent. *)
+  let rng = Random.State.make [| 2 |] in
+  let p = [ { Pos.digit = 3; site = 1; clock = 1 } ] in
+  let q = [ { Pos.digit = 4; site = 1; clock = 2 } ] in
+  let r = Pos.between ~rng ~site:2 ~clock:1 p q in
+  Alcotest.(check bool) "p < r" true (Pos.compare p r < 0);
+  Alcotest.(check bool) "r < q" true (Pos.compare r q < 0)
+
+let test_between_same_digit_sites () =
+  (* Bounds with equal digits, ordered by site only. *)
+  let rng = Random.State.make [| 3 |] in
+  let p = [ { Pos.digit = 3; site = 1; clock = 1 } ] in
+  let q = [ { Pos.digit = 3; site = 5; clock = 1 } ] in
+  let r = Pos.between ~rng ~site:9 ~clock:1 p q in
+  Alcotest.(check bool) "p < r" true (Pos.compare p r < 0);
+  Alcotest.(check bool) "r < q" true (Pos.compare r q < 0)
+
+let prop_between_dense =
+  (* Repeatedly splitting a random interval keeps producing strictly
+     inner positions — identifier space is dense. *)
+  Helpers.qtest ~count:300 "allocation is dense"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 1 40))
+    (fun (seed, rounds) ->
+      let rng = Random.State.make [| seed |] in
+      let rec split lo hi clock remaining =
+        remaining = 0
+        ||
+        let site = 1 + (clock mod 3) in
+        let mid = Pos.between ~rng ~site ~clock lo hi in
+        Pos.compare lo mid < 0
+        && Pos.compare mid hi < 0
+        && split
+             (if clock mod 2 = 0 then lo else mid)
+             (if clock mod 2 = 0 then mid else hi)
+             (clock + 1) (remaining - 1)
+      in
+      split Pos.head Pos.tail 1 rounds)
+
+(* --- list ------------------------------------------------------------- *)
+
+let test_list_insert_delete () =
+  let rng = Random.State.make [| 4 |] in
+  let list = Llist.create ~rng ~site:1 ~initial:Document.empty in
+  let a = Helpers.elt ~client:1 ~seq:1 'a' in
+  let b = Helpers.elt ~client:1 ~seq:2 'b' in
+  Llist.insert list ~elt:a ~at:(Llist.allocate list ~pos:0);
+  Llist.insert list ~elt:b ~at:(Llist.allocate list ~pos:1);
+  Alcotest.(check string) "ab" "ab" (Document.to_string (Llist.document list));
+  Alcotest.(check bool)
+    "position recorded" true
+    (Llist.position_of list a.Element.id <> None);
+  Llist.delete list ~target:a.Element.id;
+  Alcotest.(check string) "a removed, no tombstone" "b"
+    (Document.to_string (Llist.document list));
+  Alcotest.(check int) "size drops" 1 (Llist.size list);
+  (* duplicate delete ignored *)
+  Llist.delete list ~target:a.Element.id;
+  Alcotest.(check int) "idempotent" 1 (Llist.size list)
+
+let test_list_duplicate_position_rejected () =
+  let rng = Random.State.make [| 5 |] in
+  let list = Llist.create ~rng ~site:1 ~initial:Document.empty in
+  let a = Helpers.elt ~client:1 ~seq:1 'a' in
+  let at = Llist.allocate list ~pos:0 in
+  Llist.insert list ~elt:a ~at;
+  Alcotest.(check bool)
+    "same position rejected" true
+    (try
+       Llist.insert list ~elt:(Helpers.elt ~client:2 ~seq:1 'b') ~at;
+       false
+     with Invalid_argument _ -> true)
+
+let test_list_initial_document () =
+  let rng = Random.State.make [| 6 |] in
+  let list = Llist.create ~rng ~site:1 ~initial:(Document.of_string "xyz") in
+  Alcotest.(check string) "seeded" "xyz"
+    (Document.to_string (Llist.document list));
+  (* inserting between seeded elements works *)
+  let a = Helpers.elt ~client:1 ~seq:1 'a' in
+  Llist.insert list ~elt:a ~at:(Llist.allocate list ~pos:1);
+  Alcotest.(check string) "into the middle" "xayz"
+    (Document.to_string (Llist.document list))
+
+(* --- protocol --------------------------------------------------------- *)
+
+let test_figure1_logoot () =
+  let t = Run.scenario Rlist_sim.Figures.figure1 in
+  Alcotest.(check string)
+    "effect" "effect"
+    (Document.to_string (Run.E.server_document t));
+  Alcotest.(check bool) "converged" true (Run.E.converged t)
+
+let test_figure7_logoot_strong () =
+  let t = Run.scenario Rlist_sim.Figures.figure7 in
+  Alcotest.(check bool) "converged" true (Run.E.converged t);
+  Helpers.check_satisfied "strong"
+    (Rlist_spec.Strong_spec.check (Run.E.trace t))
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let params =
+  { Rlist_sim.Schedule.default_params with updates = 25; deliver_bias = 0.5 }
+
+let prop_convergence =
+  Helpers.qtest ~count:60 "Logoot satisfies convergence" gen_seed (fun seed ->
+      let t, _ = Run.random ~params seed in
+      Run.E.converged t
+      && Rlist_spec.Check.is_satisfied
+           (Rlist_spec.Convergence.check_all_events (Run.E.trace t)))
+
+let prop_strong_spec =
+  Helpers.qtest ~count:60 "Logoot satisfies the strong list specification"
+    gen_seed (fun seed ->
+      let t, _ = Run.random ~params seed in
+      let trace = Run.E.trace t in
+      Result.is_ok (Rlist_spec.Trace.validate trace)
+      && Rlist_spec.Check.is_satisfied (Rlist_spec.Strong_spec.check trace))
+
+let prop_no_tombstones =
+  Helpers.qtest ~count:20 "metadata equals the live document" gen_seed
+    (fun seed ->
+      let t, _ = Run.random ~params seed in
+      Run.E.server_metadata_size t
+      = Document.length (Run.E.server_document t))
+
+let () =
+  Alcotest.run "logoot"
+    [
+      ( "position",
+        [
+          Alcotest.test_case "fences" `Quick test_fences;
+          Alcotest.test_case "prefix order" `Quick test_prefix_order;
+          Alcotest.test_case "site tie-break" `Quick test_site_tiebreak;
+          Alcotest.test_case "between: basic" `Quick test_between_basic;
+          Alcotest.test_case "between: adjacent digits" `Quick
+            test_between_adjacent_digits;
+          Alcotest.test_case "between: same digit, site order" `Quick
+            test_between_same_digit_sites;
+          prop_between_dense;
+        ] );
+      ( "list",
+        [
+          Alcotest.test_case "insert and delete" `Quick
+            test_list_insert_delete;
+          Alcotest.test_case "duplicate position rejected" `Quick
+            test_list_duplicate_position_rejected;
+          Alcotest.test_case "initial document" `Quick
+            test_list_initial_document;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1_logoot;
+          Alcotest.test_case "figure 7 satisfies strong" `Quick
+            test_figure7_logoot_strong;
+          prop_convergence;
+          prop_strong_spec;
+          prop_no_tombstones;
+        ] );
+    ]

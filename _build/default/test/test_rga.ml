@@ -1,0 +1,213 @@
+(* Tests for the RGA CRDT baseline: the timestamped linked list, the
+   client/server protocol wrapper, convergence, and — the property
+   that separates it from Jupiter — the strong list specification. *)
+
+open Rlist_model
+module Rga = Jupiter_rga.Rga_list
+module E = Helpers.Rga_run.E
+
+let test_timestamp_order () =
+  Alcotest.(check bool)
+    "clock major" true
+    (Rga.compare_timestamp (1, 9) (2, 1) < 0);
+  Alcotest.(check bool)
+    "client minor" true
+    (Rga.compare_timestamp (2, 1) (2, 3) < 0);
+  Alcotest.(check int) "equal" 0 (Rga.compare_timestamp (2, 3) (2, 3))
+
+let test_create_and_document () =
+  let rga = Rga.create ~initial:(Document.of_string "ab") in
+  Alcotest.(check string) "initial visible" "ab"
+    (Document.to_string (Rga.document rga));
+  Alcotest.(check int) "size" 2 (Rga.size rga);
+  Alcotest.(check int) "no tombstones" 0 (Rga.tombstones rga)
+
+let test_insert_head_and_anchor () =
+  let rga = Rga.create ~initial:Document.empty in
+  let a = Helpers.elt ~client:1 ~seq:1 'a' in
+  Rga.insert rga ~elt:a ~after:None ~ts:(Rga.next_timestamp rga ~client:1);
+  let b = Helpers.elt ~client:1 ~seq:2 'b' in
+  Rga.insert rga ~elt:b ~after:(Some a.Element.id)
+    ~ts:(Rga.next_timestamp rga ~client:1);
+  Alcotest.(check string) "ab" "ab" (Document.to_string (Rga.document rga));
+  Alcotest.(check (option Helpers.op_id))
+    "anchor of pos 1" (Some a.Element.id)
+    (Rga.anchor_of rga ~pos:1);
+  Alcotest.(check (option Helpers.op_id)) "head anchor" None
+    (Rga.anchor_of rga ~pos:0)
+
+let test_concurrent_same_anchor_ordered_by_ts () =
+  (* Two head inserts with concurrent timestamps: the larger timestamp
+     ends up first. *)
+  let rga = Rga.create ~initial:Document.empty in
+  let a = Helpers.elt ~client:1 ~seq:1 'a' in
+  let b = Helpers.elt ~client:2 ~seq:1 'b' in
+  Rga.insert rga ~elt:a ~after:None ~ts:(1, 1);
+  Rga.insert rga ~elt:b ~after:None ~ts:(1, 2);
+  Alcotest.(check string) "larger ts first" "ba"
+    (Document.to_string (Rga.document rga));
+  (* Integration order must not matter. *)
+  let rga2 = Rga.create ~initial:Document.empty in
+  Rga.insert rga2 ~elt:b ~after:None ~ts:(1, 2);
+  Rga.insert rga2 ~elt:a ~after:None ~ts:(1, 1);
+  Alcotest.(check string) "commutes" "ba"
+    (Document.to_string (Rga.document rga2))
+
+let test_subtree_skipping () =
+  (* The Lamport-clock subtlety: a causally-later subtree hanging off a
+     skipped sibling must be skipped as a unit.  x(ts 5) after head;
+     y(ts 9) after x; k(ts 10) after y; now a concurrent v(ts 8) after
+     x must land after y's whole subtree: x y k v, not x y v k. *)
+  let rga = Rga.create ~initial:Document.empty in
+  let x = Helpers.elt ~client:1 ~seq:1 'x' in
+  let y = Helpers.elt ~client:1 ~seq:2 'y' in
+  let k = Helpers.elt ~client:1 ~seq:3 'k' in
+  let v = Helpers.elt ~client:2 ~seq:1 'v' in
+  Rga.insert rga ~elt:x ~after:None ~ts:(5, 1);
+  Rga.insert rga ~elt:y ~after:(Some x.Element.id) ~ts:(9, 1);
+  Rga.insert rga ~elt:k ~after:(Some y.Element.id) ~ts:(10, 1);
+  Rga.insert rga ~elt:v ~after:(Some x.Element.id) ~ts:(8, 2);
+  Alcotest.(check string) "subtree skipped as a unit" "xykv"
+    (Document.to_string (Rga.document rga))
+
+let test_delete_tombstone () =
+  let rga = Rga.create ~initial:(Document.of_string "abc") in
+  let b = Document.nth (Rga.document rga) 1 in
+  Rga.delete rga ~target:b.Element.id;
+  Alcotest.(check string) "b hidden" "ac"
+    (Document.to_string (Rga.document rga));
+  Alcotest.(check int) "node kept" 3 (Rga.size rga);
+  Alcotest.(check int) "one tombstone" 1 (Rga.tombstones rga);
+  (* Deletion is idempotent. *)
+  Rga.delete rga ~target:b.Element.id;
+  Alcotest.(check int) "still one tombstone" 1 (Rga.tombstones rga)
+
+let test_errors () =
+  let rga = Rga.create ~initial:Document.empty in
+  Alcotest.(check bool)
+    "unknown anchor rejected" true
+    (try
+       Rga.insert rga ~elt:(Helpers.elt 'a')
+         ~after:(Some (Op_id.make ~client:9 ~seq:9))
+         ~ts:(1, 1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "unknown delete target rejected" true
+    (try
+       Rga.delete rga ~target:(Op_id.make ~client:9 ~seq:9);
+       false
+     with Invalid_argument _ -> true);
+  let a = Helpers.elt 'a' in
+  Rga.insert rga ~elt:a ~after:None ~ts:(1, 1);
+  Alcotest.(check bool)
+    "duplicate insert rejected" true
+    (try
+       Rga.insert rga ~elt:a ~after:None ~ts:(2, 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_lamport_clock_advances () =
+  let rga = Rga.create ~initial:Document.empty in
+  Rga.observe_timestamp rga (41, 2);
+  let ts, client = Rga.next_timestamp rga ~client:1 in
+  Alcotest.(check bool) "past observed clock" true (ts > 41);
+  Alcotest.(check int) "carries client" 1 client
+
+(* --- Protocol-level --------------------------------------------------- *)
+
+let test_figure1_rga () =
+  (* Non-conflicting concurrent insert + delete: RGA agrees with
+     Jupiter on the final list. *)
+  let t = Helpers.Rga_run.scenario Rlist_sim.Figures.figure1 in
+  Alcotest.(check string)
+    "effect" "effect"
+    (Document.to_string (E.server_document t));
+  Alcotest.(check bool) "converged" true (E.converged t)
+
+let test_figure7_rga_strong () =
+  (* The schedule that breaks Jupiter's strong-spec compliance is fine
+     for RGA: orderings relative to the deleted x are preserved. *)
+  let t = Helpers.Rga_run.scenario Rlist_sim.Figures.figure7 in
+  Alcotest.(check bool) "converged" true (E.converged t);
+  Helpers.check_satisfied "strong" (Rlist_spec.Strong_spec.check (E.trace t))
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let params =
+  { Rlist_sim.Schedule.default_params with updates = 25; deliver_bias = 0.5 }
+
+let prop_convergence =
+  Helpers.qtest ~count:60 "RGA satisfies convergence" gen_seed (fun seed ->
+      let t, _ = Helpers.Rga_run.random ~params seed in
+      E.converged t
+      && Rlist_spec.Check.is_satisfied
+           (Rlist_spec.Convergence.check_all_events (E.trace t)))
+
+let prop_strong_spec =
+  Helpers.qtest ~count:60 "RGA satisfies the strong list specification"
+    gen_seed (fun seed ->
+      let t, _ = Helpers.Rga_run.random ~params seed in
+      let trace = E.trace t in
+      Result.is_ok (Rlist_spec.Trace.validate trace)
+      && Rlist_spec.Check.is_satisfied (Rlist_spec.Strong_spec.check trace))
+
+let prop_tombstones_accumulate =
+  Helpers.qtest ~count:20 "every deletion leaves a tombstone" gen_seed
+    (fun seed ->
+      let churn =
+        {
+          Rlist_sim.Schedule.default_params with
+          updates = 30;
+          delete_fraction = 0.5;
+        }
+      in
+      let t, schedule = Helpers.Rga_run.random ~params:churn seed in
+      let deletes =
+        List.length
+          (List.filter
+             (function
+               | Rlist_sim.Schedule.Generate (_, Intent.Delete _) -> true
+               | Rlist_sim.Schedule.Generate _
+               | Rlist_sim.Schedule.Deliver_to_server _
+               | Rlist_sim.Schedule.Deliver_to_client _ ->
+                 false)
+             schedule)
+      in
+      (* At quiescence every client has integrated every delete.
+         Concurrent deletes of the same element collapse into one
+         tombstone, so tombstones <= deletes, and the metadata always
+         exceeds the live document by exactly the tombstone count. *)
+      let tombstones = Jupiter_rga.Protocol.client_tombstones (E.client t 1) in
+      tombstones <= deletes
+      && (deletes = 0 || tombstones > 0)
+      && E.client_metadata_size t 1
+         = Document.length (E.client_document t 1) + tombstones)
+
+let () =
+  Alcotest.run "rga"
+    [
+      ( "rga_list",
+        [
+          Alcotest.test_case "timestamp order" `Quick test_timestamp_order;
+          Alcotest.test_case "create" `Quick test_create_and_document;
+          Alcotest.test_case "insert head/anchor" `Quick
+            test_insert_head_and_anchor;
+          Alcotest.test_case "concurrent order by timestamp" `Quick
+            test_concurrent_same_anchor_ordered_by_ts;
+          Alcotest.test_case "subtree skipping" `Quick test_subtree_skipping;
+          Alcotest.test_case "tombstone delete" `Quick test_delete_tombstone;
+          Alcotest.test_case "error cases" `Quick test_errors;
+          Alcotest.test_case "lamport clock" `Quick
+            test_lamport_clock_advances;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1_rga;
+          Alcotest.test_case "figure 7 satisfies strong" `Quick
+            test_figure7_rga_strong;
+          prop_convergence;
+          prop_strong_spec;
+          prop_tombstones_accumulate;
+        ] );
+    ]

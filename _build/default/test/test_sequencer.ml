@@ -1,0 +1,88 @@
+(* Tests for the sequencer-decoupled CSS protocol: the center never
+   transforms and holds no state, yet the clients behave exactly like
+   CSS clients under any schedule — the decoupling the CSS protocol's
+   "redirect originals" design makes possible. *)
+
+open Rlist_model
+module Css = Helpers.Css_run.E
+module Seq = Rlist_sim.Engine.Make (Jupiter_css.Sequencer_protocol)
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let params =
+  { Rlist_sim.Schedule.default_params with updates = 25; deliver_bias = 0.5 }
+
+let test_center_is_stateless () =
+  let t = Seq.create ~nclients:3 () in
+  Seq.run t
+    [
+      Generate (1, Intent.Insert ('a', 0));
+      Generate (2, Intent.Insert ('b', 0));
+      Generate (3, Intent.Insert ('c', 0));
+    ];
+  ignore (Seq.quiesce t);
+  Alcotest.(check bool) "clients converged" true (Seq.converged t);
+  Alcotest.(check int) "center performed no OT" 0 (Seq.server_ot_count t);
+  Alcotest.(check int) "center holds no state" 0 (Seq.server_metadata_size t);
+  Alcotest.(check int)
+    "center's document is empty by construction" 0
+    (Document.length (Seq.server_document t))
+
+let test_figure7 () =
+  let s = Rlist_sim.Figures.figure7 in
+  let t = Seq.create ~initial:s.initial ~nclients:s.nclients () in
+  Seq.run t s.schedule;
+  Alcotest.(check string)
+    "final ba at every client" "ba"
+    (Document.to_string (Seq.client_document t 1));
+  Alcotest.(check bool) "clients converged" true (Seq.converged t);
+  let trace = Seq.trace t in
+  Helpers.check_satisfied "weak" (Rlist_spec.Weak_spec.check trace);
+  Helpers.check_violated "strong" (Rlist_spec.Strong_spec.check trace)
+
+let prop_clients_identical_to_css =
+  Helpers.qtest ~count:60
+    "sequencer-CSS clients behave exactly like CSS clients" gen_seed
+    (fun seed ->
+      let css, schedule = Helpers.Css_run.random ~params seed in
+      let seq = Seq.create ~nclients:4 () in
+      Seq.run seq schedule;
+      List.for_all
+        (fun i ->
+          Document.equal (Css.client_document css i) (Seq.client_document seq i)
+          && Jupiter_css.State_space.equal
+               (Jupiter_css.Protocol.client_space (Css.client css i))
+               (Jupiter_css.Sequencer_protocol.client_space (Seq.client seq i)))
+        [ 1; 2; 3; 4 ])
+
+let prop_convergence_and_weak =
+  Helpers.qtest ~count:40 "sequencer CSS converges and satisfies weak"
+    gen_seed (fun seed ->
+      let t = Seq.create ~nclients:3 () in
+      let rng = Random.State.make [| seed; 0xC0FFEE |] in
+      ignore (Seq.run_random t ~rng ~params);
+      Seq.converged t
+      && Rlist_spec.Check.is_satisfied
+           (Rlist_spec.Weak_spec.check (Seq.trace t)))
+
+let prop_center_never_works =
+  Helpers.qtest ~count:20 "the center does zero transformations, always"
+    gen_seed (fun seed ->
+      let t = Seq.create ~nclients:4 () in
+      let rng = Random.State.make [| seed; 0xDEAD |] in
+      ignore (Seq.run_random t ~rng ~params);
+      Seq.server_ot_count t = 0 && Seq.server_metadata_size t = 0)
+
+let () =
+  Alcotest.run "sequencer"
+    [
+      ( "decoupled center",
+        [
+          Alcotest.test_case "stateless center" `Quick
+            test_center_is_stateless;
+          Alcotest.test_case "figure 7 via sequencer" `Quick test_figure7;
+          prop_clients_identical_to_css;
+          prop_convergence_and_weak;
+          prop_center_never_works;
+        ] );
+    ]

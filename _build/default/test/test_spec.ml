@@ -1,0 +1,579 @@
+(* Tests for the specification framework: traces, the list-order
+   digraph, and the three checkers (convergence, weak, strong). *)
+
+open Rlist_model
+open Rlist_spec
+
+let a = Helpers.elt ~client:1 ~seq:1 'a'
+let b = Helpers.elt ~client:2 ~seq:1 'b'
+let x = Helpers.elt ~client:3 ~seq:1 'x'
+
+let id_of e = e.Element.id
+
+let set ids = Op_id.Set.of_list ids
+
+(* A tiny builder for hand-made traces. *)
+let event ~eid ~replica ~op ~op_id ~result ~visible =
+  Event.make ~eid ~replica:(Replica_id.Client replica) ~op ~op_id
+    ~result:(Document.of_elements result) ~visible:(set visible)
+
+let trace ?(initial = Document.empty) events = Trace.make ~initial ~events
+
+(* --- Event and trace basics ------------------------------------------ *)
+
+let test_event_invariants () =
+  Alcotest.(check bool)
+    "update without id rejected" true
+    (try
+       ignore
+         (event ~eid:0 ~replica:1 ~op:(Event.Do_ins (a, 0)) ~op_id:None
+            ~result:[ a ] ~visible:[ id_of a ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "read with id rejected" true
+    (try
+       ignore
+         (event ~eid:0 ~replica:1 ~op:Event.Do_read ~op_id:(Some (id_of a))
+            ~result:[] ~visible:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let good_two_client_trace () =
+  (* c1 inserts a; c2 inserts b; each then reads after receiving the
+     other's update; both converge on [a; b]. *)
+  [
+    event ~eid:0 ~replica:1
+      ~op:(Event.Do_ins (a, 0))
+      ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+    event ~eid:1 ~replica:2
+      ~op:(Event.Do_ins (b, 0))
+      ~op_id:(Some (id_of b)) ~result:[ b ] ~visible:[ id_of b ];
+    event ~eid:2 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[ a; b ]
+      ~visible:[ id_of a; id_of b ];
+    event ~eid:3 ~replica:2 ~op:Event.Do_read ~op_id:None ~result:[ a; b ]
+      ~visible:[ id_of a; id_of b ];
+  ]
+
+let test_trace_accessors () =
+  let t = trace (good_two_client_trace ()) in
+  Alcotest.(check int) "updates" 2 (List.length (Trace.updates t));
+  Alcotest.(check int) "reads" 2 (List.length (Trace.reads t));
+  Alcotest.(check int) "elems" 2 (List.length (Trace.elems t));
+  Alcotest.(check bool)
+    "inserted_element finds a" true
+    (match Trace.inserted_element t (id_of a) with
+    | Some e -> Element.equal e a
+    | None -> false)
+
+let test_trace_initial_elements () =
+  let init = Document.of_string "xy" in
+  let t = trace ~initial:init [] in
+  Alcotest.(check int) "initial elems counted" 2 (List.length (Trace.elems t));
+  Alcotest.(check bool)
+    "initial element resolvable" true
+    (Trace.inserted_element t (Op_id.initial ~seq:1) <> None)
+
+let test_validate_good () =
+  match Trace.validate (trace (good_two_client_trace ())) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid trace: %s" e
+
+let test_validate_bad_eids () =
+  let events =
+    [
+      event ~eid:5 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+    ]
+  in
+  Alcotest.(check bool)
+    "wrong eid rejected" true
+    (Result.is_error (Trace.validate (trace events)))
+
+let test_validate_not_self_visible () =
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[];
+    ]
+  in
+  Alcotest.(check bool)
+    "update not visible to itself rejected" true
+    (Result.is_error (Trace.validate (trace events)))
+
+let test_validate_unknown_visible () =
+  let events =
+    [
+      event ~eid:0 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[]
+        ~visible:[ id_of b ];
+    ]
+  in
+  Alcotest.(check bool)
+    "unknown visible id rejected" true
+    (Result.is_error (Trace.validate (trace events)))
+
+let test_validate_shrinking_visibility () =
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+      event ~eid:1 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[]
+        ~visible:[];
+    ]
+  in
+  Alcotest.(check bool)
+    "per-replica visibility must grow" true
+    (Result.is_error (Trace.validate (trace events)))
+
+(* --- List order ------------------------------------------------------ *)
+
+let test_list_order_acyclic () =
+  let g =
+    List_order.of_documents
+      [ Document.of_elements [ a; b ]; Document.of_elements [ b; x ] ]
+  in
+  Alcotest.(check int) "nodes" 3 (List_order.num_nodes g);
+  Alcotest.(check bool) "a->b" true (List_order.mem_edge g a b);
+  Alcotest.(check bool) "no b->a" false (List_order.mem_edge g b a);
+  Alcotest.(check bool) "acyclic" true (List_order.find_cycle g = None);
+  match List_order.linear_extension g with
+  | None -> Alcotest.fail "expected a linear extension"
+  | Some order ->
+    let pos e =
+      let rec go i = function
+        | [] -> -1
+        | y :: rest -> if Element.equal y e then i else go (i + 1) rest
+      in
+      go 0 order
+    in
+    Alcotest.(check bool) "a before b" true (pos a < pos b);
+    Alcotest.(check bool) "b before x" true (pos b < pos x)
+
+let test_list_order_cycle () =
+  (* The Figure 7 cycle: (a,x), (x,b), (b,a). *)
+  let g =
+    List_order.of_documents
+      [
+        Document.of_elements [ a; x ];
+        Document.of_elements [ x; b ];
+        Document.of_elements [ b; a ];
+      ]
+  in
+  (match List_order.find_cycle g with
+  | Some cycle ->
+    Alcotest.(check bool) "cycle length >= 2" true (List.length cycle >= 2)
+  | None -> Alcotest.fail "expected a cycle");
+  Alcotest.(check bool)
+    "no linear extension" true
+    (List_order.linear_extension g = None)
+
+let test_first_incompatible () =
+  let d1 = Document.of_elements [ a; b ] in
+  let d2 = Document.of_elements [ b; a ] in
+  let d3 = Document.of_elements [ a; x ] in
+  (match List_order.first_incompatible [ d3; d1; d2 ] with
+  | Some (_, _, e1, e2) ->
+    Alcotest.(check bool)
+      "witnesses are a and b" true
+      ((Element.equal e1 a && Element.equal e2 b)
+      || (Element.equal e1 b && Element.equal e2 a))
+  | None -> Alcotest.fail "expected an incompatible pair");
+  Alcotest.(check bool)
+    "compatible family" true
+    (List_order.first_incompatible [ d1; d3 ] = None)
+
+(* --- Convergence ----------------------------------------------------- *)
+
+let test_convergence_satisfied () =
+  Helpers.check_satisfied "convergence"
+    (Convergence.check (trace (good_two_client_trace ())))
+
+let test_convergence_violated () =
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+      event ~eid:1 ~replica:2
+        ~op:(Event.Do_ins (b, 0))
+        ~op_id:(Some (id_of b)) ~result:[ b ] ~visible:[ id_of b ];
+      event ~eid:2 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[ a; b ]
+        ~visible:[ id_of a; id_of b ];
+      event ~eid:3 ~replica:2 ~op:Event.Do_read ~op_id:None ~result:[ b; a ]
+        ~visible:[ id_of a; id_of b ];
+    ]
+  in
+  Helpers.check_violated "diverging reads" (Convergence.check (trace events))
+
+let test_convergence_ignores_reads_with_different_views () =
+  (* Reads with different visible sets are allowed to differ. *)
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+      event ~eid:1 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[ a ]
+        ~visible:[ id_of a ];
+      event ~eid:2 ~replica:2 ~op:Event.Do_read ~op_id:None ~result:[]
+        ~visible:[];
+    ]
+  in
+  Helpers.check_satisfied "different views" (Convergence.check (trace events))
+
+(* --- Condition 1 ----------------------------------------------------- *)
+
+let test_content_violation_missing () =
+  (* The read should contain the visible a but returns empty. *)
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+      event ~eid:1 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[]
+        ~visible:[ id_of a ];
+    ]
+  in
+  Helpers.check_violated "missing element"
+    (Conditions.check_content (trace events))
+
+let test_content_violation_deleted_still_present () =
+  let da = Op_id.make ~client:1 ~seq:2 in
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+      event ~eid:1 ~replica:1
+        ~op:(Event.Do_del (a, 0))
+        ~op_id:(Some da)
+        ~result:[ a ] (* bug: a still present *)
+        ~visible:[ id_of a; da ];
+    ]
+  in
+  Helpers.check_violated "deleted element still present"
+    (Conditions.check_content (trace events))
+
+let test_content_with_initial () =
+  (* Initial elements count as inserted and visible to everyone. *)
+  let init = Document.of_string "q" in
+  let q = Document.nth init 0 in
+  let events =
+    [
+      event ~eid:0 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[ q ]
+        ~visible:[];
+    ]
+  in
+  Helpers.check_satisfied "initial element expected"
+    (Conditions.check_content (trace ~initial:init events))
+
+let test_insert_position_ok_and_violated () =
+  let events_ok =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a; b ]
+        ~visible:[ id_of a; id_of b ];
+    ]
+  in
+  Helpers.check_satisfied "landed at 0"
+    (Conditions.check_insert_position (trace events_ok));
+  let events_bad =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ b; a ]
+        ~visible:[ id_of a; id_of b ];
+    ]
+  in
+  Helpers.check_violated "landed at 1 instead of 0"
+    (Conditions.check_insert_position (trace events_bad))
+
+let test_insert_position_clamped () =
+  (* Condition 1c clamps the index: Ins(a, 5) into a 2-element result
+     must land at min(5, n-1). *)
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 5))
+        ~op_id:(Some (id_of a)) ~result:[ b; a ]
+        ~visible:[ id_of a; id_of b ];
+    ]
+  in
+  Helpers.check_satisfied "clamped index"
+    (Conditions.check_insert_position (trace events))
+
+let test_no_duplicates () =
+  let events =
+    [
+      event ~eid:0 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[ a; a ]
+        ~visible:[ id_of a ];
+    ]
+  in
+  Helpers.check_violated "duplicated element"
+    (Conditions.check_no_duplicates (trace events))
+
+(* --- Weak vs strong -------------------------------------------------- *)
+
+(* A figure-7-shaped trace: x inserted then deleted; a and b inserted
+   concurrently around it; intermediate reads pin (a,x) and (x,b);
+   the final state is [b; a]. *)
+let figure7_shaped_trace () =
+  let dx = Op_id.make ~client:3 ~seq:2 in
+  let all = [ id_of x; dx; id_of a; id_of b ] in
+  [
+    event ~eid:0 ~replica:3
+      ~op:(Event.Do_ins (x, 0))
+      ~op_id:(Some (id_of x)) ~result:[ x ] ~visible:[ id_of x ];
+    event ~eid:1 ~replica:1
+      ~op:(Event.Do_ins (a, 0))
+      ~op_id:(Some (id_of a)) ~result:[ a; x ] ~visible:[ id_of x; id_of a ];
+    event ~eid:2 ~replica:2
+      ~op:(Event.Do_ins (b, 1))
+      ~op_id:(Some (id_of b)) ~result:[ x; b ] ~visible:[ id_of x; id_of b ];
+    event ~eid:3 ~replica:3
+      ~op:(Event.Do_del (x, 0))
+      ~op_id:(Some dx) ~result:[] ~visible:[ id_of x; dx ];
+    event ~eid:4 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[ b; a ]
+      ~visible:all;
+    event ~eid:5 ~replica:2 ~op:Event.Do_read ~op_id:None ~result:[ b; a ]
+      ~visible:all;
+    event ~eid:6 ~replica:3 ~op:Event.Do_read ~op_id:None ~result:[ b; a ]
+      ~visible:all;
+  ]
+
+let test_weak_holds_on_figure7_shape () =
+  Helpers.check_satisfied "weak"
+    (Weak_spec.check (trace (figure7_shaped_trace ())))
+
+let test_strong_fails_on_figure7_shape () =
+  Helpers.check_violated "strong"
+    (Strong_spec.check (trace (figure7_shaped_trace ())))
+
+let test_weak_fails_on_incompatible_lists () =
+  (* Two live elements returned in opposite orders: even the weak
+     specification has no list order. *)
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+      event ~eid:1 ~replica:2
+        ~op:(Event.Do_ins (b, 0))
+        ~op_id:(Some (id_of b)) ~result:[ b ] ~visible:[ id_of b ];
+      event ~eid:2 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[ a; b ]
+        ~visible:[ id_of a; id_of b ];
+      event ~eid:3 ~replica:2 ~op:Event.Do_read ~op_id:None ~result:[ b; a ]
+        ~visible:[ id_of a; id_of b ];
+    ]
+  in
+  Helpers.check_violated "weak" (Weak_spec.check (trace events))
+
+let test_strong_satisfied_simple () =
+  Helpers.check_satisfied "strong"
+    (Strong_spec.check (trace (good_two_client_trace ())));
+  match Strong_spec.witness_order (trace (good_two_client_trace ())) with
+  | Some order ->
+    Alcotest.(check int) "total over all elements" 2 (List.length order)
+  | None -> Alcotest.fail "expected a witness order"
+
+let test_weak_list_order_edges () =
+  let g = Weak_spec.list_order (trace (good_two_client_trace ())) in
+  Alcotest.(check bool) "a -> b recorded" true (List_order.mem_edge g a b)
+
+(* --- properties on protocol-generated traces --------------------------- *)
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let prop_strong_iff_witness =
+  (* witness_order returns Some exactly when the strong checker is
+     satisfied, and the witness really extends every returned list's
+     order. *)
+  Helpers.qtest ~count:40 "strong spec <-> witness order exists" gen_seed
+    (fun seed ->
+      let t, _ =
+        Helpers.Css_run.random
+          ~params:
+            {
+              Rlist_sim.Schedule.default_params with
+              updates = 15;
+              deliver_bias = 0.45;
+            }
+          seed
+      in
+      let tr = Helpers.Css_run.E.trace t in
+      let strong =
+        Rlist_spec.Check.is_satisfied (Strong_spec.check tr)
+      in
+      match Strong_spec.witness_order tr, strong with
+      | None, false -> true
+      | None, true -> false
+      | Some _, false -> false
+      | Some order, true ->
+        let position e =
+          let rec go i = function
+            | [] -> None
+            | y :: rest ->
+              if Element.equal y e then Some i else go (i + 1) rest
+          in
+          go 0 order
+        in
+        List.for_all
+          (fun ev ->
+            let rec pairs_ok = function
+              | [] | [ _ ] -> true
+              | e1 :: (e2 :: _ as rest) ->
+                (match position e1, position e2 with
+                | Some i, Some j -> i < j
+                | _ -> false)
+                && pairs_ok rest
+            in
+            pairs_ok (Document.elements ev.Event.result))
+          (Trace.events tr))
+
+let prop_weak_implies_conditions =
+  (* When the weak checker passes, each of its constituent conditions
+     passes individually (internal consistency of the checker). *)
+  Helpers.qtest ~count:30 "weak satisfied => all conditions satisfied"
+    gen_seed (fun seed ->
+      let t, _ = Helpers.Css_run.random seed in
+      let tr = Helpers.Css_run.E.trace t in
+      (not (Rlist_spec.Check.is_satisfied (Weak_spec.check tr)))
+      || (Rlist_spec.Check.is_satisfied (Conditions.check_content tr)
+         && Rlist_spec.Check.is_satisfied (Conditions.check_insert_position tr)
+         && Rlist_spec.Check.is_satisfied (Conditions.check_no_duplicates tr)))
+
+let prop_lemma_8_3 =
+  (* Lemma 8.3 on protocol traces: the union list order restricted to
+     live elements never contains a 2-cycle when all states are
+     pairwise compatible — i.e. weak satisfaction implies no pair of
+     elements is ordered both ways. *)
+  Helpers.qtest ~count:30 "no two-way ordering under weak satisfaction"
+    gen_seed (fun seed ->
+      let t, _ = Helpers.Css_run.random seed in
+      let tr = Helpers.Css_run.E.trace t in
+      (not (Rlist_spec.Check.is_satisfied (Weak_spec.check tr)))
+      ||
+      let g = Weak_spec.list_order tr in
+      List.for_all
+        (fun ev ->
+          let elements = Document.elements ev.Event.result in
+          List.for_all
+            (fun e1 ->
+              List.for_all
+                (fun e2 ->
+                  Element.equal e1 e2
+                  || not (List_order.mem_edge g e1 e2 && List_order.mem_edge g e2 e1))
+                elements)
+            elements)
+        (Trace.events tr))
+
+let test_delete_of_initial_element () =
+  (* A trace that deletes a pre-existing element: condition 1a must
+     treat the initial element as inserted, then deleted. *)
+  let init = Document.of_string "pq" in
+  let p = Document.nth init 0 in
+  let dp = Op_id.make ~client:1 ~seq:1 in
+  let q = Document.nth init 1 in
+  let events =
+    [
+      event ~eid:0 ~replica:1 ~op:(Event.Do_del (p, 0)) ~op_id:(Some dp)
+        ~result:[ q ] ~visible:[ dp ];
+      event ~eid:1 ~replica:1 ~op:Event.Do_read ~op_id:None ~result:[ q ]
+        ~visible:[ dp ];
+    ]
+  in
+  Helpers.check_satisfied "weak with initial delete"
+    (Weak_spec.check (trace ~initial:init events));
+  Helpers.check_satisfied "strong with initial delete"
+    (Strong_spec.check (trace ~initial:init events))
+
+let test_check_all_events_mixed_bucket () =
+  (* check_all_events compares updates with reads observing the same
+     set; a read right after an update shares its bucket. *)
+  let events =
+    [
+      event ~eid:0 ~replica:1
+        ~op:(Event.Do_ins (a, 0))
+        ~op_id:(Some (id_of a)) ~result:[ a ] ~visible:[ id_of a ];
+      event ~eid:1 ~replica:2 ~op:Event.Do_read ~op_id:None
+        ~result:[ b ] (* wrong list for the same view *)
+        ~visible:[ id_of a ];
+    ]
+  in
+  Helpers.check_violated "update/read bucket mismatch caught"
+    (Convergence.check_all_events (trace events))
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "event invariants" `Quick test_event_invariants;
+          Alcotest.test_case "accessors" `Quick test_trace_accessors;
+          Alcotest.test_case "initial elements" `Quick
+            test_trace_initial_elements;
+          Alcotest.test_case "validate accepts good" `Quick test_validate_good;
+          Alcotest.test_case "validate rejects bad eids" `Quick
+            test_validate_bad_eids;
+          Alcotest.test_case "validate requires self-visibility" `Quick
+            test_validate_not_self_visible;
+          Alcotest.test_case "validate rejects unknown ids" `Quick
+            test_validate_unknown_visible;
+          Alcotest.test_case "validate rejects shrinking views" `Quick
+            test_validate_shrinking_visibility;
+        ] );
+      ( "list_order",
+        [
+          Alcotest.test_case "acyclic digraph" `Quick test_list_order_acyclic;
+          Alcotest.test_case "figure 7 cycle" `Quick test_list_order_cycle;
+          Alcotest.test_case "incompatibility witness" `Quick
+            test_first_incompatible;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "satisfied" `Quick test_convergence_satisfied;
+          Alcotest.test_case "violated" `Quick test_convergence_violated;
+          Alcotest.test_case "different views may differ" `Quick
+            test_convergence_ignores_reads_with_different_views;
+        ] );
+      ( "condition 1",
+        [
+          Alcotest.test_case "missing element (1a)" `Quick
+            test_content_violation_missing;
+          Alcotest.test_case "deleted element present (1a)" `Quick
+            test_content_violation_deleted_still_present;
+          Alcotest.test_case "initial elements (1a)" `Quick
+            test_content_with_initial;
+          Alcotest.test_case "insert position (1c)" `Quick
+            test_insert_position_ok_and_violated;
+          Alcotest.test_case "insert position clamped (1c)" `Quick
+            test_insert_position_clamped;
+          Alcotest.test_case "duplicates" `Quick test_no_duplicates;
+        ] );
+      ( "weak vs strong",
+        [
+          Alcotest.test_case "weak holds on figure-7 shape" `Quick
+            test_weak_holds_on_figure7_shape;
+          Alcotest.test_case "strong fails on figure-7 shape" `Quick
+            test_strong_fails_on_figure7_shape;
+          Alcotest.test_case "weak fails on incompatible lists" `Quick
+            test_weak_fails_on_incompatible_lists;
+          Alcotest.test_case "strong satisfied with witness" `Quick
+            test_strong_satisfied_simple;
+          Alcotest.test_case "list order edges" `Quick
+            test_weak_list_order_edges;
+        ] );
+      ( "properties on protocol traces",
+        [
+          prop_strong_iff_witness;
+          prop_weak_implies_conditions;
+          prop_lemma_8_3;
+          Alcotest.test_case "deleting an initial element" `Quick
+            test_delete_of_initial_element;
+          Alcotest.test_case "mixed update/read buckets" `Quick
+            test_check_all_events_mixed_bucket;
+        ] );
+    ]

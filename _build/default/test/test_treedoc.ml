@@ -1,0 +1,173 @@
+(* Tests for the TreeDoc baseline: infix path order, allocation rules
+   (right child of the predecessor / left child of the successor,
+   mini-node disambiguation), tombstones, and the protocol-level
+   strong-specification property. *)
+
+open Rlist_model
+module Path = Jupiter_treedoc.Tree_path
+module Tlist = Jupiter_treedoc.Treedoc_list
+module Run = Helpers.Run (Jupiter_treedoc.Protocol)
+
+let step bit site seq = { Path.bit; site; seq }
+
+(* --- paths ------------------------------------------------------------- *)
+
+let test_infix_order () =
+  let root = [] in
+  let left = [ step 0 1 1 ] in
+  let right = [ step 1 1 1 ] in
+  let left_right = [ step 0 1 1; step 1 1 2 ] in
+  Alcotest.(check bool) "left < root" true (Path.compare left root < 0);
+  Alcotest.(check bool) "root < right" true (Path.compare root right < 0);
+  Alcotest.(check bool) "left < left/right" true
+    (Path.compare left left_right < 0);
+  Alcotest.(check bool) "left/right < root" true
+    (Path.compare left_right root < 0);
+  Alcotest.(check bool) "reflexive" true (Path.equal right right)
+
+let test_mini_node_order () =
+  (* Sibling mini-nodes: same bit, ordered by (site, seq); subtrees
+     stay with their mini-node. *)
+  let a = [ step 1 1 1 ] in
+  let b = [ step 1 2 1 ] in
+  let a_right = [ step 1 1 1; step 1 1 2 ] in
+  Alcotest.(check bool) "site order" true (Path.compare a b < 0);
+  Alcotest.(check bool) "a's subtree before b" true
+    (Path.compare a_right b < 0)
+
+let test_first_step_below () =
+  let parent = [ step 1 1 1 ] in
+  Alcotest.(check (option int))
+    "left child" (Some 0)
+    (Path.first_step_below ~parent [ step 1 1 1; step 0 2 1 ]);
+  Alcotest.(check (option int))
+    "deep right descendant" (Some 1)
+    (Path.first_step_below ~parent [ step 1 1 1; step 1 2 1; step 0 3 1 ]);
+  Alcotest.(check (option int))
+    "not below" None
+    (Path.first_step_below ~parent [ step 0 1 1 ]);
+  Alcotest.(check (option int))
+    "itself" None
+    (Path.first_step_below ~parent parent)
+
+(* --- list --------------------------------------------------------------- *)
+
+let test_list_basics () =
+  let list = Tlist.create ~site:1 ~initial:Document.empty in
+  let a = Helpers.elt ~client:1 ~seq:1 'a' in
+  let b = Helpers.elt ~client:1 ~seq:2 'b' in
+  let c = Helpers.elt ~client:1 ~seq:3 'c' in
+  Tlist.insert list ~elt:a ~at:(Tlist.allocate list ~pos:0);
+  Tlist.insert list ~elt:b ~at:(Tlist.allocate list ~pos:1);
+  Tlist.insert list ~elt:c ~at:(Tlist.allocate list ~pos:1);
+  Alcotest.(check string) "acb" "acb" (Document.to_string (Tlist.document list));
+  Tlist.delete list ~target:c.Element.id;
+  Alcotest.(check string) "tombstoned" "ab"
+    (Document.to_string (Tlist.document list));
+  Alcotest.(check int) "node kept" 3 (Tlist.size list);
+  Alcotest.(check int) "one tombstone" 1 (Tlist.tombstones list);
+  (* inserting next to a tombstone still works *)
+  let d = Helpers.elt ~client:1 ~seq:4 'd' in
+  Tlist.insert list ~elt:d ~at:(Tlist.allocate list ~pos:1);
+  Alcotest.(check string) "adb" "adb"
+    (Document.to_string (Tlist.document list))
+
+let test_list_initial_and_errors () =
+  let list = Tlist.create ~site:1 ~initial:(Document.of_string "xy") in
+  Alcotest.(check string) "seeded" "xy"
+    (Document.to_string (Tlist.document list));
+  let a = Helpers.elt ~client:1 ~seq:1 'a' in
+  Tlist.insert list ~elt:a ~at:(Tlist.allocate list ~pos:1);
+  Alcotest.(check string) "middle insert" "xay"
+    (Document.to_string (Tlist.document list));
+  Alcotest.(check bool)
+    "duplicate element rejected" true
+    (try
+       Tlist.insert list ~elt:a ~at:(Tlist.allocate list ~pos:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "unknown delete rejected" true
+    (try
+       Tlist.delete list ~target:(Op_id.make ~client:9 ~seq:9);
+       false
+     with Invalid_argument _ -> true)
+
+let test_concurrent_same_position () =
+  (* Two sites allocate at the same visible position from the same
+     state; integrating both orders deterministically at both sites. *)
+  let site1 = Tlist.create ~site:1 ~initial:Document.empty in
+  let site2 = Tlist.create ~site:2 ~initial:Document.empty in
+  let a = Helpers.elt ~client:1 ~seq:1 'a' in
+  let b = Helpers.elt ~client:2 ~seq:1 'b' in
+  let at_a = Tlist.allocate site1 ~pos:0 in
+  let at_b = Tlist.allocate site2 ~pos:0 in
+  Tlist.insert site1 ~elt:a ~at:at_a;
+  Tlist.insert site1 ~elt:b ~at:at_b;
+  Tlist.insert site2 ~elt:b ~at:at_b;
+  Tlist.insert site2 ~elt:a ~at:at_a;
+  Alcotest.check Helpers.doc_string "both orders agree"
+    (Tlist.document site1) (Tlist.document site2)
+
+(* --- protocol ------------------------------------------------------------ *)
+
+let test_figure1_treedoc () =
+  let t = Run.scenario Rlist_sim.Figures.figure1 in
+  Alcotest.(check string)
+    "effect" "effect"
+    (Document.to_string (Run.E.server_document t));
+  Alcotest.(check bool) "converged" true (Run.E.converged t)
+
+let test_figure7_treedoc_strong () =
+  let t = Run.scenario Rlist_sim.Figures.figure7 in
+  Alcotest.(check bool) "converged" true (Run.E.converged t);
+  Helpers.check_satisfied "strong"
+    (Rlist_spec.Strong_spec.check (Run.E.trace t))
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let params =
+  { Rlist_sim.Schedule.default_params with updates = 25; deliver_bias = 0.5 }
+
+let prop_convergence =
+  Helpers.qtest ~count:60 "TreeDoc satisfies convergence" gen_seed (fun seed ->
+      let t, _ = Run.random ~params seed in
+      Run.E.converged t
+      && Rlist_spec.Check.is_satisfied
+           (Rlist_spec.Convergence.check_all_events (Run.E.trace t)))
+
+let prop_strong_spec =
+  Helpers.qtest ~count:60 "TreeDoc satisfies the strong list specification"
+    gen_seed (fun seed ->
+      let t, _ = Run.random ~params seed in
+      let trace = Run.E.trace t in
+      Result.is_ok (Rlist_spec.Trace.validate trace)
+      && Rlist_spec.Check.is_satisfied (Rlist_spec.Strong_spec.check trace))
+
+let () =
+  Alcotest.run "treedoc"
+    [
+      ( "paths",
+        [
+          Alcotest.test_case "infix order" `Quick test_infix_order;
+          Alcotest.test_case "mini-node order" `Quick test_mini_node_order;
+          Alcotest.test_case "first step below" `Quick test_first_step_below;
+        ] );
+      ( "list",
+        [
+          Alcotest.test_case "insert/delete/tombstones" `Quick
+            test_list_basics;
+          Alcotest.test_case "initial document and errors" `Quick
+            test_list_initial_and_errors;
+          Alcotest.test_case "concurrent same position" `Quick
+            test_concurrent_same_position;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1_treedoc;
+          Alcotest.test_case "figure 7 satisfies strong" `Quick
+            test_figure7_treedoc_strong;
+          prop_convergence;
+          prop_strong_spec;
+        ] );
+    ]

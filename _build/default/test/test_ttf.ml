@@ -1,0 +1,251 @@
+(* Tests for the TTF layer: the model document, the tombstone
+   transformation functions (CP1 *and* CP2 — the property Jupiter's
+   view functions lack), and the adOPTed-style causal-order protocol
+   built on them. *)
+
+open Rlist_model
+open Rlist_ot
+module Model = Jupiter_ttf.Ttf_model
+module T = Jupiter_ttf.Ttf_transform
+module E = Rlist_sim.P2p_engine.Make (Jupiter_ttf.Adopted_protocol)
+
+(* --- model ------------------------------------------------------------- *)
+
+let test_model_basics () =
+  let m = Model.create ~initial:(Document.of_string "abc") in
+  Alcotest.(check string) "view" "abc" (Document.to_string (Model.view m));
+  Alcotest.(check int) "model length" 3 (Model.model_length m);
+  let deleted = Model.delete m ~pos:1 in
+  Alcotest.(check char) "deleted b" 'b' deleted.Element.value;
+  Alcotest.(check string) "view hides tombstones" "ac"
+    (Document.to_string (Model.view m));
+  Alcotest.(check int) "model keeps tombstones" 3 (Model.model_length m);
+  Alcotest.(check int) "one tombstone" 1 (Model.tombstones m);
+  (* model positions of view positions skip tombstones *)
+  Alcotest.(check int) "view 1 -> model 2" 2 (Model.model_position_of_view m 1);
+  Alcotest.(check int) "view end -> model end" 3
+    (Model.model_position_of_view m 2);
+  (* insertion at a model position between tombstones *)
+  Model.insert m ~elt:(Helpers.elt 'x') ~pos:1;
+  Alcotest.(check string) "insert before tombstone" "axc"
+    (Document.to_string (Model.view m))
+
+let test_model_errors () =
+  let m = Model.create ~initial:(Document.of_string "a") in
+  Alcotest.(check bool)
+    "insert out of bounds" true
+    (try
+       Model.insert m ~elt:(Helpers.elt 'x') ~pos:5;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "delete out of bounds" true
+    (try
+       ignore (Model.delete m ~pos:3);
+       false
+     with Invalid_argument _ -> true);
+  let e = Model.element_at m 0 in
+  Alcotest.(check bool)
+    "duplicate insert" true
+    (try
+       Model.insert m ~elt:e ~pos:0;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- transformation ---------------------------------------------------- *)
+
+let test_ttf_cases () =
+  let ins ?(client = 1) c p = Helpers.ins ~client c p in
+  let del_of doc ?(client = 2) p = Helpers.del ~client (Document.nth doc p) p in
+  let doc = Document.of_string "abcde" in
+  (* insertions never move under deletions *)
+  Alcotest.check Helpers.op "ins unchanged by del" (ins 'x' 3)
+    (T.xform (ins 'x' 3) (del_of doc 1));
+  (* deletions shift right past insertions at or before *)
+  Alcotest.check Helpers.op "del shifted by ins"
+    (Helpers.del ~client:2 (Document.nth doc 2) 3)
+    (T.xform (del_of doc 2) (ins ~client:1 'x' 1));
+  Alcotest.check Helpers.op "del unchanged by later ins" (del_of doc 2)
+    (T.xform (del_of doc 2) (ins ~client:1 'x' 4));
+  (* del/del never interact *)
+  Alcotest.check Helpers.op "del/del identity" (del_of doc 2)
+    (T.xform (del_of doc 2) (del_of ~client:3 doc 2))
+
+(* Operation generators over a fixed model state (model positions). *)
+let gen_ttf_op ~client ~model_doc =
+  QCheck2.Gen.(
+    let len = Document.length model_doc in
+    let insert =
+      map2
+        (fun value pos ->
+          let id = Op_id.make ~client ~seq:1 in
+          Op.make_ins ~id (Element.make ~value ~id) pos)
+        Helpers.gen_char (int_range 0 len)
+    in
+    if len = 0 then insert
+    else
+      oneof
+        [
+          insert;
+          map
+            (fun pos ->
+              Op.make_del
+                ~id:(Op_id.make ~client ~seq:1)
+                (Document.nth model_doc pos)
+                pos)
+            (int_range 0 (len - 1));
+        ])
+
+let gen_triple =
+  QCheck2.Gen.(
+    Helpers.gen_document >>= fun doc ->
+    gen_ttf_op ~client:1 ~model_doc:doc >>= fun o1 ->
+    gen_ttf_op ~client:2 ~model_doc:doc >>= fun o2 ->
+    gen_ttf_op ~client:3 ~model_doc:doc >>= fun o3 -> return (doc, o1, o2, o3))
+
+let prop_ttf_cp1 =
+  Helpers.qtest ~count:2000 "TTF satisfies CP1" gen_triple
+    (fun (doc, o1, o2, _) -> T.check_cp1 doc o1 o2)
+
+let prop_ttf_cp2 =
+  (* The headline: unlike the view-position functions (see test_ot),
+     the TTF functions satisfy CP2. *)
+  Helpers.qtest ~count:2000 "TTF satisfies CP2" gen_triple
+    (fun (_, o1, o2, o3) -> T.check_cp2 o1 o2 o3)
+
+let prop_ttf_cp2_exhaustive =
+  Alcotest.test_case "TTF CP2 exhaustively on a small model" `Quick (fun () ->
+      let doc = Document.of_string "ab" in
+      let ops client value =
+        List.concat
+          [
+            List.init 3 (fun p ->
+                let id = Op_id.make ~client ~seq:1 in
+                Op.make_ins ~id (Element.make ~value ~id) p);
+            List.init 2 (fun p ->
+                Op.make_del
+                  ~id:(Op_id.make ~client ~seq:1)
+                  (Document.nth doc p) p);
+          ]
+      in
+      List.iter
+        (fun o1 ->
+          List.iter
+            (fun o2 ->
+              List.iter
+                (fun o3 ->
+                  if not (T.check_cp2 o1 o2 o3) then
+                    Alcotest.failf "CP2 fails for %a / %a / %a" Op.pp o1 Op.pp
+                      o2 Op.pp o3)
+                (ops 3 'z'))
+            (ops 2 'y'))
+        (ops 1 'x'))
+
+(* --- the adOPTed protocol ---------------------------------------------- *)
+
+let test_adopted_figure8_schedule () =
+  (* The exact scenario that broke the naive dOPT foil: three pairwise
+     concurrent operations on "abc", delivered in different orders at
+     different peers.  With CP2, all peers converge. *)
+  let t = E.create ~initial:(Document.of_string "abc") ~npeers:3 () in
+  E.run t
+    [
+      Generate (1, Intent.Insert ('x', 2));
+      Generate (2, Intent.Delete 1);
+      Generate (3, Intent.Insert ('y', 1));
+      (* peer 1 hears 3 then 2; peer 2 hears 3 then 1; peer 3 hears 2
+         then 1 *)
+      Deliver (3, 1);
+      Deliver (2, 1);
+      Deliver (3, 2);
+      Deliver (1, 2);
+      Deliver (2, 3);
+      Deliver (1, 3);
+    ];
+  Alcotest.(check bool) "converged where dOPT diverged" true (E.converged t);
+  Alcotest.(check int) "nothing buffered" 0 (E.total_buffered t)
+
+let test_adopted_causal_buffering () =
+  (* p3 receives p2's reply before p1's original: it must buffer until
+     causally ready. *)
+  let t = E.create ~npeers:3 () in
+  E.apply_event t (Generate (1, Intent.Insert ('a', 0)));
+  E.apply_event t (Deliver (1, 2));
+  (* p2 reacts with its own operation that depends on a *)
+  E.apply_event t (Generate (2, Intent.Insert ('b', 1)));
+  (* p3 hears p2's op first *)
+  E.apply_event t (Deliver (2, 3));
+  Alcotest.(check string)
+    "buffered, not applied" ""
+    (Document.to_string (E.document t 3));
+  Alcotest.(check int)
+    "one buffered" 1
+    (Jupiter_ttf.Adopted_protocol.buffered (E.peer t 3));
+  (* now the missing dependency arrives *)
+  E.apply_event t (Deliver (1, 3));
+  Alcotest.(check string)
+    "both applied in causal order" "ab"
+    (Document.to_string (E.document t 3));
+  ignore (E.quiesce t);
+  Alcotest.(check bool) "converged" true (E.converged t)
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let params =
+  { Rlist_sim.Schedule.default_params with updates = 25; deliver_bias = 0.5 }
+
+let prop_adopted_convergence =
+  Helpers.qtest ~count:80 "adOPTed/TTF converges with causal order only"
+    gen_seed (fun seed ->
+      let t = E.create ~npeers:3 () in
+      let rng = Random.State.make [| seed; 0x77F |] in
+      ignore (E.run_random t ~rng ~params);
+      E.converged t && E.total_buffered t = 0
+      && Rlist_spec.Check.is_satisfied
+           (Rlist_spec.Convergence.check_all_events (E.trace t)))
+
+let prop_adopted_strong =
+  (* Model positions never move, so like the CRDTs the TTF protocol
+     preserves order relative to deleted elements: strong spec. *)
+  Helpers.qtest ~count:60 "adOPTed/TTF satisfies the strong list spec"
+    gen_seed (fun seed ->
+      let t = E.create ~npeers:3 () in
+      let rng = Random.State.make [| seed; 0x77F |] in
+      ignore (E.run_random t ~rng ~params);
+      let trace = E.trace t in
+      Result.is_ok (Rlist_spec.Trace.validate trace)
+      && Rlist_spec.Check.is_satisfied (Rlist_spec.Strong_spec.check trace))
+
+let prop_adopted_more_peers =
+  Helpers.qtest ~count:20 "five peers" gen_seed (fun seed ->
+      let t = E.create ~npeers:5 () in
+      let rng = Random.State.make [| seed; 0x5F |] in
+      ignore (E.run_random t ~rng ~params);
+      E.converged t)
+
+let () =
+  Alcotest.run "ttf"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "basics" `Quick test_model_basics;
+          Alcotest.test_case "errors" `Quick test_model_errors;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "case analysis" `Quick test_ttf_cases;
+          prop_ttf_cp1;
+          prop_ttf_cp2;
+          prop_ttf_cp2_exhaustive;
+        ] );
+      ( "adopted protocol",
+        [
+          Alcotest.test_case "the figure-8 schedule converges" `Quick
+            test_adopted_figure8_schedule;
+          Alcotest.test_case "causal buffering" `Quick
+            test_adopted_causal_buffering;
+          prop_adopted_convergence;
+          prop_adopted_strong;
+          prop_adopted_more_peers;
+        ] );
+    ]

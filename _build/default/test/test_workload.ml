@@ -1,0 +1,149 @@
+(* Tests for the workload generators: every profile must produce valid
+   intents only, drive every protocol to convergence, and exhibit its
+   characteristic shape (append-only grows, churn stays short, hotspot
+   concentrates at the front). *)
+
+open Rlist_model
+module E = Helpers.Css_run.E
+
+let run_profile ?(seed = 17) ?(nclients = 3) ?(updates = 30) profile =
+  let t = E.create ~nclients () in
+  let rng = Random.State.make [| seed; 0xBEEF |] in
+  let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
+  let params = Rlist_workload.Workload.params profile ~updates in
+  let schedule = E.run_random ~intent t ~rng ~params in
+  t, schedule
+
+let test_profile_names () =
+  List.iter
+    (fun p ->
+      let name = Rlist_workload.Workload.profile_name p in
+      match Rlist_workload.Workload.profile_of_name name with
+      | Some p' when p = p' -> ()
+      | _ -> Alcotest.failf "profile %s does not round-trip" name)
+    Rlist_workload.Workload.all_profiles;
+  Alcotest.(check bool)
+    "unknown profile" true
+    (Rlist_workload.Workload.profile_of_name "nonsense" = None)
+
+let test_every_profile_runs_and_converges () =
+  List.iter
+    (fun profile ->
+      let t, _ = run_profile profile in
+      let name = Rlist_workload.Workload.profile_name profile in
+      Alcotest.(check bool) (name ^ " converged") true (E.converged t);
+      match Rlist_spec.Trace.validate (E.trace t) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: invalid trace: %s" name e)
+    Rlist_workload.Workload.all_profiles
+
+let test_append_log_shape () =
+  let t, schedule = run_profile Rlist_workload.Workload.Append_log ~updates:25 in
+  let inserts, deletes =
+    List.fold_left
+      (fun (i, d) ev ->
+        match ev with
+        | Rlist_sim.Schedule.Generate (_, Intent.Insert _) -> i + 1, d
+        | Rlist_sim.Schedule.Generate (_, Intent.Delete _) -> i, d + 1
+        | _ -> i, d)
+      (0, 0) schedule
+  in
+  Alcotest.(check int) "no deletes" 0 deletes;
+  Alcotest.(check int) "25 inserts" 25 inserts;
+  Alcotest.(check int)
+    "document length equals insert count" 25
+    (Document.length (E.server_document t))
+
+let test_churn_stays_short () =
+  let t, _ = run_profile Rlist_workload.Workload.Churn ~updates:60 in
+  (* Half the updates delete, so the document stays well below the
+     update count. *)
+  Alcotest.(check bool)
+    "short document" true
+    (Document.length (E.server_document t) < 55)
+
+let test_hotspot_concentrates_front () =
+  let _, schedule = run_profile Rlist_workload.Workload.Hotspot ~updates:50 in
+  let positions =
+    List.filter_map
+      (function
+        | Rlist_sim.Schedule.Generate (_, Intent.Insert (_, p)) -> Some p
+        | Rlist_sim.Schedule.Generate (_, Intent.Delete p) -> Some p
+        | _ -> None)
+      schedule
+  in
+  let near_front = List.length (List.filter (fun p -> p <= 3) positions) in
+  Alcotest.(check bool)
+    "most positions near the front" true
+    (near_front * 2 > List.length positions)
+
+let test_typing_is_mostly_sequential () =
+  let _, schedule = run_profile Rlist_workload.Workload.Typing ~updates:40 in
+  let inserts, deletes =
+    List.fold_left
+      (fun (i, d) ev ->
+        match ev with
+        | Rlist_sim.Schedule.Generate (_, Intent.Insert _) -> i + 1, d
+        | Rlist_sim.Schedule.Generate (_, Intent.Delete _) -> i, d + 1
+        | _ -> i, d)
+      (0, 0) schedule
+  in
+  Alcotest.(check bool) "mostly inserts" true (inserts > deletes * 2)
+
+let prop_intents_always_valid =
+  Helpers.qtest ~count:40 "generators only produce in-bounds intents"
+    QCheck2.Gen.(
+      pair (int_range 1 1_000_000) (int_range 0 4))
+    (fun (seed, profile_index) ->
+      let profile = List.nth Rlist_workload.Workload.all_profiles profile_index in
+      (* run_random would raise Invalid_argument on the first
+         out-of-bounds intent. *)
+      let t, _ = run_profile ~seed profile ~updates:20 in
+      E.converged t)
+
+let test_profiles_work_for_all_protocols () =
+  List.iter
+    (fun profile ->
+      let name = Rlist_workload.Workload.profile_name profile in
+      let nclients = 3 in
+      let rng = Random.State.make [| 5; 0xABBA |] in
+      let intent =
+        Rlist_workload.Workload.intent_generator profile ~nclients ~rng
+      in
+      let params = Rlist_workload.Workload.params profile ~updates:20 in
+      let css = E.create ~nclients () in
+      let schedule = E.run_random ~intent css ~rng ~params in
+      let cscw = Helpers.Cscw_run.E.create ~nclients () in
+      Helpers.Cscw_run.E.run cscw schedule;
+      let rga = Helpers.Rga_run.E.create ~nclients () in
+      Helpers.Rga_run.E.run rga schedule;
+      Alcotest.(check bool) (name ^ ": css converged") true (E.converged css);
+      Alcotest.(check bool)
+        (name ^ ": cscw converged")
+        true
+        (Helpers.Cscw_run.E.converged cscw);
+      Alcotest.(check bool)
+        (name ^ ": rga converged")
+        true
+        (Helpers.Rga_run.E.converged rga))
+    Rlist_workload.Workload.all_profiles
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "profiles",
+        [
+          Alcotest.test_case "names round-trip" `Quick test_profile_names;
+          Alcotest.test_case "all profiles run and converge" `Quick
+            test_every_profile_runs_and_converges;
+          Alcotest.test_case "append-log shape" `Quick test_append_log_shape;
+          Alcotest.test_case "churn stays short" `Quick test_churn_stays_short;
+          Alcotest.test_case "hotspot concentrates front" `Quick
+            test_hotspot_concentrates_front;
+          Alcotest.test_case "typing mostly sequential" `Quick
+            test_typing_is_mostly_sequential;
+          prop_intents_always_valid;
+          Alcotest.test_case "all protocols, all profiles" `Quick
+            test_profiles_work_for_all_protocols;
+        ] );
+    ]
