@@ -473,6 +473,215 @@ let c11_coordination_spectrum () =
      move - even guarantees the strong spec, like the CRDTs.  The trade is \
      tombstones plus transformation work.\n"
 
+(* --- C12: document scaling — the rope-backed list core ------------------ *)
+
+(* Micro-benchmarks of the document layer itself: the rope-backed
+   {!Document} against {!Document_reference} (the seed's linked list,
+   kept as the testing oracle), at 10^2..10^5 elements, plus session
+   replays.  Emits machine-readable BENCH_document.json on request so
+   the perf trajectory is tracked across PRs. *)
+
+let doc_elements n =
+  Array.init n (fun i ->
+      Element.make
+        ~value:(Char.chr (Char.code 'a' + (i mod 26)))
+        ~id:(Op_id.make ~client:9 ~seq:(i + 1)))
+
+(* Cycle through a few precomputed positions so the benchmark body does
+   no RNG work. *)
+let cycling arr =
+  let i = ref 0 in
+  fun () ->
+    let p = arr.(!i) in
+    i := (!i + 1) mod Array.length arr;
+    p
+
+let doc_micro_tests n =
+  let open Bechamel in
+  let els = Array.to_list (doc_elements n) in
+  let rope = Document.of_elements els in
+  let refd = Document_reference.of_elements els in
+  let fresh = Element.make ~value:'!' ~id:(Op_id.make ~client:8 ~seq:1) in
+  let rng = Random.State.make [| 42; n |] in
+  let ins_pos = Array.init 64 (fun _ -> Random.State.int rng (n + 1)) in
+  let hit_pos = Array.init 64 (fun _ -> Random.State.int rng (max 1 n)) in
+  let test ~op ~impl fn =
+    let name = Printf.sprintf "doc/%s/%s/%d" op impl n in
+    ( (Printf.sprintf "bench/%s" name, impl, op, n),
+      Test.make ~name (Staged.stage fn) )
+  in
+  let ins = cycling ins_pos and ins' = cycling ins_pos in
+  let del = cycling hit_pos and del' = cycling hit_pos in
+  let at = cycling hit_pos and at' = cycling hit_pos in
+  [
+    test ~op:"insert" ~impl:"rope" (fun () ->
+        ignore (Document.insert rope ~pos:(ins ()) fresh));
+    test ~op:"insert" ~impl:"reference" (fun () ->
+        ignore (Document_reference.insert refd ~pos:(ins' ()) fresh));
+    test ~op:"delete" ~impl:"rope" (fun () ->
+        ignore (Document.delete rope ~pos:(del ())));
+    test ~op:"delete" ~impl:"reference" (fun () ->
+        ignore (Document_reference.delete refd ~pos:(del' ())));
+    test ~op:"nth" ~impl:"rope" (fun () ->
+        ignore (Document.nth rope (at ())));
+    test ~op:"nth" ~impl:"reference" (fun () ->
+        ignore (Document_reference.nth refd (at' ())));
+    test ~op:"to_string" ~impl:"rope" (fun () ->
+        ignore (Document.to_string rope));
+    test ~op:"to_string" ~impl:"reference" (fun () ->
+        ignore (Document_reference.to_string refd));
+  ]
+
+(* A synthetic collaborative session at the document layer: a fixed
+   random stream of inserts/deletes replayed through both
+   implementations.  The final documents must be identical — the same
+   check the differential property tests make, here at bench scale. *)
+let session_script ~ops ~seed =
+  let rng = Random.State.make [| seed; 0xD0C |] in
+  List.init ops (fun i ->
+      if i = 0 || Random.State.float rng 1.0 < 0.7 then
+        `Ins
+          ( Char.chr (Char.code 'a' + Random.State.int rng 26),
+            Random.State.int rng 1_000_000 )
+      else `Del (Random.State.int rng 1_000_000))
+
+let replay_rope script =
+  let step (doc, seq) = function
+    | `Ins (c, p) ->
+      let e = Element.make ~value:c ~id:(Op_id.make ~client:7 ~seq) in
+      Document.insert doc ~pos:(p mod (Document.length doc + 1)) e, seq + 1
+    | `Del p ->
+      if Document.length doc = 0 then doc, seq
+      else snd (Document.delete doc ~pos:(p mod Document.length doc)), seq
+  in
+  fst (List.fold_left step (Document.empty, 1) script)
+
+let replay_reference script =
+  let step (doc, seq) = function
+    | `Ins (c, p) ->
+      let e = Element.make ~value:c ~id:(Op_id.make ~client:7 ~seq) in
+      ( Document_reference.insert doc
+          ~pos:(p mod (Document_reference.length doc + 1))
+          e,
+        seq + 1 )
+    | `Del p ->
+      if Document_reference.length doc = 0 then doc, seq
+      else
+        ( snd (Document_reference.delete doc ~pos:(p mod Document_reference.length doc)),
+          seq )
+  in
+  fst (List.fold_left step (Document_reference.empty, 1) script)
+
+(* End-to-end sessions: the full CSS (OT) and RGA (CRDT) stacks, whose
+   every operation application now runs on the rope. *)
+let css_session ~updates () =
+  let t = Css.create ~nclients:4 () in
+  let rng = Random.State.make [| 1234 |] in
+  ignore
+    (Css.run_random t ~rng
+       ~params:{ Rlist_sim.Schedule.default_params with updates });
+  t
+
+let rga_session ~updates () =
+  let t = Rga.create ~nclients:4 () in
+  let rng = Random.State.make [| 1234 |] in
+  ignore
+    (Rga.run_random t ~rng
+       ~params:{ Rlist_sim.Schedule.default_params with updates });
+  t
+
+let document_scaling ?(sizes = [ 100; 1_000; 10_000; 100_000 ]) ?(quota = 0.5)
+    ?(replay_ops = 2_000) ?(engine_updates = 200) ?json_path () =
+  let open Bechamel in
+  section "C12: document scaling — rope vs reference linked list";
+  (* Identical-result check for the replayed session, before timing. *)
+  let script = session_script ~ops:replay_ops ~seed:2024 in
+  let rope_final = Document.to_string (replay_rope script) in
+  let ref_final = Document_reference.to_string (replay_reference script) in
+  if not (String.equal rope_final ref_final) then
+    failwith "document replay: rope and reference disagree";
+  Printf.printf
+    "  replayed %d-op session on both implementations: identical %d-char \
+     final documents\n"
+    replay_ops (String.length rope_final);
+  let css_t = css_session ~updates:engine_updates () in
+  let rga_t = rga_session ~updates:engine_updates () in
+  Printf.printf
+    "  end-to-end sessions (%d updates, 4 clients): css converged=%b \
+     rga converged=%b\n"
+    engine_updates (Css.converged css_t) (Rga.converged rga_t);
+  let micro = List.concat_map doc_micro_tests sizes in
+  let replays =
+    [
+      ( (Printf.sprintf "bench/doc/replay/rope/%d" replay_ops, "rope", "replay",
+         replay_ops),
+        Test.make
+          ~name:(Printf.sprintf "doc/replay/rope/%d" replay_ops)
+          (Staged.stage (fun () -> ignore (replay_rope script))) );
+      ( (Printf.sprintf "bench/doc/replay/reference/%d" replay_ops,
+         "reference", "replay", replay_ops),
+        Test.make
+          ~name:(Printf.sprintf "doc/replay/reference/%d" replay_ops)
+          (Staged.stage (fun () -> ignore (replay_reference script))) );
+      ( (Printf.sprintf "bench/session/css-replay/engine/%d" engine_updates,
+         "engine", "css-replay", engine_updates),
+        Test.make
+          ~name:(Printf.sprintf "session/css-replay/engine/%d" engine_updates)
+          (Staged.stage (fun () -> ignore (css_session ~updates:engine_updates ()))) );
+      ( (Printf.sprintf "bench/session/rga-replay/engine/%d" engine_updates,
+         "engine", "rga-replay", engine_updates),
+        Test.make
+          ~name:(Printf.sprintf "session/rga-replay/engine/%d" engine_updates)
+          (Staged.stage (fun () -> ignore (rga_session ~updates:engine_updates ()))) );
+    ]
+  in
+  let all = micro @ replays in
+  let results = Harness.run ~quota ~quiet:true (List.map snd all) in
+  let ns key = Harness.ns_per_run results key in
+  (* Comparison table: reference vs rope, per operation and size. *)
+  Printf.printf "  %9s %-10s | %12s %12s | %8s\n" "size" "op" "reference"
+    "rope" "speedup";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun op ->
+          let r = ns (Printf.sprintf "bench/doc/%s/reference/%d" op n) in
+          let o = ns (Printf.sprintf "bench/doc/%s/rope/%d" op n) in
+          Printf.printf "  %9d %-10s | %12s %12s | %7.1fx\n" n op
+            (String.trim (Harness.pretty_ns r))
+            (String.trim (Harness.pretty_ns o))
+            (r /. o))
+        [ "insert"; "delete"; "nth"; "to_string" ])
+    sizes;
+  List.iter
+    (fun (key, label) ->
+      Printf.printf "  %-32s %s/op\n" label (String.trim (Harness.pretty_ns (ns key))))
+    [
+      Printf.sprintf "bench/doc/replay/rope/%d" replay_ops,
+      Printf.sprintf "replay %d ops (rope)" replay_ops;
+      Printf.sprintf "bench/doc/replay/reference/%d" replay_ops,
+      Printf.sprintf "replay %d ops (reference)" replay_ops;
+      Printf.sprintf "bench/session/css-replay/engine/%d" engine_updates,
+      Printf.sprintf "css session %d updates" engine_updates;
+      Printf.sprintf "bench/session/rga-replay/engine/%d" engine_updates,
+      Printf.sprintf "rga session %d updates" engine_updates;
+    ];
+  Printf.printf
+    "  claim: every positional document operation is O(log n) on the rope; \
+     the reference list is O(n), so the gap widens with document size.\n";
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let entries =
+      List.map
+        (fun ((key, impl, op, size), _) ->
+          { Harness.name = key; impl; op; size; ns_per_op = ns key })
+        all
+    in
+    Harness.write_json ~path ~benchmark:"document_scaling" entries;
+    Printf.printf "  wrote %s (%d entries)\n" path (List.length entries));
+  results
+
 let figures () =
   figure_f1 ();
   figure_f2_f4 ();

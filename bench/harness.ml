@@ -1,6 +1,9 @@
 (* A small wrapper around bechamel: run each test, OLS-fit the
    monotonic clock against the run count, and print one line per test.
-   Plain-text output so the harness works in pipes and CI logs. *)
+   Plain-text output so the harness works in pipes and CI logs.
+
+   [run] also returns the raw estimates so callers (the document
+   scaling family, the JSON emitter) can post-process them. *)
 
 open Bechamel
 open Toolkit
@@ -21,8 +24,9 @@ let pretty_ns ns =
   else Printf.sprintf "%8.2f s " (ns /. 1e9)
 
 (* [run tests] benchmarks the given bechamel tests and prints
-   "name: time/run" lines, returning the raw estimates. *)
-let run ?(quota = 0.5) tests =
+   "name: time/run" lines, returning the raw estimates.  Test names are
+   prefixed with "bench/" (the group name) in the result table. *)
+let run ?(quota = 0.5) ?(quiet = false) tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
@@ -33,12 +37,56 @@ let run ?(quota = 0.5) tests =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols (Instance.monotonic_clock) raw in
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some (est :: _) ->
-        Printf.printf "  %-42s %s/op\n" name (pretty_ns est)
-      | Some [] | None -> Printf.printf "  %-42s (no estimate)\n" name)
-    results;
-  ignore ns_per_run;
+  if not quiet then
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) ->
+          Printf.printf "  %-42s %s/op\n" name (pretty_ns est)
+        | Some [] | None -> Printf.printf "  %-42s (no estimate)\n" name)
+      results;
   results
+
+(* --- machine-readable output ------------------------------------------ *)
+
+(* One measured point of the document-scaling family. *)
+type json_entry = {
+  name : string;
+  impl : string;  (* "rope" | "reference" | "engine" *)
+  op : string;    (* "insert" | "delete" | "nth" | "to_string" | "replay" *)
+  size : int;
+  ns_per_op : float;
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Write the entries as a stable, machine-readable JSON document so the
+   perf trajectory can be tracked across PRs. *)
+let write_json ~path ~benchmark entries =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"benchmark\": \"%s\",\n" (json_escape benchmark);
+  out "  \"unit\": \"ns_per_op\",\n";
+  out "  \"results\": [\n";
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"name\": \"%s\", \"impl\": \"%s\", \"op\": \"%s\", \"size\": \
+         %d, \"ns_per_op\": %s}%s\n"
+        (json_escape e.name) (json_escape e.impl) (json_escape e.op) e.size
+        (if Float.is_nan e.ns_per_op then "null"
+         else Printf.sprintf "%.2f" e.ns_per_op)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  out "  ]\n";
+  out "}\n";
+  close_out oc

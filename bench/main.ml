@@ -4,7 +4,11 @@
    reference run of this executable.
 
    Run with: dune exec bench/main.exe
-   Pass --quick to skip the (slower) bechamel micro-benchmarks. *)
+   Pass --quick to skip the (slower) bechamel micro-benchmarks.
+   Pass --json to also write the document-scaling results to
+   BENCH_document.json (machine-readable, tracked across PRs).
+   Pass --smoke to run only a ~1-second-quota document-scaling smoke
+   bench (the @bench-smoke dune alias). *)
 
 open Rlist_model
 open Bechamel
@@ -79,12 +83,27 @@ let micro_benchmarks () =
        ])
 
 let () =
-  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
-  print_endline
-    "Jupiter Protocol Revisited — benchmark & figure-regeneration harness";
-  print_endline
-    "(paper: Wei, Huang, Lu — PODC'18 / arXiv:1708.04754; see EXPERIMENTS.md)";
-  Experiments.figures ();
-  Experiments.claims ();
-  if not quick then micro_benchmarks ();
+  let flag f = Array.exists (fun a -> a = f) Sys.argv in
+  let quick = flag "--quick" in
+  let json = flag "--json" in
+  let smoke = flag "--smoke" in
+  let json_path = if json then Some "BENCH_document.json" else None in
+  if smoke then begin
+    (* Tiny quota, small sizes: catches document-layer regressions and
+       crashes in seconds, without a full bench run. *)
+    print_endline "document-scaling smoke bench (~1s quota)";
+    ignore
+      (Experiments.document_scaling ~sizes:[ 100; 1_000 ] ~quota:0.05
+         ~replay_ops:500 ~engine_updates:50 ?json_path ())
+  end
+  else begin
+    print_endline
+      "Jupiter Protocol Revisited — benchmark & figure-regeneration harness";
+    print_endline
+      "(paper: Wei, Huang, Lu — PODC'18 / arXiv:1708.04754; see EXPERIMENTS.md)";
+    Experiments.figures ();
+    Experiments.claims ();
+    if not quick then micro_benchmarks ();
+    ignore (Experiments.document_scaling ?json_path ())
+  end;
   print_endline "\ndone."

@@ -39,11 +39,11 @@ let client_to_string client =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
   line "css-client 1";
   line "client %d %d" id next_seq;
-  List.iter
+  Document.iter
     (fun e ->
       line "delt %d %d %d" (Char.code e.Element.value) e.Element.id.Op_id.client
         e.Element.id.Op_id.seq)
-    (Document.elements doc);
+    doc;
   List.iter
     (fun (op_id, serial) ->
       line "serial %d %d %d" op_id.Op_id.client op_id.Op_id.seq serial)

@@ -3,7 +3,14 @@
     A document is a finite sequence of unique {!Element.t} values.  It
     is the value returned by the [Read] operation and by every [do]
     event (paper, Section 3.1: all three user operations return the
-    updated list). *)
+    updated list).
+
+    The representation is a balanced rope (size-annotated balanced
+    tree) plus a persistent identifier index: {!insert}, {!delete} and
+    {!nth} are O(log n); {!to_string}, {!elements}, {!iter} and
+    {!fold} are single O(n) traversals; {!mem} is O(log n) and
+    {!has_duplicates} O(1).  {!Document_reference} keeps the original
+    linked-list implementation as a differential-testing oracle. *)
 
 type t
 
@@ -17,6 +24,16 @@ val of_string : string -> t
 val of_elements : Element.t list -> t
 
 val elements : t -> Element.t list
+
+(** [iter f d] applies [f] to every element in document order, without
+    materialising an intermediate list. *)
+val iter : (Element.t -> unit) -> t -> unit
+
+(** [fold f acc d] folds [f] left-to-right over the elements. *)
+val fold : ('a -> Element.t -> 'a) -> 'a -> t -> 'a
+
+(** [to_seq d] is the elements as a lazy sequence, in document order. *)
+val to_seq : t -> Element.t Seq.t
 
 (** The user-visible content, one character per element. *)
 val to_string : t -> string

@@ -1,0 +1,118 @@
+(* The original linked-list document implementation, kept verbatim as
+   a differential-testing oracle for the rope-backed {!Document}: it is
+   obviously correct, and the property tests replay random operation
+   sequences against both and demand identical observations.
+
+   The only change from the seed implementation is [to_string], which
+   was O(n^2) ([List.nth] inside [String.init]) and is now a single
+   Buffer-filling traversal so the oracle stays usable at 10^5
+   elements.  Everything else is intentionally naive: O(n) positional
+   access, O(n^2) compatibility. *)
+
+type t = Element.t list
+
+let empty = []
+
+let of_string s =
+  List.init (String.length s) (fun i ->
+      Element.make ~value:s.[i] ~id:(Op_id.initial ~seq:(i + 1)))
+
+let of_elements es = es
+
+let elements t = t
+
+let iter = List.iter
+
+let fold = List.fold_left
+
+let to_seq = List.to_seq
+
+let to_string t =
+  let b = Buffer.create (List.length t) in
+  List.iter (fun e -> Buffer.add_char b e.Element.value) t;
+  Buffer.contents b
+
+let length = List.length
+
+let is_empty t = t = []
+
+let nth t p =
+  if p < 0 || p >= List.length t then
+    invalid_arg
+      (Printf.sprintf "Document.nth: position %d out of bounds (length %d)" p
+         (List.length t));
+  List.nth t p
+
+let insert t ~pos e =
+  if pos < 0 || pos > List.length t then
+    invalid_arg
+      (Printf.sprintf "Document.insert: position %d out of bounds (length %d)"
+         pos (List.length t));
+  let rec go i = function
+    | rest when i = pos -> e :: rest
+    | [] -> invalid_arg "Document.insert: unreachable"
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  go 0 t
+
+let delete t ~pos =
+  if pos < 0 || pos >= List.length t then
+    invalid_arg
+      (Printf.sprintf "Document.delete: position %d out of bounds (length %d)"
+         pos (List.length t));
+  let rec go i = function
+    | [] -> invalid_arg "Document.delete: unreachable"
+    | x :: rest when i = pos -> x, rest
+    | x :: rest ->
+      let deleted, rest' = go (i + 1) rest in
+      deleted, x :: rest'
+  in
+  go 0 t
+
+let index_of t e =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if Element.equal x e then Some i else go (i + 1) rest
+  in
+  go 0 t
+
+let mem t e = index_of t e <> None
+
+let compare a b = List.compare Element.compare a b
+
+let equal a b = compare a b = 0
+
+let compatible d1 d2 =
+  (* Restrict both documents to their common elements; compatibility
+     holds iff the two restrictions are the same sequence. *)
+  let common1 = List.filter (fun e -> mem d2 e) d1 in
+  let common2 = List.filter (fun e -> mem d1 e) d2 in
+  List.length common1 = List.length common2
+  && List.for_all2 Element.equal common1 common2
+
+let order_pairs t =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      let acc = List.fold_left (fun acc y -> (x, y) :: acc) acc rest in
+      go acc rest
+  in
+  go [] t
+
+let has_duplicates t =
+  let rec go seen = function
+    | [] -> false
+    | e :: rest ->
+      Op_id.Set.mem e.Element.id seen
+      || go (Op_id.Set.add e.Element.id seen) rest
+  in
+  go Op_id.Set.empty t
+
+let pp ppf t = Format.fprintf ppf "%S" (to_string t)
+
+let pp_detailed ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Element.pp)
+    t

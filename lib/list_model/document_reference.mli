@@ -1,0 +1,54 @@
+(** The seed's linked-list document, preserved as a testing oracle.
+
+    Same signature as {!Document} (a document is a finite sequence of
+    unique {!Element.t} values); deliberately naive implementation:
+    O(n) positional access and O(n^2) compatibility.  The property
+    tests in [test/test_document.ml] replay random operation sequences
+    against this oracle and the rope-backed {!Document} and require
+    identical observations.  Do not use outside tests and benchmarks. *)
+
+type t
+
+val empty : t
+
+val of_string : string -> t
+
+val of_elements : Element.t list -> t
+
+val elements : t -> Element.t list
+
+val iter : (Element.t -> unit) -> t -> unit
+
+val fold : ('a -> Element.t -> 'a) -> 'a -> t -> 'a
+
+val to_seq : t -> Element.t Seq.t
+
+val to_string : t -> string
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val nth : t -> int -> Element.t
+
+val insert : t -> pos:int -> Element.t -> t
+
+val delete : t -> pos:int -> Element.t * t
+
+val index_of : t -> Element.t -> int option
+
+val mem : t -> Element.t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val compatible : t -> t -> bool
+
+val order_pairs : t -> (Element.t * Element.t) list
+
+val has_duplicates : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_detailed : Format.formatter -> t -> unit

@@ -8,9 +8,9 @@ let spec = "list specification, condition 1"
 let classify trace =
   let inserts = ref Op_id.Map.empty in
   let deletes = ref Op_id.Map.empty in
-  List.iter
+  Document.iter
     (fun elt -> inserts := Op_id.Map.add elt.Element.id elt !inserts)
-    (Document.elements trace.Trace.initial);
+    trace.Trace.initial;
   List.iter
     (fun e ->
       match e.Event.op, e.Event.op_id with

@@ -27,9 +27,7 @@ let add_edge t a b =
 let of_documents docs =
   List.fold_left
     (fun t doc ->
-      let t =
-        List.fold_left add_node t (Document.elements doc)
-      in
+      let t = Document.fold add_node t doc in
       List.fold_left
         (fun t (a, b) -> add_edge t a b)
         t (Document.order_pairs doc))

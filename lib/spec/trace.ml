@@ -34,9 +34,9 @@ let update_index t =
 
 let inserted_element t id =
   if Op_id.is_initial id then
-    List.find_opt
+    Seq.find
       (fun elt -> Op_id.equal elt.Element.id id)
-      (Document.elements t.initial)
+      (Document.to_seq t.initial)
   else
     List.find_map
       (fun e ->
@@ -64,10 +64,9 @@ let validate t =
             fail "update %a is not visible to itself" Op_id.pp id)
       t.events;
     let initial_ids =
-      List.fold_left
+      Document.fold
         (fun acc elt -> Op_id.Set.add elt.Element.id acc)
-        Op_id.Set.empty
-        (Document.elements t.initial)
+        Op_id.Set.empty t.initial
     in
     List.iter
       (fun e ->

@@ -1,0 +1,243 @@
+(* Differential tests for the rope-backed document: random operation
+   scripts are replayed against both {!Document} (the rope) and
+   {!Document_reference} (the seed's linked list, kept as an oracle),
+   and every observation the rest of the system can make of a document
+   must agree. *)
+
+open Rlist_model
+module Rope = Document
+module Oracle = Document_reference
+
+(* A script is a list of abstract editing steps; positions are seeds
+   reduced modulo the current document length at replay time, so every
+   script is valid on both implementations by construction. *)
+type step =
+  | Ins of char * int
+  | Del of int
+
+let gen_step =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun c p -> Ins (c, p)) (char_range 'a' 'z') (int_range 0 10_000);
+        map (fun p -> Del p) (int_range 0 10_000);
+      ])
+
+let gen_script = QCheck2.Gen.(list_size (int_range 0 120) gen_step)
+
+let pp_step = function
+  | Ins (c, p) -> Printf.sprintf "Ins(%c,%d)" c p
+  | Del p -> Printf.sprintf "Del(%d)" p
+
+let print_script script = String.concat "; " (List.map pp_step script)
+
+(* Replay a script on both implementations, checking the deleted
+   elements pairwise; returns the final pair. *)
+let replay script =
+  let step (rope, oracle, seq) = function
+    | Ins (c, pseed) ->
+      let pos = pseed mod (Rope.length rope + 1) in
+      let e = Element.make ~value:c ~id:(Op_id.make ~client:7 ~seq) in
+      Rope.insert rope ~pos e, Oracle.insert oracle ~pos e, seq + 1
+    | Del pseed ->
+      if Rope.length rope = 0 then rope, oracle, seq
+      else
+        let pos = pseed mod Rope.length rope in
+        let del_r, rope' = Rope.delete rope ~pos in
+        let del_o, oracle' = Oracle.delete oracle ~pos in
+        if not (Element.equal del_r del_o) then
+          failwith "delete returned different elements";
+        rope', oracle', seq
+  in
+  let rope, oracle, _ = List.fold_left step (Rope.empty, Oracle.empty, 1) script in
+  rope, oracle
+
+let same_elements rope oracle =
+  let er = Rope.elements rope and eo = Oracle.elements oracle in
+  List.length er = List.length eo && List.for_all2 Element.equal er eo
+
+let qtest ?(count = 300) ?print name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ?print gen prop)
+
+let prop_observations_agree =
+  qtest "to_string/length/elements/nth agree with the oracle"
+    ~print:print_script gen_script
+    (fun script ->
+      let rope, oracle = replay script in
+      String.equal (Rope.to_string rope) (Oracle.to_string oracle)
+      && Rope.length rope = Oracle.length oracle
+      && same_elements rope oracle
+      && List.for_all
+           (fun i -> Element.equal (Rope.nth rope i) (Oracle.nth oracle i))
+           (List.init (Rope.length rope) Fun.id))
+
+let prop_order_pairs_agree =
+  qtest ~count:100 "order_pairs agree with the oracle" gen_script
+    (fun script ->
+      let rope, oracle = replay script in
+      let pr = Rope.order_pairs rope and po = Oracle.order_pairs oracle in
+      List.length pr = List.length po
+      && List.for_all2
+           (fun (a, b) (a', b') -> Element.equal a a' && Element.equal b b')
+           pr po)
+
+let prop_membership_agrees =
+  qtest "mem/index_of agree with the oracle, present and absent"
+    QCheck2.Gen.(pair gen_script (int_range 0 10_000))
+    (fun (script, probe_seed) ->
+      let rope, oracle = replay script in
+      let present =
+        Rope.fold
+          (fun acc e ->
+            acc
+            && Rope.mem rope e = Oracle.mem oracle e
+            && Rope.index_of rope e = Oracle.index_of oracle e)
+          true rope
+      in
+      (* An identifier no script step ever allocates. *)
+      let foreign =
+        Element.make ~value:'?' ~id:(Op_id.make ~client:99 ~seq:(probe_seed + 1))
+      in
+      present
+      && Rope.mem rope foreign = Oracle.mem oracle foreign
+      && Rope.index_of rope foreign = Oracle.index_of oracle foreign)
+
+let prop_compatible_agrees =
+  qtest ~count:150 "compatible verdicts agree with the oracle"
+    QCheck2.Gen.(pair gen_script gen_script)
+    (fun (s1, s2) ->
+      let r1, o1 = replay s1 and r2, o2 = replay s2 in
+      Bool.equal (Rope.compatible r1 r2) (Oracle.compatible o1 o2)
+      && Bool.equal (Rope.compatible r1 r1) (Oracle.compatible o1 o1))
+
+let prop_equal_compare_agree =
+  qtest ~count:150 "equal/compare agree with the oracle"
+    QCheck2.Gen.(pair gen_script gen_script)
+    (fun (s1, s2) ->
+      let r1, o1 = replay s1 and r2, o2 = replay s2 in
+      let sign c = Stdlib.compare c 0 in
+      Bool.equal (Rope.equal r1 r2) (Oracle.equal o1 o2)
+      && sign (Rope.compare r1 r2) = sign (Oracle.compare o1 o2))
+
+let prop_duplicates_agree =
+  qtest ~count:150 "has_duplicates agrees with the oracle on raw element lists"
+    QCheck2.Gen.(
+      list_size (int_range 0 30)
+        (map2
+           (fun c s -> Element.make ~value:c ~id:(Op_id.make ~client:3 ~seq:s))
+           (char_range 'a' 'z') (int_range 1 10)))
+    (fun es ->
+      Bool.equal
+        (Rope.has_duplicates (Rope.of_elements es))
+        (Oracle.has_duplicates (Oracle.of_elements es))
+      &&
+      (* ... and it survives deleting down to a prefix. *)
+      let rec drain rope oracle =
+        if Rope.length rope = 0 then true
+        else begin
+          Bool.equal (Rope.has_duplicates rope) (Oracle.has_duplicates oracle)
+          &&
+          let _, rope' = Rope.delete rope ~pos:(Rope.length rope - 1) in
+          let _, oracle' = Oracle.delete oracle ~pos:(Oracle.length oracle - 1) in
+          drain rope' oracle'
+        end
+      in
+      drain (Rope.of_elements es) (Oracle.of_elements es))
+
+(* Bounds-check error cases: both implementations must reject the same
+   out-of-range positions with Invalid_argument. *)
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let test_bounds () =
+  let e = Element.make ~value:'x' ~id:(Op_id.make ~client:1 ~seq:1) in
+  let rope = Rope.of_string "abc" in
+  let oracle = Oracle.of_string "abc" in
+  Alcotest.(check bool)
+    "insert past end" true
+    (raises_invalid (fun () -> Rope.insert rope ~pos:4 e)
+    && raises_invalid (fun () -> Oracle.insert oracle ~pos:4 e));
+  Alcotest.(check bool)
+    "insert negative" true
+    (raises_invalid (fun () -> Rope.insert rope ~pos:(-1) e)
+    && raises_invalid (fun () -> Oracle.insert oracle ~pos:(-1) e));
+  Alcotest.(check bool)
+    "delete at length" true
+    (raises_invalid (fun () -> Rope.delete rope ~pos:3)
+    && raises_invalid (fun () -> Oracle.delete oracle ~pos:3));
+  Alcotest.(check bool)
+    "delete negative" true
+    (raises_invalid (fun () -> Rope.delete rope ~pos:(-1))
+    && raises_invalid (fun () -> Oracle.delete oracle ~pos:(-1)));
+  Alcotest.(check bool)
+    "nth at length" true
+    (raises_invalid (fun () -> Rope.nth rope 3)
+    && raises_invalid (fun () -> Oracle.nth oracle 3));
+  Alcotest.(check bool)
+    "nth negative" true
+    (raises_invalid (fun () -> Rope.nth rope (-1))
+    && raises_invalid (fun () -> Oracle.nth oracle (-1)));
+  Alcotest.(check bool)
+    "delete on empty" true
+    (raises_invalid (fun () -> Rope.delete Rope.empty ~pos:0)
+    && raises_invalid (fun () -> Oracle.delete Oracle.empty ~pos:0))
+
+(* A deterministic large-document exercise: 10^4 front/back/middle
+   inserts keep the rope balanced enough for interactive use; the
+   final string must match an oracle built in one shot. *)
+let test_large_document () =
+  let n = 10_000 in
+  let elt i =
+    Element.make
+      ~value:(Char.chr (Char.code 'a' + (i mod 26)))
+      ~id:(Op_id.make ~client:5 ~seq:(i + 1))
+  in
+  let rope = ref Rope.empty in
+  for i = 0 to n - 1 do
+    let pos =
+      match i mod 3 with
+      | 0 -> 0
+      | 1 -> Rope.length !rope
+      | _ -> Rope.length !rope / 2
+    in
+    rope := Rope.insert !rope ~pos (elt i)
+  done;
+  Alcotest.(check int) "length" n (Rope.length !rope);
+  let oracle = Oracle.of_elements (Rope.elements !rope) in
+  Alcotest.(check string)
+    "content" (Oracle.to_string oracle) (Rope.to_string !rope);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "nth %d" i) true
+        (Element.equal (Rope.nth !rope i) (Oracle.nth oracle i)))
+    [ 0; 1; n / 2; n - 2; n - 1 ];
+  (* Drain from the middle and compare the survivors. *)
+  let r = ref !rope in
+  for _ = 1 to n / 2 do
+    let _, r' = Rope.delete !r ~pos:(Rope.length !r / 2) in
+    r := r'
+  done;
+  Alcotest.(check int) "length after drain" (n / 2) (Rope.length !r);
+  Alcotest.(check bool) "no duplicates" false (Rope.has_duplicates !r)
+
+let () =
+  Alcotest.run "document"
+    [
+      ( "differential",
+        [
+          prop_observations_agree;
+          prop_order_pairs_agree;
+          prop_membership_agrees;
+          prop_compatible_agrees;
+          prop_equal_compare_agree;
+          prop_duplicates_agree;
+        ] );
+      ( "bounds",
+        [ Alcotest.test_case "out-of-range positions" `Quick test_bounds ] );
+      ( "scale",
+        [ Alcotest.test_case "10^4-element rope" `Quick test_large_document ] );
+    ]
