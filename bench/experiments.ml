@@ -192,7 +192,7 @@ let c3_equivalence () =
   section "C3 (Thms 6.7, 7.1): convergence + equivalence across seeds";
   let seeds = 20 and updates = 150 in
   let equal = ref 0 and converged = ref 0 and weak = ref 0 in
-  let t0 = Sys.time () in
+  let t0 = Harness.now_s () in
   for seed = 1 to seeds do
     let css, schedule = run_css_random ~updates ~seed () in
     let cscw = Cscw.create ~nclients:4 () in
@@ -211,7 +211,7 @@ let c3_equivalence () =
         (Rlist_spec.Weak_spec.check (Css.trace css))
     then incr weak
   done;
-  let dt = Sys.time () -. t0 in
+  let dt = Harness.now_s () -. t0 in
   Printf.printf
     "  %d seeds x %d updates x 4 clients: behaviours equal %d/%d, converged \
      %d/%d, weak spec %d/%d  (%.2fs)\n"
@@ -681,6 +681,115 @@ let document_scaling ?(sizes = [ 100; 1_000; 10_000; 100_000 ]) ?(quota = 0.5)
     Harness.write_json ~path ~benchmark:"document_scaling" entries;
     Printf.printf "  wrote %s (%d entries)\n" path (List.length entries));
   results
+
+(* --- C13: observability — traced counters on the figure scenarios ------ *)
+
+(* Replays each star-shaped figure scenario under CSS and CSCW with the
+   observability layer attached, and cross-checks the traced event
+   aggregates against the protocols' own cumulative counters: the sum
+   of the [transforms] fields over the deliver events must equal the
+   engine's total OT count (in both Jupiter variants no transformation
+   happens at generation time — the new operation sits at the top of
+   its replica's space).  The figure2 numbers are the paper's: the CSS
+   server performs 0 + 2 + 4 = 6 transformations (Figure 4's commuting
+   ladders), the whole system 24 — while CSCW needs only 7, the
+   redundant-transformation gap of Section 7.2 (CSS recomputes in one
+   compact space what CSCW caches across its 2n dispersed 2D spaces;
+   the behaviours still coincide by Theorem 7.1).  Emits BENCH_obs.json
+   on request. *)
+
+type obs_entry = {
+  o_scenario : string;
+  o_protocol : string;
+  o_metric : string;
+  o_value : int;
+}
+
+let obs_write_json ~path entries =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"benchmark\": \"observability_counters\",\n";
+  out "  \"results\": [\n";
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"scenario\": \"%s\", \"protocol\": \"%s\", \"metric\": \
+         \"%s\", \"value\": %d}%s\n"
+        e.o_scenario e.o_protocol e.o_metric e.o_value
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let c13_observability ?json_path () =
+  section "C13 (observability): traced transform counts on figure scenarios";
+  let entries = ref [] in
+  Printf.printf "  %-8s | %-5s | %7s %8s %7s %7s %9s | %s\n" "scenario"
+    "proto" "events" "delivers" "xforms" "server" "metadata" "traced=actual";
+  let report (s : Rlist_sim.Figures.scenario) proto events ~delivers ~xforms
+      ~server_xforms ~metadata ~actual =
+    Printf.printf "  %-8s | %-5s | %7d %8d %7d %7d %9d | %b\n" s.sname proto
+      events delivers xforms server_xforms metadata (xforms = actual);
+    List.iter
+      (fun (metric, value) ->
+        entries :=
+          { o_scenario = s.sname; o_protocol = proto; o_metric = metric;
+            o_value = value }
+          :: !entries)
+      [
+        "events_traced", events;
+        "deliveries", delivers;
+        "transforms_total", xforms;
+        "transforms_server", server_xforms;
+        "metadata_total", metadata;
+      ]
+  in
+  let star_figures =
+    List.filter
+      (fun (s : Rlist_sim.Figures.scenario) -> s.sname <> "figure8")
+      Rlist_sim.Figures.all
+  in
+  List.iter
+    (fun (s : Rlist_sim.Figures.scenario) ->
+      (* CSS *)
+      (let sink = Rlist_obs.Sink.memory () in
+       let obs = Rlist_obs.Obs.make ~sink () in
+       let t = Css.create ~initial:s.initial ~nclients:s.nclients () in
+       Css.attach_obs t obs;
+       Css.run t s.schedule;
+       let events = Rlist_obs.Sink.events sink in
+       report s "css" (List.length events)
+         ~delivers:
+           (Rlist_obs.Obs.count_kind events "deliver")
+         ~xforms:(Rlist_obs.Obs.sum_deliver_transforms events)
+         ~server_xforms:(Css.server_ot_count t)
+         ~metadata:(Css.total_metadata_size t)
+         ~actual:(Css.total_ot_count t));
+      (* CSCW on the same schedule *)
+      let sink = Rlist_obs.Sink.memory () in
+      let obs = Rlist_obs.Obs.make ~sink () in
+      let t = Cscw.create ~initial:s.initial ~nclients:s.nclients () in
+      Cscw.attach_obs t obs;
+      Cscw.run t s.schedule;
+      let events = Rlist_obs.Sink.events sink in
+      report s "cscw" (List.length events)
+        ~delivers:(Rlist_obs.Obs.count_kind events "deliver")
+        ~xforms:(Rlist_obs.Obs.sum_deliver_transforms events)
+        ~server_xforms:(Cscw.server_ot_count t)
+        ~metadata:(Cscw.total_metadata_size t)
+        ~actual:(Cscw.total_ot_count t))
+    star_figures;
+  Printf.printf
+    "  claim: per-delivery transform deltas account for every primitive OT \
+     call (figure2: css server 6, system 24 vs cscw 7 — the redundant-OT \
+     gap of Section 7.2; behaviours coincide by Thm 7.1).\n";
+  match json_path with
+  | None -> ()
+  | Some path ->
+    obs_write_json ~path (List.rev !entries);
+    Printf.printf "  wrote %s (%d entries)\n" path (List.length !entries)
 
 let figures () =
   figure_f1 ();

@@ -8,6 +8,19 @@
 open Bechamel
 open Toolkit
 
+(* --- monotonic wall clock --------------------------------------------- *)
+
+(* [Sys.time] measures CPU seconds; the C-section timings and the
+   observability histograms both want wall-clock nanoseconds from the
+   same monotonic source bechamel samples. *)
+let now_ns () = Monotonic_clock.get ()
+
+let now_s () = now_ns () /. 1e9
+
+(* Point the metrics-layer timers at the real clock (the library's
+   dependency-free default is a CPU-time fallback). *)
+let install_metrics_clock () = Rlist_obs.Metrics.set_clock now_ns
+
 let ns_per_run results name =
   match Hashtbl.find_opt results name with
   | None -> nan

@@ -64,6 +64,22 @@ let weak_check_bench =
   let trace = E.trace t in
   fun () -> ignore (Rlist_spec.Weak_spec.check trace)
 
+(* Same fixed session with the observability layer attached: once with
+   metrics only (no sink — the advertised near-zero configuration) and
+   once fully traced into a memory sink.  Compare against
+   css/session-50ops-4clients for the overhead. *)
+let css_session_obs ~traced () =
+  let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+  let t = E.create ~nclients:4 () in
+  let sink =
+    if traced then Rlist_obs.Sink.memory () else Rlist_obs.Sink.null
+  in
+  E.attach_obs t (Rlist_obs.Obs.make ~sink ());
+  let rng = Random.State.make [| 1234 |] in
+  ignore
+    (E.run_random t ~rng
+       ~params:{ Rlist_sim.Schedule.default_params with updates = 50 })
+
 let micro_benchmarks () =
   Printf.printf "\n=== C4: bechamel micro-benchmarks ===\n";
   Printf.printf
@@ -74,6 +90,10 @@ let micro_benchmarks () =
          Test.make ~name:"ot/xform_pair" (Staged.stage xform_bench);
          Test.make ~name:"css/session-50ops-4clients"
            (Staged.stage css_session);
+         Test.make ~name:"css/session-50ops-metrics"
+           (Staged.stage (css_session_obs ~traced:false));
+         Test.make ~name:"css/session-50ops-traced"
+           (Staged.stage (css_session_obs ~traced:true));
          Test.make ~name:"cscw/session-50ops-4clients"
            (Staged.stage cscw_session);
          Test.make ~name:"rga/session-50ops-4clients"
@@ -88,13 +108,18 @@ let () =
   let json = flag "--json" in
   let smoke = flag "--smoke" in
   let json_path = if json then Some "BENCH_document.json" else None in
+  let obs_json_path = if json then Some "BENCH_obs.json" else None in
+  Harness.install_metrics_clock ();
   if smoke then begin
     (* Tiny quota, small sizes: catches document-layer regressions and
-       crashes in seconds, without a full bench run. *)
+       crashes in seconds, without a full bench run.  The observability
+       counters are deterministic and cheap, so the canary always
+       cross-checks them too. *)
     print_endline "document-scaling smoke bench (~1s quota)";
     ignore
       (Experiments.document_scaling ~sizes:[ 100; 1_000 ] ~quota:0.05
-         ~replay_ops:500 ~engine_updates:50 ?json_path ())
+         ~replay_ops:500 ~engine_updates:50 ?json_path ());
+    Experiments.c13_observability ?json_path:obs_json_path ()
   end
   else begin
     print_endline
@@ -103,6 +128,7 @@ let () =
       "(paper: Wei, Huang, Lu — PODC'18 / arXiv:1708.04754; see EXPERIMENTS.md)";
     Experiments.figures ();
     Experiments.claims ();
+    Experiments.c13_observability ?json_path:obs_json_path ();
     if not quick then micro_benchmarks ();
     ignore (Experiments.document_scaling ?json_path ())
   end;

@@ -8,6 +8,8 @@
                correct protocols; the naive foil fails quickly)
      viz       print (and optionally write DOT for) the CSS state-space
                of a named figure scenario
+     trace     replay a figure scenario with the observability layer on
+               and emit the structured JSONL event trace
      figures   replay every figure scenario and print its verdicts *)
 
 open Rlist_model
@@ -126,7 +128,10 @@ let record_schedule ~profile ~nclients ~updates ~seed ~path =
   let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
   let params = Rlist_workload.Workload.params profile ~updates in
   let schedule = E.run_random ~intent t ~rng ~params in
-  Rlist_sim.Schedule_text.save ~path ~nclients schedule;
+  (try Rlist_sim.Schedule_text.save ~path ~nclients schedule
+   with Sys_error msg ->
+     Printf.eprintf "cannot write %s: %s\n" path msg;
+     exit 1);
   Printf.printf "recorded %d events to %s (generated under the css protocol)\n"
     (List.length schedule) path
 
@@ -300,12 +305,16 @@ let viz name emit_dot =
     print_string (Jupiter_css.Render.to_ascii space ~initial:scenario.initial);
     if emit_dot then begin
       let path = scenario.sname ^ ".dot" in
-      let oc = open_out path in
-      output_string oc
-        (Jupiter_css.Render.to_dot space ~initial:scenario.initial
-           ~name:scenario.sname);
-      close_out oc;
-      Printf.printf "\nwrote %s\n" path
+      match open_out path with
+      | oc ->
+        output_string oc
+          (Jupiter_css.Render.to_dot space ~initial:scenario.initial
+             ~name:scenario.sname);
+        close_out oc;
+        Printf.printf "\nwrote %s\n" path
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot write %s: %s\n" path msg;
+        exit 1
     end
 
 let viz_cmd =
@@ -365,19 +374,36 @@ let replay_cmd =
 
 (* --- stats ------------------------------------------------------------ *)
 
-let stats name schedule_file =
-  let build initial nclients events =
+let stats_json ~source (st : Jupiter_css.Analysis.stats) ~lemmas =
+  let widths =
+    String.concat ","
+      (List.map (fun (l, w) -> Printf.sprintf "[%d,%d]" l w) st.width_per_level)
+  in
+  Printf.sprintf
+    "{\"source\":%S,\"states\":%d,\"transitions\":%d,\"depth\":%d,\
+     \"max_branching\":%d,\"nop_forms\":%d,\"width_per_level\":[%s],\
+     \"lemmas_ok\":%b}"
+    source st.states st.transitions st.depth st.max_branching st.nop_forms
+    widths lemmas
+
+let stats name schedule_file json =
+  let build source initial nclients events =
     let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
     let t = E.create ~initial ~nclients () in
     E.run t events;
     let space = Jupiter_css.Protocol.server_space (E.server t) in
-    Format.printf "%a@." Jupiter_css.Analysis.pp_stats
-      (Jupiter_css.Analysis.stats space);
-    match
-      Jupiter_css.Analysis.check_all space ~nclients ~initial
-    with
-    | Ok () -> print_endline "structural lemmas (6.1/6.3/8.4/8.5/8.7): all hold"
-    | Error e -> Printf.printf "structural lemma violated: %s\n" e
+    let st = Jupiter_css.Analysis.stats space in
+    let lemmas = Jupiter_css.Analysis.check_all space ~nclients ~initial in
+    if json then
+      print_endline (stats_json ~source st ~lemmas:(Result.is_ok lemmas))
+    else begin
+      Format.printf "%a@." Jupiter_css.Analysis.pp_stats st;
+      match lemmas with
+      | Ok () ->
+        print_endline "structural lemmas (6.1/6.3/8.4/8.5/8.7): all hold"
+      | Error e -> Printf.printf "structural lemma violated: %s\n" e
+    end;
+    if Result.is_error lemmas then exit 1
   in
   match schedule_file with
   | Some path -> (
@@ -385,14 +411,19 @@ let stats name schedule_file =
     | Error msg ->
       Printf.eprintf "cannot load %s: %s\n" path msg;
       exit 1
-    | Ok file -> build file.initial file.nclients file.events)
+    | Ok file -> build path file.initial file.nclients file.events)
   | None -> (
     match Rlist_sim.Figures.find name with
     | None ->
       Printf.eprintf "unknown scenario %S\n" name;
       exit 1
     | Some scenario ->
-      build scenario.initial scenario.nclients scenario.schedule)
+      build scenario.sname scenario.initial scenario.nclients
+        scenario.schedule)
+
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
 
 let stats_cmd =
   let name_arg =
@@ -408,8 +439,135 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Structural statistics and lemma checks of the CSS state-space \
-          built by a figure scenario or a recorded schedule.")
-    Term.(const stats $ name_arg $ file_arg)
+          built by a figure scenario or a recorded schedule.  Exits \
+          non-zero if a structural lemma fails.")
+    Term.(const stats $ name_arg $ file_arg $ json_flag)
+
+(* --- trace ------------------------------------------------------------ *)
+
+(* Replay a figure scenario with the observability layer attached and
+   the JSONL sink pointed at [oc].  The CSS run additionally wires
+   [State_space.set_observer] on every replica, so the trace shows the
+   state-space growing level by level (the paper's Figure 4). *)
+let trace_css obs (scenario : Rlist_sim.Figures.scenario) =
+  let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+  let t = E.create ~initial:scenario.initial ~nclients:scenario.nclients () in
+  E.attach_obs t obs;
+  let wire name set =
+    set (fun ~level ~states ~transitions ~ots ->
+        ignore ots;
+        if Rlist_obs.Obs.tracing obs then
+          Rlist_obs.Obs.emit obs
+            (Rlist_obs.Event.State_space_grow
+               { replica = name; level; states; transitions }))
+  in
+  wire "server" (Jupiter_css.Protocol.server_set_space_observer (E.server t));
+  for i = 1 to scenario.nclients do
+    wire
+      ("c" ^ string_of_int i)
+      (Jupiter_css.Protocol.client_set_space_observer (E.client t i))
+  done;
+  E.run t scenario.schedule;
+  let space = Jupiter_css.Protocol.server_space (E.server t) in
+  let st = Jupiter_css.Analysis.stats space in
+  E.converged t, E.total_ot_count t, E.total_metadata_size t, Some st
+
+let trace_generic (type c s c2s s2c)
+    (module P : Rlist_sim.Protocol_intf.PROTOCOL
+      with type client = c
+       and type server = s
+       and type c2s = c2s
+       and type s2c = s2c) obs (scenario : Rlist_sim.Figures.scenario) =
+  let module E = Rlist_sim.Engine.Make (P) in
+  let t = E.create ~initial:scenario.initial ~nclients:scenario.nclients () in
+  E.attach_obs t obs;
+  E.run t scenario.schedule;
+  E.converged t, E.total_ot_count t, E.total_metadata_size t, None
+
+let trace name protocol out_file json =
+  match Rlist_sim.Figures.find name with
+  | None ->
+    Printf.eprintf "unknown scenario %S; available: %s\n" name
+      (String.concat ", "
+         (List.map
+            (fun (s : Rlist_sim.Figures.scenario) -> s.sname)
+            Rlist_sim.Figures.all));
+    exit 1
+  | Some scenario ->
+    let oc, close =
+      match out_file with
+      | None -> stdout, fun () -> flush stdout
+      | Some path -> (
+        try
+          let oc = open_out path in
+          oc, fun () -> close_out oc
+        with Sys_error msg ->
+          Printf.eprintf "cannot open %s: %s\n" path msg;
+          exit 1)
+    in
+    let sink = Rlist_obs.Sink.channel oc in
+    let obs = Rlist_obs.Obs.make ~sink () in
+    let run (converged, ots, metadata, space_stats) =
+      let space_json =
+        match space_stats with
+        | None -> ""
+        | Some (st : Jupiter_css.Analysis.stats) ->
+          Printf.sprintf
+            ",\"space_states\":%d,\"space_transitions\":%d,\"space_depth\":%d"
+            st.states st.transitions st.depth
+      in
+      if json then
+        output_string oc
+          (Printf.sprintf
+             "{\"type\":\"summary\",\"scenario\":%S,\"converged\":%b,\
+              \"total_transforms\":%d,\"total_metadata\":%d%s,\
+              \"metrics\":%s}\n"
+             scenario.sname converged ots metadata space_json
+             (Rlist_obs.Obs.metrics_json obs))
+      else Format.eprintf "%a@." Rlist_obs.Obs.report obs;
+      close ();
+      if not converged then exit 1
+    in
+    (match protocol with
+    | P_css -> run (trace_css obs scenario)
+    | P_cscw -> run (trace_generic (module Jupiter_cscw.Protocol) obs scenario)
+    | P_rga -> run (trace_generic (module Jupiter_rga.Protocol) obs scenario)
+    | P_naive ->
+      run (trace_generic (module Jupiter_cscw.Naive_p2p) obs scenario)
+    | P_pruned ->
+      run (trace_generic (module Jupiter_css.Pruned_protocol) obs scenario)
+    | P_logoot ->
+      run (trace_generic (module Jupiter_logoot.Protocol) obs scenario)
+    | P_sequencer ->
+      run (trace_generic (module Jupiter_css.Sequencer_protocol) obs scenario)
+    | P_treedoc ->
+      run (trace_generic (module Jupiter_treedoc.Protocol) obs scenario)
+    | P_css_p2p | P_ttf ->
+      Printf.eprintf
+        "trace: figure schedules are client/server shaped; peer-to-peer \
+         protocols cannot replay them\n";
+      exit 1)
+
+let trace_cmd =
+  let name_arg =
+    Arg.(value & pos 0 string "figure2"
+         & info [] ~docv:"SCENARIO" ~doc:"Figure scenario name.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the JSONL trace to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a figure scenario with metrics and structured tracing \
+          enabled; emits one JSON object per generate/send/deliver/apply \
+          event (and per state-space growth step under css).  With \
+          $(b,--json), a final summary object carries the aggregated \
+          counters; otherwise a human-readable metrics report goes to \
+          stderr.")
+    Term.(const trace $ name_arg $ protocol_arg $ out_arg $ json_flag)
 
 (* --- figures ---------------------------------------------------------- *)
 
@@ -465,4 +623,4 @@ let () =
          RGA, and a broken OT foil)."
   in
   exit (Cmd.eval (Cmd.group info [ simulate_cmd; check_cmd; viz_cmd; figures_cmd; record_cmd; replay_cmd;
-            stats_cmd ]))
+            stats_cmd; trace_cmd ]))

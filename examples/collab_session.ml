@@ -6,7 +6,10 @@
    At the end the example reports, per protocol: the converged
    document, operation counts, transformation counts, metadata
    footprints, and the verdicts of the three list specifications —
-   reproducing in one run the paper's comparison landscape.
+   reproducing in one run the paper's comparison landscape.  The CSS
+   run carries the observability layer, so the session closes with its
+   metrics report (message counts, per-delivery transform and channel
+   depth distributions).
 
    Run with: dune exec examples/collab_session.exe [-- profile [seed]]
    where profile is one of: uniform typing hotspot append-log churn *)
@@ -54,6 +57,8 @@ let () =
 
   (* The CSS run produces the concrete schedule... *)
   let css = Css.create ~nclients () in
+  let obs = Rlist_obs.Obs.make () in
+  Css.attach_obs css obs;
   let rng = Random.State.make [| seed |] in
   let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
   let schedule = Css.run_random ~intent css ~rng ~params in
@@ -95,4 +100,7 @@ let () =
          b1 b2
   in
   Printf.printf "CSS/CSCW behaviours identical under this schedule: %b\n"
-    equal_behaviours
+    equal_behaviours;
+
+  Printf.printf "\n--- CSS session metrics (observability layer) ---\n";
+  Format.printf "%a@." Rlist_obs.Obs.report obs

@@ -130,6 +130,10 @@ let receive t ~from message =
        exchange quiesces. *)
     Some (Clock t.clock)
 
+let message_op_id = function
+  | Op_msg { op; _ } -> Some op.Op.id
+  | Clock _ -> None
+
 let document t = t.doc
 
 let visible t = State_space.final t.space

@@ -106,6 +106,10 @@ let client_receive t ({ op; ctx; serial; origin } : s2c) =
    (the pending transition silently becomes serialized, keeping its
    relative order, cf. Order_key). *)
 
+let c2s_op_id ({ op; _ } : c2s) = Some op.Op.id
+
+let s2c_op_id ({ op; _ } : s2c) = Some op.Op.id
+
 let client_document t = t.replica.doc
 
 let server_document t = t.server_replica.doc
@@ -125,6 +129,12 @@ let server_metadata_size t = State_space.size t.server_replica.space
 let client_space t = t.replica.space
 
 let server_space t = t.server_replica.space
+
+let client_set_space_observer t notify =
+  State_space.set_observer t.replica.space notify
+
+let server_set_space_observer t notify =
+  State_space.set_observer t.server_replica.space notify
 
 let client_path t = List.rev t.replica.path
 

@@ -34,6 +34,23 @@ val client_space : client -> State_space.t
 
 val server_space : server -> State_space.t
 
+(** {2 Observability}
+
+    Install a {!State_space.set_observer} growth observer on a
+    replica's space — the per-level hook the trace layer uses to emit
+    [state_space_grow] events.  Uninstrumented replicas pay one branch
+    per processed operation. *)
+
+val client_set_space_observer :
+  client ->
+  (level:int -> states:int -> transitions:int -> ots:int -> unit) ->
+  unit
+
+val server_set_space_observer :
+  server ->
+  (level:int -> states:int -> transitions:int -> ots:int -> unit) ->
+  unit
+
 (** The documents each replica went through, oldest first — its path
     through the state-space (Example 6.3). *)
 val client_path : client -> State_space.state list

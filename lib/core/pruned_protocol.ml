@@ -147,6 +147,10 @@ let client_receive t ({ op; ctx; serial; origin; stable } : s2c) =
   t.acked <- max t.acked serial;
   prune r ~stable
 
+let c2s_op_id ({ op; _ } : c2s) = Some op.Op.id
+
+let s2c_op_id ({ op; _ } : s2c) = Some op.Op.id
+
 let client_document t = t.replica.doc
 
 let server_document t = t.server_replica.doc

@@ -35,6 +35,10 @@ let server_receive t ~from ({ op; ctx } : c2s) =
 
 let client_receive = Protocol.client_receive
 
+let c2s_op_id = Protocol.c2s_op_id
+
+let s2c_op_id = Protocol.s2c_op_id
+
 let client_document = Protocol.client_document
 
 let server_document _ = Document.empty

@@ -24,6 +24,12 @@ type t = {
   mutable root : state;
   mutable final : state;
   mutable ot_count : int;
+  mutable ntransitions : int;
+  (* Growth observer (observability layer): called once per {!add_op}
+     with the new final level and the post-growth totals.  [None]
+     costs one branch per operation. *)
+  mutable observer :
+    (level:int -> states:int -> transitions:int -> ots:int -> unit) option;
 }
 
 let initial_state = Op_id.Set.empty
@@ -39,6 +45,8 @@ let create ?(transform = Transform.xform) ~key_of () =
     root = initial_state;
     final = initial_state;
     ot_count = 0;
+    ntransitions = 0;
+    observer = None;
   }
 
 let root t = t.root
@@ -72,10 +80,10 @@ let states t =
 
 let num_states t = Op_id.State_table.length t.nodes
 
-let num_transitions t =
-  Op_id.State_table.fold
-    (fun _ node acc -> acc + List.length node.transitions)
-    t.nodes 0
+(* Maintained incrementally by {!insert_transition} / {!compact}: the
+   growth observer reads it after every operation, so the O(states)
+   fold is too slow to recompute each time. *)
+let num_transitions t = t.ntransitions
 
 let size t = num_states t + num_transitions t
 
@@ -97,7 +105,8 @@ let insert_transition t node tr =
       else if Order_key.compare key (t.key_of tr'.orig) < 0 then tr :: all
       else tr' :: insert rest
   in
-  node.transitions <- insert node.transitions
+  node.transitions <- insert node.transitions;
+  t.ntransitions <- t.ntransitions + 1
 
 let leftmost_path t state =
   let node = find_node t state in
@@ -124,6 +133,7 @@ let add_op t { Context.op; ctx } =
     invalid_arg
       (Format.asprintf "State_space: operation %a already processed" Op_id.pp
          op.Op.id);
+  let ot_before = t.ot_count in
   let path = leftmost_path t ctx in
   let o = ref op in
   let src = ref (find_node t ctx) in
@@ -151,9 +161,18 @@ let add_op t { Context.op; ctx } =
   insert_transition t !src { orig = op.Op.id; form = !o; target = final_plus };
   ignore (find_or_create t final_plus);
   t.final <- final_plus;
+  (match t.observer with
+  | None -> ()
+  | Some notify ->
+    notify
+      ~level:(Op_id.Set.cardinal final_plus)
+      ~states:(num_states t) ~transitions:t.ntransitions
+      ~ots:(t.ot_count - ot_before));
   !o
 
 let ot_count t = t.ot_count
+
+let set_observer t notify = t.observer <- Some notify
 
 let compact t ~stable ~base_doc =
   if find_node_opt t stable = None then
@@ -185,14 +204,20 @@ let compact t ~stable ~base_doc =
   in
   let stable_doc = replay base_doc t.root in
   (* Drop every state that does not contain the stable set: no future
-     context can match it. *)
+     context can match it.  (A transition from a surviving state
+     targets a superset of it, hence also survives — only the doomed
+     nodes' own transitions leave the count.) *)
   let doomed =
     Op_id.State_table.fold
-      (fun state _ acc ->
-        if Op_id.Set.subset stable state then acc else state :: acc)
+      (fun state node acc ->
+        if Op_id.Set.subset stable state then acc else (state, node) :: acc)
       t.nodes []
   in
-  List.iter (fun state -> Op_id.State_table.remove t.nodes state) doomed;
+  List.iter
+    (fun (state, node) ->
+      t.ntransitions <- t.ntransitions - List.length node.transitions;
+      Op_id.State_table.remove t.nodes state)
+    doomed;
   t.root <- stable;
   stable_doc
 
@@ -223,6 +248,8 @@ let of_raw ~key_of ~root ~final assoc =
       root;
       final;
       ot_count = 0;
+      ntransitions = 0;
+      observer = None;
     }
   in
   List.iter

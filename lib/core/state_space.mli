@@ -92,6 +92,17 @@ val add_op : t -> Context.op_in_context -> Op.t
     this state-space so far. *)
 val ot_count : t -> int
 
+(** Install a growth observer (the observability layer's per-level
+    hook): after every {!add_op} it receives the new final level
+    (operations in the final state), the post-growth totals of states
+    and transitions, and the number of primitive OT calls that single
+    operation caused.  At most one observer; uninstalled spaces pay
+    one branch per operation. *)
+val set_observer :
+  t ->
+  (level:int -> states:int -> transitions:int -> ots:int -> unit) ->
+  unit
+
 (** [compact t ~stable ~base_doc] prunes every state that is not a
     superset of [stable] and rebases the space's root onto [stable] —
     the garbage collection addressing the metadata-overhead question

@@ -157,6 +157,10 @@ let client_receive t ({ op; clock; origin } : s2c) =
       ~orig_seq:op.Op.id.Op_id.seq
   end
 
+let c2s_op_id ({ op; _ } : c2s) = Some op.Op.id
+
+let s2c_op_id ({ op; _ } : s2c) = Some op.Op.id
+
 let client_document t = t.doc
 
 let server_document t = t.sdoc

@@ -132,6 +132,12 @@ let client_receive t = function
     t.visible <- Op_id.Set.add op.Op.id t.visible;
     t.seen <- t.seen + 1
 
+let c2s_op_id ({ op; _ } : c2s) = Some op.Op.id
+
+let s2c_op_id = function
+  | Forward { op; _ } -> Some op.Op.id
+  | Ack -> None
+
 let client_document t = t.doc
 
 let server_document t = t.server_doc
@@ -152,3 +158,11 @@ let server_metadata_size t =
     sum := !sum + Two_d_space.size t.spaces.(i)
   done;
   !sum
+
+(* Observability: the dispersed footprint, space by space.  The CSS
+   comparison ("one compact space vs 2n 2D spaces") needs the
+   per-dimension breakdown, not just the sum. *)
+let server_space_sizes t =
+  List.init t.nclients (fun i -> i + 1, Two_d_space.size t.spaces.(i + 1))
+
+let client_space_extent t = Two_d_space.extent t.space

@@ -98,6 +98,12 @@ let client_receive t = function
     integrate t.list lop;
     t.visible <- Op_id.Set.add (op_id lop) t.visible
 
+let c2s_op_id { lop } = Some (op_id lop)
+
+let s2c_op_id = function
+  | Forward lop -> Some (op_id lop)
+  | Ack -> None
+
 let client_document t = Logoot_list.document t.list
 
 let server_document t = Logoot_list.document t.slist

@@ -1,0 +1,105 @@
+(* See event.mli. *)
+
+type replica = string
+
+type t =
+  | Generate of {
+      replica : replica;
+      op_id : string option;
+      intent : string;
+      queue : int;
+    }
+  | Send of {
+      src : replica;
+      dst : replica;
+      op_id : string option;
+      bytes : int;
+      queue : int;
+    }
+  | Deliver of {
+      replica : replica;
+      src : replica;
+      op_id : string option;
+      transforms : int;
+      queue : int;
+    }
+  | Transform of {
+      replica : replica;
+      count : int;
+    }
+  | Apply of {
+      replica : replica;
+      op_id : string option;
+      doc_len : int;
+    }
+  | State_space_grow of {
+      replica : replica;
+      level : int;
+      states : int;
+      transitions : int;
+    }
+  | Span of {
+      name : string;
+      dur_ns : float;
+    }
+
+let kind = function
+  | Generate _ -> "generate"
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Transform _ -> "transform"
+  | Apply _ -> "apply"
+  | State_space_grow _ -> "state_space_grow"
+  | Span _ -> "span"
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let opt_id = function
+  | None -> "null"
+  | Some id -> Printf.sprintf "\"%s\"" (escape id)
+
+let to_jsonl ~seq e =
+  let head = Printf.sprintf "{\"seq\": %d, \"type\": \"%s\", " seq (kind e) in
+  let body =
+    match e with
+    | Generate { replica; op_id; intent; queue } ->
+      Printf.sprintf
+        "\"replica\": \"%s\", \"op\": %s, \"intent\": \"%s\", \"queue\": %d"
+        (escape replica) (opt_id op_id) (escape intent) queue
+    | Send { src; dst; op_id; bytes; queue } ->
+      Printf.sprintf
+        "\"src\": \"%s\", \"dst\": \"%s\", \"op\": %s, \"bytes\": %d, \
+         \"queue\": %d"
+        (escape src) (escape dst) (opt_id op_id) bytes queue
+    | Deliver { replica; src; op_id; transforms; queue } ->
+      Printf.sprintf
+        "\"replica\": \"%s\", \"src\": \"%s\", \"op\": %s, \"transforms\": \
+         %d, \"queue\": %d"
+        (escape replica) (escape src) (opt_id op_id) transforms queue
+    | Transform { replica; count } ->
+      Printf.sprintf "\"replica\": \"%s\", \"count\": %d" (escape replica)
+        count
+    | Apply { replica; op_id; doc_len } ->
+      Printf.sprintf "\"replica\": \"%s\", \"op\": %s, \"doc_len\": %d"
+        (escape replica) (opt_id op_id) doc_len
+    | State_space_grow { replica; level; states; transitions } ->
+      Printf.sprintf
+        "\"replica\": \"%s\", \"level\": %d, \"states\": %d, \
+         \"transitions\": %d"
+        (escape replica) level states transitions
+    | Span { name; dur_ns } ->
+      Printf.sprintf "\"name\": \"%s\", \"dur_ns\": %.0f" (escape name)
+        dur_ns
+  in
+  head ^ body ^ "}"
+
+let pp ppf e = Format.pp_print_string ppf (to_jsonl ~seq:0 e)

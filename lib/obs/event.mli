@@ -1,0 +1,67 @@
+(** Typed structured trace events.
+
+    One constructor per instrumented point of the replication stack:
+    operation generation, message send/delivery, operational
+    transformation, document application, and state-space growth.
+    Events carry only plain values (replica labels, rendered operation
+    identifiers, queue depths, byte estimates) so this module depends
+    on nothing and every layer above can emit into it.
+
+    The JSONL rendering ({!to_jsonl}) is one self-contained JSON
+    object per event — the format consumed by [jupiter_sim trace] and
+    by any log-processing pipeline. *)
+
+(** A replica label: ["server"], ["c3"], ["p2"], ... *)
+type replica = string
+
+type t =
+  | Generate of {
+      replica : replica;
+      op_id : string option;  (** [None] for reads. *)
+      intent : string;  (** ["ins"], ["del"], or ["read"]. *)
+      queue : int;  (** Outbound channel depth after enqueueing. *)
+    }
+  | Send of {
+      src : replica;
+      dst : replica;
+      op_id : string option;
+      bytes : int;  (** Estimated payload size of the message. *)
+      queue : int;  (** Destination channel depth after enqueueing. *)
+    }
+  | Deliver of {
+      replica : replica;  (** The receiving replica. *)
+      src : replica;
+      op_id : string option;
+      transforms : int;  (** Primitive OT calls this delivery caused. *)
+      queue : int;  (** Source channel depth after dequeueing. *)
+    }
+  | Transform of {
+      replica : replica;
+      count : int;  (** Primitive OT calls in this batch. *)
+    }
+  | Apply of {
+      replica : replica;
+      op_id : string option;
+      doc_len : int;  (** Document length after application. *)
+    }
+  | State_space_grow of {
+      replica : replica;
+      level : int;  (** Operations in the final state after growth. *)
+      states : int;  (** Total states after growth. *)
+      transitions : int;  (** Total transitions after growth. *)
+    }
+  | Span of {
+      name : string;
+      dur_ns : float;
+    }
+
+(** The event's type tag as it appears in the JSON ([generate],
+    [send], [deliver], [transform], [apply], [state_space_grow],
+    [span]). *)
+val kind : t -> string
+
+(** [to_jsonl ~seq e] renders one JSON object (no trailing newline);
+    [seq] is the event's position in the trace. *)
+val to_jsonl : seq:int -> t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,221 @@
+(* See metrics.mli.  Plain hashtables and growable float arrays: the
+   registry must not cost anything noticeable when metrics are being
+   written on a hot path, and must not pull in any dependency. *)
+
+(* --- clock ------------------------------------------------------------ *)
+
+(* Fallback clock: CPU seconds scaled to ns.  The bench harness and any
+   caller with access to a real monotonic clock overrides this. *)
+let clock = ref (fun () -> Sys.time () *. 1e9)
+
+let set_clock f = clock := f
+
+let now_ns () = !clock ()
+
+(* --- metric storage --------------------------------------------------- *)
+
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+type histogram = {
+  mutable values : float array;
+  mutable len : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram
+
+type cell =
+  | C of counter
+  | G of gauge
+  | H of histogram
+
+type t = { cells : (string, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 32 }
+
+let find_or_add t name make classify =
+  match Hashtbl.find_opt t.cells name with
+  | Some cell -> (
+    match classify cell with
+    | Some m -> m
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S already registered with another type"
+           name))
+  | None ->
+    let m = make () in
+    m
+
+(* --- counters --------------------------------------------------------- *)
+
+let counter t name =
+  find_or_add t name
+    (fun () ->
+      let c = { c = 0 } in
+      Hashtbl.add t.cells name (C c);
+      c)
+    (function C c -> Some c | G _ | H _ -> None)
+
+let incr c = c.c <- c.c + 1
+
+let add c n = c.c <- c.c + n
+
+let counter_value c = c.c
+
+let counter_of t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (C c) -> c.c
+  | Some (G _ | H _) | None -> 0
+
+(* --- gauges ----------------------------------------------------------- *)
+
+let gauge t name =
+  find_or_add t name
+    (fun () ->
+      let g = { g = 0.0 } in
+      Hashtbl.add t.cells name (G g);
+      g)
+    (function G g -> Some g | C _ | H _ -> None)
+
+let set_gauge g v = g.g <- v
+
+let gauge_value g = g.g
+
+(* --- histograms ------------------------------------------------------- *)
+
+let histogram t name =
+  find_or_add t name
+    (fun () ->
+      let h =
+        { values = Array.make 64 0.0; len = 0; sum = 0.0; mn = nan; mx = nan }
+      in
+      Hashtbl.add t.cells name (H h);
+      h)
+    (function H h -> Some h | C _ | G _ -> None)
+
+let observe h v =
+  if h.len = Array.length h.values then begin
+    let bigger = Array.make (2 * h.len) 0.0 in
+    Array.blit h.values 0 bigger 0 h.len;
+    h.values <- bigger
+  end;
+  h.values.(h.len) <- v;
+  h.len <- h.len + 1;
+  h.sum <- h.sum +. v;
+  if Float.is_nan h.mn || v < h.mn then h.mn <- v;
+  if Float.is_nan h.mx || v > h.mx then h.mx <- v
+
+let hist_count h = h.len
+
+let hist_sum h = h.sum
+
+let hist_min h = h.mn
+
+let hist_max h = h.mx
+
+let hist_mean h = if h.len = 0 then nan else h.sum /. float_of_int h.len
+
+let percentile h p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg (Printf.sprintf "Metrics.percentile: %g not in [0,100]" p);
+  if h.len = 0 then nan
+  else begin
+    let sorted = Array.sub h.values 0 h.len in
+    Array.sort Float.compare sorted;
+    (* Linear interpolation between closest ranks over [0, len-1]. *)
+    let rank = p /. 100.0 *. float_of_int (h.len - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else
+      let w = rank -. float_of_int lo in
+      ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let time h f =
+  let t0 = now_ns () in
+  let result = f () in
+  observe h (now_ns () -. t0);
+  result
+
+(* --- reading ---------------------------------------------------------- *)
+
+let fold t ~init ~f =
+  let entries =
+    Hashtbl.fold
+      (fun name cell acc ->
+        let m =
+          match cell with
+          | C c -> Counter c.c
+          | G g -> Gauge g.g
+          | H h -> Histogram h
+        in
+        (name, m) :: acc)
+      t.cells []
+  in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  List.fold_left (fun acc (name, m) -> f acc name m) init entries
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON number: no NaN/inf in the output, ever. *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ", "
+  in
+  fold t ~init:() ~f:(fun () name m ->
+      sep ();
+      Buffer.add_string b (Printf.sprintf "\"%s\": " (json_escape name));
+      match m with
+      | Counter c -> Buffer.add_string b (string_of_int c)
+      | Gauge g -> Buffer.add_string b (json_float g)
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"count\": %d, \"sum\": %s, \"mean\": %s, \"p50\": %s, \
+              \"p90\": %s, \"p99\": %s, \"max\": %s}"
+             (hist_count h) (json_float h.sum)
+             (json_float (hist_mean h))
+             (json_float (percentile h 50.0))
+             (json_float (percentile h 90.0))
+             (json_float (percentile h 99.0))
+             (json_float h.mx)));
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  fold t ~init:() ~f:(fun () name m ->
+      match m with
+      | Counter c -> Format.fprintf ppf "%-36s %12d@," name c
+      | Gauge g -> Format.fprintf ppf "%-36s %12.2f@," name g
+      | Histogram h ->
+        Format.fprintf ppf
+          "%-36s count=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f@,"
+          name (hist_count h) (hist_mean h) (percentile h 50.0)
+          (percentile h 90.0) (percentile h 99.0) (hist_max h));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** The observability bundle: one metrics registry plus one trace
+    sink, handed to an engine with [Engine.attach_obs].
+
+    Typical wiring:
+    {[
+      let obs = Obs.make ~sink:(Obs.Sink.memory ()) () in
+      let t = E.create ~nclients:4 () in
+      E.attach_obs t obs;
+      E.run t schedule;
+      Format.printf "%a@." Obs.report obs
+    ]}
+
+    With no sink ({!make} without [?sink]) the bundle still counts —
+    metrics are cheap — while the trace path stays disabled. *)
+
+module Metrics = Metrics
+module Event = Event
+module Sink = Sink
+
+type t = {
+  metrics : Metrics.t;
+  sink : Sink.t;
+}
+
+val make : ?sink:Sink.t -> unit -> t
+
+(** Whether the sink records events; engines guard event construction
+    behind this. *)
+val tracing : t -> bool
+
+val emit : t -> Event.t -> unit
+
+(** [count_kind events kind] — occurrences of an event kind in a
+    recorded trace (see {!Event.kind}). *)
+val count_kind : Event.t list -> string -> int
+
+(** Sum of the [transforms] fields over the [deliver] events of a
+    recorded trace. *)
+val sum_deliver_transforms : Event.t list -> int
+
+(** Human-readable report over the metrics registry. *)
+val report : Format.formatter -> t -> unit
+
+(** The metrics registry as one JSON object. *)
+val metrics_json : t -> string

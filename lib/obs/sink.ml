@@ -1,0 +1,40 @@
+(* See sink.mli. *)
+
+type target =
+  | Null
+  | Memory of Event.t list ref  (* reversed *)
+  | Channel of out_channel
+
+type t = {
+  target : target;
+  mutable seq : int;
+}
+
+let null = { target = Null; seq = 0 }
+
+let memory () = { target = Memory (ref []); seq = 0 }
+
+let channel oc = { target = Channel oc; seq = 0 }
+
+let enabled t =
+  match t.target with
+  | Null -> false
+  | Memory _ | Channel _ -> true
+
+let emit t e =
+  match t.target with
+  | Null -> ()
+  | Memory events ->
+    events := e :: !events;
+    t.seq <- t.seq + 1
+  | Channel oc ->
+    output_string oc (Event.to_jsonl ~seq:t.seq e);
+    output_char oc '\n';
+    t.seq <- t.seq + 1
+
+let events t =
+  match t.target with
+  | Null | Channel _ -> []
+  | Memory events -> List.rev !events
+
+let count t = t.seq

@@ -1,0 +1,35 @@
+(** Trace sinks: where structured events go.
+
+    Three sinks cover every use:
+    - {!null} drops everything — the production default.  Call sites
+      guard event {e construction} behind {!enabled}, so a disabled
+      sink costs one branch on the hot path and allocates nothing.
+    - {!memory} accumulates events for in-process analysis (tests,
+      the trace CLI's aggregation pass).
+    - {!channel} streams JSONL lines to an [out_channel] as events
+      arrive (the trace CLI's [--json] output).
+
+    Sinks assign each event its trace sequence number. *)
+
+type t
+
+val null : t
+
+val memory : unit -> t
+
+(** [channel oc] writes one JSONL line per event to [oc].  The caller
+    keeps ownership of [oc] (closing it, flushing on exit). *)
+val channel : out_channel -> t
+
+(** Whether {!emit} would record anything.  Guard event construction
+    with this to keep the disabled path free. *)
+val enabled : t -> bool
+
+val emit : t -> Event.t -> unit
+
+(** Events recorded so far, oldest first.  Empty for {!null} and
+    {!channel} sinks. *)
+val events : t -> Event.t list
+
+(** Number of events emitted (including to a channel sink). *)
+val count : t -> int

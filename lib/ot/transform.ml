@@ -37,9 +37,16 @@ let generic_xform ~tie_shifts ~strict o1 o2 =
       Op.nop ~id:o1.Op.id
     end
 
-let xform o1 o2 = generic_xform ~tie_shifts:true ~strict:true o1 o2
+(* Global observability tap: one indirect no-op call per primitive
+   transformation when nothing is listening. *)
+let on_xform : (unit -> unit) ref = ref (fun () -> ())
+
+let xform o1 o2 =
+  !on_xform ();
+  generic_xform ~tie_shifts:true ~strict:true o1 o2
 
 let xform_no_priority o1 o2 =
+  !on_xform ();
   generic_xform ~tie_shifts:false ~strict:false o1 o2
 
 let xform_pair o1 o2 = xform o1 o2, xform o2 o1

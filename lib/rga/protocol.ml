@@ -108,6 +108,12 @@ let client_receive t = function
     integrate t.rga rop;
     t.visible <- Op_id.Set.add (op_id rop) t.visible
 
+let c2s_op_id { rop } = Some (op_id rop)
+
+let s2c_op_id = function
+  | Forward rop -> Some (op_id rop)
+  | Ack _ -> None
+
 let client_document t = Rga_list.document t.rga
 
 let server_document t = Rga_list.document t.srga

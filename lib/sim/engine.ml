@@ -1,6 +1,33 @@
 open Rlist_model
+module Obs = Rlist_obs.Obs
+module Metrics = Rlist_obs.Metrics
+module Ev = Rlist_obs.Event
 
 module Make (P : Protocol_intf.PROTOCOL) = struct
+  (* Everything the observability layer needs, allocated once at
+     {!attach_obs}: metric handles plus per-replica counter snapshots
+     (index 0 is the server) so each delivery can report {e deltas} of
+     the protocol's cumulative OT/metadata counters. *)
+  type obs_state = {
+    obs : Obs.t;
+    c_updates : Metrics.counter;
+    c_reads : Metrics.counter;
+    c_c2s : Metrics.counter;
+    c_s2c : Metrics.counter;
+    c_deliver_s : Metrics.counter;
+    c_deliver_c : Metrics.counter;
+    c_transforms : Metrics.counter;
+    h_deliver_tr : Metrics.histogram;
+    h_c2s_depth : Metrics.histogram;
+    h_s2c_depth : Metrics.histogram;
+    h_msg_bytes : Metrics.histogram;
+    h_latency : Metrics.histogram;
+    g_metadata : Metrics.gauge;
+    last_ot : int array;
+    last_meta : int array;
+    mutable meta_total : int;
+  }
+
   type t = {
     nclients : int;
     server : P.server;
@@ -11,6 +38,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     mutable next_eid : int;
     mutable behavior : (Replica_id.t * Document.t) list;  (* reversed *)
     initial : Document.t;
+    mutable obs : obs_state option;
   }
 
   let create ?(initial = Document.empty) ~nclients () =
@@ -27,6 +55,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       next_eid = 0;
       behavior = [];
       initial;
+      obs = None;
     }
 
   let nclients t = t.nclients
@@ -34,6 +63,73 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
   let check_client t i =
     if i < 1 || i > t.nclients then
       invalid_arg (Printf.sprintf "Engine: client %d out of range" i)
+
+  (* --- observability ------------------------------------------------- *)
+
+  (* Replica 0 is the server in the per-replica snapshot arrays. *)
+  let replica_ot t i =
+    if i = 0 then P.server_ot_count t.server
+    else P.client_ot_count t.clients.(i)
+
+  let replica_meta t i =
+    if i = 0 then P.server_metadata_size t.server
+    else P.client_metadata_size t.clients.(i)
+
+  let rname i = if i = 0 then "server" else "c" ^ string_of_int i
+
+  (* A crude but protocol-agnostic payload estimate: the heap words
+     reachable from the message, in bytes.  Shared substructure is
+     counted once per message, mirroring what a naive serializer would
+     transmit. *)
+  let bytes_estimate v = Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+  let attach_obs t obs =
+    let m = obs.Obs.metrics in
+    let last_ot = Array.init (t.nclients + 1) (fun i -> replica_ot t i) in
+    let last_meta = Array.init (t.nclients + 1) (fun i -> replica_meta t i) in
+    let meta_total = Array.fold_left ( + ) 0 last_meta in
+    let os =
+      {
+        obs;
+        c_updates = Metrics.counter m "engine.updates_generated";
+        c_reads = Metrics.counter m "engine.reads_generated";
+        c_c2s = Metrics.counter m "engine.msgs_c2s_sent";
+        c_s2c = Metrics.counter m "engine.msgs_s2c_sent";
+        c_deliver_s = Metrics.counter m "engine.deliveries_to_server";
+        c_deliver_c = Metrics.counter m "engine.deliveries_to_client";
+        c_transforms = Metrics.counter m "engine.transforms";
+        h_deliver_tr = Metrics.histogram m "engine.transforms_per_delivery";
+        h_c2s_depth = Metrics.histogram m "channel.c2s.depth";
+        h_s2c_depth = Metrics.histogram m "channel.s2c.depth";
+        h_msg_bytes = Metrics.histogram m "engine.msg_bytes";
+        h_latency = Metrics.histogram m "engine.virtual_latency";
+        g_metadata = Metrics.gauge m "engine.metadata_total";
+        last_ot;
+        last_meta;
+        meta_total;
+      }
+    in
+    Metrics.set_gauge os.g_metadata (float_of_int meta_total);
+    t.obs <- Some os
+
+  let obs t = Option.map (fun (os : obs_state) -> os.obs) t.obs
+
+  (* Consume the replica's OT-counter delta since the last probe. *)
+  let ot_delta os t i =
+    let current = replica_ot t i in
+    let delta = current - os.last_ot.(i) in
+    os.last_ot.(i) <- current;
+    delta
+
+  let meta_delta os t i =
+    let current = replica_meta t i in
+    let delta = current - os.last_meta.(i) in
+    os.last_meta.(i) <- current;
+    os.meta_total <- os.meta_total + delta;
+    Metrics.set_gauge os.g_metadata (float_of_int os.meta_total);
+    delta
+
+  let id_str = Option.map Op_id.to_string
 
   let record_behavior t replica doc =
     t.behavior <- (replica, doc) :: t.behavior
@@ -57,6 +153,58 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       (match msg with
       | None -> ()
       | Some m -> Queue.push m t.to_server.(i));
+      (match t.obs with
+      | None -> ()
+      | Some os ->
+        let transforms = ot_delta os t i in
+        ignore (meta_delta os t i);
+        let op_id = outcome.Protocol_intf.op_id in
+        (match op_id with
+        | Some _ -> Metrics.incr os.c_updates
+        | None -> Metrics.incr os.c_reads);
+        Metrics.add os.c_transforms transforms;
+        let depth = Queue.length t.to_server.(i) in
+        (match msg with
+        | None -> ()
+        | Some m ->
+          Metrics.incr os.c_c2s;
+          Metrics.observe os.h_c2s_depth (float_of_int depth);
+          Metrics.observe os.h_msg_bytes (float_of_int (bytes_estimate m)));
+        if Obs.tracing os.obs then begin
+          let intent_kind =
+            match outcome.Protocol_intf.op with
+            | Rlist_spec.Event.Do_read -> "read"
+            | Rlist_spec.Event.Do_ins _ -> "ins"
+            | Rlist_spec.Event.Do_del _ -> "del"
+          in
+          Obs.emit os.obs
+            (Ev.Generate
+               {
+                 replica = rname i;
+                 op_id = id_str op_id;
+                 intent = intent_kind;
+                 queue = depth;
+               });
+          match msg with
+          | None -> ()
+          | Some m ->
+            Obs.emit os.obs
+              (Ev.Send
+                 {
+                   src = rname i;
+                   dst = "server";
+                   op_id = id_str (P.c2s_op_id m);
+                   bytes = bytes_estimate m;
+                   queue = depth;
+                 });
+            Obs.emit os.obs
+              (Ev.Apply
+                 {
+                   replica = rname i;
+                   op_id = id_str op_id;
+                   doc_len = Document.length (P.client_document t.clients.(i));
+                 })
+        end);
       record_behavior t (Replica_id.Client i) (P.client_document t.clients.(i))
     | Schedule.Deliver_to_server i ->
       check_client t i;
@@ -70,6 +218,52 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           check_client t dest;
           Queue.push m t.to_client.(dest))
         outgoing;
+      (match t.obs with
+      | None -> ()
+      | Some os ->
+        let transforms = ot_delta os t 0 in
+        ignore (meta_delta os t 0);
+        Metrics.incr os.c_deliver_s;
+        Metrics.add os.c_transforms transforms;
+        Metrics.observe os.h_deliver_tr (float_of_int transforms);
+        Metrics.add os.c_s2c (List.length outgoing);
+        List.iter
+          (fun (dest, m) ->
+            Metrics.observe os.h_s2c_depth
+              (float_of_int (Queue.length t.to_client.(dest)));
+            Metrics.observe os.h_msg_bytes (float_of_int (bytes_estimate m)))
+          outgoing;
+        if Obs.tracing os.obs then begin
+          let op_id = id_str (P.c2s_op_id msg) in
+          Obs.emit os.obs
+            (Ev.Deliver
+               {
+                 replica = "server";
+                 src = rname i;
+                 op_id;
+                 transforms;
+                 queue = Queue.length t.to_server.(i);
+               });
+          Obs.emit os.obs
+            (Ev.Apply
+               {
+                 replica = "server";
+                 op_id;
+                 doc_len = Document.length (P.server_document t.server);
+               });
+          List.iter
+            (fun (dest, m) ->
+              Obs.emit os.obs
+                (Ev.Send
+                   {
+                     src = "server";
+                     dst = rname dest;
+                     op_id = id_str (P.s2c_op_id m);
+                     bytes = bytes_estimate m;
+                     queue = Queue.length t.to_client.(dest);
+                   }))
+            outgoing
+        end);
       record_behavior t Replica_id.Server (P.server_document t.server)
     | Schedule.Deliver_to_client i ->
       check_client t i;
@@ -78,6 +272,37 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           (Printf.sprintf "Engine: no pending message for client %d" i);
       let msg = Queue.pop t.to_client.(i) in
       P.client_receive t.clients.(i) msg;
+      (match t.obs with
+      | None -> ()
+      | Some os ->
+        let transforms = ot_delta os t i in
+        ignore (meta_delta os t i);
+        Metrics.incr os.c_deliver_c;
+        Metrics.add os.c_transforms transforms;
+        Metrics.observe os.h_deliver_tr (float_of_int transforms);
+        if Obs.tracing os.obs then begin
+          let op_id = id_str (P.s2c_op_id msg) in
+          Obs.emit os.obs
+            (Ev.Deliver
+               {
+                 replica = rname i;
+                 src = "server";
+                 op_id;
+                 transforms;
+                 queue = Queue.length t.to_client.(i);
+               });
+          match op_id with
+          | None -> ()  (* pure acknowledgement: nothing was applied *)
+          | Some _ ->
+            Obs.emit os.obs
+              (Ev.Apply
+                 {
+                   replica = rname i;
+                   op_id;
+                   doc_len =
+                     Document.length (P.client_document t.clients.(i));
+                 })
+        end);
       record_behavior t (Replica_id.Client i) (P.client_document t.clients.(i))
 
   let run t schedule = List.iter (apply_event t) schedule
@@ -174,6 +399,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       (* strictly increasing per channel keeps the heap order stable *)
       let time = time +. 1e-9 in
       last.(index) <- time;
+      (match t.obs with
+      | None -> ()
+      | Some os -> Metrics.observe os.h_latency (time -. now));
       time
     in
     let rec loop () =

@@ -93,4 +93,16 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
   val server : t -> P.server
 
   val client : t -> int -> P.client
+
+  (** Attach an observability context: from now on the engine feeds
+      counters and histograms into [obs]'s metrics registry and, when
+      the sink is enabled, emits one structured event per generate /
+      send / deliver / apply.  Transform counts are reported as deltas
+      of the protocol's cumulative OT counters, so they attribute each
+      primitive transformation to the delivery that caused it.  An
+      engine without an attached context pays a single [None] branch
+      per event. *)
+  val attach_obs : t -> Rlist_obs.Obs.t -> unit
+
+  val obs : t -> Rlist_obs.Obs.t option
 end

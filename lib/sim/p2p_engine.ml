@@ -1,4 +1,7 @@
 open Rlist_model
+module Obs = Rlist_obs.Obs
+module Metrics = Rlist_obs.Metrics
+module Ev = Rlist_obs.Event
 
 type event =
   | Generate of int * Intent.t
@@ -9,6 +12,25 @@ let pp_event ppf = function
   | Deliver (src, dst) -> Format.fprintf ppf "deliver p%d->p%d" src dst
 
 module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
+  (* Same delta-snapshot scheme as {!Engine}, but per peer (1-based;
+     slot 0 unused). *)
+  type obs_state = {
+    obs : Obs.t;
+    c_updates : Metrics.counter;
+    c_reads : Metrics.counter;
+    c_broadcast : Metrics.counter;
+    c_deliveries : Metrics.counter;
+    c_transforms : Metrics.counter;
+    h_deliver_tr : Metrics.histogram;
+    h_chan_depth : Metrics.histogram;
+    h_msg_bytes : Metrics.histogram;
+    g_metadata : Metrics.gauge;
+    g_buffered : Metrics.gauge;
+    last_ot : int array;
+    last_meta : int array;
+    mutable meta_total : int;
+  }
+
   type t = {
     npeers : int;
     peers : P.peer array;  (* 1-based *)
@@ -16,6 +38,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     mutable events : Rlist_spec.Event.t list;  (* reversed *)
     mutable next_eid : int;
     initial : Document.t;
+    mutable obs : obs_state option;
   }
 
   let create ?(initial = Document.empty) ~npeers () =
@@ -31,6 +54,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       events = [];
       next_eid = 0;
       initial;
+      obs = None;
     }
 
   let npeers t = t.npeers
@@ -39,9 +63,92 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     if i < 1 || i > t.npeers then
       invalid_arg (Printf.sprintf "P2p_engine: peer %d out of range" i)
 
+  (* --- observability ------------------------------------------------- *)
+
+  let pname i = "p" ^ string_of_int i
+
+  let bytes_estimate v = Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+  let total_buffered t =
+    let sum = ref 0 in
+    for i = 1 to t.npeers do
+      sum := !sum + P.buffered t.peers.(i)
+    done;
+    !sum
+
+  let attach_obs t obs =
+    let m = obs.Obs.metrics in
+    let last_ot =
+      Array.init (t.npeers + 1) (fun i ->
+          if i = 0 then 0 else P.ot_count t.peers.(i))
+    in
+    let last_meta =
+      Array.init (t.npeers + 1) (fun i ->
+          if i = 0 then 0 else P.metadata_size t.peers.(i))
+    in
+    let meta_total = Array.fold_left ( + ) 0 last_meta in
+    let os =
+      {
+        obs;
+        c_updates = Metrics.counter m "p2p.updates_generated";
+        c_reads = Metrics.counter m "p2p.reads_generated";
+        c_broadcast = Metrics.counter m "p2p.msgs_broadcast";
+        c_deliveries = Metrics.counter m "p2p.deliveries";
+        c_transforms = Metrics.counter m "p2p.transforms";
+        h_deliver_tr = Metrics.histogram m "p2p.transforms_per_delivery";
+        h_chan_depth = Metrics.histogram m "p2p.channel.depth";
+        h_msg_bytes = Metrics.histogram m "p2p.msg_bytes";
+        g_metadata = Metrics.gauge m "p2p.metadata_total";
+        g_buffered = Metrics.gauge m "p2p.buffered";
+        last_ot;
+        last_meta;
+        meta_total;
+      }
+    in
+    Metrics.set_gauge os.g_metadata (float_of_int meta_total);
+    t.obs <- Some os
+
+  let obs t = Option.map (fun (os : obs_state) -> os.obs) t.obs
+
+  let ot_delta os t i =
+    let current = P.ot_count t.peers.(i) in
+    let delta = current - os.last_ot.(i) in
+    os.last_ot.(i) <- current;
+    delta
+
+  let meta_delta os t i =
+    let current = P.metadata_size t.peers.(i) in
+    let delta = current - os.last_meta.(i) in
+    os.last_meta.(i) <- current;
+    os.meta_total <- os.meta_total + delta;
+    Metrics.set_gauge os.g_metadata (float_of_int os.meta_total);
+    delta
+
+  let id_str = Option.map Op_id.to_string
+
   let broadcast t ~from message =
     for dst = 1 to t.npeers do
-      if dst <> from then Queue.push (from, message) t.channels.(from).(dst)
+      if dst <> from then begin
+        Queue.push (from, message) t.channels.(from).(dst);
+        match t.obs with
+        | None -> ()
+        | Some os ->
+          Metrics.incr os.c_broadcast;
+          Metrics.observe os.h_chan_depth
+            (float_of_int (Queue.length t.channels.(from).(dst)));
+          Metrics.observe os.h_msg_bytes
+            (float_of_int (bytes_estimate message));
+          if Obs.tracing os.obs then
+            Obs.emit os.obs
+              (Ev.Send
+                 {
+                   src = pname from;
+                   dst = pname dst;
+                   op_id = id_str (P.message_op_id message);
+                   bytes = bytes_estimate message;
+                   queue = Queue.length t.channels.(from).(dst);
+                 })
+      end
     done
 
   let record_do t i (outcome : Protocol_intf.do_outcome) =
@@ -55,21 +162,77 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     t.events <- event :: t.events
 
   let apply_event t = function
-    | Generate (i, intent) -> (
+    | Generate (i, intent) ->
       check_peer t i;
       let outcome, message = P.generate t.peers.(i) intent in
       record_do t i outcome;
-      match message with
+      (match t.obs with
+      | None -> ()
+      | Some os ->
+        let transforms = ot_delta os t i in
+        ignore (meta_delta os t i);
+        let op_id = outcome.Protocol_intf.op_id in
+        (match op_id with
+        | Some _ -> Metrics.incr os.c_updates
+        | None -> Metrics.incr os.c_reads);
+        Metrics.add os.c_transforms transforms;
+        if Obs.tracing os.obs then begin
+          let intent_kind =
+            match outcome.Protocol_intf.op with
+            | Rlist_spec.Event.Do_read -> "read"
+            | Rlist_spec.Event.Do_ins _ -> "ins"
+            | Rlist_spec.Event.Do_del _ -> "del"
+          in
+          Obs.emit os.obs
+            (Ev.Generate
+               {
+                 replica = pname i;
+                 op_id = id_str op_id;
+                 intent = intent_kind;
+                 queue = 0;
+               });
+          match op_id with
+          | None -> ()
+          | Some _ ->
+            Obs.emit os.obs
+              (Ev.Apply
+                 {
+                   replica = pname i;
+                   op_id = id_str op_id;
+                   doc_len = Document.length (P.document t.peers.(i));
+                 })
+        end);
+      (match message with
       | None -> ()
       | Some m -> broadcast t ~from:i m)
-    | Deliver (src, dst) -> (
+    | Deliver (src, dst) ->
       check_peer t src;
       check_peer t dst;
       if Queue.is_empty t.channels.(src).(dst) then
         invalid_arg
           (Printf.sprintf "P2p_engine: channel p%d->p%d is empty" src dst);
       let from, message = Queue.pop t.channels.(src).(dst) in
-      match P.receive t.peers.(dst) ~from message with
+      let reaction = P.receive t.peers.(dst) ~from message in
+      (match t.obs with
+      | None -> ()
+      | Some os ->
+        let transforms = ot_delta os t dst in
+        ignore (meta_delta os t dst);
+        Metrics.incr os.c_deliveries;
+        Metrics.add os.c_transforms transforms;
+        Metrics.observe os.h_deliver_tr (float_of_int transforms);
+        Metrics.set_gauge os.g_buffered (float_of_int (total_buffered t));
+        if Obs.tracing os.obs then
+          Obs.emit os.obs
+            (Ev.Deliver
+               {
+                 replica = pname dst;
+                 src = pname src;
+                 op_id = id_str (P.message_op_id message);
+                 transforms;
+                 queue = Queue.length t.channels.(src).(dst);
+               }));
+      (match reaction with
       | None -> ()
       | Some reaction -> broadcast t ~from:dst reaction)
 
@@ -130,13 +293,6 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     let sum = ref 0 in
     for i = 1 to t.npeers do
       sum := !sum + P.metadata_size t.peers.(i)
-    done;
-    !sum
-
-  let total_buffered t =
-    let sum = ref 0 in
-    for i = 1 to t.npeers do
-      sum := !sum + P.buffered t.peers.(i)
     done;
     !sum
 

@@ -52,4 +52,11 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
     rng:Random.State.t ->
     params:Schedule.random_params ->
     event list
+
+  (** Attach an observability context (see {!Engine.attach_obs}):
+      per-delivery transform deltas, broadcast counts, channel depths,
+      buffered-operation and metadata gauges. *)
+  val attach_obs : t -> Rlist_obs.Obs.t -> unit
+
+  val obs : t -> Rlist_obs.Obs.t option
 end

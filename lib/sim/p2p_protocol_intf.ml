@@ -28,6 +28,10 @@ module type P2P_PROTOCOL = sig
       stop for executions to quiesce. *)
   val receive : peer -> from:int -> message -> message option
 
+  (** The identifier of the operation a message carries, for trace
+      labelling; [None] for control messages (clock announcements). *)
+  val message_op_id : message -> Op_id.t option
+
   val document : peer -> Document.t
 
   val visible : peer -> Op_id.Set.t

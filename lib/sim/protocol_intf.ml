@@ -56,6 +56,13 @@ module type PROTOCOL = sig
 
   val client_receive : client -> s2c -> unit
 
+  (** The identifier of the operation a message carries, for trace
+      labelling by the observability layer; [None] for pure
+      acknowledgements and control messages. *)
+  val c2s_op_id : c2s -> Op_id.t option
+
+  val s2c_op_id : s2c -> Op_id.t option
+
   val client_document : client -> Document.t
 
   val server_document : server -> Document.t

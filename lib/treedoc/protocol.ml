@@ -92,6 +92,12 @@ let client_receive t = function
     integrate t.list top;
     t.visible <- Op_id.Set.add (op_id top) t.visible
 
+let c2s_op_id { top } = Some (op_id top)
+
+let s2c_op_id = function
+  | Forward top -> Some (op_id top)
+  | Ack -> None
+
 let client_document t = Treedoc_list.document t.list
 
 let server_document t = Treedoc_list.document t.slist

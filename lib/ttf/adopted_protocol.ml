@@ -99,6 +99,8 @@ let receive t ~from message =
   drain t;
   None
 
+let message_op_id (m : message) = Some m.op.Op.id
+
 let document t = Ttf_model.view t.model
 
 let visible t = t.integrated
