@@ -8,7 +8,9 @@
    Pass --json to also write the document-scaling results to
    BENCH_document.json (machine-readable, tracked across PRs).
    Pass --smoke to run only a ~1-second-quota document-scaling smoke
-   bench (the @bench-smoke dune alias). *)
+   bench (the @bench-smoke dune alias).
+   Pass --mc to run only the C14 model-checking family (regenerates
+   BENCH_mc.json with --json at the full state budget). *)
 
 open Rlist_model
 open Bechamel
@@ -109,8 +111,11 @@ let () =
   let smoke = flag "--smoke" in
   let json_path = if json then Some "BENCH_document.json" else None in
   let obs_json_path = if json then Some "BENCH_obs.json" else None in
+  let mc_json_path = if json then Some "BENCH_mc.json" else None in
   Harness.install_metrics_clock ();
-  if smoke then begin
+  if flag "--mc" then
+    ignore (Experiments.c14_model_checking ?json_path:mc_json_path ())
+  else if smoke then begin
     (* Tiny quota, small sizes: catches document-layer regressions and
        crashes in seconds, without a full bench run.  The observability
        counters are deterministic and cheap, so the canary always
@@ -119,7 +124,9 @@ let () =
     ignore
       (Experiments.document_scaling ~sizes:[ 100; 1_000 ] ~quota:0.05
          ~replay_ops:500 ~engine_updates:50 ?json_path ());
-    Experiments.c13_observability ?json_path:obs_json_path ()
+    Experiments.c13_observability ?json_path:obs_json_path ();
+    ignore
+      (Experiments.c14_model_checking ?json_path:mc_json_path ~smoke:true ())
   end
   else begin
     print_endline
@@ -129,6 +136,7 @@ let () =
     Experiments.figures ();
     Experiments.claims ();
     Experiments.c13_observability ?json_path:obs_json_path ();
+    ignore (Experiments.c14_model_checking ?json_path:mc_json_path ());
     if not quick then micro_benchmarks ();
     ignore (Experiments.document_scaling ?json_path ())
   end;

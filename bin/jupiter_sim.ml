@@ -3,7 +3,11 @@
    Subcommands:
      simulate  run a random workload under a protocol and report
                convergence, specification verdicts, and cost counters
-     check     run one protocol over many seeds and report the first
+     check     bounded model checking: enumerate every delivery
+               interleaving of a small workload (with partial-order
+               reduction), check the paper's specifications on each,
+               and shrink any counterexample to a minimal witness
+     fuzz      run one protocol over many seeds and report the first
                specification violation found (none expected for the
                correct protocols; the naive foil fails quickly)
      viz       print (and optionally write DOT for) the CSS state-space
@@ -249,9 +253,9 @@ let simulate_cmd =
     Term.(const simulate $ protocol_arg $ profile_arg $ clients_arg
           $ updates_arg $ seed_arg)
 
-(* --- check ------------------------------------------------------------ *)
+(* --- fuzz ------------------------------------------------------------- *)
 
-let check protocol profile nclients updates seeds =
+let fuzz protocol profile nclients updates seeds =
   let violations = ref 0 in
   let crashes = ref 0 in
   for seed = 1 to seeds do
@@ -275,15 +279,297 @@ let check protocol profile nclients updates seeds =
     seeds !violations !crashes;
   if !violations + !crashes > 0 then exit 1
 
-let check_cmd =
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Hunt for convergence or weak-list-specification violations across \
+          many random seeds.  Exits non-zero when any is found (expected for \
+          the naive protocol only).  For exhaustive checking at small bounds \
+          use $(b,check).")
+    Term.(const fuzz $ protocol_arg $ profile_arg $ clients_arg $ updates_arg
+          $ seeds_arg)
+
+(* --- check (bounded model checking) ----------------------------------- *)
+
+(* Uniform per-workload result shape shared by the client/server and
+   peer-to-peer checkers, for text and JSON rendering. *)
+type mc_result = {
+  r_workload : string;
+  r_updates : int;
+  r_states : int;
+  r_terminals : int;
+  r_pruned_state : int;
+  r_pruned_sleep : int;
+  r_truncated : bool;
+  r_elapsed : float;
+  r_violations : (string * int * string) list;
+      (** spec, witness length, rendered witness *)
+}
+
+let mc_result ~render (workload : Rlist_mc.Workload.t) elapsed
+    (outcome : _ Rlist_mc.Mc.outcome) =
+  let stats = outcome.Rlist_mc.Mc.stats in
+  {
+    r_workload = workload.Rlist_mc.Workload.wname;
+    r_updates = Rlist_mc.Workload.total_updates workload;
+    r_states = stats.Rlist_mc.Explore.states;
+    r_terminals = stats.Rlist_mc.Explore.terminals;
+    r_pruned_state = stats.Rlist_mc.Explore.pruned_state;
+    r_pruned_sleep = stats.Rlist_mc.Explore.pruned_sleep;
+    r_truncated = stats.Rlist_mc.Explore.truncated;
+    r_elapsed = elapsed;
+    r_violations =
+      List.map
+        (fun (v : _ Rlist_mc.Explore.violation) ->
+          ( v.Rlist_mc.Explore.v_spec,
+            List.length v.Rlist_mc.Explore.v_schedule,
+            render v ))
+        outcome.Rlist_mc.Mc.violations;
+  }
+
+let mc_check_cs (module P : Rlist_sim.Protocol_intf.PROTOCOL) ~equiv ~specs
+    ~workloads ~por ~max_states =
+  let module M = Rlist_mc.Mc.Cs (P) in
+  List.map
+    (fun workload ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = M.check ?equiv ~por ~max_states ~specs ~workload () in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      mc_result workload elapsed outcome
+        ~render:(Format.asprintf "%a" M.pp_violation))
+    workloads
+
+let mc_check_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL)
+    ~specs ~workloads ~por ~max_states =
+  let module M = Rlist_mc.Mc.P2p (P) in
+  List.map
+    (fun workload ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = M.check ~por ~max_states ~specs ~workload () in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      mc_result workload elapsed outcome
+        ~render:(Format.asprintf "%a" M.pp_violation))
+    workloads
+
+let cs_protocol_module = function
+  | P_css -> Some (module Jupiter_css.Protocol : Rlist_sim.Protocol_intf.PROTOCOL)
+  | P_cscw -> Some (module Jupiter_cscw.Protocol)
+  | P_rga -> Some (module Jupiter_rga.Protocol)
+  | P_naive -> Some (module Jupiter_cscw.Naive_p2p)
+  | P_pruned -> Some (module Jupiter_css.Pruned_protocol)
+  | P_logoot -> Some (module Jupiter_logoot.Protocol)
+  | P_sequencer -> Some (module Jupiter_css.Sequencer_protocol)
+  | P_treedoc -> Some (module Jupiter_treedoc.Protocol)
+  | P_css_p2p | P_ttf -> None
+
+let mc_check protocol nclients ops specs equiv_partner por max_states
+    expect_violation json =
+  let specs =
+    match specs with
+    | [] -> Rlist_mc.Mc.all_specs
+    | specs -> specs
+  in
+  (* The Thm 8.1 scenario is part of the client/server catalog; on the
+     broadcast engines its interleaving space is orders of magnitude
+     larger, so peer-to-peer protocols check the combinatorial workload
+     only. *)
+  let include_thm81 =
+    match protocol with
+    | P_css_p2p | P_ttf -> false
+    | _ -> true
+  in
+  let workloads = Rlist_mc.Workload.catalog ~include_thm81 ~nclients ~ops () in
+  let equiv =
+    match equiv_partner with
+    | None -> None
+    | Some partner -> (
+      match cs_protocol_module partner with
+      | Some p -> Some ("equiv", Rlist_mc.Mc.behavior_of p)
+      | None ->
+        prerr_endline
+          "check: --equiv partner must be a client/server protocol";
+        exit 1)
+  in
+  let results =
+    match protocol with
+    | P_css_p2p ->
+      if equiv <> None then begin
+        prerr_endline
+          "check: --equiv is not supported for peer-to-peer protocols";
+        exit 1
+      end;
+      mc_check_p2p (module Jupiter_css.Distributed_protocol) ~specs
+        ~workloads ~por ~max_states
+    | P_ttf ->
+      if equiv <> None then begin
+        prerr_endline
+          "check: --equiv is not supported for peer-to-peer protocols";
+        exit 1
+      end;
+      mc_check_p2p (module Jupiter_ttf.Adopted_protocol) ~specs ~workloads
+        ~por ~max_states
+    | cs -> (
+      match cs_protocol_module cs with
+      | Some (module P) ->
+        mc_check_cs (module P) ~equiv ~specs ~workloads ~por ~max_states
+      | None -> assert false)
+  in
+  let checked_specs =
+    List.map Rlist_mc.Mc.spec_name specs
+    @ (match equiv with Some (name, _) -> [ name ] | None -> [])
+  in
+  let observed spec =
+    List.exists
+      (fun r ->
+        List.exists (fun (s, _, _) -> String.equal s spec) r.r_violations)
+      results
+  in
+  let truncated = List.exists (fun r -> r.r_truncated) results in
+  let mismatches =
+    List.filter
+      (fun spec ->
+        let expected = List.mem spec expect_violation in
+        observed spec <> expected)
+      checked_specs
+  in
+  if json then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"workloads\": [\n";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Printf.bprintf b
+          "    {\"workload\": %S, \"updates\": %d, \"states\": %d, \
+           \"interleavings\": %d, \"pruned_state\": %d, \"pruned_sleep\": \
+           %d, \"truncated\": %b, \"elapsed_s\": %.6f, \"violations\": [%s]}"
+          r.r_workload r.r_updates r.r_states r.r_terminals r.r_pruned_state
+          r.r_pruned_sleep r.r_truncated r.r_elapsed
+          (String.concat ", "
+             (List.map
+                (fun (spec, nevents, _) ->
+                  Printf.sprintf "{\"spec\": %S, \"events\": %d}" spec
+                    nevents)
+                r.r_violations)))
+      results;
+    Printf.bprintf b "\n  ],\n  \"expected_violations\": [%s],\n"
+      (String.concat ", "
+         (List.map (fun s -> Printf.sprintf "%S" s) expect_violation));
+    Printf.bprintf b "  \"mismatches\": [%s],\n"
+      (String.concat ", "
+         (List.map (fun s -> Printf.sprintf "%S" s) mismatches));
+    Printf.bprintf b "  \"pass\": %b\n}" (mismatches = [] && not truncated);
+    print_endline (Buffer.contents b)
+  end
+  else begin
+    List.iter
+      (fun r ->
+        Printf.printf
+          "%-20s %7d states, %6d interleavings, pruned %d (cache) + %d \
+           (sleep)%s, %.2fs (%.0f states/s)\n"
+          r.r_workload r.r_states r.r_terminals r.r_pruned_state
+          r.r_pruned_sleep
+          (if r.r_truncated then ", TRUNCATED" else "")
+          r.r_elapsed
+          (float_of_int r.r_states /. Float.max 1e-9 r.r_elapsed);
+        List.iter
+          (fun (spec, _, rendered) ->
+            Printf.printf "  %s spec violated:\n%s\n" spec rendered)
+          r.r_violations)
+      results;
+    List.iter
+      (fun spec ->
+        if List.mem spec expect_violation then
+          Printf.printf
+            "GATE: expected a %s violation but none was found\n" spec
+        else Printf.printf "GATE: unexpected %s violation\n" spec)
+      mismatches;
+    if truncated then
+      print_endline "GATE: state budget exhausted (raise --max-states)";
+    if mismatches = [] && not truncated then
+      Printf.printf "GATE: pass (%s)\n" (String.concat ", " checked_specs)
+  end;
+  if mismatches <> [] || truncated then exit 1
+
+let mc_protocol_arg =
+  let protocol_conv = Arg.enum protocol_names in
+  Arg.(required
+       & pos 0 (some protocol_conv) None
+       & info [] ~docv:"PROTOCOL"
+           ~doc:"Protocol to model-check (same names as $(b,simulate)).")
+
+let mc_clients_arg =
+  Arg.(value & opt int 2
+       & info [ "clients" ] ~docv:"N"
+           ~doc:"Clients in the bounded workload (2-8).")
+
+let mc_ops_arg =
+  Arg.(value & opt int 2
+       & info [ "ops" ] ~docv:"K" ~doc:"Script operations per client.")
+
+let mc_spec_arg =
+  let spec_conv =
+    Arg.conv
+      ( (fun s ->
+          match Rlist_mc.Mc.spec_of_name s with
+          | Some spec -> Ok spec
+          | None -> Error (`Msg (Printf.sprintf "unknown spec %S" s))),
+        fun ppf s -> Format.pp_print_string ppf (Rlist_mc.Mc.spec_name s) )
+  in
+  Arg.(value & opt_all spec_conv []
+       & info [ "spec" ] ~docv:"SPEC"
+           ~doc:
+             "Specification to check: convergence, weak, or strong.  \
+              Repeatable; default all three.")
+
+let mc_equiv_arg =
+  let protocol_conv = Arg.enum protocol_names in
+  Arg.(value & opt (some protocol_conv) None
+       & info [ "equiv" ] ~docv:"PROTOCOL"
+           ~doc:
+             "Also check behavioural equivalence against this protocol on \
+              every interleaving (Theorem 7.1: css vs cscw).")
+
+let mc_no_por_arg =
+  Arg.(value & flag
+       & info [ "no-por" ]
+           ~doc:
+             "Disable partial-order reduction and state caching (naive \
+              enumeration, the cross-check baseline).")
+
+let mc_max_states_arg =
+  Arg.(value & opt int 500_000
+       & info [ "max-states" ] ~docv:"COUNT"
+           ~doc:"State budget; exceeding it fails the gate.")
+
+let mc_expect_arg =
+  Arg.(value & opt_all string []
+       & info [ "expect-violation" ] ~docv:"SPEC"
+           ~doc:
+             "The gate passes only if this specification IS violated \
+              somewhere in the catalog — mechanizing a negative theorem \
+              (Thm 8.1: $(b,--expect-violation strong) for the OT \
+              protocols).  Repeatable.")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+let mc_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Hunt for convergence or weak-list-specification violations across \
-          many seeds.  Exits non-zero when any is found (expected for the \
-          naive protocol only).")
-    Term.(const check $ protocol_arg $ profile_arg $ clients_arg $ updates_arg
-          $ seeds_arg)
+         "Bounded model checking: exhaustively enumerate every delivery \
+          interleaving of a small workload catalog (a combinatorial \
+          N-client script plus the fixed 3-client Theorem 8.1 scenario), \
+          check convergence and the weak/strong list specifications on \
+          each terminal execution, and shrink any counterexample to a \
+          1-minimal witness.  Partial-order reduction (sleep sets + state \
+          caching) is on by default and preserves all verdicts.")
+    Term.(const mc_check $ mc_protocol_arg $ mc_clients_arg $ mc_ops_arg
+          $ mc_spec_arg $ mc_equiv_arg
+          $ Term.app (Term.const not) mc_no_por_arg
+          $ mc_max_states_arg $ mc_expect_arg $ json_arg)
 
 (* --- viz ------------------------------------------------------------- *)
 
@@ -622,5 +908,5 @@ let () =
         "Simulate and check replicated-list protocols (CSS/CSCW Jupiter, \
          RGA, and a broken OT foil)."
   in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; check_cmd; viz_cmd; figures_cmd; record_cmd; replay_cmd;
-            stats_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; mc_cmd; fuzz_cmd; viz_cmd;
+            figures_cmd; record_cmd; replay_cmd; stats_cmd; trace_cmd ]))

@@ -249,7 +249,9 @@ let stats t =
     max_branching;
     nop_forms;
     width_per_level =
-      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) widths []);
+      List.sort
+        (fun (l1, _) (l2, _) -> Int.compare l1 l2)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) widths []);
   }
 
 let pp_stats ppf s =

@@ -71,7 +71,7 @@ let find_or_create t state =
     Op_id.State_table.add t.nodes state node;
     node
 
-let mem_state t state = find_node_opt t state <> None
+let mem_state t state = Option.is_some (find_node_opt t state)
 
 let transitions t state = (find_node t state).transitions
 
@@ -175,7 +175,7 @@ let ot_count t = t.ot_count
 let set_observer t notify = t.observer <- Some notify
 
 let compact t ~stable ~base_doc =
-  if find_node_opt t stable = None then
+  if Option.is_none (find_node_opt t stable) then
     invalid_arg
       (Format.asprintf "State_space.compact: %a is not a state" Op_id.Set.pp
          stable);

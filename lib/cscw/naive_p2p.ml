@@ -16,16 +16,20 @@ type s2c = {
   origin : int;
 }
 
+(* [orig_clock] is the concurrency information a correct algorithm
+   would consult; the naive foil records it and never reads it — that
+   omission is the bug being demonstrated. *)
 type executed = {
   form : Op.t;  (* the form actually applied to the document *)
   orig_clock : int array;  (* the generator's knowledge *)
   orig_client : int;
   orig_seq : int;
 }
+[@@warning "-69"]
 
 type client = {
   id : int;
-  nclients : int;
+  nclients : int; [@warning "-69"]
   mutable doc : Document.t;
   mutable next_seq : int;
   mutable log : executed list;  (* reversed execution order *)

@@ -1,0 +1,159 @@
+(* See explore.mli for the algorithm and its soundness argument. *)
+
+module type SYSTEM = sig
+  type t
+
+  type action
+
+  val fresh : unit -> t
+
+  val apply : t -> action -> unit
+
+  val enabled : t -> action list
+
+  val equal_action : action -> action -> bool
+
+  val independent : action -> action -> bool
+
+  val footprint : action -> int * char
+
+  val nslots : int
+
+  val finalize : t -> action list
+
+  val checks : t -> action list -> (string * Rlist_spec.Check.result) list
+end
+
+type stats = {
+  mutable states : int;
+  mutable terminals : int;
+  mutable pruned_state : int;
+  mutable pruned_sleep : int;
+  mutable truncated : bool;
+}
+
+type 'action violation = {
+  v_spec : string;
+  v_result : Rlist_spec.Check.result;
+  v_schedule : 'action list;
+}
+
+module Make (S : SYSTEM) = struct
+  type report = {
+    stats : stats;
+    violations : S.action violation list;
+  }
+
+  let mem_action a = List.exists (fun b -> S.equal_action a b)
+
+  let subset s1 s2 = List.for_all (fun a -> mem_action a s2) s1
+
+  (* Replay a path (root-first) on a fresh system. *)
+  let replay path =
+    let t = S.fresh () in
+    List.iter (S.apply t) path;
+    t
+
+  let run ?(por = true) ?(max_states = 500_000) () =
+    let stats =
+      {
+        states = 0;
+        terminals = 0;
+        pruned_state = 0;
+        pruned_sleep = 0;
+        truncated = false;
+      }
+    in
+    (* First violation per spec name, in discovery order. *)
+    let violations : (string, S.action violation) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let order = ref [] in
+    (* State cache: canonical key -> sleep sets it was explored with.
+       A revisit is pruned only when some recorded sleep set is a
+       subset of the current one (everything we would explore now was
+       explored then). *)
+    let visited : (string, S.action list list) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    (* The canonical key: one buffer of history tokens per replica
+       slot, extended on the way down and truncated on the way up. *)
+    let slots = Array.init S.nslots (fun _ -> Buffer.create 16) in
+    let key () =
+      let b = Buffer.create (16 * S.nslots) in
+      Array.iter
+        (fun slot ->
+          Buffer.add_buffer b slot;
+          Buffer.add_char b '|')
+        slots;
+      Buffer.contents b
+    in
+    let record_terminal t path_rev =
+      stats.terminals <- stats.terminals + 1;
+      let reads = S.finalize t in
+      let schedule = List.rev_append path_rev reads in
+      List.iter
+        (fun (spec, result) ->
+          match result with
+          | Rlist_spec.Check.Satisfied -> ()
+          | Rlist_spec.Check.Violated _ ->
+            if not (Hashtbl.mem violations spec) then begin
+              Hashtbl.add violations spec
+                { v_spec = spec; v_result = result; v_schedule = schedule };
+              order := spec :: !order
+            end)
+        (S.checks t schedule)
+    in
+    let rec explore path_rev sleep =
+      if stats.states >= max_states then stats.truncated <- true
+      else begin
+        stats.states <- stats.states + 1;
+        let k = if por then key () else "" in
+        let skip =
+          por
+          &&
+          match Hashtbl.find_opt visited k with
+          | Some sleeps when List.exists (fun s -> subset s sleep) sleeps ->
+            true
+          | Some sleeps ->
+            Hashtbl.replace visited k (sleep :: sleeps);
+            false
+          | None ->
+            Hashtbl.add visited k [ sleep ];
+            false
+        in
+        if skip then stats.pruned_state <- stats.pruned_state + 1
+        else begin
+          let t = replay (List.rev path_rev) in
+          match S.enabled t with
+          | [] -> record_terminal t path_rev
+          | enabled ->
+            let sleep = ref sleep in
+            List.iter
+              (fun a ->
+                if por && mem_action a !sleep then
+                  stats.pruned_sleep <- stats.pruned_sleep + 1
+                else begin
+                  let child_sleep =
+                    if por then
+                      List.filter (fun s -> S.independent s a) !sleep
+                    else []
+                  in
+                  let slot, token = S.footprint a in
+                  let len = Buffer.length slots.(slot) in
+                  Buffer.add_char slots.(slot) token;
+                  explore (a :: path_rev) child_sleep;
+                  Buffer.truncate slots.(slot) len;
+                  if por then sleep := a :: !sleep
+                end)
+              enabled
+        end
+      end
+    in
+    explore [] [];
+    {
+      stats;
+      violations =
+        List.rev_map (fun spec -> Hashtbl.find violations spec) !order;
+    }
+end

@@ -1,0 +1,89 @@
+(** The bounded model checker's search core: depth-first enumeration
+    of every admissible action interleaving of a {!SYSTEM}, with two
+    optional partial-order reductions.
+
+    {b Sleep sets} (Godefroid): after a subtree rooted at action [a]
+    has been fully explored, sibling subtrees need not re-execute [a]
+    until a {e dependent} action wakes it, because every interleaving
+    that merely commutes [a] with independent actions lies in the
+    explored subtree's Mazurkiewicz trace class.
+
+    {b State caching}: the key of a configuration is the tuple of
+    per-replica local histories (which script steps and which channel
+    consumptions each replica has performed, in order).  Replicas of a
+    deterministic protocol interact only through FIFO channels, so
+    equal keys imply equal global configurations {e and} equal
+    multisets of recorded do events; since every specification checked
+    here is insensitive to the interleaving order of its events, a
+    revisited key with a no-smaller sleep set can be pruned.  A revisit
+    with an incomparable sleep set is re-explored (the classic
+    sleep-set/state-matching soundness condition).
+
+    Both reductions preserve the set of terminal-execution verdicts;
+    [test/test_mc.ml] cross-checks this against naive enumeration. *)
+
+module type SYSTEM = sig
+  type t
+
+  type action
+
+  val fresh : unit -> t
+
+  val apply : t -> action -> unit
+
+  (** Enabled actions of a configuration, in a deterministic order.
+      An empty list means the configuration is terminal. *)
+  val enabled : t -> action list
+
+  val equal_action : action -> action -> bool
+
+  (** A sound independence relation: [independent a b] may be [true]
+      only if, from any configuration where both are enabled,
+      executing them in either order yields the same configuration,
+      the same recorded events, and the same enabled sets. *)
+  val independent : action -> action -> bool
+
+  (** [(slot, token)] identifying which replica's local history an
+      action extends, and how — the state-cache key material. *)
+  val footprint : action -> int * char
+
+  (** Number of local-history slots ([footprint] slot bound). *)
+  val nslots : int
+
+  (** Complete a terminal configuration (issue the final reads);
+      returns the actions performed so the full schedule can be
+      replayed elsewhere. *)
+  val finalize : t -> action list
+
+  (** Specification verdicts of a finalized terminal configuration.
+      The second argument is the full schedule that produced it. *)
+  val checks : t -> action list -> (string * Rlist_spec.Check.result) list
+end
+
+type stats = {
+  mutable states : int;  (** Configurations expanded (nodes visited). *)
+  mutable terminals : int;  (** Complete interleavings checked. *)
+  mutable pruned_state : int;  (** Subtrees cut by the state cache. *)
+  mutable pruned_sleep : int;  (** Branches cut by sleep sets. *)
+  mutable truncated : bool;  (** The state budget was exhausted. *)
+}
+
+type 'action violation = {
+  v_spec : string;
+  v_result : Rlist_spec.Check.result;
+  v_schedule : 'action list;  (** Full schedule, final reads included. *)
+}
+
+module Make (S : SYSTEM) : sig
+  type report = {
+    stats : stats;
+    violations : S.action violation list;
+        (** First witness found per violated specification. *)
+  }
+
+  (** [run ~por ~max_states ()] explores every interleaving (breadth
+      bounded by [max_states] visited configurations; exceeding it
+      sets [truncated]).  [por:false] disables both reductions —
+      naive enumeration, the cross-check baseline. *)
+  val run : ?por:bool -> ?max_states:int -> unit -> report
+end

@@ -1,0 +1,387 @@
+open Rlist_model
+
+type spec =
+  | Convergence
+  | Weak
+  | Strong
+
+let spec_name = function
+  | Convergence -> "convergence"
+  | Weak -> "weak"
+  | Strong -> "strong"
+
+let spec_of_name = function
+  | "convergence" -> Some Convergence
+  | "weak" -> Some Weak
+  | "strong" -> Some Strong
+  | _ -> None
+
+let all_specs = [ Convergence; Weak; Strong ]
+
+type 'action outcome = {
+  workload : Workload.t;
+  stats : Explore.stats;
+  violations : 'action Explore.violation list;
+}
+
+let equal_intent a b =
+  match (a, b) with
+  | Intent.Read, Intent.Read -> true
+  | Intent.Insert (c1, p1), Intent.Insert (c2, p2) ->
+    Char.equal c1 c2 && p1 = p2
+  | Intent.Delete p1, Intent.Delete p2 -> p1 = p2
+  | (Intent.Read | Intent.Insert _ | Intent.Delete _), _ -> false
+
+let is_update_intent = function
+  | Intent.Insert _ | Intent.Delete _ -> true
+  | Intent.Read -> false
+
+(* Shared by both checkers: replay a found violation's schedule on a
+   fresh system, tolerate unreplayable candidates, and minimize. *)
+let shrink_violations (type sys action)
+    ~(fresh : unit -> sys)
+    ~(apply : sys -> action -> unit)
+    ~(checks : sys -> action list -> (string * Rlist_spec.Check.result) list)
+    violations =
+  let replay_verdict spec schedule =
+    let t = fresh () in
+    match List.iter (apply t) schedule with
+    | exception Invalid_argument _ -> None
+    | () -> List.assoc_opt spec (checks t schedule)
+  in
+  let shrink_one (v : action Explore.violation) =
+    let still_fails candidate =
+      match replay_verdict v.Explore.v_spec candidate with
+      | Some (Rlist_spec.Check.Violated _) -> true
+      | Some Rlist_spec.Check.Satisfied | None -> false
+    in
+    let v_schedule = Witness.shrink ~still_fails v.Explore.v_schedule in
+    let v_result =
+      (* Re-derive the verdict from the minimized schedule so its
+         reason and culprits describe the witness we print. *)
+      match replay_verdict v.Explore.v_spec v_schedule with
+      | Some r -> r
+      | None -> v.Explore.v_result
+    in
+    { v with Explore.v_schedule; v_result }
+  in
+  List.map shrink_one violations
+
+let diverged ~spec =
+  Rlist_spec.Check.violated ~spec ~culprits:[]
+    "replicas hold different documents at quiescence"
+
+let behavior_of (module P : Rlist_sim.Protocol_intf.PROTOCOL) ~nclients
+    ~initial schedule =
+  let module E = Rlist_sim.Engine.Make (P) in
+  let e = E.create ~initial ~nclients () in
+  E.run e schedule;
+  E.behavior e
+
+let compare_behaviors ~spec mine theirs =
+  let pp_step ppf (r, d) =
+    Format.fprintf ppf "%a:%a" Replica_id.pp r Document.pp d
+  in
+  let rec go i mine theirs =
+    match (mine, theirs) with
+    | [], [] -> Rlist_spec.Check.Satisfied
+    | [], step :: _ | step :: _, [] ->
+      Rlist_spec.Check.violated ~spec ~culprits:[]
+        (Format.asprintf "behaviours differ in length at step %d (%a)" i
+           pp_step step)
+    | (r1, d1) :: rest1, (r2, d2) :: rest2 ->
+      if Replica_id.equal r1 r2 && Document.equal d1 d2 then
+        go (i + 1) rest1 rest2
+      else
+        Rlist_spec.Check.violated ~spec ~culprits:[]
+          (Format.asprintf "behaviours diverge at step %d: %a vs %a" i
+             pp_step (r1, d1) pp_step (r2, d2))
+  in
+  go 0 mine theirs
+
+module Cs (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
+  module E = Rlist_sim.Engine.Make (P)
+  module S = Rlist_sim.Schedule
+
+  let make_system ~(workload : Workload.t) ~equiv ~specs :
+      (module Explore.SYSTEM with type action = S.event) =
+    let n = workload.Workload.nclients in
+    if n > 8 then invalid_arg "Mc.Cs: at most 8 clients";
+    (module struct
+      type t = {
+        e : E.t;
+        scripts : Intent.t list array;
+      }
+
+      type action = S.event
+
+      let fresh () =
+        {
+          e = E.create ~initial:workload.Workload.initial ~nclients:n ();
+          scripts = Array.copy workload.Workload.scripts;
+        }
+
+      let apply t ev =
+        (match ev with
+        | S.Generate (i, _) -> (
+          (* The event already carries its clamped intent; the script
+             slot only gates [enabled].  Tolerate an exhausted slot so
+             shrunk candidate schedules remain replayable. *)
+          match t.scripts.(i) with
+          | [] -> ()
+          | _ :: tl -> t.scripts.(i) <- tl)
+        | S.Deliver_to_server _ | S.Deliver_to_client _ -> ());
+        E.apply_event t.e ev
+
+      let enabled t =
+        let gens = ref [] in
+        let dts = ref [] in
+        let dtc = ref [] in
+        for i = n downto 1 do
+          (match t.scripts.(i) with
+          | [] -> ()
+          | intent :: _ ->
+            let doc_length = Document.length (E.client_document t.e i) in
+            gens := S.Generate (i, Workload.clamp ~doc_length intent) :: !gens);
+          if E.pending_to_server t.e i > 0 then
+            dts := S.Deliver_to_server i :: !dts;
+          if E.pending_to_client t.e i > 0 then
+            dtc := S.Deliver_to_client i :: !dtc
+        done;
+        !gens @ !dts @ !dtc
+
+      let equal_action a b =
+        match (a, b) with
+        | S.Generate (i, x), S.Generate (j, y) -> i = j && equal_intent x y
+        | S.Deliver_to_server i, S.Deliver_to_server j -> i = j
+        | S.Deliver_to_client i, S.Deliver_to_client j -> i = j
+        | (S.Generate _ | S.Deliver_to_server _ | S.Deliver_to_client _), _
+          ->
+          false
+
+      (* Client [i]'s generate touches client [i] and the back of its
+         to-server queue; a to-server delivery touches the server and
+         the front of that queue (push-back and pop-front commute); a
+         to-client delivery touches client [i] and the front of its
+         from-server queue.  Only the server serializes: to-server
+         deliveries conflict with each other, and nothing else does
+         except actions on the same client. *)
+      let independent a b =
+        match (a, b) with
+        | S.Generate (i, _), S.Generate (j, _) -> i <> j
+        | S.Generate (i, _), S.Deliver_to_client j
+        | S.Deliver_to_client j, S.Generate (i, _) ->
+          i <> j
+        | S.Generate _, S.Deliver_to_server _
+        | S.Deliver_to_server _, S.Generate _ ->
+          true
+        | S.Deliver_to_server _, S.Deliver_to_server _ -> false
+        | S.Deliver_to_server _, S.Deliver_to_client _
+        | S.Deliver_to_client _, S.Deliver_to_server _ ->
+          true
+        | S.Deliver_to_client i, S.Deliver_to_client j -> i <> j
+
+      let footprint = function
+        | S.Generate (i, _) -> (i, 'g')
+        | S.Deliver_to_server i -> (0, Char.chr (Char.code '0' + i))
+        | S.Deliver_to_client i -> (i, 'r')
+
+      let nslots = n + 1
+
+      let finalize t =
+        let reads = S.final_reads ~nclients:n in
+        List.iter (apply t) reads;
+        reads
+
+      let checks t schedule =
+        let trace = lazy (E.trace t.e) in
+        let spec_checks =
+          List.map
+            (fun spec ->
+              let name = spec_name spec in
+              let result =
+                match spec with
+                | Convergence ->
+                  (* Replica equality is only judged at quiescence;
+                     shrunk candidate schedules with messages still in
+                     flight fall back to the trace-level check. *)
+                  if E.pending_messages t.e = 0 && not (E.converged t.e)
+                  then diverged ~spec:name
+                  else Rlist_spec.Convergence.check (Lazy.force trace)
+                | Weak -> Rlist_spec.Weak_spec.check (Lazy.force trace)
+                | Strong -> Rlist_spec.Strong_spec.check (Lazy.force trace)
+              in
+              (name, result))
+            specs
+        in
+        match equiv with
+        | None -> spec_checks
+        | Some (name, replay) ->
+          let result =
+            match
+              replay ~nclients:n ~initial:workload.Workload.initial schedule
+            with
+            | exception Invalid_argument msg ->
+              Rlist_spec.Check.violated ~spec:name ~culprits:[]
+                ("partner protocol cannot replay the schedule: " ^ msg)
+            | theirs -> compare_behaviors ~spec:name (E.behavior t.e) theirs
+          in
+          spec_checks @ [ (name, result) ]
+    end)
+
+  let check ?equiv ?(por = true) ?(max_states = 500_000) ?(shrink = true)
+      ~specs ~workload () =
+    let module Sys = (val make_system ~workload ~equiv ~specs) in
+    let module X = Explore.Make (Sys) in
+    let report = X.run ~por ~max_states () in
+    let violations =
+      if shrink then
+        shrink_violations ~fresh:Sys.fresh ~apply:Sys.apply
+          ~checks:Sys.checks report.X.violations
+      else report.X.violations
+    in
+    { workload; stats = report.X.stats; violations }
+
+  let pp_violation ppf v =
+    Witness.pp ~pp_action:S.pp_event
+      ~is_generate:(function
+        | S.Generate (_, intent) -> is_update_intent intent
+        | S.Deliver_to_server _ | S.Deliver_to_client _ -> false)
+      ppf v
+end
+
+module P2p (P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) = struct
+  module E = Rlist_sim.P2p_engine.Make (P)
+
+  let make_system ~(workload : Workload.t) ~specs :
+      (module Explore.SYSTEM with type action = Rlist_sim.P2p_engine.event) =
+    let n = workload.Workload.nclients in
+    if n > 8 then invalid_arg "Mc.P2p: at most 8 peers";
+    (module struct
+      type t = {
+        e : E.t;
+        scripts : Intent.t list array;
+      }
+
+      type action = Rlist_sim.P2p_engine.event
+
+      let fresh () =
+        {
+          e = E.create ~initial:workload.Workload.initial ~npeers:n ();
+          scripts = Array.copy workload.Workload.scripts;
+        }
+
+      let apply t ev =
+        (match ev with
+        | Rlist_sim.P2p_engine.Generate (i, _) -> (
+          match t.scripts.(i) with
+          | [] -> ()
+          | _ :: tl -> t.scripts.(i) <- tl)
+        | Rlist_sim.P2p_engine.Deliver _ -> ());
+        E.apply_event t.e ev
+
+      let enabled t =
+        let gens = ref [] in
+        let dels = ref [] in
+        for dst = n downto 1 do
+          for src = n downto 1 do
+            if src <> dst && E.channel_depth t.e ~src ~dst > 0 then
+              dels := Rlist_sim.P2p_engine.Deliver (src, dst) :: !dels
+          done
+        done;
+        for i = n downto 1 do
+          match t.scripts.(i) with
+          | [] -> ()
+          | intent :: _ ->
+            let doc_length = Document.length (E.document t.e i) in
+            gens :=
+              Rlist_sim.P2p_engine.Generate
+                (i, Workload.clamp ~doc_length intent)
+              :: !gens
+        done;
+        !gens @ !dels
+
+      let equal_action a b =
+        match (a, b) with
+        | ( Rlist_sim.P2p_engine.Generate (i, x),
+            Rlist_sim.P2p_engine.Generate (j, y) ) ->
+          i = j && equal_intent x y
+        | ( Rlist_sim.P2p_engine.Deliver (s1, d1),
+            Rlist_sim.P2p_engine.Deliver (s2, d2) ) ->
+          s1 = s2 && d1 = d2
+        | (Rlist_sim.P2p_engine.Generate _ | Rlist_sim.P2p_engine.Deliver _), _
+          ->
+          false
+
+      (* A generate touches peer [i] and the backs of its outgoing
+         channels; a delivery touches peer [dst], the front of one
+         incoming channel, and (reactions) the backs of [dst]'s
+         outgoing channels.  Two actions conflict exactly when they
+         touch the same peer's state. *)
+      let independent a b =
+        match (a, b) with
+        | ( Rlist_sim.P2p_engine.Generate (i, _),
+            Rlist_sim.P2p_engine.Generate (j, _) ) ->
+          i <> j
+        | Rlist_sim.P2p_engine.Generate (i, _),
+          Rlist_sim.P2p_engine.Deliver (_, d)
+        | Rlist_sim.P2p_engine.Deliver (_, d),
+          Rlist_sim.P2p_engine.Generate (i, _) ->
+          d <> i
+        | ( Rlist_sim.P2p_engine.Deliver (_, d1),
+            Rlist_sim.P2p_engine.Deliver (_, d2) ) ->
+          d1 <> d2
+
+      let footprint = function
+        | Rlist_sim.P2p_engine.Generate (i, _) -> (i, 'g')
+        | Rlist_sim.P2p_engine.Deliver (src, dst) ->
+          (dst, Char.chr (Char.code '0' + src))
+
+      let nslots = n + 1
+
+      let finalize t =
+        let reads =
+          List.init n (fun i ->
+              Rlist_sim.P2p_engine.Generate (i + 1, Intent.Read))
+        in
+        List.iter (apply t) reads;
+        reads
+
+      let checks t _schedule =
+        let trace = lazy (E.trace t.e) in
+        List.map
+          (fun spec ->
+            let name = spec_name spec in
+            let result =
+              match spec with
+              | Convergence ->
+                if E.pending_messages t.e = 0 && not (E.converged t.e) then
+                  diverged ~spec:name
+                else Rlist_spec.Convergence.check (Lazy.force trace)
+              | Weak -> Rlist_spec.Weak_spec.check (Lazy.force trace)
+              | Strong -> Rlist_spec.Strong_spec.check (Lazy.force trace)
+            in
+            (name, result))
+          specs
+    end)
+
+  let check ?(por = true) ?(max_states = 500_000) ?(shrink = true) ~specs
+      ~workload () =
+    let module Sys = (val make_system ~workload ~specs) in
+    let module X = Explore.Make (Sys) in
+    let report = X.run ~por ~max_states () in
+    let violations =
+      if shrink then
+        shrink_violations ~fresh:Sys.fresh ~apply:Sys.apply
+          ~checks:Sys.checks report.X.violations
+      else report.X.violations
+    in
+    { workload; stats = report.X.stats; violations }
+
+  let pp_violation ppf v =
+    Witness.pp ~pp_action:Rlist_sim.P2p_engine.pp_event
+      ~is_generate:(function
+        | Rlist_sim.P2p_engine.Generate (_, intent) -> is_update_intent intent
+        | Rlist_sim.P2p_engine.Deliver _ -> false)
+      ppf v
+end

@@ -1,0 +1,87 @@
+(** The bounded model checker (the mechanized theorem gate).
+
+    For a protocol and a bounded {!Workload}, [check] drives the
+    protocol's simulation engine through {e every} admissible
+    interleaving of generations and deliveries (optionally reduced by
+    sleep sets and state caching, see {!Explore}), evaluates the
+    paper's specifications on each terminal execution, and minimizes
+    the first witness of each violated specification with the
+    {!Witness} shrinker.
+
+    The theorems this gate mechanizes on bounded schedule spaces:
+    convergence (Thm 6.7) and the weak list specification (Thm 8.2)
+    must hold on every interleaving; the strong list specification
+    must be violated on some interleaving of the {!Workload.thm81}
+    scenario (Thm 8.1); and CSS and CSCW must produce identical
+    behaviours on every schedule (Thm 7.1, the [equiv] check). *)
+
+open Rlist_model
+
+type spec =
+  | Convergence
+  | Weak
+  | Strong
+
+val spec_name : spec -> string
+
+val spec_of_name : string -> spec option
+
+val all_specs : spec list
+
+type 'action outcome = {
+  workload : Workload.t;
+  stats : Explore.stats;
+  violations : 'action Explore.violation list;
+      (** First witness per violated spec, shrunk when [shrink]. *)
+}
+
+(** Client/server checker over {!Rlist_sim.Engine}. *)
+module Cs (_ : Rlist_sim.Protocol_intf.PROTOCOL) : sig
+  (** [check ~specs ~workload ()] explores the workload's schedule
+      space.  [equiv = (name, replay)] additionally compares the
+      engine's behaviour (Definition 2.5) on each terminal schedule
+      against [replay]'s — use {!behavior_of} of another protocol for
+      the Thm 7.1 gate.  [por] defaults to [true]; [shrink] to [true];
+      [max_states] bounds visited configurations. *)
+  val check :
+    ?equiv:
+      (string
+      * (nclients:int ->
+         initial:Document.t ->
+         Rlist_sim.Schedule.t ->
+         (Replica_id.t * Document.t) list)) ->
+    ?por:bool ->
+    ?max_states:int ->
+    ?shrink:bool ->
+    specs:spec list ->
+    workload:Workload.t ->
+    unit ->
+    Rlist_sim.Schedule.event outcome
+
+  val pp_violation :
+    Format.formatter -> Rlist_sim.Schedule.event Explore.violation -> unit
+end
+
+(** [behavior_of (module P)] replays a schedule under [P] and returns
+    the recorded behaviour, for the [equiv] argument of {!Cs.check}. *)
+val behavior_of :
+  (module Rlist_sim.Protocol_intf.PROTOCOL) ->
+  nclients:int ->
+  initial:Document.t ->
+  Rlist_sim.Schedule.t ->
+  (Replica_id.t * Document.t) list
+
+(** Peer-to-peer checker over {!Rlist_sim.P2p_engine}. *)
+module P2p (_ : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) : sig
+  val check :
+    ?por:bool ->
+    ?max_states:int ->
+    ?shrink:bool ->
+    specs:spec list ->
+    workload:Workload.t ->
+    unit ->
+    Rlist_sim.P2p_engine.event outcome
+
+  val pp_violation :
+    Format.formatter -> Rlist_sim.P2p_engine.event Explore.violation -> unit
+end

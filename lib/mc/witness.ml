@@ -1,0 +1,68 @@
+let rec drop_chunks events ~size ~still_fails =
+  let n = List.length events in
+  if size < 1 || size > n then events
+  else begin
+    (* Try removing each aligned chunk of [size] events. *)
+    let arr = Array.of_list events in
+    let attempt start =
+      let candidate = ref [] in
+      Array.iteri
+        (fun i e -> if i < start || i >= start + size then
+            candidate := e :: !candidate)
+        arr;
+      let candidate = List.rev !candidate in
+      if still_fails candidate then Some candidate else None
+    in
+    let rec scan start =
+      if start >= n then None
+      else
+        match attempt start with
+        | Some candidate -> Some candidate
+        | None -> scan (start + size)
+    in
+    match scan 0 with
+    | Some smaller -> drop_chunks smaller ~size ~still_fails
+    | None -> drop_chunks events ~size:(size / 2) ~still_fails
+  end
+
+let shrink ~still_fails events =
+  let n = List.length events in
+  if n = 0 then events
+  else begin
+    let shrunk = drop_chunks events ~size:(n / 2) ~still_fails in
+    (* One-by-one sweep until a fixpoint: 1-minimality. *)
+    let rec sweep events =
+      let arr = Array.of_list events in
+      let n = Array.length arr in
+      let rec try_at i =
+        if i >= n then None
+        else begin
+          let candidate =
+            List.filteri (fun j _ -> j <> i) (Array.to_list arr)
+          in
+          if still_fails candidate then Some candidate else try_at (i + 1)
+        end
+      in
+      match try_at 0 with
+      | Some smaller -> sweep smaller
+      | None -> events
+    in
+    sweep shrunk
+  end
+
+let pp ~pp_action ~is_generate ppf (v : 'a Explore.violation) =
+  let nops = ref 0 in
+  Format.fprintf ppf "@[<v>minimal counterexample (%d events):"
+    (List.length v.Explore.v_schedule);
+  List.iteri
+    (fun i a ->
+      let label =
+        if is_generate a then begin
+          incr nops;
+          Printf.sprintf "  -- o%d" !nops
+        end
+        else ""
+      in
+      Format.fprintf ppf "@,  %2d. %a%s" (i + 1) pp_action a label)
+    v.Explore.v_schedule;
+  Format.fprintf ppf "@,%a@]" Rlist_spec.Check.pp v.Explore.v_result

@@ -1,0 +1,26 @@
+(** Delta-debugging shrinker for counterexample schedules.
+
+    A violating schedule found by the explorer carries every delivery
+    of every client's full script.  [shrink] minimizes it to a
+    1-minimal witness: no single event can be removed without losing
+    the violation.  Candidates that are not replayable (a delivery
+    from an emptied channel, an orphaned acknowledgement) are simply
+    rejected by the oracle, so minimization needs no schedule-repair
+    logic. *)
+
+(** [shrink ~still_fails schedule] returns a schedule that still
+    satisfies [still_fails] and from which no single event can be
+    dropped.  Uses ddmin-style chunk removal followed by a one-by-one
+    sweep; [still_fails] must hold for [schedule] itself. *)
+val shrink : still_fails:('a list -> bool) -> 'a list -> 'a list
+
+(** Render a minimized witness in the paper's figure notation: the
+    numbered event list, each generation labelled [o1, o2, ...] in
+    schedule order, followed by the violated specification's
+    verdict. *)
+val pp :
+  pp_action:(Format.formatter -> 'a -> unit) ->
+  is_generate:('a -> bool) ->
+  Format.formatter ->
+  'a Explore.violation ->
+  unit

@@ -1,0 +1,76 @@
+open Rlist_model
+
+type t = {
+  wname : string;
+  nclients : int;
+  initial : Document.t;
+  scripts : Intent.t list array;
+}
+
+let make ~wname ~nclients ~initial scripts =
+  if List.length scripts <> nclients then
+    invalid_arg "Workload.make: one script per client";
+  { wname; nclients; initial; scripts = Array.of_list ([] :: scripts) }
+
+let thm81 =
+  make ~wname:"thm81" ~nclients:3 ~initial:(Document.of_string "x")
+    [
+      [ Intent.Delete 0 ];  (* o2: Del(x, 0) *)
+      [ Intent.Insert ('a', 0) ];  (* o3: Ins(a, 0) — list "ax" *)
+      [ Intent.Insert ('b', 1) ];  (* o4: Ins(b, 1) — list "xb" *)
+    ]
+
+(* A deterministic mix with maximal conflict potential: every client
+   hits the front region of a short document, and every third op is a
+   deletion.  Element values are distinct letters so witnesses read
+   like the paper's figures. *)
+let combinatorial ~nclients ~ops =
+  if nclients < 2 then invalid_arg "Workload.combinatorial: need >= 2 clients";
+  if ops < 1 then invalid_arg "Workload.combinatorial: need >= 1 op";
+  let value i j = Char.chr (Char.code 'a' + (((i - 1) * ops) + j) mod 26) in
+  let script i =
+    List.init ops (fun j ->
+        match (i + j) mod 3 with
+        | 0 -> Intent.Delete 0
+        | 1 -> Intent.Insert (value i j, 0)
+        | _ -> Intent.Insert (value i j, j + 1))
+  in
+  make
+    ~wname:(Printf.sprintf "combinatorial-%dx%d" nclients ops)
+    ~nclients
+    ~initial:(Document.of_string "x")
+    (List.init nclients (fun i -> script (i + 1)))
+
+let catalog ?(include_thm81 = true) ~nclients ~ops () =
+  let base = [ combinatorial ~nclients ~ops ] in
+  if include_thm81 then base @ [ thm81 ] else base
+
+let clamp ~doc_length = function
+  | Intent.Read -> Intent.Read
+  | Intent.Insert (c, p) -> Intent.Insert (c, min p doc_length)
+  | Intent.Delete p ->
+    if doc_length = 0 then Intent.Read else Intent.Delete (min p (doc_length - 1))
+
+let total_updates t =
+  Array.fold_left
+    (fun acc script ->
+      acc
+      + List.length
+          (List.filter
+             (function
+               | Intent.Read -> false
+               | Intent.Insert _ | Intent.Delete _ -> true)
+             script))
+    0 t.scripts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %d clients, initial %a" t.wname t.nclients
+    Document.pp t.initial;
+  for i = 1 to t.nclients do
+    Format.fprintf ppf "@,  c%d: %a" i
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         Intent.pp)
+      t.scripts.(i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,50 @@
+(** Bounded workloads for the model checker.
+
+    A workload fixes {e what} each client does — a finite script of
+    intents per client, executed in order — while the checker
+    enumerates {e when}: every admissible interleaving of generations
+    and deliveries.  Scripts are written against anticipated document
+    states; {!clamp} resolves each intent against the client's actual
+    document at generation time (positions are clamped, deletions on
+    an empty document degrade to reads), so every script stays valid
+    under every interleaving. *)
+
+open Rlist_model
+
+type t = {
+  wname : string;
+  nclients : int;
+  initial : Document.t;
+  scripts : Intent.t list array;
+      (** Per-client scripts, 1-based; slot 0 is empty. *)
+}
+
+(** The paper's Theorem 8.1 scenario (Figure 7 with the initial
+    insertion folded into the initial document): three clients
+    concurrently delete [x], insert before it, and insert after it.
+    Some serialization makes the list order cyclic, so CSS violates
+    the strong list specification on one of its interleavings. *)
+val thm81 : t
+
+(** [combinatorial ~nclients ~ops] is a deterministic conflict-heavy
+    workload: [nclients] clients, [ops] update intents each, mixing
+    front insertions, offset insertions and front deletions over a
+    one-element initial document. *)
+val combinatorial : nclients:int -> ops:int -> t
+
+(** The workload family checked at bounds [(nclients, ops)]: the
+    combinatorial workload at exactly those bounds, plus — for
+    client/server protocols — the fixed {!thm81} scenario.  The
+    theorem gate asserts a {e negative} result (Thm 8.1: CSS violates
+    the strong list specification), and its witness needs three
+    pairwise-concurrent operation contexts, which no 2-client
+    schedule can produce; including the canonical scenario keeps the
+    gate sound at every bound. *)
+val catalog : ?include_thm81:bool -> nclients:int -> ops:int -> unit -> t list
+
+(** Resolve a scripted intent against the current document length. *)
+val clamp : doc_length:int -> Intent.t -> Intent.t
+
+val total_updates : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -4,9 +4,15 @@
 
 (* --- clock ------------------------------------------------------------ *)
 
-(* Fallback clock: CPU seconds scaled to ns.  The bench harness and any
-   caller with access to a real monotonic clock overrides this. *)
-let clock = ref (fun () -> Sys.time () *. 1e9)
+(* Fallback clock: a monotonic event counter, one "nanosecond" per
+   reading.  Durations are meaningless until a caller installs a real
+   clock (the bench harness installs bechamel's monotonic one), but
+   ordering is preserved and the registry stays dependency-free. *)
+let clock =
+  let ticks = ref 0.0 in
+  ref (fun () ->
+      ticks := !ticks +. 1.0;
+      !ticks)
 
 let set_clock f = clock := f
 

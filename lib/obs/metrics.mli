@@ -20,8 +20,8 @@
     library does not provide.  The registry therefore exposes a
     settable clock: the bench harness installs bechamel's
     monotonic clock ([Harness.now_ns]); standalone users fall back to
-    [Sys.time]-based CPU seconds (clearly inferior, but dependency
-    free and good enough for coarse spans). *)
+    a monotonic event counter (durations are meaningless but ordering
+    holds, and the registry stays dependency free). *)
 
 (** Install the clock used by {!time} and {!Timer.start}.  The
     function must return nanoseconds from an arbitrary fixed origin. *)

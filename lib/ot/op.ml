@@ -20,7 +20,10 @@ let make_del ~id elt pos =
 
 let nop ~id = { id; action = Nop }
 
-let is_nop t = t.action = Nop
+let is_nop t =
+  match t.action with
+  | Nop -> true
+  | Ins _ | Del _ -> false
 
 let is_ins t =
   match t.action with

@@ -315,6 +315,14 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     done;
     !count
 
+  let pending_to_server t i =
+    check_client t i;
+    Queue.length t.to_server.(i)
+
+  let pending_to_client t i =
+    check_client t i;
+    Queue.length t.to_client.(i)
+
   let quiesce t =
     let performed = ref [] in
     let step ev =

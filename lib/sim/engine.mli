@@ -61,6 +61,12 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
 
   val pending_messages : t -> int
 
+  (** Depth of one FIFO channel, for enumerating the enabled delivery
+      events of a configuration (the model checker's frontier). *)
+  val pending_to_server : t -> int -> int
+
+  val pending_to_client : t -> int -> int
+
   val client_document : t -> int -> Document.t
 
   val server_document : t -> Document.t

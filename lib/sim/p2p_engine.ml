@@ -247,6 +247,11 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     done;
     !count
 
+  let channel_depth t ~src ~dst =
+    check_peer t src;
+    check_peer t dst;
+    Queue.length t.channels.(src).(dst)
+
   let quiesce t =
     let performed = ref [] in
     (* Round-robin until no channel holds a message; reactions keep the
@@ -361,5 +366,4 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       (fun i -> step (Generate (i, Intent.Read)))
       (List.init t.npeers (fun i -> i + 1));
     List.rev !performed
-  [@@warning "-27"]
 end

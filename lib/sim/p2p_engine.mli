@@ -29,6 +29,10 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
 
   val pending_messages : t -> int
 
+  (** Depth of the FIFO channel from [src] to [dst], for enumerating
+      the enabled delivery events of a configuration. *)
+  val channel_depth : t -> src:int -> dst:int -> int
+
   val document : t -> int -> Document.t
 
   val converged : t -> bool

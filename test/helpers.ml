@@ -30,6 +30,14 @@ let check_violated what result =
   | Rlist_spec.Check.Satisfied ->
     Alcotest.failf "%s: expected a violation, got satisfied" what
 
+(* Substring search, for asserting on rendered output. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
 let elt ?(client = 1) ?(seq = 1) value =
   Element.make ~value ~id:(Op_id.make ~client ~seq)
 

@@ -5,8 +5,6 @@
 open Rlist_model
 module Pos = Jupiter_logoot.Position
 module Llist = Jupiter_logoot.Logoot_list
-module E = Rlist_sim.Engine.Make (Jupiter_logoot.Protocol)
-
 module Run = Helpers.Run (Jupiter_logoot.Protocol)
 
 (* --- positions -------------------------------------------------------- *)

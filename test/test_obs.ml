@@ -83,7 +83,11 @@ let test_timer_uses_installed_clock () =
       ticks := !ticks +. 7.0;
       !ticks);
   let result = Metrics.time h (fun () -> "done") in
-  Metrics.set_clock (fun () -> Sys.time () *. 1e9);
+  (* Restore a counting clock equivalent to the default fallback. *)
+  let reset = ref 0.0 in
+  Metrics.set_clock (fun () ->
+      reset := !reset +. 1.0;
+      !reset);
   Alcotest.(check string) "thunk result passes through" "done" result;
   Alcotest.(check int) "one span recorded" 1 (Metrics.hist_count h);
   Alcotest.(check (float 1e-9)) "span is one clock step" 7.0

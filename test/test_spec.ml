@@ -19,6 +19,77 @@ let event ~eid ~replica ~op ~op_id ~result ~visible =
 
 let trace ?(initial = Document.empty) events = Trace.make ~initial ~events
 
+(* --- the Check combinators ------------------------------------------- *)
+
+let violation name = Check.violated ~spec:name ~culprits:[] "because"
+
+let test_check_is_satisfied () =
+  Alcotest.(check bool) "satisfied" true (Check.is_satisfied Check.Satisfied);
+  Alcotest.(check bool)
+    "violated" false
+    (Check.is_satisfied (violation "spec"))
+
+let test_check_all_first_violation () =
+  Alcotest.(check bool) "empty is satisfied" true
+    (Check.is_satisfied (Check.all []));
+  Alcotest.(check bool) "all satisfied" true
+    (Check.is_satisfied
+       (Check.all [ (fun () -> Check.Satisfied); (fun () -> Check.Satisfied) ]));
+  match
+    Check.all
+      [
+        (fun () -> Check.Satisfied);
+        (fun () -> violation "first");
+        (fun () -> violation "second");
+      ]
+  with
+  | Check.Violated v ->
+    Alcotest.(check string) "first violation wins" "first" v.Check.spec
+  | Check.Satisfied -> Alcotest.fail "expected a violation"
+
+let test_check_all_lazy () =
+  (* Thunks after the first violation must not be forced. *)
+  let forced = ref [] in
+  let thunk name result () =
+    forced := name :: !forced;
+    result
+  in
+  (match
+     Check.all
+       [
+         thunk "a" Check.Satisfied;
+         thunk "b" (violation "b");
+         thunk "c" Check.Satisfied;
+         thunk "d" (violation "d");
+       ]
+   with
+  | Check.Violated v -> Alcotest.(check string) "b wins" "b" v.Check.spec
+  | Check.Satisfied -> Alcotest.fail "expected a violation");
+  Alcotest.(check (list string))
+    "later thunks not forced" [ "a"; "b" ] (List.rev !forced)
+
+let test_check_pp () =
+  let show r = Format.asprintf "%a" Check.pp r in
+  Alcotest.(check string) "satisfied" "satisfied" (show Check.Satisfied);
+  let rendered = show (violation "weak list specification") in
+  Alcotest.(check bool)
+    "violation names the spec" true
+    (Helpers.contains rendered "weak list specification");
+  Alcotest.(check bool)
+    "violation carries the reason" true
+    (Helpers.contains rendered "because");
+  (* Culprit events are listed under a witnesses header. *)
+  let e =
+    event ~eid:1 ~replica:1 ~op:(Event.Do_ins (a, 0)) ~op_id:(Some (id_of a))
+      ~result:[ a ] ~visible:[]
+  in
+  let with_culprits =
+    show (Check.violated ~spec:"s" ~culprits:[ e ] "boom")
+  in
+  Alcotest.(check bool)
+    "witnesses are printed" true
+    (Helpers.contains with_culprits "witnesses")
+
 (* --- Event and trace basics ------------------------------------------ *)
 
 let test_event_invariants () =
@@ -565,6 +636,15 @@ let () =
             test_strong_satisfied_simple;
           Alcotest.test_case "list order edges" `Quick
             test_weak_list_order_edges;
+        ] );
+      ( "check combinators",
+        [
+          Alcotest.test_case "is_satisfied" `Quick test_check_is_satisfied;
+          Alcotest.test_case "all returns the first violation" `Quick
+            test_check_all_first_violation;
+          Alcotest.test_case "all is lazy past the first violation" `Quick
+            test_check_all_lazy;
+          Alcotest.test_case "pp" `Quick test_check_pp;
         ] );
       ( "properties on protocol traces",
         [
