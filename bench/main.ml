@@ -10,7 +10,9 @@
    Pass --smoke to run only a ~1-second-quota document-scaling smoke
    bench (the @bench-smoke dune alias).
    Pass --mc to run only the C14 model-checking family (regenerates
-   BENCH_mc.json with --json at the full state budget). *)
+   BENCH_mc.json with --json at the full state budget).
+   Pass --net to run only the C15 unreliable-network family
+   (regenerates BENCH_net.json with --json). *)
 
 open Rlist_model
 open Bechamel
@@ -112,9 +114,12 @@ let () =
   let json_path = if json then Some "BENCH_document.json" else None in
   let obs_json_path = if json then Some "BENCH_obs.json" else None in
   let mc_json_path = if json then Some "BENCH_mc.json" else None in
+  let net_json_path = if json then Some "BENCH_net.json" else None in
   Harness.install_metrics_clock ();
   if flag "--mc" then
     ignore (Experiments.c14_model_checking ?json_path:mc_json_path ())
+  else if flag "--net" then
+    Experiments.c15_network ?json_path:net_json_path ()
   else if smoke then begin
     (* Tiny quota, small sizes: catches document-layer regressions and
        crashes in seconds, without a full bench run.  The observability
@@ -126,7 +131,8 @@ let () =
          ~replay_ops:500 ~engine_updates:50 ?json_path ());
     Experiments.c13_observability ?json_path:obs_json_path ();
     ignore
-      (Experiments.c14_model_checking ?json_path:mc_json_path ~smoke:true ())
+      (Experiments.c14_model_checking ?json_path:mc_json_path ~smoke:true ());
+    Experiments.c15_network ?json_path:net_json_path ~smoke:true ()
   end
   else begin
     print_endline
@@ -137,6 +143,7 @@ let () =
     Experiments.claims ();
     Experiments.c13_observability ?json_path:obs_json_path ();
     ignore (Experiments.c14_model_checking ?json_path:mc_json_path ());
+    Experiments.c15_network ?json_path:net_json_path ();
     if not quick then micro_benchmarks ();
     ignore (Experiments.document_scaling ?json_path ())
   end;

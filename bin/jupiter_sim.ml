@@ -10,6 +10,9 @@
      fuzz      run one protocol over many seeds and report the first
                specification violation found (none expected for the
                correct protocols; the naive foil fails quickly)
+     soak      run a workload over an unreliable network (drops,
+               duplicates, reordering, partitions) with the reliability
+               shim, and report convergence plus network counters
      viz       print (and optionally write DOT for) the CSS state-space
                of a named figure scenario
      trace     replay a figure scenario with the observability layer on
@@ -241,6 +244,10 @@ let seeds_arg =
   Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"COUNT"
          ~doc:"How many seeds to explore.")
 
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
 (* --- simulate --------------------------------------------------------- *)
 
 let simulate protocol profile nclients updates seed =
@@ -289,6 +296,187 @@ let fuzz_cmd =
           use $(b,check).")
     Term.(const fuzz $ protocol_arg $ profile_arg $ clients_arg $ updates_arg
           $ seeds_arg)
+
+(* --- soak ------------------------------------------------------------- *)
+
+(* Run one protocol through a random workload over an unreliable
+   network — a fault specification plus (by default) the reliability
+   shim that restores the FIFO-exactly-once channels the protocols
+   assume — and report convergence, the specification verdicts, and
+   the network counters. *)
+let soak_one (type c s c2s s2c)
+    (module P : Rlist_sim.Protocol_intf.PROTOCOL
+      with type client = c
+       and type server = s
+       and type c2s = c2s
+       and type s2c = s2c) ~net ~obs ~nclients ~profile ~updates ~seed =
+  let module E = Rlist_sim.Engine.Make (P) in
+  let t = E.create ~net ~nclients () in
+  E.attach_obs t obs;
+  let rng = Random.State.make [| seed |] in
+  let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
+  let params = Rlist_workload.Workload.params profile ~updates in
+  let schedule = E.run_random ~intent t ~rng ~params in
+  let trace = E.trace t in
+  {
+    s_protocol = P.name;
+    s_events = List.length schedule;
+    s_converged = E.converged t;
+    s_final =
+      Document.to_string
+        (if P.server_is_replica then E.server_document t
+         else E.client_document t 1);
+    s_ots = E.total_ot_count t;
+    s_metadata = E.total_metadata_size t;
+    s_convergence = Rlist_spec.Convergence.check trace;
+    s_weak = Rlist_spec.Weak_spec.check trace;
+    s_strong = Rlist_spec.Strong_spec.check trace;
+  }
+
+let soak_one_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ~net
+    ~obs ~nclients ~profile ~updates ~seed =
+  let module E = Rlist_sim.P2p_engine.Make (P) in
+  let t = E.create ~net ~npeers:nclients () in
+  E.attach_obs t obs;
+  let rng = Random.State.make [| seed |] in
+  let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
+  let params = Rlist_workload.Workload.params profile ~updates in
+  let schedule = E.run_random ~intent t ~rng ~params in
+  let trace = E.trace t in
+  {
+    s_protocol = P.name;
+    s_events = List.length schedule;
+    s_converged = E.converged t;
+    s_final = Document.to_string (E.document t 1);
+    s_ots = E.total_ot_count t;
+    s_metadata = E.total_metadata_size t;
+    s_convergence = Rlist_spec.Convergence.check trace;
+    s_weak = Rlist_spec.Weak_spec.check trace;
+    s_strong = Rlist_spec.Strong_spec.check trace;
+  }
+
+let soak protocol faults_str no_shim rto nclients profile updates seed json =
+  let faults =
+    match Rlist_net.Faults.of_string faults_str with
+    | Ok f -> f
+    | Error msg ->
+      Printf.eprintf "soak: %s\n" msg;
+      exit 1
+  in
+  let shim = not no_shim in
+  let net = Rlist_net.Transport.config ~shim ~rto ~faults ~seed () in
+  let obs = Rlist_obs.Obs.make () in
+  let run () =
+    match protocol with
+    | P_css ->
+      soak_one (module Jupiter_css.Protocol) ~net ~obs ~nclients ~profile
+        ~updates ~seed
+    | P_cscw ->
+      soak_one (module Jupiter_cscw.Protocol) ~net ~obs ~nclients ~profile
+        ~updates ~seed
+    | P_rga ->
+      soak_one (module Jupiter_rga.Protocol) ~net ~obs ~nclients ~profile
+        ~updates ~seed
+    | P_naive ->
+      soak_one (module Jupiter_cscw.Naive_p2p) ~net ~obs ~nclients ~profile
+        ~updates ~seed
+    | P_pruned ->
+      soak_one (module Jupiter_css.Pruned_protocol) ~net ~obs ~nclients
+        ~profile ~updates ~seed
+    | P_logoot ->
+      soak_one (module Jupiter_logoot.Protocol) ~net ~obs ~nclients ~profile
+        ~updates ~seed
+    | P_sequencer ->
+      soak_one (module Jupiter_css.Sequencer_protocol) ~net ~obs ~nclients
+        ~profile ~updates ~seed
+    | P_treedoc ->
+      soak_one (module Jupiter_treedoc.Protocol) ~net ~obs ~nclients ~profile
+        ~updates ~seed
+    | P_css_p2p ->
+      soak_one_p2p (module Jupiter_css.Distributed_protocol) ~net ~obs
+        ~nclients ~profile ~updates ~seed
+    | P_ttf ->
+      soak_one_p2p (module Jupiter_ttf.Adopted_protocol) ~net ~obs ~nclients
+        ~profile ~updates ~seed
+  in
+  match run () with
+  | exception Invalid_argument msg ->
+    (* a channel contract violation crashed the protocol, or the
+       network could not quiesce: with the shim on neither happens *)
+    if json then
+      Printf.printf
+        "{\"faults\": %S, \"shim\": %b, \"seed\": %d, \"aborted\": %S}\n"
+        (Rlist_net.Faults.to_string faults)
+        shim seed msg
+    else Printf.printf "soak aborted: %s\n" msg;
+    exit 1
+  | summary ->
+    let stats = Rlist_net.Transport.stats net in
+    Rlist_net.Stats.publish stats obs.Rlist_obs.Obs.metrics;
+    let sat = Rlist_spec.Check.is_satisfied in
+    if json then
+      Printf.printf
+        "{\"protocol\": %S, \"faults\": %S, \"shim\": %b, \"seed\": %d, \
+         \"events\": %d, \"converged\": %b, \"convergence\": %b, \"weak\": \
+         %b, \"strong\": %b, \"net\": %s}\n"
+        summary.s_protocol
+        (Rlist_net.Faults.to_string faults)
+        shim seed summary.s_events summary.s_converged
+        (sat summary.s_convergence) (sat summary.s_weak)
+        (sat summary.s_strong)
+        (Rlist_net.Stats.to_json stats)
+    else begin
+      pp_summary summary;
+      Printf.printf "faults:      %s\n" (Rlist_net.Faults.to_string faults);
+      Printf.printf "shim:        %b\n" shim;
+      Format.printf "%a@." Rlist_net.Stats.pp stats
+    end;
+    (* Strong-spec violations are a theorem for the OT protocols
+       (Thm 8.1), so the gate is convergence + weak, like fuzz. *)
+    if not (summary.s_converged && sat summary.s_convergence
+            && sat summary.s_weak)
+    then exit 1
+
+let soak_protocol_arg =
+  let protocol_conv = Arg.enum protocol_names in
+  Arg.(required
+       & pos 0 (some protocol_conv) None
+       & info [] ~docv:"PROTOCOL"
+           ~doc:"Protocol to soak (same names as $(b,simulate)).")
+
+let faults_arg =
+  Arg.(value & opt string "chaos"
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:
+             "Fault model: a preset (none, drop, dup, reorder, partition, \
+              chaos, heavy-loss) or a field list like \
+              $(b,drop=0.3,dup=0.1,reorder=0.2,delay=4,partition=60:20).")
+
+let no_shim_arg =
+  Arg.(value & flag
+       & info [ "no-shim" ]
+           ~doc:
+             "Disable the reliability shim: faults reach the protocol \
+              unfiltered (the negative control — expect divergence or an \
+              aborted run at any positive loss).")
+
+let rto_arg =
+  Arg.(value & opt int 12
+       & info [ "rto" ] ~docv:"TICKS"
+           ~doc:"Shim retransmission timeout in virtual-clock ticks.")
+
+let soak_cmd =
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run a random workload over an unreliable network (drops, \
+          duplicates, reordering, partitions) with the reliability shim \
+          restoring the FIFO-exactly-once channel contract, and report \
+          convergence plus the network counters (retransmissions, \
+          suppressed duplicates, message amplification).  Exits non-zero \
+          on a convergence or weak-specification violation.")
+    Term.(const soak $ soak_protocol_arg $ faults_arg $ no_shim_arg $ rto_arg
+          $ clients_arg $ profile_arg $ updates_arg $ seed_arg $ json_arg)
 
 (* --- check (bounded model checking) ----------------------------------- *)
 
@@ -550,10 +738,6 @@ let mc_expect_arg =
               somewhere in the catalog — mechanizing a negative theorem \
               (Thm 8.1: $(b,--expect-violation strong) for the OT \
               protocols).  Repeatable.")
-
-let json_arg =
-  Arg.(value & flag
-       & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
 
 let mc_cmd =
   Cmd.v
@@ -908,5 +1092,6 @@ let () =
         "Simulate and check replicated-list protocols (CSS/CSCW Jupiter, \
          RGA, and a broken OT foil)."
   in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; mc_cmd; fuzz_cmd; viz_cmd;
-            figures_cmd; record_cmd; replay_cmd; stats_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; mc_cmd; fuzz_cmd; soak_cmd;
+            viz_cmd; figures_cmd; record_cmd; replay_cmd; stats_cmd;
+            trace_cmd ]))

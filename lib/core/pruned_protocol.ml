@@ -5,19 +5,23 @@ let name = "css-pruned"
 
 let server_is_replica = true
 
-type c2s = {
-  op : Op.t;
-  ctx : Context.t;
-  acked : int;
-}
+type c2s =
+  | Update of {
+      op : Op.t;
+      ctx : Context.t;
+      acked : int;
+    }
+  | Heartbeat of { acked : int }
 
-type s2c = {
-  op : Op.t;
-  ctx : Context.t;
-  serial : int;
-  origin : int;
-  stable : int;
-}
+type s2c =
+  | Deliver of {
+      op : Op.t;
+      ctx : Context.t;
+      serial : int;
+      origin : int;
+      stable : int;
+    }
+  | Stable of { stable : int }
 
 type replica = {
   space : State_space.t;
@@ -121,7 +125,7 @@ let client_generate t intent =
     t.next_seq <- t.next_seq + 1;
     let ctx = State_space.final r.space in
     process r (Context.with_context op ~ctx);
-    outcome, Some { op; ctx; acked = t.acked }
+    outcome, Some (Update { op; ctx; acked = t.acked })
 
 let stable_serial t =
   let stable = ref max_int in
@@ -130,26 +134,46 @@ let stable_serial t =
   done;
   !stable
 
-let server_receive t ~from ({ op; ctx; acked } : c2s) =
-  t.client_acked.(from) <- max t.client_acked.(from) acked;
-  let serial = t.next_serial in
-  t.next_serial <- serial + 1;
-  record_serial t.server_replica op.Op.id serial;
-  process t.server_replica (Context.with_context op ~ctx);
-  let stable = stable_serial t in
-  prune t.server_replica ~stable;
-  List.init t.nclients (fun i -> i + 1, { op; ctx; serial; origin = from; stable })
+let server_receive t ~from (msg : c2s) =
+  match msg with
+  | Update { op; ctx; acked } ->
+    t.client_acked.(from) <- max t.client_acked.(from) acked;
+    let serial = t.next_serial in
+    t.next_serial <- serial + 1;
+    record_serial t.server_replica op.Op.id serial;
+    process t.server_replica (Context.with_context op ~ctx);
+    let stable = stable_serial t in
+    prune t.server_replica ~stable;
+    List.init t.nclients (fun i ->
+        i + 1, Deliver { op; ctx; serial; origin = from; stable })
+  | Heartbeat { acked } ->
+    t.client_acked.(from) <- max t.client_acked.(from) acked;
+    let stable = stable_serial t in
+    if stable > t.server_replica.pruned_to then begin
+      prune t.server_replica ~stable;
+      List.init t.nclients (fun i -> i + 1, Stable { stable })
+    end
+    else []
 
-let client_receive t ({ op; ctx; serial; origin; stable } : s2c) =
-  let r = t.replica in
-  record_serial r op.Op.id serial;
-  if origin <> t.id then process r (Context.with_context op ~ctx);
-  t.acked <- max t.acked serial;
-  prune r ~stable
+let client_receive t (msg : s2c) =
+  match msg with
+  | Deliver { op; ctx; serial; origin; stable } ->
+    let r = t.replica in
+    record_serial r op.Op.id serial;
+    if origin <> t.id then process r (Context.with_context op ~ctx);
+    t.acked <- max t.acked serial;
+    prune r ~stable
+  | Stable { stable } -> prune t.replica ~stable
 
-let c2s_op_id ({ op; _ } : c2s) = Some op.Op.id
+let client_heartbeat t = Heartbeat { acked = t.acked }
 
-let s2c_op_id ({ op; _ } : s2c) = Some op.Op.id
+let c2s_op_id : c2s -> Op_id.t option = function
+  | Update { op; _ } -> Some op.Op.id
+  | Heartbeat _ -> None
+
+let s2c_op_id : s2c -> Op_id.t option = function
+  | Deliver { op; _ } -> Some op.Op.id
+  | Stable _ -> None
 
 let client_document t = t.replica.doc
 

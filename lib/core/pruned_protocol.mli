@@ -19,26 +19,42 @@
     suite replays identical schedules against both); only the metadata
     footprint changes.  The classic caveat applies: a client that never
     generates operations never acknowledges, so the stable prefix — and
-    pruning — stalls (benchmark C7 quantifies both situations). *)
+    pruning — stalls (benchmark C7 quantifies both situations).  The
+    remedy is the explicit heartbeat: {!client_heartbeat} carries the
+    client's acknowledgement without an operation, and the server
+    answers with a [Stable] notification when the stable prefix
+    advances ([test_pruning.ml] exercises the stall and the fix). *)
 
 open Rlist_ot
 
-type c2s = {
-  op : Op.t;
-  ctx : Context.t;
-  acked : int;  (** Highest serial this client has processed. *)
-}
+type c2s =
+  | Update of {
+      op : Op.t;
+      ctx : Context.t;
+      acked : int;  (** Highest serial this client has processed. *)
+    }
+  | Heartbeat of { acked : int }
+      (** A bare acknowledgement from a silent client. *)
 
-type s2c = {
-  op : Op.t;
-  ctx : Context.t;
-  serial : int;
-  origin : int;
-  stable : int;  (** Minimum acknowledged serial across clients. *)
-}
+type s2c =
+  | Deliver of {
+      op : Op.t;
+      ctx : Context.t;
+      serial : int;
+      origin : int;
+      stable : int;  (** Minimum acknowledged serial across clients. *)
+    }
+  | Stable of { stable : int }
+      (** The stable prefix advanced on acknowledgements alone. *)
 
 include
   Rlist_sim.Protocol_intf.PROTOCOL with type c2s := c2s and type s2c := s2c
+
+(** A heartbeat message for the engine to inject ([Transport.send] via
+    the test harness, or any driver with access to the client): carries
+    the client's current acknowledgement so a silent client no longer
+    stalls everyone's compaction. *)
+val client_heartbeat : client -> c2s
 
 val client_space : client -> State_space.t
 

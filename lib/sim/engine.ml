@@ -2,6 +2,13 @@ open Rlist_model
 module Obs = Rlist_obs.Obs
 module Metrics = Rlist_obs.Metrics
 module Ev = Rlist_obs.Event
+module Transport = Rlist_net.Transport
+
+(* Channels stuck for this many consecutive virtual-clock ticks (no
+   delivery possible anywhere, retransmission timers included) mean the
+   network cannot quiesce — e.g. a permanent partition, or loss with
+   the shim disabled. *)
+let quiesce_fuel = 100_000
 
 module Make (P : Protocol_intf.PROTOCOL) = struct
   (* Everything the observability layer needs, allocated once at
@@ -32,8 +39,8 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     nclients : int;
     server : P.server;
     clients : P.client array;  (* index 0 unused; clients are 1-based *)
-    to_server : P.c2s Queue.t array;
-    to_client : P.s2c Queue.t array;
+    to_server : P.c2s Transport.t array;
+    to_client : P.s2c Transport.t array;
     mutable events : Rlist_spec.Event.t list;  (* reversed *)
     mutable next_eid : int;
     mutable behavior : (Replica_id.t * Document.t) list;  (* reversed *)
@@ -41,22 +48,35 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     mutable obs : obs_state option;
   }
 
-  let create ?(initial = Document.empty) ~nclients () =
+  let create ?(initial = Document.empty) ?net ~nclients () =
     if nclients < 1 then invalid_arg "Engine.create: need at least one client";
+    let channel key =
+      match net with
+      | None -> Transport.perfect ()
+      | Some cfg -> Transport.create ~key cfg
+    in
+    let c2s_key m = Option.map Op_id.to_string (P.c2s_op_id m) in
+    let s2c_key m = Option.map Op_id.to_string (P.s2c_op_id m) in
     {
       nclients;
       server = P.create_server ~nclients ~initial;
       clients =
         Array.init (nclients + 1) (fun i ->
             P.create_client ~nclients ~id:(max i 1) ~initial);
-      to_server = Array.init (nclients + 1) (fun _ -> Queue.create ());
-      to_client = Array.init (nclients + 1) (fun _ -> Queue.create ());
+      to_server = Array.init (nclients + 1) (fun _ -> channel c2s_key);
+      to_client = Array.init (nclients + 1) (fun _ -> channel s2c_key);
       events = [];
       next_eid = 0;
       behavior = [];
       initial;
       obs = None;
     }
+
+  let tick_channels t =
+    for i = 1 to t.nclients do
+      Transport.tick t.to_server.(i);
+      Transport.tick t.to_client.(i)
+    done
 
   let nclients t = t.nclients
 
@@ -152,7 +172,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       record_do t i outcome;
       (match msg with
       | None -> ()
-      | Some m -> Queue.push m t.to_server.(i));
+      | Some m -> Transport.send t.to_server.(i) m);
       (match t.obs with
       | None -> ()
       | Some os ->
@@ -163,7 +183,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         | Some _ -> Metrics.incr os.c_updates
         | None -> Metrics.incr os.c_reads);
         Metrics.add os.c_transforms transforms;
-        let depth = Queue.length t.to_server.(i) in
+        let depth = Transport.pending t.to_server.(i) in
         (match msg with
         | None -> ()
         | Some m ->
@@ -206,122 +226,167 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                  })
         end);
       record_behavior t (Replica_id.Client i) (P.client_document t.clients.(i))
-    | Schedule.Deliver_to_server i ->
+    | Schedule.Deliver_to_server i -> (
       check_client t i;
-      if Queue.is_empty t.to_server.(i) then
+      if Transport.deliverable t.to_server.(i) = 0 then
         invalid_arg
           (Printf.sprintf "Engine: no pending message from client %d" i);
-      let msg = Queue.pop t.to_server.(i) in
-      let outgoing = P.server_receive t.server ~from:i msg in
-      List.iter
-        (fun (dest, m) ->
-          check_client t dest;
-          Queue.push m t.to_client.(dest))
-        outgoing;
-      (match t.obs with
-      | None -> ()
-      | Some os ->
-        let transforms = ot_delta os t 0 in
-        ignore (meta_delta os t 0);
-        Metrics.incr os.c_deliver_s;
-        Metrics.add os.c_transforms transforms;
-        Metrics.observe os.h_deliver_tr (float_of_int transforms);
-        Metrics.add os.c_s2c (List.length outgoing);
+      match Transport.deliver t.to_server.(i) with
+      | None -> () (* the fault layer / shim consumed the arrival *)
+      | Some msg ->
+        let outgoing = P.server_receive t.server ~from:i msg in
         List.iter
           (fun (dest, m) ->
-            Metrics.observe os.h_s2c_depth
-              (float_of_int (Queue.length t.to_client.(dest)));
-            Metrics.observe os.h_msg_bytes (float_of_int (bytes_estimate m)))
+            check_client t dest;
+            Transport.send t.to_client.(dest) m)
           outgoing;
-        if Obs.tracing os.obs then begin
-          let op_id = id_str (P.c2s_op_id msg) in
-          Obs.emit os.obs
-            (Ev.Deliver
-               {
-                 replica = "server";
-                 src = rname i;
-                 op_id;
-                 transforms;
-                 queue = Queue.length t.to_server.(i);
-               });
-          Obs.emit os.obs
-            (Ev.Apply
-               {
-                 replica = "server";
-                 op_id;
-                 doc_len = Document.length (P.server_document t.server);
-               });
+        (match t.obs with
+        | None -> ()
+        | Some os ->
+          let transforms = ot_delta os t 0 in
+          ignore (meta_delta os t 0);
+          Metrics.incr os.c_deliver_s;
+          Metrics.add os.c_transforms transforms;
+          Metrics.observe os.h_deliver_tr (float_of_int transforms);
+          Metrics.add os.c_s2c (List.length outgoing);
           List.iter
             (fun (dest, m) ->
-              Obs.emit os.obs
-                (Ev.Send
-                   {
-                     src = "server";
-                     dst = rname dest;
-                     op_id = id_str (P.s2c_op_id m);
-                     bytes = bytes_estimate m;
-                     queue = Queue.length t.to_client.(dest);
-                   }))
-            outgoing
-        end);
-      record_behavior t Replica_id.Server (P.server_document t.server)
-    | Schedule.Deliver_to_client i ->
-      check_client t i;
-      if Queue.is_empty t.to_client.(i) then
-        invalid_arg
-          (Printf.sprintf "Engine: no pending message for client %d" i);
-      let msg = Queue.pop t.to_client.(i) in
-      P.client_receive t.clients.(i) msg;
-      (match t.obs with
-      | None -> ()
-      | Some os ->
-        let transforms = ot_delta os t i in
-        ignore (meta_delta os t i);
-        Metrics.incr os.c_deliver_c;
-        Metrics.add os.c_transforms transforms;
-        Metrics.observe os.h_deliver_tr (float_of_int transforms);
-        if Obs.tracing os.obs then begin
-          let op_id = id_str (P.s2c_op_id msg) in
-          Obs.emit os.obs
-            (Ev.Deliver
-               {
-                 replica = rname i;
-                 src = "server";
-                 op_id;
-                 transforms;
-                 queue = Queue.length t.to_client.(i);
-               });
-          match op_id with
-          | None -> ()  (* pure acknowledgement: nothing was applied *)
-          | Some _ ->
+              Metrics.observe os.h_s2c_depth
+                (float_of_int (Transport.pending t.to_client.(dest)));
+              Metrics.observe os.h_msg_bytes (float_of_int (bytes_estimate m)))
+            outgoing;
+          if Obs.tracing os.obs then begin
+            let op_id = id_str (P.c2s_op_id msg) in
+            Obs.emit os.obs
+              (Ev.Deliver
+                 {
+                   replica = "server";
+                   src = rname i;
+                   op_id;
+                   transforms;
+                   queue = Transport.pending t.to_server.(i);
+                 });
             Obs.emit os.obs
               (Ev.Apply
                  {
-                   replica = rname i;
+                   replica = "server";
                    op_id;
-                   doc_len =
-                     Document.length (P.client_document t.clients.(i));
-                 })
-        end);
-      record_behavior t (Replica_id.Client i) (P.client_document t.clients.(i))
+                   doc_len = Document.length (P.server_document t.server);
+                 });
+            List.iter
+              (fun (dest, m) ->
+                Obs.emit os.obs
+                  (Ev.Send
+                     {
+                       src = "server";
+                       dst = rname dest;
+                       op_id = id_str (P.s2c_op_id m);
+                       bytes = bytes_estimate m;
+                       queue = Transport.pending t.to_client.(dest);
+                     }))
+              outgoing
+          end);
+        record_behavior t Replica_id.Server (P.server_document t.server))
+    | Schedule.Deliver_to_client i -> (
+      check_client t i;
+      if Transport.deliverable t.to_client.(i) = 0 then
+        invalid_arg
+          (Printf.sprintf "Engine: no pending message for client %d" i);
+      match Transport.deliver t.to_client.(i) with
+      | None -> () (* the fault layer / shim consumed the arrival *)
+      | Some msg ->
+        P.client_receive t.clients.(i) msg;
+        (match t.obs with
+        | None -> ()
+        | Some os ->
+          let transforms = ot_delta os t i in
+          ignore (meta_delta os t i);
+          Metrics.incr os.c_deliver_c;
+          Metrics.add os.c_transforms transforms;
+          Metrics.observe os.h_deliver_tr (float_of_int transforms);
+          if Obs.tracing os.obs then begin
+            let op_id = id_str (P.s2c_op_id msg) in
+            Obs.emit os.obs
+              (Ev.Deliver
+                 {
+                   replica = rname i;
+                   src = "server";
+                   op_id;
+                   transforms;
+                   queue = Transport.pending t.to_client.(i);
+                 });
+            match op_id with
+            | None -> ()  (* pure acknowledgement: nothing was applied *)
+            | Some _ ->
+              Obs.emit os.obs
+                (Ev.Apply
+                   {
+                     replica = rname i;
+                     op_id;
+                     doc_len =
+                       Document.length (P.client_document t.clients.(i));
+                   })
+          end);
+        record_behavior t (Replica_id.Client i)
+          (P.client_document t.clients.(i)))
 
   let run t schedule = List.iter (apply_event t) schedule
+
+  (* Hand-inject a protocol control message (e.g. a Pruned_protocol
+     heartbeat) onto client [i]'s client-to-server channel; it is
+     delivered by the normal [Deliver_to_server] events / [quiesce]. *)
+  let inject_c2s t i m =
+    check_client t i;
+    Transport.send t.to_server.(i) m
 
   let pending_messages t =
     let count = ref 0 in
     for i = 1 to t.nclients do
-      count := !count + Queue.length t.to_server.(i);
-      count := !count + Queue.length t.to_client.(i)
+      count := !count + Transport.pending t.to_server.(i);
+      count := !count + Transport.pending t.to_client.(i)
     done;
     !count
 
   let pending_to_server t i =
     check_client t i;
-    Queue.length t.to_server.(i)
+    Transport.pending t.to_server.(i)
 
   let pending_to_client t i =
     check_client t i;
-    Queue.length t.to_client.(i)
+    Transport.pending t.to_client.(i)
+
+  (* Deliver everything recoverable, ticking the virtual clock whenever
+     the channels are stalled (payloads in flight or awaiting
+     retransmission, nothing ready yet).  Client messages first: only
+     they can produce new (server) messages.  With the shim and a fault
+     model that lets messages through eventually, this terminates with
+     probability 1; [quiesce_fuel] bounds the pathological cases. *)
+  let drain t step =
+    let stalled = ref 0 in
+    while pending_messages t > 0 do
+      let any = ref false in
+      for i = 1 to t.nclients do
+        while Transport.deliverable t.to_server.(i) > 0 do
+          any := true;
+          step (Schedule.Deliver_to_server i)
+        done
+      done;
+      for i = 1 to t.nclients do
+        while Transport.deliverable t.to_client.(i) > 0 do
+          any := true;
+          step (Schedule.Deliver_to_client i)
+        done
+      done;
+      if !any then stalled := 0
+      else begin
+        incr stalled;
+        if !stalled > quiesce_fuel then
+          invalid_arg
+            "Engine.quiesce: channels cannot quiesce (total loss, or shim \
+             disabled)"
+      end;
+      if pending_messages t > 0 then tick_channels t
+    done
 
   let quiesce t =
     let performed = ref [] in
@@ -329,19 +394,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       apply_event t ev;
       performed := ev :: !performed
     in
-    (* Client messages first: only they can produce new (server)
-       messages, so one pass over each direction suffices. *)
-    for i = 1 to t.nclients do
-      while not (Queue.is_empty t.to_server.(i)) do
-        step (Schedule.Deliver_to_server i)
-      done
-    done;
-    for i = 1 to t.nclients do
-      while not (Queue.is_empty t.to_client.(i)) do
-        step (Schedule.Deliver_to_client i)
-      done
-    done;
-    assert (pending_messages t = 0);
+    drain t step;
     List.rev !performed
 
   let client_document t i =
@@ -417,6 +470,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       | [] -> ()
       | (now, action) :: rest ->
         agenda := rest;
+        tick_channels t;
         (match action with
         | `Gen i ->
           if !remaining > 0 then begin
@@ -424,29 +478,35 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
             (match intent with
             | Intent.Read -> ()
             | Intent.Insert _ | Intent.Delete _ -> decr remaining);
-            let before = Queue.length t.to_server.(i) in
+            let before = Transport.pending t.to_server.(i) in
             step (Generate (i, intent));
-            if Queue.length t.to_server.(i) > before then
+            if Transport.pending t.to_server.(i) > before then
               push (arrival last_c2s i now) (`C2s i);
             if !remaining > 0 then
               push (now +. exponential params.t_think_time) (`Gen i)
           end
         | `C2s i ->
-          (* deliveries fan out a broadcast: schedule its arrivals *)
-          let before = Array.init (t.nclients + 1) (fun j ->
-              if j = 0 then 0 else Queue.length t.to_client.(j))
-          in
-          step (Deliver_to_server i);
-          for j = 1 to t.nclients do
-            for _ = 1 to Queue.length t.to_client.(j) - before.(j) do
-              push (arrival last_s2c j now) (`S2c j)
+          (* deliveries fan out a broadcast: schedule its arrivals.
+             Under a fault model the payload may be delayed or lost;
+             skip, the closing drain recovers it. *)
+          if Transport.deliverable t.to_server.(i) > 0 then begin
+            let before = Array.init (t.nclients + 1) (fun j ->
+                if j = 0 then 0 else Transport.pending t.to_client.(j))
+            in
+            step (Deliver_to_server i);
+            for j = 1 to t.nclients do
+              for _ = 1 to Transport.pending t.to_client.(j) - before.(j) do
+                push (arrival last_s2c j now) (`S2c j)
+              done
             done
-          done
-        | `S2c i -> step (Deliver_to_client i));
+          end
+        | `S2c i ->
+          if Transport.deliverable t.to_client.(i) > 0 then
+            step (Deliver_to_client i));
         loop ()
     in
     loop ();
-    assert (pending_messages t = 0);
+    drain t step;
     List.iter step (Schedule.final_reads ~nclients:t.nclients);
     List.rev !performed
 
@@ -459,17 +519,19 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let deliverable () =
       let evs = ref [] in
       for i = t.nclients downto 1 do
-        if not (Queue.is_empty t.to_server.(i)) then
+        if Transport.deliverable t.to_server.(i) > 0 then
           evs := Schedule.Deliver_to_server i :: !evs;
-        if not (Queue.is_empty t.to_client.(i)) then
+        if Transport.deliverable t.to_client.(i) > 0 then
           evs := Schedule.Deliver_to_client i :: !evs
       done;
       !evs
     in
     let remaining = ref params.Schedule.updates in
+    let stalled = ref 0 in
     while !remaining > 0 || pending_messages t > 0 do
       let deliveries = deliverable () in
       let deliver () =
+        stalled := 0;
         let n = List.length deliveries in
         step (List.nth deliveries (Random.State.int rng n))
       in
@@ -487,14 +549,22 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         | Intent.Insert _ | Intent.Delete _ -> decr remaining);
         step (Schedule.Generate (i, intent))
       in
-      match deliveries, !remaining with
+      (match deliveries, !remaining with
       | [], n when n > 0 -> generate ()
-      | [], _ -> assert false (* loop condition guarantees work exists *)
+      | [], _ ->
+        (* payloads in flight but none ready: let the clock advance
+           (below) until a delay expires or a retransmission fires *)
+        incr stalled;
+        if !stalled > quiesce_fuel then
+          invalid_arg
+            "Engine.run_random: channels cannot quiesce (total loss, or \
+             shim disabled)"
       | _ :: _, 0 -> deliver ()
       | _ :: _, _ ->
         if Random.State.float rng 1.0 < params.Schedule.deliver_bias then
           deliver ()
-        else generate ()
+        else generate ());
+      tick_channels t
     done;
     let reads = Schedule.final_reads ~nclients:t.nclients in
     List.iter step reads;

@@ -11,7 +11,19 @@ open Rlist_model
 module Make (P : Protocol_intf.PROTOCOL) : sig
   type t
 
-  val create : ?initial:Document.t -> nclients:int -> unit -> t
+  (** [net], when given, replaces the perfect FIFO queues with
+      fault-injected channels drawn from that network configuration
+      (all channels share its RNG and statistics).  With the
+      configuration's reliability shim enabled the engine still
+      presents the protocols with the FIFO-exactly-once channels they
+      assume; with it disabled, whatever the fault model does reaches
+      the protocol unfiltered. *)
+  val create :
+    ?initial:Document.t ->
+    ?net:Rlist_net.Transport.config ->
+    nclients:int ->
+    unit ->
+    t
 
   val nclients : t -> int
 
@@ -21,6 +33,13 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
   val apply_event : t -> Schedule.event -> unit
 
   val run : t -> Schedule.t -> unit
+
+  (** Enqueue a protocol control message (e.g. a {!Pruned_protocol}
+      heartbeat) on client [i]'s client-to-server channel, outside any
+      generate event.  It flows through the normal channel (faults,
+      shim and all) and is consumed by [Deliver_to_server] /
+      {!quiesce}. *)
+  val inject_c2s : t -> int -> P.c2s -> unit
 
   (** Drive the engine through a random but valid interleaving of
       generations and deliveries, then quiesce and issue one final read
@@ -54,9 +73,13 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     Schedule.t
 
   (** Deliver every pending message (client-to-server first, then
-      server-to-client, round-robin) until all channels are empty.
-      Returns the delivery events performed, so the completed schedule
-      can be replayed against another protocol. *)
+      server-to-client, round-robin) until all channels are empty,
+      advancing the network clock whenever nothing is ready so delayed
+      payloads arrive and lost ones are retransmitted.  Returns the
+      delivery events performed, so the completed schedule can be
+      replayed against another protocol.
+      @raise Invalid_argument when the channels cannot quiesce (total
+      loss, or a lossy network with the shim disabled). *)
   val quiesce : t -> Schedule.event list
 
   val pending_messages : t -> int

@@ -2,6 +2,10 @@ open Rlist_model
 module Obs = Rlist_obs.Obs
 module Metrics = Rlist_obs.Metrics
 module Ev = Rlist_obs.Event
+module Transport = Rlist_net.Transport
+
+(* Same stall bound as {!Engine}. *)
+let quiesce_fuel = 100_000
 
 type event =
   | Generate of int * Intent.t
@@ -34,15 +38,22 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
   type t = {
     npeers : int;
     peers : P.peer array;  (* 1-based *)
-    channels : (int * P.message) Queue.t array array;  (* channels.(src).(dst) *)
+    channels : (int * P.message) Transport.t array array;
+        (* channels.(src).(dst) *)
     mutable events : Rlist_spec.Event.t list;  (* reversed *)
     mutable next_eid : int;
     initial : Document.t;
     mutable obs : obs_state option;
   }
 
-  let create ?(initial = Document.empty) ~npeers () =
+  let create ?(initial = Document.empty) ?net ~npeers () =
     if npeers < 2 then invalid_arg "P2p_engine.create: need at least two peers";
+    let key (_, m) = Option.map Op_id.to_string (P.message_op_id m) in
+    let channel () =
+      match net with
+      | None -> Transport.perfect ()
+      | Some cfg -> Transport.create ~key cfg
+    in
     {
       npeers;
       peers =
@@ -50,7 +61,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
             P.create_peer ~npeers ~id:(max i 1) ~initial);
       channels =
         Array.init (npeers + 1) (fun _ ->
-            Array.init (npeers + 1) (fun _ -> Queue.create ()));
+            Array.init (npeers + 1) (fun _ -> channel ()));
       events = [];
       next_eid = 0;
       initial;
@@ -58,6 +69,13 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     }
 
   let npeers t = t.npeers
+
+  let tick_channels t =
+    for src = 1 to t.npeers do
+      for dst = 1 to t.npeers do
+        if src <> dst then Transport.tick t.channels.(src).(dst)
+      done
+    done
 
   let check_peer t i =
     if i < 1 || i > t.npeers then
@@ -129,13 +147,13 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
   let broadcast t ~from message =
     for dst = 1 to t.npeers do
       if dst <> from then begin
-        Queue.push (from, message) t.channels.(from).(dst);
+        Transport.send t.channels.(from).(dst) (from, message);
         match t.obs with
         | None -> ()
         | Some os ->
           Metrics.incr os.c_broadcast;
           Metrics.observe os.h_chan_depth
-            (float_of_int (Queue.length t.channels.(from).(dst)));
+            (float_of_int (Transport.pending t.channels.(from).(dst)));
           Metrics.observe os.h_msg_bytes
             (float_of_int (bytes_estimate message));
           if Obs.tracing os.obs then
@@ -146,7 +164,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
                    dst = pname dst;
                    op_id = id_str (P.message_op_id message);
                    bytes = bytes_estimate message;
-                   queue = Queue.length t.channels.(from).(dst);
+                   queue = Transport.pending t.channels.(from).(dst);
                  })
       end
     done
@@ -205,36 +223,38 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       (match message with
       | None -> ()
       | Some m -> broadcast t ~from:i m)
-    | Deliver (src, dst) ->
+    | Deliver (src, dst) -> (
       check_peer t src;
       check_peer t dst;
-      if Queue.is_empty t.channels.(src).(dst) then
+      if Transport.deliverable t.channels.(src).(dst) = 0 then
         invalid_arg
           (Printf.sprintf "P2p_engine: channel p%d->p%d is empty" src dst);
-      let from, message = Queue.pop t.channels.(src).(dst) in
-      let reaction = P.receive t.peers.(dst) ~from message in
-      (match t.obs with
-      | None -> ()
-      | Some os ->
-        let transforms = ot_delta os t dst in
-        ignore (meta_delta os t dst);
-        Metrics.incr os.c_deliveries;
-        Metrics.add os.c_transforms transforms;
-        Metrics.observe os.h_deliver_tr (float_of_int transforms);
-        Metrics.set_gauge os.g_buffered (float_of_int (total_buffered t));
-        if Obs.tracing os.obs then
-          Obs.emit os.obs
-            (Ev.Deliver
-               {
-                 replica = pname dst;
-                 src = pname src;
-                 op_id = id_str (P.message_op_id message);
-                 transforms;
-                 queue = Queue.length t.channels.(src).(dst);
-               }));
-      (match reaction with
-      | None -> ()
-      | Some reaction -> broadcast t ~from:dst reaction)
+      match Transport.deliver t.channels.(src).(dst) with
+      | None -> () (* the fault layer / shim consumed the arrival *)
+      | Some (from, message) ->
+        let reaction = P.receive t.peers.(dst) ~from message in
+        (match t.obs with
+        | None -> ()
+        | Some os ->
+          let transforms = ot_delta os t dst in
+          ignore (meta_delta os t dst);
+          Metrics.incr os.c_deliveries;
+          Metrics.add os.c_transforms transforms;
+          Metrics.observe os.h_deliver_tr (float_of_int transforms);
+          Metrics.set_gauge os.g_buffered (float_of_int (total_buffered t));
+          if Obs.tracing os.obs then
+            Obs.emit os.obs
+              (Ev.Deliver
+                 {
+                   replica = pname dst;
+                   src = pname src;
+                   op_id = id_str (P.message_op_id message);
+                   transforms;
+                   queue = Transport.pending t.channels.(src).(dst);
+                 }));
+        match reaction with
+        | None -> ()
+        | Some reaction -> broadcast t ~from:dst reaction)
 
   let run t events = List.iter (apply_event t) events
 
@@ -242,7 +262,8 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     let count = ref 0 in
     for src = 1 to t.npeers do
       for dst = 1 to t.npeers do
-        count := !count + Queue.length t.channels.(src).(dst)
+        if src <> dst then
+          count := !count + Transport.pending t.channels.(src).(dst)
       done
     done;
     !count
@@ -250,26 +271,35 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
   let channel_depth t ~src ~dst =
     check_peer t src;
     check_peer t dst;
-    Queue.length t.channels.(src).(dst)
+    Transport.pending t.channels.(src).(dst)
 
   let quiesce t =
     let performed = ref [] in
-    (* Round-robin until no channel holds a message; reactions keep the
-       loop going. *)
-    let progress = ref true in
-    while !progress do
-      progress := false;
+    (* Round-robin until no channel holds a message (reactions keep the
+       loop going), ticking the clock whenever nothing is ready. *)
+    let stalled = ref 0 in
+    while pending_messages t > 0 do
+      let any = ref false in
       for src = 1 to t.npeers do
         for dst = 1 to t.npeers do
-          while not (Queue.is_empty t.channels.(src).(dst)) do
-            apply_event t (Deliver (src, dst));
-            performed := Deliver (src, dst) :: !performed;
-            progress := true
-          done
+          if src <> dst then
+            while Transport.deliverable t.channels.(src).(dst) > 0 do
+              apply_event t (Deliver (src, dst));
+              performed := Deliver (src, dst) :: !performed;
+              any := true
+            done
         done
-      done
+      done;
+      if !any then stalled := 0
+      else begin
+        incr stalled;
+        if !stalled > quiesce_fuel then
+          invalid_arg
+            "P2p_engine.quiesce: channels cannot quiesce (total loss, or \
+             shim disabled)"
+      end;
+      if pending_messages t > 0 then tick_channels t
     done;
-    assert (pending_messages t = 0);
     List.rev !performed
 
   let document t i =
@@ -327,16 +357,18 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       let evs = ref [] in
       for src = t.npeers downto 1 do
         for dst = t.npeers downto 1 do
-          if not (Queue.is_empty t.channels.(src).(dst)) then
-            evs := Deliver (src, dst) :: !evs
+          if src <> dst && Transport.deliverable t.channels.(src).(dst) > 0
+          then evs := Deliver (src, dst) :: !evs
         done
       done;
       !evs
     in
     let remaining = ref params.Schedule.updates in
+    let stalled = ref 0 in
     while !remaining > 0 || pending_messages t > 0 do
       let deliveries = deliverable () in
       let deliver () =
+        stalled := 0;
         let n = List.length deliveries in
         step (List.nth deliveries (Random.State.int rng n))
       in
@@ -353,14 +385,20 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
         | Intent.Insert _ | Intent.Delete _ -> decr remaining);
         step (Generate (i, chosen))
       in
-      match deliveries, !remaining with
+      (match deliveries, !remaining with
       | [], n when n > 0 -> generate ()
-      | [], _ -> assert false
+      | [], _ ->
+        incr stalled;
+        if !stalled > quiesce_fuel then
+          invalid_arg
+            "P2p_engine.run_random: channels cannot quiesce (total loss, \
+             or shim disabled)"
       | _ :: _, 0 -> deliver ()
       | _ :: _, _ ->
         if Random.State.float rng 1.0 < params.Schedule.deliver_bias then
           deliver ()
-        else generate ()
+        else generate ());
+      tick_channels t
     done;
     List.iter
       (fun i -> step (Generate (i, Intent.Read)))

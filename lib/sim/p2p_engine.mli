@@ -14,7 +14,15 @@ val pp_event : Format.formatter -> event -> unit
 module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
   type t
 
-  val create : ?initial:Document.t -> npeers:int -> unit -> t
+  (** [net] as in {!Engine.Make.create}: fault-injected channels drawn
+      from a shared network configuration instead of perfect FIFO
+      queues. *)
+  val create :
+    ?initial:Document.t ->
+    ?net:Rlist_net.Transport.config ->
+    npeers:int ->
+    unit ->
+    t
 
   val npeers : t -> int
 

@@ -198,6 +198,49 @@ let test_silent_client_stalls_pruning () =
     "client 2 never wrote: no pruning" 0
     (Jupiter_css.Pruned_protocol.server_pruned_to (Pruned.server t))
 
+(* The remedy for the stall: heartbeats.  An explicit ack-bearing
+   heartbeat from each client lets the server recompute the stable
+   prefix, prune, and push [Stable] notifications that compact the
+   clients too — the state spaces shrink back to a bounded size even
+   though the silent client never writes. *)
+let run_heartbeat_session ?net () =
+  let t = Pruned.create ?net ~nclients:2 () in
+  List.iter
+    (fun k ->
+      Pruned.apply_event t (Generate (1, Intent.Insert ('x', k)));
+      ignore (Pruned.quiesce t))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check int)
+    "stalled at zero before the heartbeats" 0
+    (Jupiter_css.Pruned_protocol.server_pruned_to (Pruned.server t));
+  let before = Pruned.server_metadata_size t in
+  List.iter
+    (fun i ->
+      Pruned.inject_c2s t i
+        (Jupiter_css.Pruned_protocol.client_heartbeat (Pruned.client t i)))
+    [ 1; 2 ];
+  ignore (Pruned.quiesce t);
+  Alcotest.(check int)
+    "stable prefix caught up to every serial" 4
+    (Jupiter_css.Pruned_protocol.server_pruned_to (Pruned.server t));
+  Alcotest.(check bool)
+    (Printf.sprintf "server metadata compacted (%d -> %d)" before
+       (Pruned.server_metadata_size t))
+    true
+    (Pruned.server_metadata_size t < before);
+  Alcotest.(check bool) "still converged" true (Pruned.converged t)
+
+let test_heartbeat_unsticks_pruning () = run_heartbeat_session ()
+
+(* The same session over chaotic channels: the heartbeat and the
+   [Stable] notifications ride the reliability shim like any other
+   control message. *)
+let test_heartbeat_through_faults () =
+  let faults = Option.get (Rlist_net.Faults.preset "chaos") in
+  run_heartbeat_session
+    ~net:(Rlist_net.Transport.config ~faults ~seed:17 ())
+    ()
+
 let () =
   Alcotest.run "pruning"
     [
@@ -222,5 +265,9 @@ let () =
             test_pruning_round_trip;
           Alcotest.test_case "silent client stalls pruning" `Quick
             test_silent_client_stalls_pruning;
+          Alcotest.test_case "heartbeat acks unstick pruning" `Quick
+            test_heartbeat_unsticks_pruning;
+          Alcotest.test_case "heartbeats work through faulty channels" `Quick
+            test_heartbeat_through_faults;
         ] );
     ]
