@@ -1,259 +1,104 @@
-(* Project lint: a small textual scanner enforcing comparison hygiene.
+(* Project lint CLI — a thin front end over the [Rlist_lint] AST
+   analyzer (lib/lint).  The analysis itself (rules, scopes,
+   [[@lint.allow]] suppressions) lives in the library; this file only
+   parses arguments, renders the report, and turns finding families
+   into exit-code bits:
 
-   Repo-wide rules (every .ml under the given roots):
-     obj-magic   [Obj.magic] is forbidden.
-     sys-time    [Sys.time] is forbidden: it measures CPU seconds and
-                 silently masquerades as a wall clock.  Use the
-                 metrics clock ([Rlist_obs.Metrics.now_ns], with an
-                 installed monotonic clock) or [Unix.gettimeofday].
+     bit 1  hygiene            (poly-eq/poly-cmp/poly-hash/obj-magic/
+                                sys-time/parse-error)
+     bit 2  determinism        (rand-global/hashtbl-iter/wall-clock/
+                                float-format)
+     bit 4  exception safety   (exn-partial)
+     bit 8  interface          (missing-mli)
 
-   Rules for the protocol libraries (lib/core, lib/ot, lib/cscw),
-   where operation and state types carry semantically irrelevant
-   fields and must only be compared with their dedicated functions:
-     poly-eq     [e = Ctor] / [e <> Ctor] structural comparison
-                 against a constructor (match instead).
-     poly-cmp    bare polymorphic [compare] (use the type's own
-                 compare; allowed in files defining [let compare]).
-     poly-hash   [Hashtbl.hash] (structural, follows the same
-                 irrelevant fields).
+   Exit 0 is clean, 64 is a usage error.  `--list-rules` documents the
+   registry; `--rules a,b` restricts a run; `--baseline f` accepts the
+   findings recorded in [f] (one `path:rule` per line); `--json` emits
+   the machine-readable report for CI artifacts. *)
 
-   Comments and string literals are stripped before matching, with
-   line structure preserved.  A raw line containing "lint: allow" is
-   skipped.  Exit status 1 when any finding is reported. *)
+open Rlist_lint
 
-let strict_dirs = [ "lib/core"; "lib/ot"; "lib/cscw" ]
+let default_roots = [ "lib"; "bin"; "test"; "bench"; "examples" ]
 
-type finding = {
-  f_file : string;
-  f_line : int;
-  f_rule : string;
-  f_msg : string;
-}
+let usage () =
+  prerr_endline
+    "usage: rlist_lint [--json] [--rules r1,r2] [--baseline FILE] \
+     [--list-rules] [roots...]";
+  exit 64
 
-let findings : finding list ref = ref []
-
-let report ~file ~line ~rule msg =
-  findings := { f_file = file; f_line = line; f_rule = rule; f_msg = msg }
-             :: !findings
-
-(* Replace comments (nested) and string literals with spaces,
-   preserving newlines so line numbers survive. *)
-let strip source =
-  let n = String.length source in
-  let out = Bytes.of_string source in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let rec skip_string i =
-    (* [i] points one past the opening quote. *)
-    if i >= n then i
-    else
-      match source.[i] with
-      | '"' ->
-        blank i;
-        i + 1
-      | '\\' when i + 1 < n ->
-        blank i;
-        blank (i + 1);
-        skip_string (i + 2)
-      | _ ->
-        blank i;
-        skip_string (i + 1)
-  in
-  let rec skip_comment i depth =
-    if i >= n then i
-    else if i + 1 < n && source.[i] = '(' && source.[i + 1] = '*' then begin
-      blank i;
-      blank (i + 1);
-      skip_comment (i + 2) (depth + 1)
-    end
-    else if i + 1 < n && source.[i] = '*' && source.[i + 1] = ')' then begin
-      blank i;
-      blank (i + 1);
-      if depth = 1 then i + 2 else skip_comment (i + 2) (depth - 1)
-    end
-    else begin
-      blank i;
-      skip_comment (i + 1) depth
-    end
-  in
-  let rec go i =
-    if i >= n then ()
-    else if i + 1 < n && source.[i] = '(' && source.[i + 1] = '*' then
-      go (skip_comment i 0)
-    else if source.[i] = '"' then begin
-      blank i;
-      go (skip_string (i + 1))
-    end
-    else if
-      (* A char literal like '"' or 'a'; skip it so an unbalanced
-         quote inside does not open a "string". *)
-      source.[i] = '\'' && i + 2 < n && source.[i + 2] = '\''
-    then go (i + 3)
-    else if
-      source.[i] = '\'' && i + 3 < n && source.[i + 1] = '\\'
-      && source.[i + 3] = '\''
-    then go (i + 4)
-    else go (i + 1)
-  in
-  go 0;
-  Bytes.to_string out
-
-let is_word_char = function
-  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
-  | _ -> false
-
-(* Does [re]-free substring search find [needle] as a whole token? *)
-let find_token line needle =
-  let nl = String.length line and nn = String.length needle in
-  let rec go i =
-    if i + nn > nl then None
-    else if
-      String.sub line i nn = needle
-      && (i = 0 || not (is_word_char line.[i - 1] || line.[i - 1] = '.'))
-      && (i + nn >= nl || not (is_word_char line.[i + nn]))
-    then Some i
-    else go (i + 1)
-  in
-  go 0
-
-let contains line needle =
-  let nl = String.length line and nn = String.length needle in
-  let rec go i =
-    if i + nn > nl then false
-    else String.sub line i nn = needle || go (i + 1)
-  in
-  go 0
-
-(* Position of the [k]-th '=' that is a standalone operator (not part
-   of ==, =>, <=, >=, <>, :=, !=). *)
-let equals_positions line =
-  let n = String.length line in
-  let rec go i acc =
-    if i >= n then List.rev acc
-    else if
-      line.[i] = '='
-      && (i = 0 || not (List.mem line.[i - 1] [ '<'; '>'; ':'; '!'; '=' ]))
-      && (i + 1 >= n || line.[i + 1] <> '=')
-    then go (i + 1) (i :: acc)
-    else go (i + 1) acc
-  in
-  go 0 []
-
-(* The operand right of position [i] starts with an uppercase
-   constructor? *)
-let rhs_constructor line i =
-  let n = String.length line in
-  let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
-  let j = skip_ws i in
-  j < n
-  && (match line.[j] with 'A' .. 'Z' -> true | _ -> false)
-  (* [= Some x] compares; [= Some.f] would be a module path. *)
-  && not (contains (String.sub line j (min 8 (n - j))) ".")
-
-let in_strict_dir file =
-  List.exists
-    (fun d ->
-      String.length file >= String.length d
-      && String.sub file 0 (String.length d) = d)
-    strict_dirs
-
-let lint_file file =
-  let ic = open_in_bin file in
-  let len = in_channel_length ic in
-  let source = really_input_string ic len in
-  close_in ic;
-  let raw_lines = String.split_on_char '\n' source in
-  let lines = String.split_on_char '\n' (strip source) in
-  let defines_compare = ref false in
-  List.iteri
-    (fun idx (raw, line) ->
-      let lineno = idx + 1 in
-      let allowed = contains raw "lint: allow" in
-      if not allowed then begin
-        (* Repo-wide bans. *)
-        if contains line "Obj.magic" then
-          report ~file ~line:lineno ~rule:"obj-magic" "Obj.magic is forbidden";
-        if contains line "Sys.time" then
-          report ~file ~line:lineno ~rule:"sys-time"
-            "Sys.time measures CPU seconds; use the metrics clock or \
-             Unix.gettimeofday";
-        if in_strict_dir file && Filename.check_suffix file ".ml" then begin
-          (* Structural comparison against a constructor. *)
-          (match find_token line "<>" with
-          | Some i when rhs_constructor line (i + 2) ->
-            report ~file ~line:lineno ~rule:"poly-eq"
-              "polymorphic <> against a constructor; match instead"
-          | _ -> ());
-          let eqs = equals_positions line in
-          let trimmed = String.trim line in
-          let starts_with p =
-            String.length trimmed >= String.length p
-            && String.sub trimmed 0 (String.length p) = p
-          in
-          List.iteri
-            (fun k i ->
-              if rhs_constructor line (i + 1) then
-                (* A comparison, not a binding: either it sits in a
-                   condition, or it is a second [=] on a let line —
-                   and never inside an open record literal. *)
-                let prefix = String.sub line 0 i in
-                let braces =
-                  String.fold_left
-                    (fun acc c ->
-                      match c with
-                      | '{' -> acc + 1
-                      | '}' -> acc - 1
-                      | _ -> acc)
-                    0 prefix
-                in
-                let conditional =
-                  contains prefix "if " || contains prefix "when "
-                  || contains prefix "&&" || contains prefix "||"
-                in
-                let second_eq_of_let =
-                  k > 0 && (starts_with "let " || starts_with "and ")
-                in
-                if braces <= 0 && (conditional || second_eq_of_let) then
-                  report ~file ~line:lineno ~rule:"poly-eq"
-                    "polymorphic = against a constructor; match instead")
-            eqs;
-          (* Bare polymorphic compare / Hashtbl.hash. *)
-          if contains line "let compare" then defines_compare := true;
-          (match find_token line "compare" with
-          | Some _
-            when (not !defines_compare)
-                 && not (contains line "let compare") ->
-            report ~file ~line:lineno ~rule:"poly-cmp"
-              "bare polymorphic compare; use the type's compare"
-          | _ -> ());
-          if contains line "Hashtbl.hash" then
-            report ~file ~line:lineno ~rule:"poly-hash"
-              "Hashtbl.hash is structural; hash the relevant fields"
-        end
-      end)
-    (List.combine raw_lines lines)
-
-let rec walk path =
-  if Sys.is_directory path then
-    Array.iter
-      (fun entry ->
-        if entry <> "_build" then walk (Filename.concat path entry))
-      (Sys.readdir path)
-  else if Filename.check_suffix path ".ml" then lint_file path
+let list_rules () =
+  List.iter
+    (fun (r : Rules.t) ->
+      Printf.printf "%-12s %-16s %s\n" r.name
+        (Rules.family_name r.family)
+        r.summary)
+    Rules.all;
+  exit 0
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as roots) -> roots
-    | _ -> [ "lib"; "bin"; "test"; "bench"; "examples" ]
+  let json = ref false in
+  let rules = ref None in
+  let baseline = ref None in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--list-rules" :: _ -> list_rules ()
+    | "--rules" :: spec :: rest ->
+      let names =
+        String.split_on_char ',' spec
+        |> List.map String.trim
+        |> List.filter (fun s -> not (String.equal s ""))
+      in
+      List.iter
+        (fun n ->
+          if Option.is_none (Rules.find n) then begin
+            Printf.eprintf "rlist_lint: unknown rule %S (try --list-rules)\n"
+              n;
+            exit 64
+          end)
+        names;
+      rules := Some names;
+      parse rest
+    | "--baseline" :: file :: rest ->
+      if not (Sys.file_exists file) then begin
+        Printf.eprintf "rlist_lint: baseline file %S not found\n" file;
+        exit 64
+      end;
+      baseline := Some (Lint.load_baseline file);
+      parse rest
+    | ("--help" | "-h") :: _ | ("--rules" | "--baseline") :: [] -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "rlist_lint: unknown option %s\n" arg;
+      usage ()
+    | root :: rest ->
+      roots := root :: !roots;
+      parse rest
   in
-  List.iter walk roots;
-  let all = List.rev !findings in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = match List.rev !roots with [] -> default_roots | rs -> rs in
   List.iter
-    (fun f ->
-      Printf.printf "%s:%d: [%s] %s\n" f.f_file f.f_line f.f_rule f.f_msg)
-    all;
-  match all with
-  | [] -> print_endline "lint: clean"
-  | fs ->
-    Printf.printf "lint: %d finding(s)\n" (List.length fs);
-    exit 1
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "rlist_lint: no such root %S\n" r;
+        exit 64
+      end)
+    roots;
+  let findings = Lint.run ?rules:!rules roots in
+  let findings =
+    match !baseline with
+    | None -> findings
+    | Some b -> Lint.apply_baseline b findings
+  in
+  if !json then print_endline (Lint.report_json findings)
+  else begin
+    List.iter
+      (fun f -> Format.printf "%a@." Finding.pp f)
+      findings;
+    match findings with
+    | [] -> print_endline "lint: clean"
+    | fs -> Printf.printf "lint: %d finding(s)\n" (List.length fs)
+  end;
+  exit (Lint.exit_code findings)

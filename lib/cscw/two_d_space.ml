@@ -46,11 +46,16 @@ and get_up t (l, g) =
     Hashtbl.add t.up (l, g) u';
     u'
 
+(* The two [invalid_arg]s below guard the entry points of the 2-D
+   space against out-of-range context levels — API-boundary
+   validation, not partiality inside the xform recursion itself. *)
+
 let add_local t op ~at_global =
   if at_global < 0 || at_global > t.global_count then
-    invalid_arg
-      (Printf.sprintf "Two_d_space.add_local: context global level %d not in \
-                       [0, %d]" at_global t.global_count);
+    (invalid_arg
+       (Printf.sprintf "Two_d_space.add_local: context global level %d not \
+                        in [0, %d]" at_global t.global_count))
+    [@lint.allow "exn-partial"];
   Hashtbl.add t.right (t.local_count, at_global) op;
   let top = get_right t (t.local_count, t.global_count) in
   t.local_count <- t.local_count + 1;
@@ -58,9 +63,10 @@ let add_local t op ~at_global =
 
 let add_global t op ~at_local =
   if at_local < 0 || at_local > t.local_count then
-    invalid_arg
-      (Printf.sprintf "Two_d_space.add_global: context local level %d not in \
-                       [0, %d]" at_local t.local_count);
+    (invalid_arg
+       (Printf.sprintf "Two_d_space.add_global: context local level %d not \
+                        in [0, %d]" at_local t.local_count))
+    [@lint.allow "exn-partial"];
   Hashtbl.add t.up (at_local, t.global_count) op;
   let top = get_up t (t.local_count, t.global_count) in
   t.global_count <- t.global_count + 1;

@@ -1,0 +1,21 @@
+(** A single analyzer finding, anchored to a precise source location. *)
+
+type t = {
+  file : string;  (** normalized, '/'-separated, repo-relative *)
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  rule : string;  (** rule name, see {!Rules.all} *)
+  msg : string;
+}
+
+val compare : t -> t -> int
+(** Order by file, then line, column, rule — the report order. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: [rule] msg], the greppable text form. *)
+
+val to_json : t -> string
+(** One finding as a JSON object (file/line/col/rule/family/message). *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)

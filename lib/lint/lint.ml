@@ -1,0 +1,359 @@
+(* The analysis driver.  One file at a time: parse with the compiler's
+   own front end, then walk the Parsetree with an [Ast_iterator] that
+   tracks [[@lint.allow]] suppression scopes and reports findings
+   through a single [report] choke point (which also applies the rule
+   scopes from {!Rules} and any [--rules] selection).
+
+   Working on the AST rather than text means string literals, comments
+   and shadowed names can no longer produce false positives, and
+   suppressions attach to the exact syntactic node they excuse. *)
+
+open Parsetree
+
+let normalize path =
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* "rule1 rule2" / "rule1,rule2" -> ["rule1"; "rule2"] *)
+let split_names s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter_map (fun s ->
+       let s = String.trim s in
+       if String.equal s "" then None else Some s)
+
+(* Rule names carried by [lint.allow] attributes.  A malformed payload
+   contributes nothing: the underlying finding then still fires, which
+   is how the author discovers the typo. *)
+let allows_of_attrs attrs =
+  List.concat_map
+    (fun (a : attribute) ->
+      if String.equal a.attr_name.txt "lint.allow" then
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+          split_names s
+        | _ -> []
+      else [])
+    attrs
+
+let rec flatten = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, s) -> flatten l ^ "." ^ s
+  | Longident.Lapply (a, b) -> flatten a ^ "(" ^ flatten b ^ ")"
+
+let strip_stdlib name =
+  if String.starts_with ~prefix:"Stdlib." name then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+let file_loc path =
+  let pos =
+    { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 }
+  in
+  { Location.loc_start = pos; loc_end = pos; loc_ghost = true }
+
+(* Is this expression a (polymorphic-variant or capitalized) construct
+   whose comparison the poly-eq rule targets?  [true]/[false]/[[]] and
+   friends are lowercase or symbolic and stay out, matching the old
+   scanner's intent. *)
+let is_ctor (e : expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) -> (
+    let name = Longident.last txt in
+    String.length name > 0
+    && match name.[0] with 'A' .. 'Z' -> true | _ -> false)
+  | Pexp_variant _ -> true
+  | _ -> false
+
+let exn_msg = function
+  | "raise" | "raise_notrace" ->
+    "raise in a transform path; OT transforms must be total"
+  | "failwith" ->
+    "failwith in a transform path; return a total result instead"
+  | "invalid_arg" ->
+    "invalid_arg in a transform path; validate at the API boundary"
+  | "List.hd" -> "List.hd raises on []; match the list instead"
+  | "List.tl" -> "List.tl raises on []; match the list instead"
+  | "Option.get" -> "Option.get raises on None; match instead"
+  | "Array.get" ->
+    "a.(i)/Array.get raises Invalid_argument; bounds-check or restructure"
+  | other -> other ^ " is partial"
+
+let check_source ?(mli_exists = true) ?rules ~path source =
+  let path = normalize path in
+  let is_ml = Filename.check_suffix path ".ml" in
+  let findings = ref [] in
+  let file_allows = ref [] in
+  let allow_stack = ref [] in
+  let defines_compare = ref false in
+  let suppressed rule =
+    let hit = List.exists (fun a -> String.equal a "all" || String.equal a rule) in
+    hit !file_allows || List.exists hit !allow_stack
+  in
+  let selected rule =
+    match rules with None -> true | Some l -> List.mem rule l
+  in
+  let report ~loc rule msg =
+    match Rules.find rule with
+    | Some r
+      when Rules.applies r path && selected rule && not (suppressed rule) ->
+      let p = loc.Location.loc_start in
+      findings :=
+        {
+          Finding.file = path;
+          line = p.Lexing.pos_lnum;
+          col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1;
+          rule;
+          msg;
+        }
+        :: !findings
+    | _ -> ()
+  in
+  let report_parse_error exn =
+    let loc, what =
+      match exn with
+      | Syntaxerr.Error err -> Syntaxerr.location_of_error err, "syntax error"
+      | Lexer.Error (_, loc) -> loc, "lexical error"
+      | _ -> file_loc path, "parse failure"
+    in
+    report ~loc "parse-error" (what ^ "; the analyzer could not parse this file")
+  in
+  let check_ident name loc =
+    match name with
+    | "Obj.magic" -> report ~loc "obj-magic" "Obj.magic is forbidden"
+    | "Sys.time" ->
+      report ~loc "sys-time"
+        "Sys.time measures CPU seconds and silently masquerades as a wall \
+         clock; use the metrics clock (Rlist_obs.Metrics.now_ns)"
+    | "Unix.gettimeofday" | "Unix.time" ->
+      report ~loc "wall-clock"
+        (name
+        ^ " reads the wall clock inside replayed code; take time through \
+           the obs/bench clock seams")
+    | "Hashtbl.iter" | "Hashtbl.fold" ->
+      report ~loc "hashtbl-iter"
+        (name
+        ^ " visits bindings in hash-bucket order, which depends on \
+           insertion history; iterate a sorted view instead")
+    | "Hashtbl.hash" | "Hashtbl.seeded_hash" ->
+      report ~loc "poly-hash"
+        (name ^ " is structural; hash the relevant fields")
+    | "compare" when not !defines_compare ->
+      report ~loc "poly-cmp" "bare polymorphic compare; use the type's compare"
+    | "string_of_float" | "Float.to_string" ->
+      report ~loc "float-format"
+        (name
+        ^ " uses shortest-round-trip formatting and is representation- \
+           sensitive; print with an explicit format (e.g. %.17g)")
+    | "raise" | "raise_notrace" | "failwith" | "invalid_arg" | "List.hd"
+    | "List.tl" | "Option.get" | "Array.get" ->
+      report ~loc "exn-partial" (exn_msg name)
+    | n
+      when String.starts_with ~prefix:"Random." n
+           && not (String.starts_with ~prefix:"Random.State." n) ->
+      report ~loc "rand-global"
+        (n
+       ^ " draws from the global PRNG (hidden shared state); thread an \
+          explicitly seeded Random.State.t")
+    | _ -> ()
+  in
+  let check_expr (e : expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+      check_ident (strip_stdlib (flatten txt)) e.pexp_loc
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); _ }; _ },
+          args )
+      when List.exists (fun (_, a) -> is_ctor a) args ->
+      report ~loc:e.pexp_loc "poly-eq"
+        (Printf.sprintf "polymorphic %s against a constructor; match instead"
+           op)
+    | Pexp_assert
+        { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+      ->
+      report ~loc:e.pexp_loc "exn-partial"
+        "assert false in a transform path; make the case impossible by \
+         construction"
+    | _ -> ()
+  in
+  let with_allows attrs f =
+    match allows_of_attrs attrs with
+    | [] -> f ()
+    | names ->
+      allow_stack := names :: !allow_stack;
+      Fun.protect ~finally:(fun () -> allow_stack := List.tl !allow_stack) f
+  in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  (if is_ml then begin
+     match Parse.implementation lexbuf with
+     | exception exn -> report_parse_error exn
+     | ast ->
+       (* Pre-pass: file-wide facts the main walk depends on — floating
+          [[@@@lint.allow]] attributes (they scope the whole file, so
+          they must be known before any finding is reported) and
+          whether the file binds its own [compare]. *)
+       let default = Ast_iterator.default_iterator in
+       let pre =
+         {
+           default with
+           value_binding =
+             (fun it vb ->
+               (match vb.pvb_pat.ppat_desc with
+               | Ppat_var { txt = "compare"; _ } -> defines_compare := true
+               | _ -> ());
+               default.value_binding it vb);
+           structure_item =
+             (fun it si ->
+               (match si.pstr_desc with
+               | Pstr_attribute a ->
+                 file_allows := allows_of_attrs [ a ] @ !file_allows
+               | _ -> ());
+               default.structure_item it si);
+         }
+       in
+       pre.structure pre ast;
+       let it =
+         {
+           default with
+           expr =
+             (fun it e ->
+               with_allows e.pexp_attributes (fun () ->
+                   check_expr e;
+                   default.expr it e));
+           value_binding =
+             (fun it vb ->
+               with_allows vb.pvb_attributes (fun () ->
+                   default.value_binding it vb));
+           module_binding =
+             (fun it mb ->
+               with_allows mb.pmb_attributes (fun () ->
+                   default.module_binding it mb));
+         }
+       in
+       it.structure it ast;
+       if not mli_exists then
+         report ~loc:(file_loc path) "missing-mli"
+           "library module without a matching .mli; every lib/ module must \
+            declare its interface"
+   end
+   else
+     match Parse.interface lexbuf with
+     | exception exn -> report_parse_error exn
+     | _signature -> ());
+  List.sort_uniq Finding.compare !findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file ?rules path =
+  let mli_exists =
+    (not (Filename.check_suffix path ".ml")) || Sys.file_exists (path ^ "i")
+  in
+  check_source ?rules ~mli_exists ~path (read_file path)
+
+let walk roots =
+  let rec add acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry ->
+          if
+            String.equal entry "_build"
+            || (String.length entry > 0 && entry.[0] = '.')
+          then acc
+          else add acc (Filename.concat path entry))
+        acc (Sys.readdir path)
+    else if
+      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then normalize path :: acc
+    else acc
+  in
+  (* [Sys.readdir] order is unspecified; sort so runs are stable. *)
+  List.sort_uniq String.compare (List.fold_left add [] roots)
+
+let run ?rules roots =
+  List.sort Finding.compare
+    (List.concat_map (fun f -> check_file ?rules f) (walk roots))
+
+type baseline = (string * string) list
+
+let load_baseline file =
+  let entries = ref [] in
+  String.split_on_char '\n' (read_file file)
+  |> List.iter (fun line ->
+       let line = String.trim line in
+       if (not (String.equal line "")) && line.[0] <> '#' then
+         match String.rindex_opt line ':' with
+         | Some i ->
+           let path = normalize (String.sub line 0 i) in
+           let rule =
+             String.sub line (i + 1) (String.length line - i - 1)
+           in
+           entries := (path, String.trim rule) :: !entries
+         | None -> ());
+  !entries
+
+let apply_baseline baseline findings =
+  List.filter
+    (fun (f : Finding.t) ->
+      not
+        (List.exists
+           (fun (path, rule) ->
+             String.equal path f.file && String.equal rule f.rule)
+           baseline))
+    findings
+
+let exit_code findings =
+  List.fold_left
+    (fun acc (f : Finding.t) ->
+      let bit =
+        match Rules.find f.rule with
+        | Some r -> Rules.family_bit r.Rules.family
+        | None -> 1
+      in
+      acc lor bit)
+    0 findings
+
+let report_json findings =
+  let buf = Buffer.create 1024 in
+  let by_rule =
+    List.sort_uniq String.compare
+      (List.map (fun (f : Finding.t) -> f.rule) findings)
+    |> List.map (fun rule ->
+         ( rule,
+           List.length
+             (List.filter
+                (fun (f : Finding.t) -> String.equal f.rule rule)
+                findings) ))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"version\":1,\"total\":%d,\"exit_code\":%d,"
+       (List.length findings) (exit_code findings));
+  Buffer.add_string buf "\"by_rule\":{";
+  List.iteri
+    (fun i (rule, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%d" (Finding.json_escape rule) n))
+    by_rule;
+  Buffer.add_string buf "},\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Finding.to_json f))
+    findings;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,147 @@
+type family = Hygiene | Determinism | Exception_safety | Interface
+
+let family_name = function
+  | Hygiene -> "hygiene"
+  | Determinism -> "determinism"
+  | Exception_safety -> "exception-safety"
+  | Interface -> "interface"
+
+let family_bit = function
+  | Hygiene -> 1
+  | Determinism -> 2
+  | Exception_safety -> 4
+  | Interface -> 8
+
+type t = {
+  name : string;
+  family : family;
+  scope : string list option;
+  summary : string;
+}
+
+(* The protocol libraries, where operation and state types carry
+   semantically irrelevant fields and must only be compared with their
+   dedicated functions. *)
+let strict = Some [ "lib/core"; "lib/ot"; "lib/cscw" ]
+
+(* Everything the differential runs and the bounded model checker
+   replay byte-for-byte; lib/obs and bench are the sanctioned clock
+   seams and stay outside. *)
+let deterministic =
+  Some [ "lib/core"; "lib/ot"; "lib/cscw"; "lib/net"; "lib/mc"; "lib/sim" ]
+
+(* The OT core plus the CSCW 2-D transform path: the functions whose
+   totality Thm 7.1's differential evidence silently assumes. *)
+let transform_paths = Some [ "lib/ot"; "lib/cscw/two_d_space.ml" ]
+
+let libraries = Some [ "lib" ]
+
+let all =
+  [
+    (* -- Hygiene: ports of the old textual scanner ------------------ *)
+    {
+      name = "obj-magic";
+      family = Hygiene;
+      scope = None;
+      summary = "Obj.magic is forbidden";
+    };
+    {
+      name = "sys-time";
+      family = Hygiene;
+      scope = None;
+      summary =
+        "Sys.time measures CPU seconds; use the metrics clock or \
+         Unix.gettimeofday (outside the deterministic core)";
+    };
+    {
+      name = "poly-eq";
+      family = Hygiene;
+      scope = strict;
+      summary =
+        "polymorphic =/<> against a constructor; match instead";
+    };
+    {
+      name = "poly-cmp";
+      family = Hygiene;
+      scope = strict;
+      summary =
+        "bare polymorphic compare; use the type's own compare";
+    };
+    {
+      name = "poly-hash";
+      family = Hygiene;
+      scope = strict;
+      summary =
+        "Hashtbl.hash is structural and follows irrelevant fields";
+    };
+    {
+      name = "parse-error";
+      family = Hygiene;
+      scope = None;
+      summary = "the file does not parse (analysis impossible)";
+    };
+    (* -- Determinism ------------------------------------------------ *)
+    {
+      name = "rand-global";
+      family = Determinism;
+      scope = deterministic;
+      summary =
+        "global-state Random.* call; thread an explicit seeded \
+         Random.State.t instead";
+    };
+    {
+      name = "hashtbl-iter";
+      family = Determinism;
+      scope = deterministic;
+      summary =
+        "Hashtbl.iter/fold visits in hash-bucket order, which is not \
+         deterministic across inputs; iterate a sorted view instead";
+    };
+    {
+      name = "wall-clock";
+      family = Determinism;
+      scope = deterministic;
+      summary =
+        "wall-clock read in replayed code; take time through the \
+         obs/bench clock seams";
+    };
+    {
+      name = "float-format";
+      family = Determinism;
+      scope = deterministic;
+      summary =
+        "shortest-round-trip float formatting is representation- \
+         sensitive; print with an explicit format (e.g. %.17g)";
+    };
+    (* -- Exception safety ------------------------------------------- *)
+    {
+      name = "exn-partial";
+      family = Exception_safety;
+      scope = transform_paths;
+      summary =
+        "partial construct in a transform path (raise/failwith/\
+         invalid_arg/assert false/List.hd/Option.get/array access); \
+         OT transforms must be total";
+    };
+    (* -- Interface completeness ------------------------------------- *)
+    {
+      name = "missing-mli";
+      family = Interface;
+      scope = libraries;
+      summary = "library module without a matching .mli";
+    };
+  ]
+
+let find name = List.find_opt (fun r -> String.equal r.name name) all
+
+let applies r path =
+  match r.scope with
+  | None -> true
+  | Some prefixes ->
+    List.exists
+      (fun p ->
+        let lp = String.length p and lpath = String.length path in
+        lpath >= lp
+        && String.equal (String.sub path 0 lp) p
+        && (lpath = lp || path.[lp] = '/'))
+      prefixes

@@ -1,0 +1,39 @@
+(** The rule registry: every analysis rule the engine knows, with the
+    family it belongs to and the part of the tree it applies to.
+
+    Families map to exit-code bits so CI can tell at a glance which
+    class of invariant broke:
+    {ul
+    {- [Hygiene] (bit 1) — comparison/unsafe-cast hygiene ported from
+       the old textual scanner.}
+    {- [Determinism] (bit 2) — sources of hidden nondeterminism that
+       would invalidate byte-for-byte differential replays (Thm 7.1
+       evidence).}
+    {- [Exception_safety] (bit 4) — partial constructs in the OT
+       transform paths, which must be demonstrably total.}
+    {- [Interface] (bit 8) — interface completeness of the libraries.}} *)
+
+type family = Hygiene | Determinism | Exception_safety | Interface
+
+val family_name : family -> string
+val family_bit : family -> int
+
+type t = {
+  name : string;  (** kebab-case rule name, as used in suppressions *)
+  family : family;
+  scope : string list option;
+      (** path prefixes ('/'-separated, repo-relative) the rule fires
+          under; [None] means everywhere under the scanned roots *)
+  summary : string;  (** one-line description for [--list-rules] *)
+}
+
+val all : t list
+(** Every rule, in registry order. *)
+
+val find : string -> t option
+(** Look a rule up by name. *)
+
+val applies : t -> string -> bool
+(** [applies rule path] — does [rule]'s scope cover the (normalized)
+    [path]?  Prefix matching respects path-component boundaries, so
+    ["lib/ot"] covers ["lib/ot/op.ml"] but not ["lib/other/x.ml"]. *)

@@ -356,7 +356,14 @@ let receiver_checkpoint t =
   {
     ck_expected = l.expected;
     ck_resequencer = l.resequencer;
-    ck_keys = Hashtbl.fold (fun k () acc -> k :: acc) l.seen_keys [];
+    ck_keys =
+      (* Sorted: checkpoint contents must not depend on hash-bucket
+         iteration order, or two replicas checkpointing the same state
+         would disagree byte-for-byte.  The fold itself is
+         order-insensitive once sorted. *)
+      List.sort String.compare
+        ((Hashtbl.fold (fun k () acc -> k :: acc) l.seen_keys [])
+        [@lint.allow "hashtbl-iter"]);
   }
 
 let restore_receiver t ck =

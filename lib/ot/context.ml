@@ -18,8 +18,12 @@ type op_in_context = {
 }
 
 let with_context op ~ctx =
+  (* Precondition guard at the API boundary, not a transform-path
+     partial case: a caller pairing an operation with its own context
+     is a programming error, never a reachable transform state. *)
   if Op_id.Set.mem op.Op.id ctx then
-    invalid_arg "Context.with_context: operation is inside its own context";
+    (invalid_arg "Context.with_context: operation is inside its own context")
+    [@lint.allow "exn-partial"];
   { op; ctx }
 
 let pp = Op_id.Set.pp

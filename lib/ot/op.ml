@@ -10,12 +10,20 @@ type t = {
   action : action;
 }
 
+(* The [invalid_arg]s below are precondition guards at the smart-
+   constructor/application API boundary, not partial cases inside the
+   transform functions — the totality the exn-partial pass protects. *)
+
 let make_ins ~id elt pos =
-  if pos < 0 then invalid_arg "Op.make_ins: negative position";
+  if pos < 0 then
+    (invalid_arg "Op.make_ins: negative position")
+    [@lint.allow "exn-partial"];
   { id; action = Ins (elt, pos) }
 
 let make_del ~id elt pos =
-  if pos < 0 then invalid_arg "Op.make_del: negative position";
+  if pos < 0 then
+    (invalid_arg "Op.make_del: negative position")
+    [@lint.allow "exn-partial"];
   { id; action = Del (elt, pos) }
 
 let nop ~id = { id; action = Nop }
@@ -52,11 +60,12 @@ let apply t doc =
   | Del (e, p) ->
     let deleted, doc' = Document.delete doc ~pos:p in
     if not (Element.equal deleted e) then
-      invalid_arg
-        (Format.asprintf
-           "Op.apply: delete %a at position %d found %a — operation applied \
-            outside its context"
-           Element.pp e p Element.pp deleted);
+      (invalid_arg
+         (Format.asprintf
+            "Op.apply: delete %a at position %d found %a — operation applied \
+             outside its context"
+            Element.pp e p Element.pp deleted))
+      [@lint.allow "exn-partial"];
     doc'
 
 let compare_action a b =

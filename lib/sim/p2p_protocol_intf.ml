@@ -6,6 +6,10 @@
     running the CSS protocol over "a distributed scheme to totally
     order operations" instead of a central server. *)
 
+(* Interface-carrier module: this file holds module types only and
+   *is* the interface; a duplicated .mli would just drift. *)
+[@@@lint.allow "missing-mli"]
+
 open Rlist_model
 
 module type P2P_PROTOCOL = sig

@@ -10,6 +10,10 @@
     server-to-client message per client per update — the message to
     the originating client acts as an acknowledgement. *)
 
+(* Interface-carrier module: this file holds module types only and
+   *is* the interface; a duplicated .mli would just drift. *)
+[@@@lint.allow "missing-mli"]
+
 open Rlist_model
 
 (** What a [do] event performed, as reported by the client to the

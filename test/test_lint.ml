@@ -1,0 +1,323 @@
+(* Tests for the AST-based project analyzer (lib/lint): every rule
+   fires on a minimal flagged fixture and stays quiet on a clean or
+   suppressed twin; scopes follow the path the fixture pretends to
+   live at; and the JSON report has the machine-readable shape CI
+   consumes.
+
+   Fixtures are inline sources handed to [Lint.check_source] with an
+   invented [path] — the path is what selects the applicable rules, so
+   scope behaviour is testable without touching the file system. *)
+
+open Rlist_lint
+
+let rules_of findings = List.map (fun f -> f.Finding.rule) findings
+
+let check_rules name expected ?mli_exists ~path src =
+  Alcotest.(check (list string))
+    name expected
+    (rules_of (Lint.check_source ?mli_exists ~path src))
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.equal (String.sub haystack i nn) needle || go (i + 1)
+  in
+  go 0
+
+(* --- hygiene: the ported scanner rules ------------------------------- *)
+
+let test_poly_eq () =
+  check_rules "comparison against a constructor fires" [ "poly-eq" ]
+    ~path:"lib/core/fixture.ml" "let f x = x = Some 1\n";
+  check_rules "<> against a polymorphic variant fires" [ "poly-eq" ]
+    ~path:"lib/ot/fixture.ml" "let f x = x <> `Ready\n";
+  check_rules "matching instead is clean" []
+    ~path:"lib/core/fixture.ml"
+    "let f x = match x with Some _ -> true | None -> false\n";
+  check_rules "booleans and [] stay out" []
+    ~path:"lib/core/fixture.ml" "let f x l = x = true && l = []\n";
+  check_rules "outside the strict dirs the rule is off" []
+    ~path:"lib/sim/fixture.ml" "let f x = x = Some 1\n";
+  check_rules "constructor comparison in a string literal is not code" []
+    ~path:"lib/core/fixture.ml" "let s = \"if x = Some 1 then\"\n";
+  check_rules "constructor comparison in a comment is not code" []
+    ~path:"lib/core/fixture.ml" "(* x = Some 1 *)\nlet f = ()\n";
+  check_rules "expression-scoped suppression silences it" []
+    ~path:"lib/core/fixture.ml"
+    "let f x = (x = Some 1) [@lint.allow \"poly-eq\"]\n"
+
+let test_poly_cmp () =
+  check_rules "bare compare fires" [ "poly-cmp" ]
+    ~path:"lib/ot/fixture.ml" "let f a b = compare a b\n";
+  check_rules "a file defining its own compare is exempt" []
+    ~path:"lib/ot/fixture.ml"
+    "let compare a b = Int.compare a b\nlet equal a b = compare a b = 0\n";
+  check_rules "String.compare is fine" []
+    ~path:"lib/ot/fixture.ml" "let f a b = String.compare a b\n"
+
+let test_poly_hash () =
+  check_rules "Hashtbl.hash fires in the strict dirs" [ "poly-hash" ]
+    ~path:"lib/cscw/fixture.ml" "let h x = Hashtbl.hash x\n";
+  check_rules "outside the strict dirs it is allowed" []
+    ~path:"lib/obs/fixture.ml" "let h x = Hashtbl.hash x\n"
+
+let test_obj_magic_and_sys_time () =
+  check_rules "Obj.magic fires everywhere" [ "obj-magic" ]
+    ~path:"test/fixture.ml" "let f x = Obj.magic x\n";
+  check_rules "Sys.time fires everywhere" [ "sys-time" ]
+    ~path:"bench/fixture.ml" "let t () = Sys.time ()\n";
+  check_rules "a comment naming Sys.time is not a call" []
+    ~path:"bench/fixture.ml" "(* Sys.time measures CPU seconds *)\nlet t = 0\n"
+
+(* --- determinism ----------------------------------------------------- *)
+
+let test_rand_global () =
+  check_rules "global Random.int fires in the deterministic core"
+    [ "rand-global" ] ~path:"lib/mc/fixture.ml" "let r () = Random.int 5\n";
+  check_rules "Random.self_init fires" [ "rand-global" ]
+    ~path:"lib/net/fixture.ml" "let () = Random.self_init ()\n";
+  check_rules "a threaded Random.State is the sanctioned form" []
+    ~path:"lib/mc/fixture.ml" "let r st = Random.State.int st 5\n";
+  check_rules "outside the deterministic core Random is allowed" []
+    ~path:"bench/fixture.ml" "let r () = Random.int 5\n"
+
+let test_hashtbl_iter () =
+  check_rules "Hashtbl.iter fires in the deterministic core"
+    [ "hashtbl-iter" ] ~path:"lib/net/fixture.ml"
+    "let f t = Hashtbl.iter (fun _ _ -> ()) t\n";
+  check_rules "Hashtbl.fold fires too" [ "hashtbl-iter" ]
+    ~path:"lib/core/fixture.ml"
+    "let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n";
+  check_rules "a sorted collection under suppression is accepted" []
+    ~path:"lib/net/fixture.ml"
+    "let f t =\n\
+    \  List.sort String.compare\n\
+    \    ((Hashtbl.fold (fun k _ acc -> k :: acc) t [])\n\
+    \    [@lint.allow \"hashtbl-iter\"])\n";
+  check_rules "Hashtbl.find_opt and replace stay legal" []
+    ~path:"lib/net/fixture.ml"
+    "let f t k = Hashtbl.replace t k (); Hashtbl.find_opt t k\n"
+
+let test_wall_clock () =
+  check_rules "Unix.gettimeofday fires in replayed code" [ "wall-clock" ]
+    ~path:"lib/sim/fixture.ml" "let t () = Unix.gettimeofday ()\n";
+  check_rules "the obs clock seam is outside the scope" []
+    ~path:"lib/obs/fixture.ml" "let t () = Unix.gettimeofday ()\n";
+  check_rules "bench harness wall-clock reads are sanctioned" []
+    ~path:"bench/fixture.ml" "let t () = Unix.gettimeofday ()\n"
+
+let test_float_format () =
+  check_rules "string_of_float fires in the deterministic core"
+    [ "float-format" ] ~path:"lib/core/fixture.ml"
+    "let s x = string_of_float x\n";
+  check_rules "an explicit format is the sanctioned form" []
+    ~path:"lib/core/fixture.ml" "let s x = Printf.sprintf \"%.17g\" x\n"
+
+(* --- exception safety ------------------------------------------------ *)
+
+let test_exn_partial () =
+  check_rules "failwith fires in lib/ot" [ "exn-partial" ]
+    ~path:"lib/ot/fixture.ml" "let f () = failwith \"no\"\n";
+  check_rules "List.hd fires" [ "exn-partial" ]
+    ~path:"lib/ot/fixture.ml" "let f l = List.hd l\n";
+  check_rules "Option.get fires" [ "exn-partial" ]
+    ~path:"lib/ot/fixture.ml" "let f o = Option.get o\n";
+  check_rules "array access desugars to Array.get and fires"
+    [ "exn-partial" ] ~path:"lib/ot/fixture.ml" "let f a i = a.(i)\n";
+  check_rules "assert false fires" [ "exn-partial" ]
+    ~path:"lib/ot/fixture.ml" "let f () = assert false\n";
+  check_rules "an assert with a real condition is not assert false" []
+    ~path:"lib/ot/fixture.ml" "let f x = assert (x > 0)\n";
+  check_rules "the CSCW 2-D space is a transform path too" [ "exn-partial" ]
+    ~path:"lib/cscw/two_d_space.ml" "let f () = failwith \"no\"\n";
+  check_rules "the rest of lib/cscw is not in the exn scope" []
+    ~path:"lib/cscw/protocol.ml" "let f () = failwith \"no\"\n";
+  check_rules "binding-scoped suppression silences a guard" []
+    ~path:"lib/ot/fixture.ml"
+    "let f pos =\n\
+    \  if pos < 0 then (invalid_arg \"f: negative\") [@lint.allow \
+     \"exn-partial\"];\n\
+    \  pos\n"
+
+(* --- interface completeness ------------------------------------------ *)
+
+let test_missing_mli () =
+  check_rules "a lib module without .mli fires" [ "missing-mli" ]
+    ~mli_exists:false ~path:"lib/sim/fixture.ml" "let x = 1\n";
+  check_rules "with the .mli present it is clean" [] ~mli_exists:true
+    ~path:"lib/sim/fixture.ml" "let x = 1\n";
+  check_rules "bin modules do not need interfaces" [] ~mli_exists:false
+    ~path:"bin/fixture.ml" "let x = 1\n";
+  check_rules "a floating allow covers the whole file" [] ~mli_exists:false
+    ~path:"lib/sim/fixture.ml"
+    "[@@@lint.allow \"missing-mli\"]\nlet x = 1\n"
+
+(* --- the suppression machinery itself -------------------------------- *)
+
+let test_suppressions () =
+  check_rules "allow lists silence several rules at once" []
+    ~path:"lib/core/fixture.ml"
+    "[@@@lint.allow \"poly-eq, poly-cmp\"]\n\
+     let f x = x = Some 1\n\
+     let g a b = compare a b\n";
+  check_rules "allow \"all\" silences everything" []
+    ~path:"lib/ot/fixture.ml"
+    "[@@@lint.allow \"all\"]\nlet f () = failwith (string_of_float 1.0)\n";
+  check_rules "an allow for rule A does not silence rule B"
+    [ "poly-eq" ] ~path:"lib/core/fixture.ml"
+    "let f x = (x = Some 1) [@lint.allow \"poly-cmp\"]\n";
+  check_rules "suppression is scoped, not file-wide" [ "poly-eq" ]
+    ~path:"lib/core/fixture.ml"
+    "let f x = (x = Some 1) [@lint.allow \"poly-eq\"]\n\
+     let g x = x = Some 2\n";
+  (* A malformed payload must not silence anything: the finding
+     surfacing is how the author discovers the typo. *)
+  check_rules "a payload-less allow suppresses nothing" [ "poly-eq" ]
+    ~path:"lib/core/fixture.ml"
+    "let f x = (x = Some 1) [@lint.allow]\n"
+
+let test_rule_selection () =
+  let src = "let f x = x = Some 1\nlet g a b = compare a b\n" in
+  Alcotest.(check (list string))
+    "only the selected rule runs" [ "poly-cmp" ]
+    (rules_of
+       (Lint.check_source ~rules:[ "poly-cmp" ] ~path:"lib/core/fixture.ml"
+          src))
+
+let test_parse_error () =
+  check_rules "garbage reports parse-error, not silence" [ "parse-error" ]
+    ~path:"lib/core/fixture.ml" "let let let\n";
+  check_rules "a broken .mli reports too" [ "parse-error" ]
+    ~path:"lib/core/fixture.mli" "val val\n"
+
+let test_locations () =
+  match Lint.check_source ~path:"lib/core/fixture.ml"
+          "let a = 1\nlet f x =\n  x = Some a\n"
+  with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "poly-eq" f.Finding.rule;
+    Alcotest.(check int) "line" 3 f.Finding.line;
+    Alcotest.(check int) "col" 3 f.Finding.col
+  | fs ->
+    Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* --- baseline -------------------------------------------------------- *)
+
+let test_baseline () =
+  let findings =
+    Lint.check_source ~path:"lib/core/fixture.ml"
+      "let f x = x = Some 1\nlet g a b = compare a b\n"
+  in
+  Alcotest.(check (list string))
+    "both findings before the baseline" [ "poly-eq"; "poly-cmp" ]
+    (rules_of findings);
+  let file = Filename.temp_file "lint_baseline" ".txt" in
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc
+        "# accepted findings\n\nlib/core/fixture.ml:poly-eq\n");
+  let baseline = Lint.load_baseline file in
+  Sys.remove file;
+  Alcotest.(check (list string))
+    "the baselined finding is accepted" [ "poly-cmp" ]
+    (rules_of (Lint.apply_baseline baseline findings))
+
+(* --- report shape ---------------------------------------------------- *)
+
+let test_exit_code () =
+  let at path src = Lint.check_source ~path src in
+  Alcotest.(check int) "clean is 0" 0 (Lint.exit_code []);
+  Alcotest.(check int) "hygiene is bit 1" 1
+    (Lint.exit_code (at "lib/core/f.ml" "let f x = x = Some 1\n"));
+  Alcotest.(check int) "determinism is bit 2" 2
+    (Lint.exit_code (at "lib/mc/f.ml" "let r () = Random.int 5\n"));
+  Alcotest.(check int) "exception safety is bit 4" 4
+    (Lint.exit_code (at "lib/ot/f.ml" "let f () = failwith \"no\"\n"));
+  Alcotest.(check int) "interface is bit 8" 8
+    (Lint.exit_code
+       (Lint.check_source ~mli_exists:false ~path:"lib/sim/f.ml" "let x = 1\n"));
+  Alcotest.(check int) "families OR together" 6
+    (Lint.exit_code
+       (at "lib/ot/f.ml" "let f t = Hashtbl.iter ignore t; failwith \"no\"\n"))
+
+let test_json_report () =
+  let findings =
+    Lint.check_source ~path:"lib/core/fixture.ml"
+      "let f x = x = Some 1\nlet g a b = compare a b\n"
+  in
+  let json = Lint.report_json findings in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report contains %s" needle)
+        true
+        (contains ~needle json))
+    [
+      "\"version\":1";
+      "\"total\":2";
+      "\"exit_code\":1";
+      "\"by_rule\":{\"poly-cmp\":1,\"poly-eq\":1}";
+      "\"file\":\"lib/core/fixture.ml\"";
+      "\"rule\":\"poly-eq\"";
+      "\"family\":\"hygiene\"";
+      "\"line\":1";
+    ];
+  Alcotest.(check string)
+    "an empty report is still well-formed"
+    "{\"version\":1,\"total\":0,\"exit_code\":0,\"by_rule\":{},\"findings\":[]}"
+    (Lint.report_json [])
+
+let test_registry () =
+  Alcotest.(check bool) "every rule resolves by name" true
+    (List.for_all
+       (fun (r : Rules.t) ->
+         match Rules.find r.Rules.name with
+         | Some r' -> String.equal r'.Rules.name r.Rules.name
+         | None -> false)
+       Rules.all);
+  Alcotest.(check bool) "scope prefixes respect component boundaries" false
+    (match Rules.find "poly-eq" with
+    | Some r -> Rules.applies r "lib/core_extras/x.ml"
+    | None -> true);
+  Alcotest.(check bool) "scope prefixes cover their subtree" true
+    (match Rules.find "poly-eq" with
+    | Some r -> Rules.applies r "lib/core/x.ml"
+    | None -> false)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "hygiene rules",
+        [
+          Alcotest.test_case "poly-eq" `Quick test_poly_eq;
+          Alcotest.test_case "poly-cmp" `Quick test_poly_cmp;
+          Alcotest.test_case "poly-hash" `Quick test_poly_hash;
+          Alcotest.test_case "obj-magic / sys-time" `Quick
+            test_obj_magic_and_sys_time;
+        ] );
+      ( "determinism rules",
+        [
+          Alcotest.test_case "rand-global" `Quick test_rand_global;
+          Alcotest.test_case "hashtbl-iter" `Quick test_hashtbl_iter;
+          Alcotest.test_case "wall-clock" `Quick test_wall_clock;
+          Alcotest.test_case "float-format" `Quick test_float_format;
+        ] );
+      ( "exception safety",
+        [ Alcotest.test_case "exn-partial" `Quick test_exn_partial ] );
+      ( "interface completeness",
+        [ Alcotest.test_case "missing-mli" `Quick test_missing_mli ] );
+      ( "suppressions and selection",
+        [
+          Alcotest.test_case "lint.allow scoping" `Quick test_suppressions;
+          Alcotest.test_case "--rules selection" `Quick test_rule_selection;
+          Alcotest.test_case "parse errors surface" `Quick test_parse_error;
+          Alcotest.test_case "locations are precise" `Quick test_locations;
+          Alcotest.test_case "baseline" `Quick test_baseline;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "exit-code bits" `Quick test_exit_code;
+          Alcotest.test_case "JSON shape" `Quick test_json_report;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+    ]
