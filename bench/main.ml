@@ -12,7 +12,10 @@
    Pass --mc to run only the C14 model-checking family (regenerates
    BENCH_mc.json with --json at the full state budget).
    Pass --net to run only the C15 unreliable-network family
-   (regenerates BENCH_net.json with --json). *)
+   (regenerates BENCH_net.json with --json).
+   Pass --batch to run only the C16 batching/fast-path family
+   (regenerates BENCH_batch.json with --json; the smoke bench always
+   emits it — it carries the acceptance speedup numbers). *)
 
 open Rlist_model
 open Bechamel
@@ -115,11 +118,14 @@ let () =
   let obs_json_path = if json then Some "BENCH_obs.json" else None in
   let mc_json_path = if json then Some "BENCH_mc.json" else None in
   let net_json_path = if json then Some "BENCH_net.json" else None in
+  let batch_json_path = if json then Some "BENCH_batch.json" else None in
   Harness.install_metrics_clock ();
   if flag "--mc" then
     ignore (Experiments.c14_model_checking ?json_path:mc_json_path ())
   else if flag "--net" then
     Experiments.c15_network ?json_path:net_json_path ()
+  else if flag "--batch" then
+    Experiments.c16_batching ?json_path:batch_json_path ()
   else if smoke then begin
     (* Tiny quota, small sizes: catches document-layer regressions and
        crashes in seconds, without a full bench run.  The observability
@@ -132,7 +138,10 @@ let () =
     Experiments.c13_observability ?json_path:obs_json_path ();
     ignore
       (Experiments.c14_model_checking ?json_path:mc_json_path ~smoke:true ());
-    Experiments.c15_network ?json_path:net_json_path ~smoke:true ()
+    Experiments.c15_network ?json_path:net_json_path ~smoke:true ();
+    (* Always emitted in smoke: BENCH_batch.json carries the C16
+       batched-vs-unbatched speedup numbers the CI gate reads. *)
+    Experiments.c16_batching ~json_path:"BENCH_batch.json" ~smoke:true ()
   end
   else begin
     print_endline
@@ -144,6 +153,7 @@ let () =
     Experiments.c13_observability ?json_path:obs_json_path ();
     ignore (Experiments.c14_model_checking ?json_path:mc_json_path ());
     Experiments.c15_network ?json_path:net_json_path ();
+    Experiments.c16_batching ?json_path:batch_json_path ();
     if not quick then micro_benchmarks ();
     ignore (Experiments.document_scaling ?json_path ())
   end;

@@ -248,6 +248,40 @@ let json_arg =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
 
+let batch_arg =
+  Arg.(value & flag
+       & info [ "batch" ]
+           ~doc:
+             "Coalesce consecutive sends per channel into one batch message \
+              (one sequence number, one retransmission unit), delivered \
+              through the protocols' batch entry points.")
+
+let fastpath_arg =
+  Arg.(value & flag
+       & info [ "fastpath" ]
+           ~doc:
+             "Enable the CSS transform fast paths (pure-append run \
+              specialization) alongside the always-on context-match \
+              shortcut; the fastpath.* counters attribute the skipped \
+              ladder work.")
+
+(* The append specialization is a global switch shared by every CSS
+   state-space (like [Transform.on_xform]); the CLI is one-shot, so
+   setting it for the run is enough.  Counters restart at zero so the
+   report covers exactly this run. *)
+let set_fastpath on =
+  Jupiter_css.State_space.Fastpath.reset ();
+  Jupiter_css.State_space.Fastpath.enabled := on
+
+let publish_fastpath metrics =
+  let add name v =
+    Rlist_obs.Metrics.add (Rlist_obs.Metrics.counter metrics name) v
+  in
+  add "fastpath.context_hits" !Jupiter_css.State_space.Fastpath.context_hits;
+  add "fastpath.append_hits" !Jupiter_css.State_space.Fastpath.append_hits;
+  add "fastpath.generic_squares"
+    !Jupiter_css.State_space.Fastpath.generic_squares
+
 (* --- simulate --------------------------------------------------------- *)
 
 let simulate protocol profile nclients updates seed =
@@ -309,9 +343,10 @@ let soak_one (type c s c2s s2c)
       with type client = c
        and type server = s
        and type c2s = c2s
-       and type s2c = s2c) ~net ~obs ~nclients ~profile ~updates ~seed =
+       and type s2c = s2c) ~net ~obs ~batching ~nclients ~profile ~updates
+    ~seed =
   let module E = Rlist_sim.Engine.Make (P) in
-  let t = E.create ~net ~nclients () in
+  let t = E.create ~net ~batching ~nclients () in
   E.attach_obs t obs;
   let rng = Random.State.make [| seed |] in
   let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
@@ -334,9 +369,9 @@ let soak_one (type c s c2s s2c)
   }
 
 let soak_one_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ~net
-    ~obs ~nclients ~profile ~updates ~seed =
+    ~obs ~batching ~nclients ~profile ~updates ~seed =
   let module E = Rlist_sim.P2p_engine.Make (P) in
-  let t = E.create ~net ~npeers:nclients () in
+  let t = E.create ~net ~batching ~npeers:nclients () in
   E.attach_obs t obs;
   let rng = Random.State.make [| seed |] in
   let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
@@ -355,7 +390,8 @@ let soak_one_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ~net
     s_strong = Rlist_spec.Strong_spec.check trace;
   }
 
-let soak protocol faults_str no_shim rto nclients profile updates seed json =
+let soak protocol faults_str no_shim rto batching fastpath nclients profile
+    updates seed json =
   let faults =
     match Rlist_net.Faults.of_string faults_str with
     | Ok f -> f
@@ -366,38 +402,39 @@ let soak protocol faults_str no_shim rto nclients profile updates seed json =
   let shim = not no_shim in
   let net = Rlist_net.Transport.config ~shim ~rto ~faults ~seed () in
   let obs = Rlist_obs.Obs.make () in
+  set_fastpath fastpath;
   let run () =
     match protocol with
     | P_css ->
-      soak_one (module Jupiter_css.Protocol) ~net ~obs ~nclients ~profile
-        ~updates ~seed
+      soak_one (module Jupiter_css.Protocol) ~net ~obs ~batching ~nclients
+        ~profile ~updates ~seed
     | P_cscw ->
-      soak_one (module Jupiter_cscw.Protocol) ~net ~obs ~nclients ~profile
-        ~updates ~seed
+      soak_one (module Jupiter_cscw.Protocol) ~net ~obs ~batching ~nclients
+        ~profile ~updates ~seed
     | P_rga ->
-      soak_one (module Jupiter_rga.Protocol) ~net ~obs ~nclients ~profile
-        ~updates ~seed
+      soak_one (module Jupiter_rga.Protocol) ~net ~obs ~batching ~nclients
+        ~profile ~updates ~seed
     | P_naive ->
-      soak_one (module Jupiter_cscw.Naive_p2p) ~net ~obs ~nclients ~profile
-        ~updates ~seed
+      soak_one (module Jupiter_cscw.Naive_p2p) ~net ~obs ~batching ~nclients
+        ~profile ~updates ~seed
     | P_pruned ->
-      soak_one (module Jupiter_css.Pruned_protocol) ~net ~obs ~nclients
-        ~profile ~updates ~seed
+      soak_one (module Jupiter_css.Pruned_protocol) ~net ~obs ~batching
+        ~nclients ~profile ~updates ~seed
     | P_logoot ->
-      soak_one (module Jupiter_logoot.Protocol) ~net ~obs ~nclients ~profile
-        ~updates ~seed
-    | P_sequencer ->
-      soak_one (module Jupiter_css.Sequencer_protocol) ~net ~obs ~nclients
+      soak_one (module Jupiter_logoot.Protocol) ~net ~obs ~batching ~nclients
         ~profile ~updates ~seed
+    | P_sequencer ->
+      soak_one (module Jupiter_css.Sequencer_protocol) ~net ~obs ~batching
+        ~nclients ~profile ~updates ~seed
     | P_treedoc ->
-      soak_one (module Jupiter_treedoc.Protocol) ~net ~obs ~nclients ~profile
-        ~updates ~seed
+      soak_one (module Jupiter_treedoc.Protocol) ~net ~obs ~batching
+        ~nclients ~profile ~updates ~seed
     | P_css_p2p ->
       soak_one_p2p (module Jupiter_css.Distributed_protocol) ~net ~obs
-        ~nclients ~profile ~updates ~seed
+        ~batching ~nclients ~profile ~updates ~seed
     | P_ttf ->
-      soak_one_p2p (module Jupiter_ttf.Adopted_protocol) ~net ~obs ~nclients
-        ~profile ~updates ~seed
+      soak_one_p2p (module Jupiter_ttf.Adopted_protocol) ~net ~obs ~batching
+        ~nclients ~profile ~updates ~seed
   in
   match run () with
   | exception Invalid_argument msg ->
@@ -413,22 +450,27 @@ let soak protocol faults_str no_shim rto nclients profile updates seed json =
   | summary ->
     let stats = Rlist_net.Transport.stats net in
     Rlist_net.Stats.publish stats obs.Rlist_obs.Obs.metrics;
+    publish_fastpath obs.Rlist_obs.Obs.metrics;
     let sat = Rlist_spec.Check.is_satisfied in
     if json then
       Printf.printf
-        "{\"protocol\": %S, \"faults\": %S, \"shim\": %b, \"seed\": %d, \
-         \"events\": %d, \"converged\": %b, \"convergence\": %b, \"weak\": \
-         %b, \"strong\": %b, \"net\": %s}\n"
+        "{\"protocol\": %S, \"faults\": %S, \"shim\": %b, \"batch\": %b, \
+         \"fastpath\": %b, \"seed\": %d, \"events\": %d, \"converged\": %b, \
+         \"convergence\": %b, \"weak\": %b, \"strong\": %b, \"net\": %s, \
+         \"metrics\": %s}\n"
         summary.s_protocol
         (Rlist_net.Faults.to_string faults)
-        shim seed summary.s_events summary.s_converged
+        shim batching fastpath seed summary.s_events summary.s_converged
         (sat summary.s_convergence) (sat summary.s_weak)
         (sat summary.s_strong)
         (Rlist_net.Stats.to_json stats)
+        (Rlist_obs.Obs.metrics_json obs)
     else begin
       pp_summary summary;
       Printf.printf "faults:      %s\n" (Rlist_net.Faults.to_string faults);
       Printf.printf "shim:        %b\n" shim;
+      if batching || fastpath then
+        Printf.printf "batch:       %b  fastpath: %b\n" batching fastpath;
       Format.printf "%a@." Rlist_net.Stats.pp stats
     end;
     (* Strong-spec violations are a theorem for the OT protocols
@@ -476,7 +518,8 @@ let soak_cmd =
           suppressed duplicates, message amplification).  Exits non-zero \
           on a convergence or weak-specification violation.")
     Term.(const soak $ soak_protocol_arg $ faults_arg $ no_shim_arg $ rto_arg
-          $ clients_arg $ profile_arg $ updates_arg $ seed_arg $ json_arg)
+          $ batch_arg $ fastpath_arg $ clients_arg $ profile_arg
+          $ updates_arg $ seed_arg $ json_arg)
 
 (* --- check (bounded model checking) ----------------------------------- *)
 
@@ -517,24 +560,26 @@ let mc_result ~render (workload : Rlist_mc.Workload.t) elapsed
   }
 
 let mc_check_cs (module P : Rlist_sim.Protocol_intf.PROTOCOL) ~equiv ~specs
-    ~workloads ~por ~max_states =
+    ~workloads ~por ~max_states ~batching =
   let module M = Rlist_mc.Mc.Cs (P) in
   List.map
     (fun workload ->
       let t0 = Unix.gettimeofday () in
-      let outcome = M.check ?equiv ~por ~max_states ~specs ~workload () in
+      let outcome =
+        M.check ?equiv ~por ~max_states ~batching ~specs ~workload ()
+      in
       let elapsed = Unix.gettimeofday () -. t0 in
       mc_result workload elapsed outcome
         ~render:(Format.asprintf "%a" M.pp_violation))
     workloads
 
 let mc_check_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL)
-    ~specs ~workloads ~por ~max_states =
+    ~specs ~workloads ~por ~max_states ~batching =
   let module M = Rlist_mc.Mc.P2p (P) in
   List.map
     (fun workload ->
       let t0 = Unix.gettimeofday () in
-      let outcome = M.check ~por ~max_states ~specs ~workload () in
+      let outcome = M.check ~por ~max_states ~batching ~specs ~workload () in
       let elapsed = Unix.gettimeofday () -. t0 in
       mc_result workload elapsed outcome
         ~render:(Format.asprintf "%a" M.pp_violation))
@@ -552,7 +597,7 @@ let cs_protocol_module = function
   | P_css_p2p | P_ttf -> None
 
 let mc_check protocol nclients ops specs equiv_partner por max_states
-    expect_violation json =
+    batching expect_violation json =
   let specs =
     match specs with
     | [] -> Rlist_mc.Mc.all_specs
@@ -573,7 +618,7 @@ let mc_check protocol nclients ops specs equiv_partner por max_states
     | None -> None
     | Some partner -> (
       match cs_protocol_module partner with
-      | Some p -> Some ("equiv", Rlist_mc.Mc.behavior_of p)
+      | Some p -> Some ("equiv", Rlist_mc.Mc.behavior_of ~batching p)
       | None ->
         prerr_endline
           "check: --equiv partner must be a client/server protocol";
@@ -588,7 +633,7 @@ let mc_check protocol nclients ops specs equiv_partner por max_states
         exit 1
       end;
       mc_check_p2p (module Jupiter_css.Distributed_protocol) ~specs
-        ~workloads ~por ~max_states
+        ~workloads ~por ~max_states ~batching
     | P_ttf ->
       if equiv <> None then begin
         prerr_endline
@@ -596,11 +641,12 @@ let mc_check protocol nclients ops specs equiv_partner por max_states
         exit 1
       end;
       mc_check_p2p (module Jupiter_ttf.Adopted_protocol) ~specs ~workloads
-        ~por ~max_states
+        ~por ~max_states ~batching
     | cs -> (
       match cs_protocol_module cs with
       | Some (module P) ->
         mc_check_cs (module P) ~equiv ~specs ~workloads ~por ~max_states
+          ~batching
       | None -> assert false)
   in
   let checked_specs =
@@ -730,6 +776,16 @@ let mc_max_states_arg =
        & info [ "max-states" ] ~docv:"COUNT"
            ~doc:"State budget; exceeding it fails the gate.")
 
+let mc_batching_arg =
+  Arg.(value & flag
+       & info [ "batching" ]
+           ~doc:
+             "Model-check the batched delivery path: the engine coalesces \
+              sends per channel and delivers through the protocols' batch \
+              entry points.  Partial-order reduction stays on with a \
+              batching-aware (stricter) independence relation — deliveries \
+              no longer commute with the sends feeding their outbox.")
+
 let mc_expect_arg =
   Arg.(value & opt_all string []
        & info [ "expect-violation" ] ~docv:"SPEC"
@@ -753,7 +809,7 @@ let mc_cmd =
     Term.(const mc_check $ mc_protocol_arg $ mc_clients_arg $ mc_ops_arg
           $ mc_spec_arg $ mc_equiv_arg
           $ Term.app (Term.const not) mc_no_por_arg
-          $ mc_max_states_arg $ mc_expect_arg $ json_arg)
+          $ mc_max_states_arg $ mc_batching_arg $ mc_expect_arg $ json_arg)
 
 (* --- viz ------------------------------------------------------------- *)
 
@@ -852,11 +908,17 @@ let stats_json ~source (st : Jupiter_css.Analysis.stats) ~lemmas =
   Printf.sprintf
     "{\"source\":%S,\"states\":%d,\"transitions\":%d,\"depth\":%d,\
      \"max_branching\":%d,\"nop_forms\":%d,\"width_per_level\":[%s],\
-     \"lemmas_ok\":%b}"
+     \"lemmas_ok\":%b,\"fastpath\":{\"enabled\":%b,\"context_hits\":%d,\
+     \"append_hits\":%d,\"generic_squares\":%d}}"
     source st.states st.transitions st.depth st.max_branching st.nop_forms
     widths lemmas
+    !Jupiter_css.State_space.Fastpath.enabled
+    !Jupiter_css.State_space.Fastpath.context_hits
+    !Jupiter_css.State_space.Fastpath.append_hits
+    !Jupiter_css.State_space.Fastpath.generic_squares
 
 let stats name schedule_file json =
+  Jupiter_css.State_space.Fastpath.reset ();
   let build source initial nclients events =
     let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
     let t = E.create ~initial ~nclients () in
@@ -919,9 +981,12 @@ let stats_cmd =
    the JSONL sink pointed at [oc].  The CSS run additionally wires
    [State_space.set_observer] on every replica, so the trace shows the
    state-space growing level by level (the paper's Figure 4). *)
-let trace_css obs (scenario : Rlist_sim.Figures.scenario) =
+let trace_css obs ~batching (scenario : Rlist_sim.Figures.scenario) =
   let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
-  let t = E.create ~initial:scenario.initial ~nclients:scenario.nclients () in
+  let t =
+    E.create ~initial:scenario.initial ~batching ~nclients:scenario.nclients
+      ()
+  in
   E.attach_obs t obs;
   let wire name set =
     set (fun ~level ~states ~transitions ~ots ->
@@ -947,14 +1012,18 @@ let trace_generic (type c s c2s s2c)
       with type client = c
        and type server = s
        and type c2s = c2s
-       and type s2c = s2c) obs (scenario : Rlist_sim.Figures.scenario) =
+       and type s2c = s2c) obs ~batching
+    (scenario : Rlist_sim.Figures.scenario) =
   let module E = Rlist_sim.Engine.Make (P) in
-  let t = E.create ~initial:scenario.initial ~nclients:scenario.nclients () in
+  let t =
+    E.create ~initial:scenario.initial ~batching ~nclients:scenario.nclients
+      ()
+  in
   E.attach_obs t obs;
   E.run t scenario.schedule;
   E.converged t, E.total_ot_count t, E.total_metadata_size t, None
 
-let trace name protocol out_file json =
+let trace name protocol batching fastpath out_file json =
   match Rlist_sim.Figures.find name with
   | None ->
     Printf.eprintf "unknown scenario %S; available: %s\n" name
@@ -977,7 +1046,9 @@ let trace name protocol out_file json =
     in
     let sink = Rlist_obs.Sink.channel oc in
     let obs = Rlist_obs.Obs.make ~sink () in
+    set_fastpath fastpath;
     let run (converged, ots, metadata, space_stats) =
+      publish_fastpath obs.Rlist_obs.Obs.metrics;
       let space_json =
         match space_stats with
         | None -> ""
@@ -999,19 +1070,27 @@ let trace name protocol out_file json =
       if not converged then exit 1
     in
     (match protocol with
-    | P_css -> run (trace_css obs scenario)
-    | P_cscw -> run (trace_generic (module Jupiter_cscw.Protocol) obs scenario)
-    | P_rga -> run (trace_generic (module Jupiter_rga.Protocol) obs scenario)
+    | P_css -> run (trace_css obs ~batching scenario)
+    | P_cscw ->
+      run (trace_generic (module Jupiter_cscw.Protocol) obs ~batching
+             scenario)
+    | P_rga ->
+      run (trace_generic (module Jupiter_rga.Protocol) obs ~batching scenario)
     | P_naive ->
-      run (trace_generic (module Jupiter_cscw.Naive_p2p) obs scenario)
+      run (trace_generic (module Jupiter_cscw.Naive_p2p) obs ~batching
+             scenario)
     | P_pruned ->
-      run (trace_generic (module Jupiter_css.Pruned_protocol) obs scenario)
+      run (trace_generic (module Jupiter_css.Pruned_protocol) obs ~batching
+             scenario)
     | P_logoot ->
-      run (trace_generic (module Jupiter_logoot.Protocol) obs scenario)
+      run (trace_generic (module Jupiter_logoot.Protocol) obs ~batching
+             scenario)
     | P_sequencer ->
-      run (trace_generic (module Jupiter_css.Sequencer_protocol) obs scenario)
+      run (trace_generic (module Jupiter_css.Sequencer_protocol) obs
+             ~batching scenario)
     | P_treedoc ->
-      run (trace_generic (module Jupiter_treedoc.Protocol) obs scenario)
+      run (trace_generic (module Jupiter_treedoc.Protocol) obs ~batching
+             scenario)
     | P_css_p2p | P_ttf ->
       Printf.eprintf
         "trace: figure schedules are client/server shaped; peer-to-peer \
@@ -1037,7 +1116,8 @@ let trace_cmd =
           $(b,--json), a final summary object carries the aggregated \
           counters; otherwise a human-readable metrics report goes to \
           stderr.")
-    Term.(const trace $ name_arg $ protocol_arg $ out_arg $ json_flag)
+    Term.(const trace $ name_arg $ protocol_arg $ batch_arg $ fastpath_arg
+          $ out_arg $ json_flag)
 
 (* --- figures ---------------------------------------------------------- *)
 

@@ -145,3 +145,8 @@ let metadata_size t = State_space.size t.space + List.length t.pending
 let buffered t = List.length t.pending
 
 let space t = t.space
+
+(* Batch delivery: integration is per operation here, so a batch is
+   the in-order fold, reactions collected in order. *)
+let receive_batch t ~from batch =
+  List.concat_map (fun msg -> Option.to_list (receive t ~from msg)) batch

@@ -106,6 +106,65 @@ let client_receive t ({ op; ctx; serial; origin } : s2c) =
    (the pending transition silently becomes serialized, keeping its
    relative order, cf. Order_key). *)
 
+(* Batched processing: record every serial first (so the ordering keys
+   are final before any insertion), then walk the whole run through
+   Algorithm 1's ladder with a single leftmost-path lookup
+   (State_space.add_run), then execute the transformed forms in
+   order. *)
+let process_run replica ocs =
+  let forms = State_space.add_run replica.space ocs in
+  List.iter (fun form -> replica.doc <- Op.apply form replica.doc) forms;
+  (* Reconstruct the intermediate final states the one-by-one path
+     would have recorded: each operation grows the final state by its
+     own identifier. *)
+  let rec record ctx = function
+    | [] -> ()
+    | (oc : Context.op_in_context) :: rest ->
+      let ctx = Op_id.Set.add oc.Context.op.Op.id ctx in
+      replica.path <- ctx :: replica.path;
+      record ctx rest
+  in
+  (match replica.path with
+  | latest :: _ -> record latest ocs
+  | [] -> assert false)
+
+let server_receive_batch t ~from batch =
+  let stamped =
+    List.map
+      (fun ({ op; ctx } : c2s) ->
+        let serial = t.next_serial in
+        t.next_serial <- serial + 1;
+        Op_id.Table.replace t.server_replica.serials op.Op.id serial;
+        op, ctx, serial)
+      batch
+  in
+  process_run t.server_replica
+    (List.map (fun (op, ctx, _) -> Context.with_context op ~ctx) stamped);
+  List.concat_map
+    (fun (op, ctx, serial) ->
+      List.init t.nclients (fun i -> i + 1, { op; ctx; serial; origin = from }))
+    stamped
+
+let client_receive_batch t batch =
+  let r = t.replica in
+  (* All serials first: a batch may interleave acknowledgements of own
+     operations with foreign operations, and the foreign ones must see
+     every serial the batch carries before insertion. *)
+  List.iter
+    (fun ({ op; serial; _ } : s2c) ->
+      Op_id.Table.replace r.serials op.Op.id serial)
+    batch;
+  (* Own acknowledgements need no processing; they also break run
+     contiguity for the foreign operations around them (the context
+     cardinality jumps), which add_run's segmentation handles. *)
+  let foreign =
+    List.filter_map
+      (fun ({ op; ctx; origin; _ } : s2c) ->
+        if origin <> t.id then Some (Context.with_context op ~ctx) else None)
+      batch
+  in
+  if foreign <> [] then process_run r foreign
+
 let c2s_op_id ({ op; _ } : c2s) = Some op.Op.id
 
 let s2c_op_id ({ op; _ } : s2c) = Some op.Op.id

@@ -167,6 +167,77 @@ let client_receive t (msg : s2c) =
 
 let client_heartbeat t = Heartbeat { acked = t.acked }
 
+(* Batched delivery.  A batch of updates is stamped upfront, walked
+   through the ladder as one run (State_space.add_run), and pruned
+   once; the emitted [Deliver]s all carry the post-batch stable serial
+   — stability only grows, and the acknowledgements it is computed
+   from were genuinely received, so the earlier messages advertising a
+   slightly later stable point is sound.  Mixed batches (heartbeats
+   interleaved) fall back to the one-by-one fold. *)
+let server_receive_batch t ~from batch =
+  let updates =
+    List.filter_map
+      (function Update { op; ctx; acked } -> Some (op, ctx, acked) | _ -> None)
+      batch
+  in
+  if List.length updates <> List.length batch then
+    List.concat_map (fun msg -> server_receive t ~from msg) batch
+  else begin
+    let stamped =
+      List.map
+        (fun (op, ctx, acked) ->
+          t.client_acked.(from) <- max t.client_acked.(from) acked;
+          let serial = t.next_serial in
+          t.next_serial <- serial + 1;
+          record_serial t.server_replica op.Rlist_ot.Op.id serial;
+          op, ctx, serial)
+        updates
+    in
+    let r = t.server_replica in
+    let forms =
+      State_space.add_run r.space
+        (List.map (fun (op, ctx, _) -> Context.with_context op ~ctx) stamped)
+    in
+    List.iter (fun form -> r.doc <- Op.apply form r.doc) forms;
+    let stable = stable_serial t in
+    prune r ~stable;
+    List.concat_map
+      (fun (op, ctx, serial) ->
+        List.init t.nclients (fun i ->
+            i + 1, Deliver { op; ctx; serial; origin = from; stable }))
+      stamped
+  end
+
+let client_receive_batch t batch =
+  let r = t.replica in
+  List.iter
+    (function
+      | Deliver { op; serial; _ } -> record_serial r op.Op.id serial
+      | Stable _ -> ())
+    batch;
+  let foreign =
+    List.filter_map
+      (function
+        | Deliver { op; ctx; origin; _ } when origin <> t.id ->
+          Some (Context.with_context op ~ctx)
+        | _ -> None)
+      batch
+  in
+  if foreign <> [] then begin
+    let forms = State_space.add_run r.space foreign in
+    List.iter (fun form -> r.doc <- Op.apply form r.doc) forms
+  end;
+  let stable =
+    List.fold_left
+      (fun acc -> function
+        | Deliver { serial; stable; _ } ->
+          t.acked <- max t.acked serial;
+          max acc stable
+        | Stable { stable } -> max acc stable)
+      r.pruned_to batch
+  in
+  prune r ~stable
+
 let c2s_op_id : c2s -> Op_id.t option = function
   | Update { op; _ } -> Some op.Op.id
   | Heartbeat _ -> None

@@ -35,6 +35,13 @@ let server_receive t ~from ({ op; ctx } : c2s) =
 
 let client_receive = Protocol.client_receive
 
+let server_receive_batch t ~from batch =
+  List.concat_map (fun msg -> server_receive t ~from msg) batch
+
+(* The client side is the CSS client, so it inherits the run-at-once
+   ladder walk. *)
+let client_receive_batch = Protocol.client_receive_batch
+
 let c2s_op_id = Protocol.c2s_op_id
 
 let s2c_op_id = Protocol.s2c_op_id

@@ -83,10 +83,70 @@ val leftmost_path : t -> state -> transition list
     returns its fully transformed form [o{L}], which the caller must
     execute on its document.  The final state gains the operation.
 
+    When the operation's context {e is} the current final state (a
+    quiescent replica), the leftmost path is empty and the whole
+    algorithm collapses to appending one transition — this
+    context-match fast path is taken unconditionally (it is a pure
+    strength reduction) and counted in {!Fastpath.context_hits}.
+
     @raise Invalid_argument if no state matches the operation's
     context (a protocol violation), or if the operation was already
     processed. *)
 val add_op : t -> Context.op_in_context -> Op.t
+
+(** [add_run t ops] processes a batch of operations — in order — and
+    returns their fully transformed forms, in order.  The batch is
+    split into maximal {e contiguous} runs (each operation's context
+    extends the previous one's by exactly that operation, the shape of
+    operations generated back to back by one replica); each run is
+    walked through Algorithm 1's ladder with a single leftmost-path
+    lookup instead of one per operation.
+
+    The resulting space — states, transitions, forms, and {!ot_count}
+    — is identical to folding {!add_op} over the batch: the per-square
+    transformation recurrences are the same, only their evaluation
+    order changes.  Exception: when {!Fastpath.enabled} is set and the
+    space uses the standard transform, runs of consecutive ascending
+    insertions (pure appends) resolve path steps by position
+    arithmetic, skipping the primitive transformations a fold would
+    perform — forms and structure are still identical, but
+    {!ot_count} grows more slowly.
+
+    The growth observer is notified once per contiguous run, with the
+    run's aggregate transformation count.
+
+    @raise Invalid_argument under the same conditions as {!add_op}. *)
+val add_run : t -> Context.op_in_context list -> Op.t list
+
+(** Fast-path accounting, shared by every space (like
+    {!Rlist_ot.Transform.on_xform}): [enabled] switches the append
+    specialization of {!add_run} on; the counters attribute the
+    speedup ([context_hits] and [append_hits] count operations that
+    skipped ladder work, [generic_squares] counts ladder squares
+    processed the ordinary way). *)
+module Fastpath : sig
+  val enabled : bool ref
+
+  (** Benchmark ablation: spaces created while [baseline] is set pay
+      the pre-optimization cost model — every node created re-hashes
+      its full state set instead of extending the parent's hash by one
+      mix, and {!add_op} replays the hash-table probes the seed
+      performed at every ladder square instead of following the
+      pointer mirror.  Captured at {!create} time; structure and forms
+      are unchanged (only the constant work per square).  Used by the
+      C16 bench to attribute the hot-path speedup; never set it in
+      protocol code. *)
+  val baseline : bool ref
+
+  val context_hits : int ref
+
+  val append_hits : int ref
+
+  val generic_squares : int ref
+
+  (** Reset the counters (not [enabled]). *)
+  val reset : unit -> unit
+end
 
 (** Number of primitive transformation-function calls performed by
     this state-space so far. *)

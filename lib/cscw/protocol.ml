@@ -166,3 +166,11 @@ let server_space_sizes t =
   List.init t.nclients (fun i -> i + 1, Two_d_space.size t.spaces.(i + 1))
 
 let client_space_extent t = Two_d_space.extent t.space
+
+(* Batch delivery: these protocols have no per-run shortcut (CRDT
+   integration and 2D-space transformation are inherently per
+   operation), so a batch is just the in-order fold. *)
+let server_receive_batch t ~from batch =
+  List.concat_map (fun msg -> server_receive t ~from msg) batch
+
+let client_receive_batch t batch = List.iter (client_receive t) batch

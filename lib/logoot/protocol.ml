@@ -119,3 +119,11 @@ let server_ot_count _ = 0
 let client_metadata_size t = Logoot_list.size t.list
 
 let server_metadata_size t = Logoot_list.size t.slist
+
+(* Batch delivery: these protocols have no per-run shortcut (CRDT
+   integration and 2D-space transformation are inherently per
+   operation), so a batch is just the in-order fold. *)
+let server_receive_batch t ~from batch =
+  List.concat_map (fun msg -> server_receive t ~from msg) batch
+
+let client_receive_batch t batch = List.iter (client_receive t) batch

@@ -15,7 +15,7 @@ module type SYSTEM = sig
 
   val independent : action -> action -> bool
 
-  val footprint : action -> int * char
+  val footprint : action -> (int * char) list
 
   val nslots : int
 
@@ -139,11 +139,19 @@ module Make (S : SYSTEM) = struct
                       List.filter (fun s -> S.independent s a) !sleep
                     else []
                   in
-                  let slot, token = S.footprint a in
-                  let len = Buffer.length slots.(slot) in
-                  Buffer.add_char slots.(slot) token;
+                  let fp = S.footprint a in
+                  let saved =
+                    List.map
+                      (fun (slot, _) -> (slot, Buffer.length slots.(slot)))
+                      fp
+                  in
+                  List.iter
+                    (fun (slot, token) -> Buffer.add_char slots.(slot) token)
+                    fp;
                   explore (a :: path_rev) child_sleep;
-                  Buffer.truncate slots.(slot) len;
+                  List.iter
+                    (fun (slot, len) -> Buffer.truncate slots.(slot) len)
+                    saved;
                   if por then sleep := a :: !sleep
                 end)
               enabled

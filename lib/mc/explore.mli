@@ -43,9 +43,14 @@ module type SYSTEM = sig
       the same recorded events, and the same enabled sets. *)
   val independent : action -> action -> bool
 
-  (** [(slot, token)] identifying which replica's local history an
-      action extends, and how — the state-cache key material. *)
-  val footprint : action -> int * char
+  (** [(slot, token)] pairs identifying which replicas' local
+      histories an action extends, and how — the state-cache key
+      material.  Two interleavings with equal per-slot projections
+      must reach the same configuration, so an action must list every
+      slot whose component it touches (e.g. a batched server delivery
+      extends every client's outbox, not just the server's history).
+      Slots must be distinct within one footprint. *)
+  val footprint : action -> (int * char) list
 
   (** Number of local-history slots ([footprint] slot bound). *)
   val nslots : int

@@ -71,10 +71,10 @@ let diverged ~spec =
   Rlist_spec.Check.violated ~spec ~culprits:[]
     "replicas hold different documents at quiescence"
 
-let behavior_of (module P : Rlist_sim.Protocol_intf.PROTOCOL) ~nclients
-    ~initial schedule =
+let behavior_of ?(batching = false) (module P : Rlist_sim.Protocol_intf.PROTOCOL)
+    ~nclients ~initial schedule =
   let module E = Rlist_sim.Engine.Make (P) in
-  let e = E.create ~initial ~nclients () in
+  let e = E.create ~initial ~batching ~nclients () in
   E.run e schedule;
   E.behavior e
 
@@ -103,7 +103,7 @@ module Cs (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
   module E = Rlist_sim.Engine.Make (P)
   module S = Rlist_sim.Schedule
 
-  let make_system ~(workload : Workload.t) ~equiv ~specs :
+  let make_system ~(workload : Workload.t) ~equiv ~specs ~batching :
       (module Explore.SYSTEM with type action = S.event) =
     let n = workload.Workload.nclients in
     if n > 8 then invalid_arg "Mc.Cs: at most 8 clients";
@@ -117,7 +117,9 @@ module Cs (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
 
       let fresh () =
         {
-          e = E.create ~initial:workload.Workload.initial ~nclients:n ();
+          e =
+            E.create ~initial:workload.Workload.initial ~batching ~nclients:n
+              ();
           scripts = Array.copy workload.Workload.scripts;
         }
 
@@ -165,26 +167,45 @@ module Cs (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
          to-client delivery touches client [i] and the front of its
          from-server queue.  Only the server serializes: to-server
          deliveries conflict with each other, and nothing else does
-         except actions on the same client. *)
+         except actions on the same client.
+
+         Batching shrinks the relation: a delivery flushes the target
+         channel's outbox, so it no longer commutes with the sends
+         that feed that outbox — the batch boundary (hence the batch
+         handed to the protocol) depends on the order.  A to-server
+         delivery conflicts with the same client's generate (its
+         to-server outbox) and with every to-client delivery (it
+         appends to all from-server outboxes). *)
       let independent a b =
         match (a, b) with
         | S.Generate (i, _), S.Generate (j, _) -> i <> j
         | S.Generate (i, _), S.Deliver_to_client j
         | S.Deliver_to_client j, S.Generate (i, _) ->
           i <> j
-        | S.Generate _, S.Deliver_to_server _
-        | S.Deliver_to_server _, S.Generate _ ->
-          true
+        | S.Generate (i, _), S.Deliver_to_server j
+        | S.Deliver_to_server j, S.Generate (i, _) ->
+          (not batching) || i <> j
         | S.Deliver_to_server _, S.Deliver_to_server _ -> false
         | S.Deliver_to_server _, S.Deliver_to_client _
         | S.Deliver_to_client _, S.Deliver_to_server _ ->
-          true
+          not batching
         | S.Deliver_to_client i, S.Deliver_to_client j -> i <> j
 
+      (* Unbatched, each action extends one local history.  Batched, a
+         to-server delivery also extends every client's from-server
+         outbox and flushes client [i]'s to-server outbox, so its
+         token lands in every slot: per-slot projections again
+         determine the configuration (each client slot orders its
+         generates, its incoming deliveries, and all batch-boundary
+         events; slot 0 orders the server's serialization). *)
       let footprint = function
-        | S.Generate (i, _) -> (i, 'g')
-        | S.Deliver_to_server i -> (0, Char.chr (Char.code '0' + i))
-        | S.Deliver_to_client i -> (i, 'r')
+        | S.Generate (i, _) -> [ (i, 'g') ]
+        | S.Deliver_to_server i ->
+          let token = Char.chr (Char.code '0' + i) in
+          if batching then
+            (0, token) :: List.init n (fun j -> (j + 1, token))
+          else [ (0, token) ]
+        | S.Deliver_to_client i -> [ (i, 'r') ]
 
       let nslots = n + 1
 
@@ -230,8 +251,8 @@ module Cs (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
     end)
 
   let check ?equiv ?(por = true) ?(max_states = 500_000) ?(shrink = true)
-      ~specs ~workload () =
-    let module Sys = (val make_system ~workload ~equiv ~specs) in
+      ?(batching = false) ~specs ~workload () =
+    let module Sys = (val make_system ~workload ~equiv ~specs ~batching) in
     let module X = Explore.Make (Sys) in
     let report = X.run ~por ~max_states () in
     let violations =
@@ -253,7 +274,7 @@ end
 module P2p (P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) = struct
   module E = Rlist_sim.P2p_engine.Make (P)
 
-  let make_system ~(workload : Workload.t) ~specs :
+  let make_system ~(workload : Workload.t) ~specs ~batching :
       (module Explore.SYSTEM with type action = Rlist_sim.P2p_engine.event) =
     let n = workload.Workload.nclients in
     if n > 8 then invalid_arg "Mc.P2p: at most 8 peers";
@@ -267,7 +288,8 @@ module P2p (P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) = struct
 
       let fresh () =
         {
-          e = E.create ~initial:workload.Workload.initial ~npeers:n ();
+          e =
+            E.create ~initial:workload.Workload.initial ~batching ~npeers:n ();
           scripts = Array.copy workload.Workload.scripts;
         }
 
@@ -317,25 +339,38 @@ module P2p (P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) = struct
          channels; a delivery touches peer [dst], the front of one
          incoming channel, and (reactions) the backs of [dst]'s
          outgoing channels.  Two actions conflict exactly when they
-         touch the same peer's state. *)
+         touch the same peer's state.
+
+         Batching adds outbox conflicts (see the Cs relation): a
+         delivery from [src] flushes the [src->dst] outbox, which the
+         generates of [src] and the reactions of deliveries into
+         [src] feed, so those pairs no longer commute. *)
       let independent a b =
         match (a, b) with
         | ( Rlist_sim.P2p_engine.Generate (i, _),
             Rlist_sim.P2p_engine.Generate (j, _) ) ->
           i <> j
         | Rlist_sim.P2p_engine.Generate (i, _),
-          Rlist_sim.P2p_engine.Deliver (_, d)
-        | Rlist_sim.P2p_engine.Deliver (_, d),
+          Rlist_sim.P2p_engine.Deliver (s, d)
+        | Rlist_sim.P2p_engine.Deliver (s, d),
           Rlist_sim.P2p_engine.Generate (i, _) ->
-          d <> i
-        | ( Rlist_sim.P2p_engine.Deliver (_, d1),
-            Rlist_sim.P2p_engine.Deliver (_, d2) ) ->
-          d1 <> d2
+          if batching then d <> i && s <> i else d <> i
+        | ( Rlist_sim.P2p_engine.Deliver (s1, d1),
+            Rlist_sim.P2p_engine.Deliver (s2, d2) ) ->
+          if batching then d1 <> d2 && d1 <> s2 && d2 <> s1 else d1 <> d2
 
+      (* Batched, a delivery also marks the source slot — with a token
+         naming the destination, so the source slot records {e which}
+         of its outboxes was flushed (two flushes towards different
+         peers leave different batch contents behind and must not
+         collapse to one cache key). *)
       let footprint = function
-        | Rlist_sim.P2p_engine.Generate (i, _) -> (i, 'g')
+        | Rlist_sim.P2p_engine.Generate (i, _) -> [ (i, 'g') ]
         | Rlist_sim.P2p_engine.Deliver (src, dst) ->
-          (dst, Char.chr (Char.code '0' + src))
+          let token = Char.chr (Char.code '0' + src) in
+          if batching then
+            [ (dst, token); (src, Char.chr (Char.code 'A' + dst)) ]
+          else [ (dst, token) ]
 
       let nslots = n + 1
 
@@ -365,9 +400,9 @@ module P2p (P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) = struct
           specs
     end)
 
-  let check ?(por = true) ?(max_states = 500_000) ?(shrink = true) ~specs
-      ~workload () =
-    let module Sys = (val make_system ~workload ~specs) in
+  let check ?(por = true) ?(max_states = 500_000) ?(shrink = true)
+      ?(batching = false) ~specs ~workload () =
+    let module Sys = (val make_system ~workload ~specs ~batching) in
     let module X = Explore.Make (Sys) in
     let report = X.run ~por ~max_states () in
     let violations =

@@ -42,7 +42,15 @@ module Cs (_ : Rlist_sim.Protocol_intf.PROTOCOL) : sig
       engine's behaviour (Definition 2.5) on each terminal schedule
       against [replay]'s — use {!behavior_of} of another protocol for
       the Thm 7.1 gate.  [por] defaults to [true]; [shrink] to [true];
-      [max_states] bounds visited configurations. *)
+      [max_states] bounds visited configurations.
+
+      [batching] (default [false]) runs the engine with per-channel
+      operation batching ({!Rlist_sim.Engine.Make.create}), gating the
+      batched delivery path.  The reduction adapts: a delivery flushes
+      the target channel's outbox, so it stops commuting with the
+      sends feeding that outbox — the independence relation shrinks
+      accordingly and delivery footprints extend every outbox they
+      touch, keeping both sleep sets and the state cache sound. *)
   val check :
     ?equiv:
       (string
@@ -53,6 +61,7 @@ module Cs (_ : Rlist_sim.Protocol_intf.PROTOCOL) : sig
     ?por:bool ->
     ?max_states:int ->
     ?shrink:bool ->
+    ?batching:bool ->
     specs:spec list ->
     workload:Workload.t ->
     unit ->
@@ -63,8 +72,11 @@ module Cs (_ : Rlist_sim.Protocol_intf.PROTOCOL) : sig
 end
 
 (** [behavior_of (module P)] replays a schedule under [P] and returns
-    the recorded behaviour, for the [equiv] argument of {!Cs.check}. *)
+    the recorded behaviour, for the [equiv] argument of {!Cs.check}.
+    [batching] must match the checked engine's batching mode for the
+    behaviours to be comparable event-by-event. *)
 val behavior_of :
+  ?batching:bool ->
   (module Rlist_sim.Protocol_intf.PROTOCOL) ->
   nclients:int ->
   initial:Document.t ->
@@ -73,10 +85,13 @@ val behavior_of :
 
 (** Peer-to-peer checker over {!Rlist_sim.P2p_engine}. *)
 module P2p (_ : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) : sig
+  (** As {!Cs.check}; [batching] likewise shrinks the reduction's
+      independence relation instead of disabling it. *)
   val check :
     ?por:bool ->
     ?max_states:int ->
     ?shrink:bool ->
+    ?batching:bool ->
     specs:spec list ->
     workload:Workload.t ->
     unit ->

@@ -1,6 +1,8 @@
 type t = {
   mutable payloads : int;
   mutable transmissions : int;
+  mutable op_payloads : int;
+  mutable op_transmissions : int;
   mutable dropped : int;
   mutable duplicated : int;
   mutable reordered : int;
@@ -21,6 +23,8 @@ let create () =
   {
     payloads = 0;
     transmissions = 0;
+    op_payloads = 0;
+    op_transmissions = 0;
     dropped = 0;
     duplicated = 0;
     reordered = 0;
@@ -37,14 +41,19 @@ let create () =
     ticks = 0;
   }
 
+(* Per-operation, not per-message: a batch message counts once per
+   operation it carries, on both sides of the ratio, so the figure
+   stays comparable whether or not the engine coalesces. *)
 let amplification t =
-  if t.payloads = 0 then 1.0
-  else float_of_int t.transmissions /. float_of_int t.payloads
+  if t.op_payloads = 0 then 1.0
+  else float_of_int t.op_transmissions /. float_of_int t.op_payloads
 
 let fields t =
   [
     "payloads", t.payloads;
     "transmissions", t.transmissions;
+    "op_payloads", t.op_payloads;
+    "op_transmissions", t.op_transmissions;
     "dropped", t.dropped;
     "duplicated", t.duplicated;
     "reordered", t.reordered;

@@ -10,8 +10,16 @@
     application. *)
 
 type t = {
-  mutable payloads : int;  (** Logical sends. *)
+  mutable payloads : int;  (** Logical sends (messages). *)
   mutable transmissions : int;  (** Physical sends incl. retransmits. *)
+  mutable op_payloads : int;
+      (** Operations asked to be sent: each logical send weighted by
+          the number of operations the message carries
+          ({!Transport.create}'s [weight]).  Equal to [payloads] on
+          unweighted channels. *)
+  mutable op_transmissions : int;
+      (** Operations physically sent, incl. retransmissions of whole
+          batches. *)
   mutable dropped : int;  (** Lost by the fault model. *)
   mutable duplicated : int;  (** Extra copies created by the network. *)
   mutable reordered : int;  (** Transmissions jittered out of order. *)
@@ -32,7 +40,11 @@ type t = {
 
 val create : unit -> t
 
-(** Physical transmissions per logical payload ([1.0] when idle). *)
+(** Amplification, in {e operations}: [op_transmissions /
+    op_payloads] ([1.0] when idle).  Counting ops rather than messages
+    keeps the figure comparable with and without engine-level
+    batching — a retransmitted batch of [k] operations costs [k], just
+    as [k] retransmitted singletons would. *)
 val amplification : t -> float
 
 (** The counters as ordered (name, value) pairs. *)

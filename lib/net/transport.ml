@@ -46,6 +46,7 @@ type 'a inflight = {
 type 'a lossy = {
   cfg : config;
   key : 'a -> string option;
+  weight : 'a -> int;  (* operations carried by a payload *)
   mutable now : int;
   mutable births : int;
   mutable wire : 'a wire_item list;  (* sorted by (w_ready, w_birth) *)
@@ -65,11 +66,12 @@ let perfect () = Perfect (Queue.create ())
 
 let no_key _ = None
 
-let create ?(key = no_key) cfg =
+let create ?(key = no_key) ?(weight = fun _ -> 1) cfg =
   Lossy
     {
       cfg;
       key;
+      weight;
       now = 0;
       births = 0;
       wire = [];
@@ -106,6 +108,7 @@ let wire_insert l item =
 let transmit l seq payload =
   let s = l.cfg.stats in
   s.Stats.transmissions <- s.Stats.transmissions + 1;
+  s.Stats.op_transmissions <- s.Stats.op_transmissions + l.weight payload;
   if down l then s.Stats.partition_drops <- s.Stats.partition_drops + 1
   else if roll l l.cfg.faults.Faults.drop then
     s.Stats.dropped <- s.Stats.dropped + 1
@@ -138,6 +141,7 @@ let send t payload =
   | Lossy l ->
     let s = l.cfg.stats in
     s.Stats.payloads <- s.Stats.payloads + 1;
+    s.Stats.op_payloads <- s.Stats.op_payloads + l.weight payload;
     let seq = l.next_seq in
     l.next_seq <- seq + 1;
     if l.cfg.shim then

@@ -39,8 +39,11 @@ val perfect : unit -> 'a t
 (** A channel under [config]'s fault model.  [key], when given, names
     each payload's operation identifier; the shim refuses to deliver
     the same key twice on one channel (defense in depth for
-    reconnects). *)
-val create : ?key:('a -> string option) -> config -> 'a t
+    reconnects).  [weight] is the number of operations a payload
+    carries (default 1) — batching engines pass [List.length] so
+    {!Stats.t}'s per-operation counters ([op_payloads],
+    [op_transmissions]) stay meaningful. *)
+val create : ?key:('a -> string option) -> ?weight:('a -> int) -> config -> 'a t
 
 val is_lossy : 'a t -> bool
 

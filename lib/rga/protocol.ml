@@ -132,3 +132,11 @@ let client_metadata_size t = Rga_list.size t.rga
 let server_metadata_size t = Rga_list.size t.srga
 
 let client_tombstones t = Rga_list.tombstones t.rga
+
+(* Batch delivery: these protocols have no per-run shortcut (CRDT
+   integration and 2D-space transformation are inherently per
+   operation), so a batch is just the in-order fold. *)
+let server_receive_batch t ~from batch =
+  List.concat_map (fun msg -> server_receive t ~from msg) batch
+
+let client_receive_batch t batch = List.iter (client_receive t) batch

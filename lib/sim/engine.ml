@@ -24,6 +24,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     c_deliver_s : Metrics.counter;
     c_deliver_c : Metrics.counter;
     c_transforms : Metrics.counter;
+    h_batch_size : Metrics.histogram;
     h_deliver_tr : Metrics.histogram;
     h_c2s_depth : Metrics.histogram;
     h_s2c_depth : Metrics.histogram;
@@ -35,12 +36,23 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     mutable meta_total : int;
   }
 
+  (* Channels carry {e batches}: with batching off every payload is a
+     singleton, delivered through the protocol's one-message receive
+     functions, so the default mode is observably the unbatched
+     engine.  With batching on, consecutive sends towards one channel
+     accumulate in an engine-level outbox (in front of the transport,
+     which assigns a sequence number at [send]) and are flushed as one
+     payload — one seqno, one retransmission unit — when a delivery
+     event targets that channel. *)
   type t = {
     nclients : int;
     server : P.server;
     clients : P.client array;  (* index 0 unused; clients are 1-based *)
-    to_server : P.c2s Transport.t array;
-    to_client : P.s2c Transport.t array;
+    to_server : P.c2s list Transport.t array;
+    to_client : P.s2c list Transport.t array;
+    batching : bool;
+    out_c2s : P.c2s list array;  (* per-client outbox, reversed *)
+    out_s2c : P.s2c list array;  (* per-destination outbox, reversed *)
     mutable events : Rlist_spec.Event.t list;  (* reversed *)
     mutable next_eid : int;
     mutable behavior : (Replica_id.t * Document.t) list;  (* reversed *)
@@ -48,15 +60,24 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     mutable obs : obs_state option;
   }
 
-  let create ?(initial = Document.empty) ?net ~nclients () =
+  (* The dedup key of a batch joins its operations' identifiers: a
+     retransmitted batch is suppressed as a unit, and a singleton's
+     key is the seed engine's. *)
+  let batch_key ids =
+    match List.filter_map (Option.map Op_id.to_string) ids with
+    | [] -> None
+    | keys -> Some (String.concat "+" keys)
+
+  let create ?(initial = Document.empty) ?net ?(batching = false) ~nclients ()
+      =
     if nclients < 1 then invalid_arg "Engine.create: need at least one client";
     let channel key =
       match net with
       | None -> Transport.perfect ()
-      | Some cfg -> Transport.create ~key cfg
+      | Some cfg -> Transport.create ~key ~weight:List.length cfg
     in
-    let c2s_key m = Option.map Op_id.to_string (P.c2s_op_id m) in
-    let s2c_key m = Option.map Op_id.to_string (P.s2c_op_id m) in
+    let c2s_key batch = batch_key (List.map P.c2s_op_id batch) in
+    let s2c_key batch = batch_key (List.map P.s2c_op_id batch) in
     {
       nclients;
       server = P.create_server ~nclients ~initial;
@@ -65,6 +86,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
             P.create_client ~nclients ~id:(max i 1) ~initial);
       to_server = Array.init (nclients + 1) (fun _ -> channel c2s_key);
       to_client = Array.init (nclients + 1) (fun _ -> channel s2c_key);
+      batching;
+      out_c2s = Array.make (nclients + 1) [];
+      out_s2c = Array.make (nclients + 1) [];
       events = [];
       next_eid = 0;
       behavior = [];
@@ -83,6 +107,23 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
   let check_client t i =
     if i < 1 || i > t.nclients then
       invalid_arg (Printf.sprintf "Engine: client %d out of range" i)
+
+  (* Channel occupancy, outbox included: an unflushed outbox is one
+     deliverable unit (the delivery event flushes it first) and
+     [length] pending operations. *)
+  let pending_c2s t i =
+    Transport.pending t.to_server.(i) + List.length t.out_c2s.(i)
+
+  let pending_s2c t i =
+    Transport.pending t.to_client.(i) + List.length t.out_s2c.(i)
+
+  let deliverable_c2s t i =
+    Transport.deliverable t.to_server.(i)
+    + (match t.out_c2s.(i) with [] -> 0 | _ -> 1)
+
+  let deliverable_s2c t i =
+    Transport.deliverable t.to_client.(i)
+    + (match t.out_s2c.(i) with [] -> 0 | _ -> 1)
 
   (* --- observability ------------------------------------------------- *)
 
@@ -118,6 +159,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         c_deliver_s = Metrics.counter m "engine.deliveries_to_server";
         c_deliver_c = Metrics.counter m "engine.deliveries_to_client";
         c_transforms = Metrics.counter m "engine.transforms";
+        h_batch_size = Metrics.histogram m "engine.batch_size";
         h_deliver_tr = Metrics.histogram m "engine.transforms_per_delivery";
         h_c2s_depth = Metrics.histogram m "channel.c2s.depth";
         h_s2c_depth = Metrics.histogram m "channel.s2c.depth";
@@ -151,6 +193,53 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
 
   let id_str = Option.map Op_id.to_string
 
+  (* Payload estimate of a batch: unwrap singletons so the default
+     mode reports exactly what the unbatched engine did. *)
+  let batch_bytes = function [ m ] -> bytes_estimate m | batch ->
+    bytes_estimate batch
+
+  (* Flush an outbox into its transport as one batch payload; the
+     send-side observability (message counters, depth and size
+     histograms, trace Send event) fires here, where the message
+     actually enters the channel. *)
+  let flush_outbox t ~(outbox : 'm list array) ~channels ~i ~src ~dst
+      ~op_id_of =
+    match outbox.(i) with
+    | [] -> ()
+    | rev -> (
+      outbox.(i) <- [];
+      let batch = List.rev rev in
+      Transport.send channels.(i) batch;
+      match t.obs with
+      | None -> ()
+      | Some os ->
+        (if src = "server" then Metrics.incr os.c_s2c
+         else Metrics.incr os.c_c2s);
+        Metrics.observe os.h_batch_size (float_of_int (List.length batch));
+        let depth = Transport.pending channels.(i) in
+        Metrics.observe
+          (if src = "server" then os.h_s2c_depth else os.h_c2s_depth)
+          (float_of_int depth);
+        Metrics.observe os.h_msg_bytes (float_of_int (batch_bytes batch));
+        if Obs.tracing os.obs then
+          Obs.emit os.obs
+            (Ev.Send
+               {
+                 src;
+                 dst;
+                 op_id = batch_key (List.map op_id_of batch);
+                 bytes = batch_bytes batch;
+                 queue = depth;
+               }))
+
+  let flush_c2s t i =
+    flush_outbox t ~outbox:t.out_c2s ~channels:t.to_server ~i ~src:(rname i)
+      ~dst:"server" ~op_id_of:P.c2s_op_id
+
+  let flush_s2c t i =
+    flush_outbox t ~outbox:t.out_s2c ~channels:t.to_client ~i ~src:"server"
+      ~dst:(rname i) ~op_id_of:P.s2c_op_id
+
   let record_behavior t replica doc =
     t.behavior <- (replica, doc) :: t.behavior
 
@@ -172,7 +261,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       record_do t i outcome;
       (match msg with
       | None -> ()
-      | Some m -> Transport.send t.to_server.(i) m);
+      | Some m ->
+        if t.batching then t.out_c2s.(i) <- m :: t.out_c2s.(i)
+        else Transport.send t.to_server.(i) [ m ]);
       (match t.obs with
       | None -> ()
       | Some os ->
@@ -183,13 +274,19 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         | Some _ -> Metrics.incr os.c_updates
         | None -> Metrics.incr os.c_reads);
         Metrics.add os.c_transforms transforms;
-        let depth = Transport.pending t.to_server.(i) in
+        let depth = pending_c2s t i in
         (match msg with
         | None -> ()
         | Some m ->
-          Metrics.incr os.c_c2s;
-          Metrics.observe os.h_c2s_depth (float_of_int depth);
-          Metrics.observe os.h_msg_bytes (float_of_int (bytes_estimate m)));
+          (* With batching on, the send-side counters fire at flush
+             time instead (the message has not entered the channel
+             yet). *)
+          if not t.batching then begin
+            Metrics.incr os.c_c2s;
+            Metrics.observe os.h_batch_size 1.0;
+            Metrics.observe os.h_c2s_depth (float_of_int depth);
+            Metrics.observe os.h_msg_bytes (float_of_int (bytes_estimate m))
+          end);
         if Obs.tracing os.obs then begin
           let intent_kind =
             match outcome.Protocol_intf.op with
@@ -208,15 +305,16 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           match msg with
           | None -> ()
           | Some m ->
-            Obs.emit os.obs
-              (Ev.Send
-                 {
-                   src = rname i;
-                   dst = "server";
-                   op_id = id_str (P.c2s_op_id m);
-                   bytes = bytes_estimate m;
-                   queue = depth;
-                 });
+            if not t.batching then
+              Obs.emit os.obs
+                (Ev.Send
+                   {
+                     src = rname i;
+                     dst = "server";
+                     op_id = id_str (P.c2s_op_id m);
+                     bytes = bytes_estimate m;
+                     queue = depth;
+                   });
             Obs.emit os.obs
               (Ev.Apply
                  {
@@ -228,17 +326,29 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       record_behavior t (Replica_id.Client i) (P.client_document t.clients.(i))
     | Schedule.Deliver_to_server i -> (
       check_client t i;
-      if Transport.deliverable t.to_server.(i) = 0 then
+      if deliverable_c2s t i = 0 then
         invalid_arg
           (Printf.sprintf "Engine: no pending message from client %d" i);
+      flush_c2s t i;
+      (* On a faulty channel the just-flushed payload may not be ready
+         yet; the delivery then falls into the tolerated None case
+         below, like any other consumed arrival. *)
       match Transport.deliver t.to_server.(i) with
       | None -> () (* the fault layer / shim consumed the arrival *)
-      | Some msg ->
-        let outgoing = P.server_receive t.server ~from:i msg in
+      | Some batch ->
+        let msg_op_id, outgoing =
+          match batch with
+          | [ msg ] ->
+            id_str (P.c2s_op_id msg), P.server_receive t.server ~from:i msg
+          | _ ->
+            ( batch_key (List.map P.c2s_op_id batch),
+              P.server_receive_batch t.server ~from:i batch )
+        in
         List.iter
           (fun (dest, m) ->
             check_client t dest;
-            Transport.send t.to_client.(dest) m)
+            if t.batching then t.out_s2c.(dest) <- m :: t.out_s2c.(dest)
+            else Transport.send t.to_client.(dest) [ m ])
           outgoing;
         (match t.obs with
         | None -> ()
@@ -248,54 +358,67 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           Metrics.incr os.c_deliver_s;
           Metrics.add os.c_transforms transforms;
           Metrics.observe os.h_deliver_tr (float_of_int transforms);
-          Metrics.add os.c_s2c (List.length outgoing);
-          List.iter
-            (fun (dest, m) ->
-              Metrics.observe os.h_s2c_depth
-                (float_of_int (Transport.pending t.to_client.(dest)));
-              Metrics.observe os.h_msg_bytes (float_of_int (bytes_estimate m)))
-            outgoing;
+          if not t.batching then begin
+            Metrics.add os.c_s2c (List.length outgoing);
+            List.iter
+              (fun (dest, m) ->
+                Metrics.observe os.h_batch_size 1.0;
+                Metrics.observe os.h_s2c_depth
+                  (float_of_int (Transport.pending t.to_client.(dest)));
+                Metrics.observe os.h_msg_bytes
+                  (float_of_int (bytes_estimate m)))
+              outgoing
+          end;
           if Obs.tracing os.obs then begin
-            let op_id = id_str (P.c2s_op_id msg) in
             Obs.emit os.obs
               (Ev.Deliver
                  {
                    replica = "server";
                    src = rname i;
-                   op_id;
+                   op_id = msg_op_id;
                    transforms;
-                   queue = Transport.pending t.to_server.(i);
+                   queue = pending_c2s t i;
                  });
             Obs.emit os.obs
               (Ev.Apply
                  {
                    replica = "server";
-                   op_id;
+                   op_id = msg_op_id;
                    doc_len = Document.length (P.server_document t.server);
                  });
-            List.iter
-              (fun (dest, m) ->
-                Obs.emit os.obs
-                  (Ev.Send
-                     {
-                       src = "server";
-                       dst = rname dest;
-                       op_id = id_str (P.s2c_op_id m);
-                       bytes = bytes_estimate m;
-                       queue = Transport.pending t.to_client.(dest);
-                     }))
-              outgoing
+            if not t.batching then
+              List.iter
+                (fun (dest, m) ->
+                  Obs.emit os.obs
+                    (Ev.Send
+                       {
+                         src = "server";
+                         dst = rname dest;
+                         op_id = id_str (P.s2c_op_id m);
+                         bytes = bytes_estimate m;
+                         queue = Transport.pending t.to_client.(dest);
+                       }))
+                outgoing
           end);
         record_behavior t Replica_id.Server (P.server_document t.server))
     | Schedule.Deliver_to_client i -> (
       check_client t i;
-      if Transport.deliverable t.to_client.(i) = 0 then
+      if deliverable_s2c t i = 0 then
         invalid_arg
           (Printf.sprintf "Engine: no pending message for client %d" i);
+      flush_s2c t i;
       match Transport.deliver t.to_client.(i) with
       | None -> () (* the fault layer / shim consumed the arrival *)
-      | Some msg ->
-        P.client_receive t.clients.(i) msg;
+      | Some batch ->
+        let op_id =
+          match batch with
+          | [ msg ] ->
+            P.client_receive t.clients.(i) msg;
+            id_str (P.s2c_op_id msg)
+          | _ ->
+            P.client_receive_batch t.clients.(i) batch;
+            batch_key (List.map P.s2c_op_id batch)
+        in
         (match t.obs with
         | None -> ()
         | Some os ->
@@ -305,7 +428,6 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           Metrics.add os.c_transforms transforms;
           Metrics.observe os.h_deliver_tr (float_of_int transforms);
           if Obs.tracing os.obs then begin
-            let op_id = id_str (P.s2c_op_id msg) in
             Obs.emit os.obs
               (Ev.Deliver
                  {
@@ -313,7 +435,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                    src = "server";
                    op_id;
                    transforms;
-                   queue = Transport.pending t.to_client.(i);
+                   queue = pending_s2c t i;
                  });
             match op_id with
             | None -> ()  (* pure acknowledgement: nothing was applied *)
@@ -337,23 +459,24 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
      delivered by the normal [Deliver_to_server] events / [quiesce]. *)
   let inject_c2s t i m =
     check_client t i;
-    Transport.send t.to_server.(i) m
+    if t.batching then t.out_c2s.(i) <- m :: t.out_c2s.(i)
+    else Transport.send t.to_server.(i) [ m ]
 
   let pending_messages t =
     let count = ref 0 in
     for i = 1 to t.nclients do
-      count := !count + Transport.pending t.to_server.(i);
-      count := !count + Transport.pending t.to_client.(i)
+      count := !count + pending_c2s t i;
+      count := !count + pending_s2c t i
     done;
     !count
 
   let pending_to_server t i =
     check_client t i;
-    Transport.pending t.to_server.(i)
+    pending_c2s t i
 
   let pending_to_client t i =
     check_client t i;
-    Transport.pending t.to_client.(i)
+    pending_s2c t i
 
   (* Deliver everything recoverable, ticking the virtual clock whenever
      the channels are stalled (payloads in flight or awaiting
@@ -366,13 +489,13 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     while pending_messages t > 0 do
       let any = ref false in
       for i = 1 to t.nclients do
-        while Transport.deliverable t.to_server.(i) > 0 do
+        while deliverable_c2s t i > 0 do
           any := true;
           step (Schedule.Deliver_to_server i)
         done
       done;
       for i = 1 to t.nclients do
-        while Transport.deliverable t.to_client.(i) > 0 do
+        while deliverable_s2c t i > 0 do
           any := true;
           step (Schedule.Deliver_to_client i)
         done
@@ -478,9 +601,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
             (match intent with
             | Intent.Read -> ()
             | Intent.Insert _ | Intent.Delete _ -> decr remaining);
-            let before = Transport.pending t.to_server.(i) in
+            let before = pending_c2s t i in
             step (Generate (i, intent));
-            if Transport.pending t.to_server.(i) > before then
+            if pending_c2s t i > before then
               push (arrival last_c2s i now) (`C2s i);
             if !remaining > 0 then
               push (now +. exponential params.t_think_time) (`Gen i)
@@ -489,19 +612,19 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           (* deliveries fan out a broadcast: schedule its arrivals.
              Under a fault model the payload may be delayed or lost;
              skip, the closing drain recovers it. *)
-          if Transport.deliverable t.to_server.(i) > 0 then begin
+          if deliverable_c2s t i > 0 then begin
             let before = Array.init (t.nclients + 1) (fun j ->
-                if j = 0 then 0 else Transport.pending t.to_client.(j))
+                if j = 0 then 0 else pending_s2c t j)
             in
             step (Deliver_to_server i);
             for j = 1 to t.nclients do
-              for _ = 1 to Transport.pending t.to_client.(j) - before.(j) do
+              for _ = 1 to pending_s2c t j - before.(j) do
                 push (arrival last_s2c j now) (`S2c j)
               done
             done
           end
         | `S2c i ->
-          if Transport.deliverable t.to_client.(i) > 0 then
+          if deliverable_s2c t i > 0 then
             step (Deliver_to_client i));
         loop ()
     in
@@ -519,9 +642,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let deliverable () =
       let evs = ref [] in
       for i = t.nclients downto 1 do
-        if Transport.deliverable t.to_server.(i) > 0 then
+        if deliverable_c2s t i > 0 then
           evs := Schedule.Deliver_to_server i :: !evs;
-        if Transport.deliverable t.to_client.(i) > 0 then
+        if deliverable_s2c t i > 0 then
           evs := Schedule.Deliver_to_client i :: !evs
       done;
       !evs

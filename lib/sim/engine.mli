@@ -17,10 +17,22 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
       configuration's reliability shim enabled the engine still
       presents the protocols with the FIFO-exactly-once channels they
       assume; with it disabled, whatever the fault model does reaches
-      the protocol unfiltered. *)
+      the protocol unfiltered.
+
+      [batching] (default [false]) coalesces consecutive sends towards
+      a channel into one batch message: outgoing operations accumulate
+      in a per-channel outbox and enter the transport — one sequence
+      number, one retransmission unit — only when a delivery event
+      targets that channel.  Multi-operation batches are handed to the
+      protocol's [server_receive_batch]/[client_receive_batch];
+      singletons take the ordinary one-message path, so a
+      non-coalescing run is identical to the unbatched engine.  FIFO
+      order is preserved because the outbox drains entirely, in send
+      order, before the payload behind it is delivered. *)
   val create :
     ?initial:Document.t ->
     ?net:Rlist_net.Transport.config ->
+    ?batching:bool ->
     nclients:int ->
     unit ->
     t
@@ -84,8 +96,9 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
 
   val pending_messages : t -> int
 
-  (** Depth of one FIFO channel, for enumerating the enabled delivery
-      events of a configuration (the model checker's frontier). *)
+  (** Depth of one FIFO channel in {e operations} (unflushed outbox
+      included), for enumerating the enabled delivery events of a
+      configuration (the model checker's frontier). *)
   val pending_to_server : t -> int -> int
 
   val pending_to_client : t -> int -> int

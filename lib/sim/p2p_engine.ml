@@ -35,24 +35,37 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     mutable meta_total : int;
   }
 
+  (* As in {!Engine}, channels carry batches; with batching off every
+     payload is a singleton and the behaviour is the unbatched
+     engine's. *)
   type t = {
     npeers : int;
     peers : P.peer array;  (* 1-based *)
-    channels : (int * P.message) Transport.t array array;
+    channels : (int * P.message) list Transport.t array array;
         (* channels.(src).(dst) *)
+    batching : bool;
+    outbox : (int * P.message) list array array;  (* reversed *)
     mutable events : Rlist_spec.Event.t list;  (* reversed *)
     mutable next_eid : int;
     initial : Document.t;
     mutable obs : obs_state option;
   }
 
-  let create ?(initial = Document.empty) ?net ~npeers () =
+  let batch_key ids =
+    match List.filter_map (Option.map Op_id.to_string) ids with
+    | [] -> None
+    | keys -> Some (String.concat "+" keys)
+
+  let create ?(initial = Document.empty) ?net ?(batching = false) ~npeers ()
+      =
     if npeers < 2 then invalid_arg "P2p_engine.create: need at least two peers";
-    let key (_, m) = Option.map Op_id.to_string (P.message_op_id m) in
+    let key batch =
+      batch_key (List.map (fun (_, m) -> P.message_op_id m) batch)
+    in
     let channel () =
       match net with
       | None -> Transport.perfect ()
-      | Some cfg -> Transport.create ~key cfg
+      | Some cfg -> Transport.create ~key ~weight:List.length cfg
     in
     {
       npeers;
@@ -62,6 +75,9 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       channels =
         Array.init (npeers + 1) (fun _ ->
             Array.init (npeers + 1) (fun _ -> channel ()));
+      batching;
+      outbox =
+        Array.init (npeers + 1) (fun _ -> Array.make (npeers + 1) []);
       events = [];
       next_eid = 0;
       initial;
@@ -144,29 +160,75 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
 
   let id_str = Option.map Op_id.to_string
 
+  (* Channel occupancy with the unflushed outbox included. *)
+  let chan_pending t ~src ~dst =
+    Transport.pending t.channels.(src).(dst)
+    + List.length t.outbox.(src).(dst)
+
+  let chan_deliverable t ~src ~dst =
+    Transport.deliverable t.channels.(src).(dst)
+    + (match t.outbox.(src).(dst) with [] -> 0 | _ -> 1)
+
+  (* Bytes of what a serializer would frame: the messages, without the
+     engine-internal origin tags; singletons report what the unbatched
+     engine did. *)
+  let batch_bytes = function
+    | [ (_, m) ] -> bytes_estimate m
+    | batch -> bytes_estimate (List.map snd batch)
+
+  let flush t ~src ~dst =
+    match t.outbox.(src).(dst) with
+    | [] -> ()
+    | rev -> (
+      t.outbox.(src).(dst) <- [];
+      let batch = List.rev rev in
+      Transport.send t.channels.(src).(dst) batch;
+      match t.obs with
+      | None -> ()
+      | Some os ->
+        Metrics.incr os.c_broadcast;
+        Metrics.observe os.h_chan_depth
+          (float_of_int (Transport.pending t.channels.(src).(dst)));
+        Metrics.observe os.h_msg_bytes (float_of_int (batch_bytes batch));
+        if Obs.tracing os.obs then
+          Obs.emit os.obs
+            (Ev.Send
+               {
+                 src = pname src;
+                 dst = pname dst;
+                 op_id =
+                   batch_key
+                     (List.map (fun (_, m) -> P.message_op_id m) batch);
+                 bytes = batch_bytes batch;
+                 queue = Transport.pending t.channels.(src).(dst);
+               }))
+
   let broadcast t ~from message =
     for dst = 1 to t.npeers do
-      if dst <> from then begin
-        Transport.send t.channels.(from).(dst) (from, message);
-        match t.obs with
-        | None -> ()
-        | Some os ->
-          Metrics.incr os.c_broadcast;
-          Metrics.observe os.h_chan_depth
-            (float_of_int (Transport.pending t.channels.(from).(dst)));
-          Metrics.observe os.h_msg_bytes
-            (float_of_int (bytes_estimate message));
-          if Obs.tracing os.obs then
-            Obs.emit os.obs
-              (Ev.Send
-                 {
-                   src = pname from;
-                   dst = pname dst;
-                   op_id = id_str (P.message_op_id message);
-                   bytes = bytes_estimate message;
-                   queue = Transport.pending t.channels.(from).(dst);
-                 })
-      end
+      if dst <> from then
+        if t.batching then
+          t.outbox.(from).(dst) <- (from, message) :: t.outbox.(from).(dst)
+        else begin
+          Transport.send t.channels.(from).(dst) [ from, message ];
+          match t.obs with
+          | None -> ()
+          | Some os ->
+            Metrics.incr os.c_broadcast;
+            Metrics.observe os.h_chan_depth
+              (float_of_int (Transport.pending t.channels.(from).(dst)));
+            Metrics.observe os.h_msg_bytes
+              (float_of_int (bytes_estimate message));
+            if Obs.tracing os.obs then
+              Obs.emit os.obs
+                (Ev.Send
+                   {
+                     src = pname from;
+                     dst = pname dst;
+                     op_id = id_str (P.message_op_id message);
+                     bytes = bytes_estimate message;
+                     queue = Transport.pending t.channels.(from).(dst);
+                   })
+        end
     done
 
   let record_do t i (outcome : Protocol_intf.do_outcome) =
@@ -226,13 +288,23 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     | Deliver (src, dst) -> (
       check_peer t src;
       check_peer t dst;
-      if Transport.deliverable t.channels.(src).(dst) = 0 then
+      if chan_deliverable t ~src ~dst = 0 then
         invalid_arg
           (Printf.sprintf "P2p_engine: channel p%d->p%d is empty" src dst);
+      flush t ~src ~dst;
       match Transport.deliver t.channels.(src).(dst) with
       | None -> () (* the fault layer / shim consumed the arrival *)
-      | Some (from, message) ->
-        let reaction = P.receive t.peers.(dst) ~from message in
+      | Some batch ->
+        let op_id, reactions =
+          match batch with
+          | [ (from, message) ] ->
+            ( id_str (P.message_op_id message),
+              Option.to_list (P.receive t.peers.(dst) ~from message) )
+          | (from, _) :: _ ->
+            ( batch_key (List.map (fun (_, m) -> P.message_op_id m) batch),
+              P.receive_batch t.peers.(dst) ~from (List.map snd batch) )
+          | [] -> None, []
+        in
         (match t.obs with
         | None -> ()
         | Some os ->
@@ -248,13 +320,11 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
                  {
                    replica = pname dst;
                    src = pname src;
-                   op_id = id_str (P.message_op_id message);
+                   op_id;
                    transforms;
-                   queue = Transport.pending t.channels.(src).(dst);
+                   queue = chan_pending t ~src ~dst;
                  }));
-        match reaction with
-        | None -> ()
-        | Some reaction -> broadcast t ~from:dst reaction)
+        List.iter (fun reaction -> broadcast t ~from:dst reaction) reactions)
 
   let run t events = List.iter (apply_event t) events
 
@@ -262,8 +332,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     let count = ref 0 in
     for src = 1 to t.npeers do
       for dst = 1 to t.npeers do
-        if src <> dst then
-          count := !count + Transport.pending t.channels.(src).(dst)
+        if src <> dst then count := !count + chan_pending t ~src ~dst
       done
     done;
     !count
@@ -271,7 +340,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
   let channel_depth t ~src ~dst =
     check_peer t src;
     check_peer t dst;
-    Transport.pending t.channels.(src).(dst)
+    chan_pending t ~src ~dst
 
   let quiesce t =
     let performed = ref [] in
@@ -283,7 +352,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       for src = 1 to t.npeers do
         for dst = 1 to t.npeers do
           if src <> dst then
-            while Transport.deliverable t.channels.(src).(dst) > 0 do
+            while chan_deliverable t ~src ~dst > 0 do
               apply_event t (Deliver (src, dst));
               performed := Deliver (src, dst) :: !performed;
               any := true
@@ -357,8 +426,8 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       let evs = ref [] in
       for src = t.npeers downto 1 do
         for dst = t.npeers downto 1 do
-          if src <> dst && Transport.deliverable t.channels.(src).(dst) > 0
-          then evs := Deliver (src, dst) :: !evs
+          if src <> dst && chan_deliverable t ~src ~dst > 0 then
+            evs := Deliver (src, dst) :: !evs
         done
       done;
       !evs

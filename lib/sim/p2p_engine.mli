@@ -16,10 +16,16 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
 
   (** [net] as in {!Engine.Make.create}: fault-injected channels drawn
       from a shared network configuration instead of perfect FIFO
-      queues. *)
+      queues.  [batching] (default [false]) as in
+      {!Engine.Make.create}: broadcasts accumulate in per-channel
+      outboxes, flushed as one batch payload — one sequence number,
+      one retransmission unit — when a delivery event targets the
+      channel; multi-message batches reach the protocol through
+      [receive_batch]. *)
   val create :
     ?initial:Document.t ->
     ?net:Rlist_net.Transport.config ->
+    ?batching:bool ->
     npeers:int ->
     unit ->
     t

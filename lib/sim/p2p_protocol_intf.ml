@@ -32,6 +32,12 @@ module type P2P_PROTOCOL = sig
       stop for executions to quiesce. *)
   val receive : peer -> from:int -> message -> message option
 
+  (** Receive a coalesced batch of messages from one channel flush;
+      the returned reactions are broadcast in order.  Must be
+      observably identical to receiving the messages one by one.
+      Engines deliver singleton batches through {!receive}. *)
+  val receive_batch : peer -> from:int -> message list -> message list
+
   (** The identifier of the operation a message carries, for trace
       labelling; [None] for control messages (clock announcements). *)
   val message_op_id : message -> Op_id.t option

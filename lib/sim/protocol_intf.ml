@@ -60,6 +60,20 @@ module type PROTOCOL = sig
 
   val client_receive : client -> s2c -> unit
 
+  (** Process a coalesced batch of client messages — consecutive
+      messages from the same channel delivered in one flush.  The
+      observable outcome must be identical to receiving the messages
+      one by one, in order; implementations are free to exploit the
+      batch shape (the CSS server walks a contiguous run through
+      Algorithm 1's ladder once).  Engines deliver singleton batches
+      through {!server_receive}, so implementations may assume
+      [List.length >= 2] but must not rely on it. *)
+  val server_receive_batch : server -> from:int -> c2s list -> (int * s2c) list
+
+  (** Batch counterpart of {!client_receive}; same contract as
+      {!server_receive_batch}. *)
+  val client_receive_batch : client -> s2c list -> unit
+
   (** The identifier of the operation a message carries, for trace
       labelling by the observability layer; [None] for pure
       acknowledgements and control messages. *)

@@ -115,3 +115,11 @@ let client_metadata_size t = Treedoc_list.size t.list
 let server_metadata_size t = Treedoc_list.size t.slist
 
 let client_tombstones t = Treedoc_list.tombstones t.list
+
+(* Batch delivery: these protocols have no per-run shortcut (CRDT
+   integration and 2D-space transformation are inherently per
+   operation), so a batch is just the in-order fold. *)
+let server_receive_batch t ~from batch =
+  List.concat_map (fun msg -> server_receive t ~from msg) batch
+
+let client_receive_batch t batch = List.iter (client_receive t) batch

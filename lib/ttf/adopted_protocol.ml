@@ -115,3 +115,8 @@ let metadata_size t =
 let buffered t = List.length t.pend
 
 let tombstones t = Ttf_model.tombstones t.model
+
+(* Batch delivery: integration is per operation here, so a batch is
+   the in-order fold, reactions collected in order. *)
+let receive_batch t ~from batch =
+  List.concat_map (fun msg -> Option.to_list (receive t ~from msg)) batch

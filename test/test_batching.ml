@@ -1,0 +1,439 @@
+(* Unit tests for batched operation processing: State_space.add_run
+   must be observationally identical to folding add_op (same states,
+   transitions, forms, and — with the append fast path off — the same
+   primitive transformation count), and each fast-path guard is pinned
+   individually (context match, pure-append run, position tie
+   fallback, mixed-batch splitting). *)
+
+open Rlist_model
+open Rlist_ot
+module Space = Jupiter_css.State_space
+
+let space_testable : Space.t Alcotest.testable =
+  Alcotest.testable Space.pp Space.equal
+
+let key_table () =
+  let serials : (Op_id.t, int) Hashtbl.t = Hashtbl.create 8 in
+  let key id =
+    match Hashtbl.find_opt serials id with
+    | Some s -> Jupiter_css.Order_key.Serialized s
+    | None -> Jupiter_css.Order_key.Pending id.Op_id.seq
+  in
+  serials, key
+
+(* Run the same (op, ctx) stream through two fresh spaces sharing a
+   serial table: one processes [batch] with a single {!add_run}, the
+   other folds {!add_op}.  Both first replay the [prefix]
+   operation-by-operation.  Returns (batched space, folded space,
+   add_run forms, fold forms). *)
+let differential ~fastpath ~prefix ~batch =
+  let serials, key = key_table () in
+  List.iteri
+    (fun i oc -> Hashtbl.replace serials oc.Context.op.Op.id (i + 1))
+    (prefix @ batch);
+  let was = !Space.Fastpath.enabled in
+  let run enabled ops_into =
+    Space.Fastpath.enabled := enabled;
+    let space = Space.create ~key_of:key () in
+    List.iter (fun oc -> ignore (Space.add_op space oc)) prefix;
+    let forms = ops_into space in
+    Space.Fastpath.enabled := was;
+    space, forms
+  in
+  let batched, batched_forms =
+    run fastpath (fun space -> Space.add_run space batch)
+  in
+  let folded, folded_forms =
+    run false (fun space -> List.map (Space.add_op space) batch)
+  in
+  batched, folded, batched_forms, folded_forms
+
+let check_same ?(same_ot = true) ~fastpath ~prefix ~batch () =
+  let batched, folded, bf, ff = differential ~fastpath ~prefix ~batch in
+  Alcotest.check space_testable "spaces equal" folded batched;
+  Alcotest.(check int)
+    "transition counts equal"
+    (Space.num_transitions folded)
+    (Space.num_transitions batched);
+  Alcotest.(check (list Helpers.op)) "forms equal" ff bf;
+  if same_ot then
+    Alcotest.(check int) "ot counts equal" (Space.ot_count folded)
+      (Space.ot_count batched)
+  else
+    Alcotest.(check bool)
+      (Printf.sprintf "batched ot (%d) <= folded ot (%d)"
+         (Space.ot_count batched) (Space.ot_count folded))
+      true
+      (Space.ot_count batched <= Space.ot_count folded)
+
+(* Chain contexts the way a replica generating back to back does. *)
+let chain ~ctx ops =
+  let _, acc =
+    List.fold_left
+      (fun (ctx, acc) op ->
+        Context.extend ctx op, Context.with_context op ~ctx :: acc)
+      (ctx, []) ops
+  in
+  List.rev acc
+
+let appends ~client ~seq0 ~pos0 n =
+  List.init n (fun i ->
+      Helpers.ins ~client ~seq:(seq0 + i)
+        (Char.chr (Char.code 'a' + (i mod 26)))
+        (pos0 + i))
+
+(* --- Context-match fast path ---------------------------------------- *)
+
+let test_quiescent_run () =
+  let batch = chain ~ctx:Context.empty (appends ~client:1 ~seq0:1 ~pos0:0 5) in
+  let hits = !Space.Fastpath.context_hits in
+  check_same ~fastpath:false ~prefix:[] ~batch ();
+  Alcotest.(check bool)
+    "context hits counted" true
+    (!Space.Fastpath.context_hits > hits);
+  (* A quiescent run performs no transformation at all. *)
+  let batched, _, _, _ = differential ~fastpath:false ~prefix:[] ~batch in
+  Alcotest.(check int) "no transformations" 0 (Space.ot_count batched)
+
+(* --- Append fast path: one case per transform shape ------------------ *)
+
+(* One concurrent foreign operation [f] (serialized first) forms a
+   one-step leftmost path that a run of appends at positions 3..6 must
+   cross; each foreign shape exercises one arithmetic case. *)
+let crossing_case f =
+  let prefix = [ Context.with_context f ~ctx:Context.empty ] in
+  let batch = chain ~ctx:Context.empty (appends ~client:1 ~seq0:1 ~pos0:3 4) in
+  prefix, batch
+
+let test_cross_ins_before () =
+  let prefix, batch = crossing_case (Helpers.ins ~client:2 'z' 1) in
+  let hits = !Space.Fastpath.append_hits in
+  check_same ~same_ot:false ~fastpath:true ~prefix ~batch ();
+  Alcotest.(check bool)
+    "append hits counted" true
+    (!Space.Fastpath.append_hits > hits);
+  (* The arithmetic levels replace every crossing transformation. *)
+  let batched, folded, _, _ = differential ~fastpath:true ~prefix ~batch in
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly fewer transformations (%d < %d)"
+       (Space.ot_count batched) (Space.ot_count folded))
+    true
+    (Space.ot_count batched < Space.ot_count folded)
+
+let test_cross_ins_after () =
+  let prefix, batch = crossing_case (Helpers.ins ~client:2 'z' 9) in
+  check_same ~same_ot:false ~fastpath:true ~prefix ~batch ()
+
+let test_cross_ins_tie () =
+  (* Foreign insertion exactly at the run's start position: element
+     priority decides, and the fast path must fall back to the
+     generic squares — the transformation count stays the fold's. *)
+  let prefix, batch = crossing_case (Helpers.ins ~client:2 'z' 3) in
+  check_same ~same_ot:true ~fastpath:true ~prefix ~batch ()
+
+let test_cross_del_before () =
+  let prefix, batch =
+    crossing_case (Helpers.del ~client:2 (Helpers.elt ~client:9 'q') 0)
+  in
+  check_same ~same_ot:false ~fastpath:true ~prefix ~batch ()
+
+let test_cross_del_inside () =
+  let prefix, batch =
+    crossing_case (Helpers.del ~client:2 (Helpers.elt ~client:9 'q') 4)
+  in
+  check_same ~same_ot:false ~fastpath:true ~prefix ~batch ()
+
+let test_fastpath_off_matches_ot () =
+  (* With the toggle off, batching alone never changes the
+     transformation count, whatever the run shape. *)
+  List.iter
+    (fun f ->
+      let prefix, batch = crossing_case f in
+      check_same ~same_ot:true ~fastpath:false ~prefix ~batch ())
+    [
+      Helpers.ins ~client:2 'z' 1;
+      Helpers.ins ~client:2 'z' 3;
+      Helpers.ins ~client:2 'z' 9;
+      Helpers.del ~client:2 (Helpers.elt ~client:9 'q') 0;
+      Helpers.del ~client:2 (Helpers.elt ~client:9 'q') 4;
+    ]
+
+(* --- Mixed batches --------------------------------------------------- *)
+
+let test_mixed_batch_splits () =
+  (* A batch whose middle operation saw a foreign operation in between
+     is not one contiguous run; add_run must split it and process each
+     segment where its context matches. *)
+  let x = Helpers.ins ~client:2 'x' 0 in
+  let a = Helpers.ins ~client:1 ~seq:1 'a' 0 in
+  let b = Helpers.ins ~client:1 ~seq:2 'b' 1 in
+  let c = Helpers.ins ~client:1 ~seq:3 'c' 2 in
+  let ctx_ab = Context.empty in
+  let ctx_b = Context.extend ctx_ab a in
+  (* c was generated after x arrived at its replica. *)
+  let ctx_c = Context.extend (Context.extend ctx_b b) x in
+  let prefix = [ Context.with_context x ~ctx:Context.empty ] in
+  let batch =
+    [
+      Context.with_context a ~ctx:ctx_ab;
+      Context.with_context b ~ctx:ctx_b;
+      Context.with_context c ~ctx:ctx_c;
+    ]
+  in
+  check_same ~same_ot:true ~fastpath:false ~prefix ~batch ();
+  check_same ~same_ot:false ~fastpath:true ~prefix ~batch ()
+
+let test_non_insert_runs () =
+  (* Runs containing deletions take the generic squares but must still
+     be fold-identical, fast path on or off. *)
+  let seed = appends ~client:9 ~seq0:1 ~pos0:0 4 in
+  let prefix = chain ~ctx:Context.empty seed in
+  let seeded =
+    List.fold_left (fun ctx op -> Context.extend ctx op) Context.empty seed
+  in
+  let f = Helpers.ins ~client:2 'z' 2 in
+  let prefix = prefix @ [ Context.with_context f ~ctx:seeded ] in
+  let e1 = Helpers.elt ~client:9 ~seq:2 'b' in
+  let run =
+    [
+      Helpers.ins ~client:1 ~seq:1 'k' 1;
+      Helpers.del ~client:1 ~seq:2 e1 2;
+      Helpers.ins ~client:1 ~seq:3 'm' 2;
+    ]
+  in
+  let batch = chain ~ctx:seeded run in
+  check_same ~same_ot:true ~fastpath:false ~prefix ~batch ();
+  check_same ~same_ot:false ~fastpath:true ~prefix ~batch ()
+
+(* The C16 benchmark ablation ({!Space.Fastpath.baseline}) restores
+   the seed's constant work per ladder square but must change nothing
+   observable: a space built under it is equal to the normal one, with
+   the same forms and transformation count. *)
+let test_baseline_mode_equivalent () =
+  let prefix, batch = crossing_case (Helpers.ins ~client:2 'z' 1) in
+  let ops = prefix @ batch in
+  let serials, key = key_table () in
+  List.iteri
+    (fun i oc -> Hashtbl.replace serials oc.Context.op.Op.id (i + 1))
+    ops;
+  let build baseline =
+    let was = !Space.Fastpath.baseline in
+    Space.Fastpath.baseline := baseline;
+    let space = Space.create ~key_of:key () in
+    Space.Fastpath.baseline := was;
+    let forms = List.map (Space.add_op space) ops in
+    space, forms
+  in
+  let opt, opt_forms = build false in
+  let base, base_forms = build true in
+  Alcotest.check space_testable "spaces equal" opt base;
+  Alcotest.(check (list Helpers.op)) "forms equal" opt_forms base_forms;
+  Alcotest.(check int)
+    "ot counts equal" (Space.ot_count opt) (Space.ot_count base)
+
+(* --- Randomized fold equivalence ------------------------------------- *)
+
+(* A synthetic server: a common seed prefix, then a burst of foreign
+   operations, then one client's run arriving as a batch.  Each stream
+   is generated against the document it would actually see (ops must
+   be contextually consistent — concurrent deletes of the same
+   position on the same state delete the same element, which the
+   strict transform asserts). *)
+let gen_scenario =
+  QCheck2.Gen.(
+    let stream ~client ~n doc0 =
+      let rec go doc acc seq n =
+        if n = 0 then return (List.rev acc)
+        else
+          let* op = Helpers.gen_op_on ~client ~seq doc in
+          go (Op.apply op doc) (op :: acc) (seq + 1) (n - 1)
+      in
+      go doc0 [] 1 n
+    in
+    let* nseed = int_range 0 3 in
+    let* nforeign = int_range 0 3 in
+    let* nrun = int_range 2 6 in
+    let* pure = frequency [ 2, return true; 1, return false ] in
+    let* seed_ops = stream ~client:9 ~n:nseed Document.empty in
+    let seed_doc =
+      List.fold_left (fun d op -> Op.apply op d) Document.empty seed_ops
+    in
+    let* foreign_ops = stream ~client:2 ~n:nforeign seed_doc in
+    let* run_ops =
+      if pure then
+        return (appends ~client:1 ~seq0:1 ~pos0:(Document.length seed_doc) nrun)
+      else stream ~client:1 ~n:nrun seed_doc
+    in
+    return (seed_ops, foreign_ops, run_ops))
+
+let scenario_prop ~fastpath (seed_ops, foreign_ops, run_ops) =
+  let seeded =
+    List.fold_left (fun ctx op -> Context.extend ctx op) Context.empty seed_ops
+  in
+  let prefix =
+    chain ~ctx:Context.empty seed_ops @ chain ~ctx:seeded foreign_ops
+  in
+  let batch = chain ~ctx:seeded run_ops in
+  let batched, folded, bf, ff = differential ~fastpath ~prefix ~batch in
+  Space.equal folded batched
+  && List.equal Op.equal ff bf
+  && (fastpath || Space.ot_count folded = Space.ot_count batched)
+  && Space.ot_count batched <= Space.ot_count folded
+
+(* --- Engine-level batching: what the wire sees ----------------------- *)
+
+module Css_engine = Rlist_sim.Engine.Make (Jupiter_css.Protocol)
+module Sched = Rlist_sim.Schedule
+module Transport = Rlist_net.Transport
+module Faults = Rlist_net.Faults
+module Stats = Rlist_net.Stats
+
+(* Consecutive generates coalesce into one transport payload — one
+   [Transport.send], hence one sequence number and one retransmission
+   unit — while the per-operation counters keep counting operations. *)
+let test_one_seqno_per_batch () =
+  let cfg = Transport.config ~faults:Faults.none ~seed:1 () in
+  let t = Css_engine.create ~net:cfg ~batching:true ~nclients:2 () in
+  List.iter (Css_engine.apply_event t)
+    [
+      Sched.Generate (1, Intent.Insert ('a', 0));
+      Sched.Generate (1, Intent.Insert ('b', 1));
+      Sched.Generate (1, Intent.Insert ('c', 2));
+    ];
+  let st = Transport.stats cfg in
+  Alcotest.(check int)
+    "outbox holds three ops" 3
+    (Css_engine.pending_to_server t 1);
+  Alcotest.(check int) "nothing on the wire yet" 0 st.Stats.payloads;
+  Css_engine.apply_event t (Sched.Deliver_to_server 1);
+  Alcotest.(check int) "one payload for the batch" 1 st.Stats.payloads;
+  Alcotest.(check int) "three ops inside it" 3 st.Stats.op_payloads;
+  Css_engine.apply_event t (Sched.Deliver_to_client 1);
+  Css_engine.apply_event t (Sched.Deliver_to_client 2);
+  Alcotest.(check int) "fan-out batches stay whole" 3 st.Stats.payloads;
+  Alcotest.(check int) "ops counted per operation" 9 st.Stats.op_payloads;
+  Alcotest.(check bool) "converged" true (Css_engine.converged t)
+
+(* Batches survive the fault models: the shim retransmits and
+   deduplicates whole batches (their dedup key joins the member op
+   ids), and the run still converges with zero contract violations.
+   Deterministic per seed, so the > 0 assertions are stable. *)
+let test_batch_retransmit_dedup () =
+  let faults =
+    { Faults.none with Faults.drop = 0.3; duplicate = 0.3; reorder = 0.2 }
+  in
+  let cfg = Transport.config ~faults ~seed:42 () in
+  let t = Css_engine.create ~net:cfg ~batching:true ~nclients:3 () in
+  let rng = Random.State.make [| 42 |] in
+  let params = { Sched.default_params with updates = 40 } in
+  ignore (Css_engine.run_random t ~rng ~params);
+  let st = Transport.stats cfg in
+  Alcotest.(check bool) "converged" true (Css_engine.converged t);
+  Alcotest.(check int)
+    "no contract violations" 0 st.Stats.contract_violations;
+  Alcotest.(check bool)
+    "batches were retransmitted" true
+    (st.Stats.retransmits > 0);
+  Alcotest.(check bool)
+    "duplicate batches suppressed" true
+    (st.Stats.dup_dropped > 0);
+  Alcotest.(check bool)
+    "sends coalesced" true
+    (st.Stats.payloads < st.Stats.op_payloads);
+  Alcotest.(check bool)
+    "per-op amplification >= 1" true
+    (Stats.amplification st >= 1.0)
+
+(* Checkpoint/restore with batch payloads: a sender crash between
+   batches retransmits from the checkpointed buffer, the receiver's
+   sequence numbers suppress the batches it already applied, and every
+   operation arrives exactly once, in order. *)
+let test_batch_checkpoint_recovery () =
+  let cfg =
+    Transport.config ~faults:(Option.get (Faults.preset "chaos")) ~seed:13 ()
+  in
+  let key b = Some (String.concat "+" (List.map string_of_int b)) in
+  let ch = Transport.create ~key ~weight:List.length cfg in
+  let got = ref [] in
+  let drain () =
+    while Transport.deliverable ch > 0 do
+      match Transport.deliver ch with
+      | Some b -> got := !got @ b
+      | None -> ()
+    done
+  in
+  let ck = ref (Transport.sender_checkpoint ch) in
+  let send_ck b =
+    Transport.send ch b;
+    ck := Transport.sender_checkpoint ch
+  in
+  List.iter send_ck [ [ 0; 1 ]; [ 2 ]; [ 3; 4; 5 ] ];
+  for _ = 1 to 8 do
+    drain ();
+    Transport.tick ch
+  done;
+  Transport.drop_wire ch;
+  Transport.restore_sender ch !ck;
+  List.iter send_ck [ [ 6; 7 ]; [ 8; 9 ] ];
+  let stalled = ref 0 in
+  while Transport.pending ch > 0 do
+    let any = Transport.deliverable ch > 0 in
+    drain ();
+    if any then stalled := 0
+    else begin
+      incr stalled;
+      if !stalled > 100_000 then Alcotest.fail "cannot quiesce"
+    end;
+    Transport.tick ch
+  done;
+  Alcotest.(check (list int))
+    "each op exactly once, in order"
+    (List.init 10 Fun.id)
+    !got;
+  let st = Transport.stats cfg in
+  Alcotest.(check bool)
+    "op transmissions cover the retransmits" true
+    (st.Stats.op_transmissions >= st.Stats.op_payloads)
+
+let qtest name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:300 gen prop)
+
+let () =
+  Alcotest.run "batching"
+    [
+      ( "state-space",
+        [
+          Alcotest.test_case "quiescent run (context match)" `Quick
+            test_quiescent_run;
+          Alcotest.test_case "crossing insert before run" `Quick
+            test_cross_ins_before;
+          Alcotest.test_case "crossing insert after run" `Quick
+            test_cross_ins_after;
+          Alcotest.test_case "crossing insert at tie falls back" `Quick
+            test_cross_ins_tie;
+          Alcotest.test_case "crossing delete before run" `Quick
+            test_cross_del_before;
+          Alcotest.test_case "crossing delete inside run" `Quick
+            test_cross_del_inside;
+          Alcotest.test_case "fast path off keeps ot count" `Quick
+            test_fastpath_off_matches_ot;
+          Alcotest.test_case "mixed batch splits into runs" `Quick
+            test_mixed_batch_splits;
+          Alcotest.test_case "runs with deletions" `Quick test_non_insert_runs;
+          Alcotest.test_case "baseline ablation is observationally inert"
+            `Quick test_baseline_mode_equivalent;
+          qtest "add_run = fold add_op (generic)" gen_scenario
+            (scenario_prop ~fastpath:false);
+          qtest "add_run = fold add_op (fast paths)" gen_scenario
+            (scenario_prop ~fastpath:true);
+        ] );
+      ( "engine-wire",
+        [
+          Alcotest.test_case "one seqno per batch" `Quick
+            test_one_seqno_per_batch;
+          Alcotest.test_case "batch retransmission and dedup" `Quick
+            test_batch_retransmit_dedup;
+          Alcotest.test_case "checkpoint recovery with batches" `Quick
+            test_batch_checkpoint_recovery;
+        ] );
+    ]

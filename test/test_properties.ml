@@ -52,10 +52,10 @@ let run_cs (type c s a b)
       with type client = c
        and type server = s
        and type c2s = a
-       and type s2c = b) ~faulty seed =
+       and type s2c = b) ?(batching = false) ~faulty seed =
   let module E = Rlist_sim.Engine.Make (P) in
   let net = if faulty then Some (net_for seed) else None in
-  let t = E.create ?net ~nclients:3 () in
+  let t = E.create ?net ~batching ~nclients:3 () in
   let rng = Random.State.make [| seed; 0xFA17 |] in
   let schedule = E.run_random t ~rng ~params in
   {
@@ -80,18 +80,22 @@ let quiescent_ok o =
 
 (* --- Theorem 7.1: CSS and CSCW are behaviourally equivalent -------- *)
 
-let css_equiv_cscw ~faulty seed =
-  let a = run_cs (module Jupiter_css.Protocol) ~faulty seed in
-  let b = run_cs (module Jupiter_cscw.Protocol) ~faulty seed in
+(* With [batching] the equivalence gates the batched delivery path:
+   both engines coalesce identically (same RNG, same deliverable
+   counts), so the differential catches any divergence between a
+   protocol's batch entry points and one-by-one receipt. *)
+let css_equiv_cscw ?(batching = false) ~faulty seed =
+  let a = run_cs (module Jupiter_css.Protocol) ~batching ~faulty seed in
+  let b = run_cs (module Jupiter_cscw.Protocol) ~batching ~faulty seed in
   a.schedule = b.schedule
   && behavior_equal a.behavior b.behavior
   && quiescent_ok a && quiescent_ok b
 
 (* --- Pruned Jupiter is observationally identical to CSS ------------ *)
 
-let pruned_equiv_css ~faulty seed =
-  let a = run_cs (module Jupiter_css.Protocol) ~faulty seed in
-  let b = run_cs (module Jupiter_css.Pruned_protocol) ~faulty seed in
+let pruned_equiv_css ?(batching = false) ~faulty seed =
+  let a = run_cs (module Jupiter_css.Protocol) ~batching ~faulty seed in
+  let b = run_cs (module Jupiter_css.Pruned_protocol) ~batching ~faulty seed in
   a.schedule = b.schedule
   && behavior_equal a.behavior b.behavior
   && quiescent_ok b
@@ -99,7 +103,7 @@ let pruned_equiv_css ~faulty seed =
 (* --- Every protocol converges at quiescence ------------------------ *)
 
 let cs_protocols :
-    (string * (faulty:bool -> int -> outcome)) list =
+    (string * (?batching:bool -> faulty:bool -> int -> outcome)) list =
   [
     "css", run_cs (module Jupiter_css.Protocol);
     "cscw", run_cs (module Jupiter_cscw.Protocol);
@@ -113,10 +117,10 @@ let cs_protocols :
 let run_p2p (type p m)
     (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL
       with type peer = p
-       and type message = m) ~faulty seed =
+       and type message = m) ?(batching = false) ~faulty seed =
   let module E = Rlist_sim.P2p_engine.Make (P) in
   let net = if faulty then Some (net_for seed) else None in
-  let t = E.create ?net ~npeers:3 () in
+  let t = E.create ?net ~batching ~npeers:3 () in
   let rng = Random.State.make [| seed; 0xFA17 |] in
   ignore (E.run_random t ~rng ~params);
   let trace = E.trace t in
@@ -130,18 +134,18 @@ let p2p_protocols =
     "ttf", run_p2p (module Jupiter_ttf.Adopted_protocol);
   ]
 
-let all_converge ~faulty seed =
+let all_converge ?(batching = false) ~faulty seed =
   List.for_all
-    (fun (name, run) ->
-      let o = run ~faulty seed in
+    (fun ((name : string), run) ->
+      let o = run ?batching:(Some batching) ~faulty seed in
       quiescent_ok o
       ||
       (Printf.printf "protocol %s failed at seed %d\n%!" name seed;
        false))
     cs_protocols
   && List.for_all
-       (fun (name, run) ->
-         run ~faulty seed
+       (fun ((name : string), run) ->
+         run ?batching:(Some batching) ~faulty seed
          ||
          (Printf.printf "protocol %s failed at seed %d\n%!" name seed;
           false))
@@ -207,20 +211,33 @@ let () =
       ( "differential",
         [
           qtest ~count:50 "css = cscw (reliable)" seed_gen
-            (css_equiv_cscw ~faulty:false);
+            (css_equiv_cscw ~batching:false ~faulty:false);
           qtest ~count:50 "css = cscw (faulty, shimmed)" seed_gen
-            (css_equiv_cscw ~faulty:true);
+            (css_equiv_cscw ~batching:false ~faulty:true);
           qtest ~count:25 "pruned = css (reliable)" seed_gen
-            (pruned_equiv_css ~faulty:false);
+            (pruned_equiv_css ~batching:false ~faulty:false);
           qtest ~count:25 "pruned = css (faulty, shimmed)" seed_gen
-            (pruned_equiv_css ~faulty:true);
+            (pruned_equiv_css ~batching:false ~faulty:true);
+        ] );
+      ( "differential-batched",
+        [
+          qtest ~count:50 "css = cscw (batched, reliable)" seed_gen
+            (css_equiv_cscw ~batching:true ~faulty:false);
+          qtest ~count:50 "css = cscw (batched, faulty, shimmed)" seed_gen
+            (css_equiv_cscw ~batching:true ~faulty:true);
+          qtest ~count:25 "pruned = css (batched, reliable)" seed_gen
+            (pruned_equiv_css ~batching:true ~faulty:false);
+          qtest ~count:25 "pruned = css (batched, faulty, shimmed)" seed_gen
+            (pruned_equiv_css ~batching:true ~faulty:true);
         ] );
       ( "convergence",
         [
           qtest ~count:10 "all protocols converge (reliable)" seed_gen
-            (all_converge ~faulty:false);
+            (all_converge ~batching:false ~faulty:false);
           qtest ~count:10 "all protocols converge (faulty, shimmed)" seed_gen
-            (all_converge ~faulty:true);
+            (all_converge ~batching:false ~faulty:true);
+          qtest ~count:10 "all protocols converge (batched, faulty)" seed_gen
+            (all_converge ~batching:true ~faulty:true);
           qtest ~count:10 "naive foil gets a clean channel" seed_gen
             naive_completes_cleanly;
         ] );
