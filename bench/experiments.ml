@@ -1283,6 +1283,252 @@ let c16_batching ?json_path ?(smoke = false) () =
     batch_write_json ~path ~speedups entries;
     Printf.printf "  wrote %s (%d entries)\n" path (List.length entries)
 
+(* --- C17: flight-recorder overhead + convergence-lag percentiles ------- *)
+
+(* Replays the C16 batched CSS typing workload across the C15 loss
+   profiles in three instrumentation modes and reports the recorder's
+   cost:
+
+   - "off": the bare engine (the production configuration);
+   - "record": the flight recorder attached — every nondeterministic
+     decision lands in the ring buffer, nothing else changes;
+   - "record+trace": recorder plus the full tracer into a memory sink
+     (the configuration `soak --record-out --trace` runs with).
+
+   The recorder's real cost is one ring-buffer store per engine
+   decision (the decision values themselves are built eagerly at the
+   call sites, recorder or not), which is far below the wall-clock
+   noise of a shared CI container — so the legs are timed in process
+   CPU seconds ([Unix.times], immune to preemption), the modes
+   interleave round-robin across [reps] repetitions, and each mode's
+   estimate is its minimum (contention noise is one-sided: it only
+   adds time, so the minimum is the consistent estimator of the true
+   cost).  The acceptance bar is the tentpole's: record-only overhead
+   stays under 5% of ops/sec on every profile.  The traced leg's event stream additionally feeds
+   {!Rlist_obs.Spans.summarize}, giving the convergence-lag
+   percentiles per loss rate (generation at the origin to application
+   at the last replica, in channel ticks).  Emits BENCH_trace.json on
+   request. *)
+
+type trace_entry = {
+  tr_faults : string;
+  tr_loss : float;
+  tr_mode : string;
+  tr_updates : int;
+  tr_elapsed_s : float;
+  tr_ops_per_s : float;
+  tr_overhead_pct : float;  (** vs the "off" leg on the same profile. *)
+}
+
+type lag_entry = {
+  lg_faults : string;
+  lg_loss : float;
+  lg_unit : string;
+  lg_ops : int;
+  lg_incomplete : int;
+  lg_p50 : float;
+  lg_p90 : float;
+  lg_p99 : float;
+  lg_max : float;
+}
+
+let trace_write_json ~path entries lags =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"benchmark\": \"trace\",\n";
+  out "  \"results\": [\n";
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"faults\": \"%s\", \"loss\": %.2f, \"mode\": \"%s\", \
+         \"updates\": %d, \"cpu_s\": %.6f, \"ops_per_cpu_s\": %.1f, \
+         \"overhead_pct\": %.2f}%s\n"
+        e.tr_faults e.tr_loss e.tr_mode e.tr_updates e.tr_elapsed_s
+        e.tr_ops_per_s e.tr_overhead_pct
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  out "  ],\n";
+  out "  \"convergence_lag\": [\n";
+  List.iteri
+    (fun i l ->
+      out
+        "    {\"faults\": \"%s\", \"loss\": %.2f, \"unit\": \"%s\", \
+         \"ops\": %d, \"incomplete\": %d, \"p50\": %.1f, \"p90\": %.1f, \
+         \"p99\": %.1f, \"max\": %.1f}%s\n"
+        l.lg_faults l.lg_loss l.lg_unit l.lg_ops l.lg_incomplete l.lg_p50
+        l.lg_p90 l.lg_p99 l.lg_max
+        (if i = List.length lags - 1 then "" else ","))
+    lags;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let c17_trace ?json_path ?(smoke = false) () =
+  section "C17 (trace): flight-recorder overhead + convergence lag";
+  (* Runs must be long against the ~10ms CPU-clock tick (1024 ops is
+     about a CPU-second, putting quantization around 1%) yet short
+     enough that many repetitions fit — the minimum needs chances. *)
+  let bursts = if smoke then 2 else 4 in
+  let burst = 64 in
+  let reps = if smoke then 3 else 12 in
+  let nclients = 4 in
+  let total = bursts * nclients * burst in
+  let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
+  (* One timed typing run (the C16 batched hot path); returns the
+     elapsed seconds and, when a sink is given, the trace events. *)
+  let run_once ~mode faults =
+    let net = Rlist_net.Transport.config ~faults ~seed:42 () in
+    let t = E.create ~net ~batching:true ~nclients () in
+    let sink =
+      match mode with
+      | `Off -> None
+      | `Record ->
+        E.attach_recorder t (Rlist_obs.Recorder.create ());
+        None
+      | `Record_trace ->
+        E.attach_recorder t (Rlist_obs.Recorder.create ());
+        let sink = Rlist_obs.Sink.memory () in
+        E.attach_obs t (Rlist_obs.Obs.make ~sink ());
+        Some sink
+    in
+    (* Start every timed run from a compacted heap: the measured
+       effect is below run-to-run GC drift, and without this the ratio
+       mostly reflects where the major collections happened to land. *)
+    Gc.compact ();
+    let cpu_s () =
+      let tms = Unix.times () in
+      tms.Unix.tms_utime +. tms.Unix.tms_stime
+    in
+    let t0 = cpu_s () in
+    for _round = 1 to bursts do
+      for i = 1 to nclients do
+        let len = Document.length (E.client_document t i) in
+        for j = 0 to burst - 1 do
+          E.apply_event t
+            (Rlist_sim.Schedule.Generate (i, Intent.Insert ('a', len + j)))
+        done
+      done;
+      ignore (E.quiesce t)
+    done;
+    let elapsed = cpu_s () -. t0 in
+    if not (E.converged t) then
+      failwith
+        (Printf.sprintf "C17: diverged (%s, recorder leg)"
+           (Rlist_net.Faults.to_string faults));
+    elapsed, Option.map Rlist_obs.Sink.events sink
+  in
+  let entries = ref [] in
+  let lags = ref [] in
+  Printf.printf "  %-26s | %5s | %-12s | %9s %10s %8s\n" "faults" "loss"
+    "mode" "cpu" "ops/cpu-s" "overhead";
+  let profile ~loss faults =
+    let fname = Rlist_net.Faults.to_string faults in
+    (* A shared container's CPU-seconds-per-op swings by tens of
+       percent as neighbors come and go (the achieved IPC changes),
+       and the noise is one-sided — contention only ever adds time.
+       So the modes interleave round-robin (every mode gets a shot at
+       every quiet window) and each mode's estimate is its minimum
+       across the repetitions; the ratio of minima is the overhead. *)
+    let off = ref infinity and record = ref infinity in
+    let traced = ref infinity in
+    let events = ref None in
+    for _rep = 1 to reps do
+      let e, _ = run_once ~mode:`Off faults in
+      off := Float.min !off e;
+      let e, _ = run_once ~mode:`Record faults in
+      record := Float.min !record e;
+      let e, ev = run_once ~mode:`Record_trace faults in
+      traced := Float.min !traced e;
+      match ev with Some _ -> events := ev | None -> ()
+    done;
+    let off = !off and record = !record and traced = !traced in
+    let events = !events in
+    let add mode elapsed =
+      let overhead = ((elapsed /. off) -. 1.0) *. 100.0 in
+      let e =
+        {
+          tr_faults = fname;
+          tr_loss = loss;
+          tr_mode = mode;
+          tr_updates = total;
+          tr_elapsed_s = elapsed;
+          tr_ops_per_s = float_of_int total /. elapsed;
+          tr_overhead_pct = overhead;
+        }
+      in
+      entries := e :: !entries;
+      Printf.printf "  %-26s | %5.2f | %-12s | %7.2fms %10.0f %+7.2f%%\n"
+        e.tr_faults e.tr_loss e.tr_mode (elapsed *. 1e3) e.tr_ops_per_s
+        overhead;
+      e
+    in
+    ignore (add "off" off);
+    let record_e = add "record" record in
+    ignore (add "record+trace" traced);
+    (match events with
+    | None -> failwith "C17: the traced leg produced no events"
+    | Some events ->
+      let s = Rlist_obs.Spans.summarize events in
+      lags :=
+        {
+          lg_faults = fname;
+          lg_loss = loss;
+          lg_unit = s.Rlist_obs.Spans.su_lag_unit;
+          lg_ops = s.Rlist_obs.Spans.su_ops;
+          lg_incomplete = s.Rlist_obs.Spans.su_incomplete;
+          lg_p50 = s.Rlist_obs.Spans.su_lag_p50;
+          lg_p90 = s.Rlist_obs.Spans.su_lag_p90;
+          lg_p99 = s.Rlist_obs.Spans.su_lag_p99;
+          lg_max = s.Rlist_obs.Spans.su_lag_max;
+        }
+        :: !lags);
+    record_e
+  in
+  let losses = if smoke then [ 0.0; 0.3 ] else [ 0.0; 0.1; 0.3; 0.5 ] in
+  let lossy loss =
+    { Rlist_net.Faults.none with drop = loss; duplicate = 0.1; reorder = 0.2 }
+  in
+  (* One untimed warm-up run: the first session pays for growing the
+     major heap, and without this the first profile's "off" leg absorbs
+     that cost and skews every overhead ratio negative. *)
+  ignore (run_once ~mode:`Off (lossy 0.0));
+  let record_legs = List.map (fun loss -> profile ~loss (lossy loss)) losses in
+  List.iter
+    (fun l ->
+      Printf.printf
+        "  convergence lag @ loss %.2f: p50 %.0f p90 %.0f p99 %.0f max %.0f \
+         %s (%d ops, %d incomplete)\n"
+        l.lg_loss l.lg_p50 l.lg_p90 l.lg_p99 l.lg_max l.lg_unit l.lg_ops
+        l.lg_incomplete)
+    (List.rev !lags);
+  let worst =
+    List.fold_left
+      (fun acc e -> Float.max acc e.tr_overhead_pct)
+      neg_infinity record_legs
+  in
+  Printf.printf "  worst record-only overhead: %+.2f%% (acceptance: < 5%%)\n"
+    worst;
+  (* The smoke leg's runs are short enough that CPU-clock quantization
+     alone approaches the bar, so only the full run enforces it. *)
+  if (not smoke) && worst >= 5.0 then
+    failwith
+      (Printf.sprintf
+         "C17: record-only overhead %.2f%% breaches the 5%% acceptance bar"
+         worst);
+  Printf.printf
+    "  claim: the flight recorder is a ring-buffer write per engine \
+     decision — always-on recording costs < 5%% ops/sec on the batched \
+     typing workload at every C15 loss rate, so soaks and fuzz runs keep \
+     it armed and dump a replayable witness only on failure; convergence \
+     lag grows with the loss rate (retransmission round trips), which the \
+     span analyzer quantifies per profile.\n";
+  match json_path with
+  | None -> ()
+  | Some path ->
+    trace_write_json ~path (List.rev !entries) (List.rev !lags);
+    Printf.printf "  wrote %s (%d entries)\n" path (List.length !entries)
+
 let figures () =
   figure_f1 ();
   figure_f2_f4 ();

@@ -15,7 +15,11 @@
    (regenerates BENCH_net.json with --json).
    Pass --batch to run only the C16 batching/fast-path family
    (regenerates BENCH_batch.json with --json; the smoke bench always
-   emits it — it carries the acceptance speedup numbers). *)
+   emits it — it carries the acceptance speedup numbers).
+   Pass --trace to run only the C17 flight-recorder family
+   (regenerates BENCH_trace.json with --json; carries the < 5%
+   recorder-overhead acceptance number and the convergence-lag
+   percentiles per loss rate). *)
 
 open Rlist_model
 open Bechamel
@@ -119,6 +123,7 @@ let () =
   let mc_json_path = if json then Some "BENCH_mc.json" else None in
   let net_json_path = if json then Some "BENCH_net.json" else None in
   let batch_json_path = if json then Some "BENCH_batch.json" else None in
+  let trace_json_path = if json then Some "BENCH_trace.json" else None in
   Harness.install_metrics_clock ();
   if flag "--mc" then
     ignore (Experiments.c14_model_checking ?json_path:mc_json_path ())
@@ -126,6 +131,8 @@ let () =
     Experiments.c15_network ?json_path:net_json_path ()
   else if flag "--batch" then
     Experiments.c16_batching ?json_path:batch_json_path ()
+  else if flag "--trace" then
+    Experiments.c17_trace ?json_path:trace_json_path ()
   else if smoke then begin
     (* Tiny quota, small sizes: catches document-layer regressions and
        crashes in seconds, without a full bench run.  The observability
@@ -141,7 +148,10 @@ let () =
     Experiments.c15_network ?json_path:net_json_path ~smoke:true ();
     (* Always emitted in smoke: BENCH_batch.json carries the C16
        batched-vs-unbatched speedup numbers the CI gate reads. *)
-    Experiments.c16_batching ~json_path:"BENCH_batch.json" ~smoke:true ()
+    Experiments.c16_batching ~json_path:"BENCH_batch.json" ~smoke:true ();
+    (* Also always emitted: BENCH_trace.json carries the C17 recorder
+       overhead acceptance number and the convergence-lag percentiles. *)
+    Experiments.c17_trace ~json_path:"BENCH_trace.json" ~smoke:true ()
   end
   else begin
     print_endline
@@ -154,6 +164,7 @@ let () =
     ignore (Experiments.c14_model_checking ?json_path:mc_json_path ());
     Experiments.c15_network ?json_path:net_json_path ();
     Experiments.c16_batching ?json_path:batch_json_path ();
+    Experiments.c17_trace ?json_path:trace_json_path ();
     if not quick then micro_benchmarks ();
     ignore (Experiments.document_scaling ?json_path ())
   end;

@@ -48,6 +48,20 @@ let protocol_names =
     "ttf", P_ttf;
   ]
 
+let protocol_key = function
+  | P_css -> "css"
+  | P_cscw -> "cscw"
+  | P_rga -> "rga"
+  | P_naive -> "naive"
+  | P_pruned -> "css-pruned"
+  | P_logoot -> "logoot"
+  | P_sequencer -> "css-seq"
+  | P_treedoc -> "treedoc"
+  | P_css_p2p -> "css-p2p"
+  | P_ttf -> "ttf"
+
+module Recorded = Rlist_run.Recorded
+
 (* Run a protocol (chosen at runtime) through one random workload and
    return a uniform summary. *)
 type summary = {
@@ -294,26 +308,73 @@ let simulate_cmd =
     Term.(const simulate $ protocol_arg $ profile_arg $ clients_arg
           $ updates_arg $ seed_arg)
 
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
 (* --- fuzz ------------------------------------------------------------- *)
+
+let pp_outcome (o : Recorded.outcome) =
+  Printf.printf "protocol:    %s\n" o.o_protocol;
+  Printf.printf "events:      %d\n" o.o_events;
+  Printf.printf "converged:   %b\n" o.o_converged;
+  (match o.o_finals with
+  | (_, doc) :: _ -> Printf.printf "final:       %S\n" doc
+  | [] -> ());
+  Printf.printf "OT calls:    %d\n" o.o_ots;
+  Printf.printf "metadata:    %d\n" o.o_metadata;
+  let show b = if b then "satisfied" else "VIOLATED" in
+  Printf.printf "convergence: %s\n" (show o.o_convergence);
+  Printf.printf "weak spec:   %s\n" (show o.o_weak);
+  Printf.printf "strong spec: %s\n" (show o.o_strong)
+
+let dump_recording ~spec ?outcome ?aborted recorder path =
+  let digest =
+    match outcome, aborted with
+    | Some o, _ -> Recorded.digest_of o
+    | None, Some msg -> [ "aborted", msg ]
+    | None, None -> []
+  in
+  try
+    Rlist_obs.Recorder.dump
+      ~header:(Recorded.header_of spec)
+      ~digest recorder path;
+    true
+  with Sys_error msg ->
+    Printf.eprintf "cannot write recording %s: %s\n" path msg;
+    false
+
 
 let fuzz protocol profile nclients updates seeds =
   let violations = ref 0 in
   let crashes = ref 0 in
+  let pname = protocol_key protocol in
   for seed = 1 to seeds do
-    match run_protocol protocol ~nclients ~profile ~updates ~seed with
-    | s ->
-      let bad r = not (Rlist_spec.Check.is_satisfied r) in
-      if (not s.s_converged) || bad s.s_convergence || bad s.s_weak then begin
+    let spec =
+      { (Recorded.default ~protocol:pname) with profile; nclients; updates;
+        seed }
+    in
+    let recorder = Rlist_obs.Recorder.create () in
+    match Recorded.run ~recorder spec with
+    | outcome ->
+      if not (Recorded.passed outcome) then begin
         incr violations;
         if !violations = 1 then begin
           Printf.printf "first violation at seed %d:\n" seed;
-          pp_summary s
+          pp_outcome outcome;
+          let path = Printf.sprintf "fuzz-%s-%d.jfr" pname seed in
+          if dump_recording ~spec ~outcome recorder path then
+            Printf.printf "recording:   %s\n" path
         end
       end
     | exception Invalid_argument msg ->
       incr crashes;
-      if !crashes = 1 then
-        Printf.printf "first crash at seed %d: %s\n" seed msg
+      if !crashes = 1 then begin
+        Printf.printf "first crash at seed %d: %s\n" seed msg;
+        let path = Printf.sprintf "fuzz-%s-%d.jfr" pname seed in
+        if dump_recording ~spec ~aborted:msg recorder path then
+          Printf.printf "recording:   %s\n" path
+      end
   done;
   Printf.printf
     "checked %d seeds: %d convergence/weak-spec violations, %d crashes\n"
@@ -334,64 +395,15 @@ let fuzz_cmd =
 (* --- soak ------------------------------------------------------------- *)
 
 (* Run one protocol through a random workload over an unreliable
-   network — a fault specification plus (by default) the reliability
-   shim that restores the FIFO-exactly-once channels the protocols
-   assume — and report convergence, the specification verdicts, and
-   the network counters. *)
-let soak_one (type c s c2s s2c)
-    (module P : Rlist_sim.Protocol_intf.PROTOCOL
-      with type client = c
-       and type server = s
-       and type c2s = c2s
-       and type s2c = s2c) ~net ~obs ~batching ~nclients ~profile ~updates
-    ~seed =
-  let module E = Rlist_sim.Engine.Make (P) in
-  let t = E.create ~net ~batching ~nclients () in
-  E.attach_obs t obs;
-  let rng = Random.State.make [| seed |] in
-  let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
-  let params = Rlist_workload.Workload.params profile ~updates in
-  let schedule = E.run_random ~intent t ~rng ~params in
-  let trace = E.trace t in
-  {
-    s_protocol = P.name;
-    s_events = List.length schedule;
-    s_converged = E.converged t;
-    s_final =
-      Document.to_string
-        (if P.server_is_replica then E.server_document t
-         else E.client_document t 1);
-    s_ots = E.total_ot_count t;
-    s_metadata = E.total_metadata_size t;
-    s_convergence = Rlist_spec.Convergence.check trace;
-    s_weak = Rlist_spec.Weak_spec.check trace;
-    s_strong = Rlist_spec.Strong_spec.check trace;
-  }
-
-let soak_one_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ~net
-    ~obs ~batching ~nclients ~profile ~updates ~seed =
-  let module E = Rlist_sim.P2p_engine.Make (P) in
-  let t = E.create ~net ~batching ~npeers:nclients () in
-  E.attach_obs t obs;
-  let rng = Random.State.make [| seed |] in
-  let intent = Rlist_workload.Workload.intent_generator profile ~nclients ~rng in
-  let params = Rlist_workload.Workload.params profile ~updates in
-  let schedule = E.run_random ~intent t ~rng ~params in
-  let trace = E.trace t in
-  {
-    s_protocol = P.name;
-    s_events = List.length schedule;
-    s_converged = E.converged t;
-    s_final = Document.to_string (E.document t 1);
-    s_ots = E.total_ot_count t;
-    s_metadata = E.total_metadata_size t;
-    s_convergence = Rlist_spec.Convergence.check trace;
-    s_weak = Rlist_spec.Weak_spec.check trace;
-    s_strong = Rlist_spec.Strong_spec.check trace;
-  }
+   network via the shared recorded-run driver (lib/run): a fault
+   specification plus (by default) the reliability shim that restores
+   the FIFO-exactly-once channels the protocols assume.  The flight
+   recorder rides along on every soak; the ring is dumped to disk when
+   the gate fails (or on demand with --record-out) so the failing run
+   can be re-executed bit-identically with `jupiter_sim replay`. *)
 
 let soak protocol faults_str no_shim rto batching fastpath nclients profile
-    updates seed json =
+    updates seed record_out json =
   let faults =
     match Rlist_net.Faults.of_string faults_str with
     | Ok f -> f
@@ -400,84 +412,89 @@ let soak protocol faults_str no_shim rto batching fastpath nclients profile
       exit 1
   in
   let shim = not no_shim in
-  let net = Rlist_net.Transport.config ~shim ~rto ~faults ~seed () in
-  let obs = Rlist_obs.Obs.make () in
-  set_fastpath fastpath;
-  let run () =
-    match protocol with
-    | P_css ->
-      soak_one (module Jupiter_css.Protocol) ~net ~obs ~batching ~nclients
-        ~profile ~updates ~seed
-    | P_cscw ->
-      soak_one (module Jupiter_cscw.Protocol) ~net ~obs ~batching ~nclients
-        ~profile ~updates ~seed
-    | P_rga ->
-      soak_one (module Jupiter_rga.Protocol) ~net ~obs ~batching ~nclients
-        ~profile ~updates ~seed
-    | P_naive ->
-      soak_one (module Jupiter_cscw.Naive_p2p) ~net ~obs ~batching ~nclients
-        ~profile ~updates ~seed
-    | P_pruned ->
-      soak_one (module Jupiter_css.Pruned_protocol) ~net ~obs ~batching
-        ~nclients ~profile ~updates ~seed
-    | P_logoot ->
-      soak_one (module Jupiter_logoot.Protocol) ~net ~obs ~batching ~nclients
-        ~profile ~updates ~seed
-    | P_sequencer ->
-      soak_one (module Jupiter_css.Sequencer_protocol) ~net ~obs ~batching
-        ~nclients ~profile ~updates ~seed
-    | P_treedoc ->
-      soak_one (module Jupiter_treedoc.Protocol) ~net ~obs ~batching
-        ~nclients ~profile ~updates ~seed
-    | P_css_p2p ->
-      soak_one_p2p (module Jupiter_css.Distributed_protocol) ~net ~obs
-        ~batching ~nclients ~profile ~updates ~seed
-    | P_ttf ->
-      soak_one_p2p (module Jupiter_ttf.Adopted_protocol) ~net ~obs ~batching
-        ~nclients ~profile ~updates ~seed
+  let spec =
+    {
+      Recorded.protocol = protocol_key protocol;
+      profile;
+      nclients;
+      updates;
+      seed;
+      faults;
+      shim;
+      rto;
+      batching;
+      fastpath;
+    }
   in
-  match run () with
+  let obs = Rlist_obs.Obs.make () in
+  let recorder = Rlist_obs.Recorder.create () in
+  match Recorded.run ~obs ~recorder spec with
   | exception Invalid_argument msg ->
     (* a channel contract violation crashed the protocol, or the
        network could not quiesce: with the shim on neither happens *)
+    let dump_path =
+      Option.value record_out
+        ~default:(Printf.sprintf "soak-%s-%d.jfr" spec.Recorded.protocol seed)
+    in
+    let dumped = dump_recording ~spec ~aborted:msg recorder dump_path in
     if json then
       Printf.printf
-        "{\"faults\": %S, \"shim\": %b, \"seed\": %d, \"aborted\": %S}\n"
+        "{\"faults\": %S, \"shim\": %b, \"seed\": %d, \"aborted\": %S%s}\n"
         (Rlist_net.Faults.to_string faults)
         shim seed msg
-    else Printf.printf "soak aborted: %s\n" msg;
+        (if dumped then Printf.sprintf ", \"recording\": %S" dump_path
+         else "")
+    else begin
+      Printf.printf "soak aborted: %s\n" msg;
+      if dumped then Printf.printf "recording:   %s\n" dump_path
+    end;
     exit 1
-  | summary ->
-    let stats = Rlist_net.Transport.stats net in
-    Rlist_net.Stats.publish stats obs.Rlist_obs.Obs.metrics;
-    publish_fastpath obs.Rlist_obs.Obs.metrics;
-    let sat = Rlist_spec.Check.is_satisfied in
+  | outcome ->
+    let ok = Recorded.passed outcome in
+    let dump_path =
+      match record_out with
+      | Some path -> Some path
+      | None when not ok ->
+        Some (Printf.sprintf "soak-%s-%d.jfr" spec.Recorded.protocol seed)
+      | None -> None
+    in
+    let dumped =
+      match dump_path with
+      | Some path ->
+        if dump_recording ~spec ~outcome recorder path then dump_path
+        else None
+      | None -> None
+    in
     if json then
       Printf.printf
         "{\"protocol\": %S, \"faults\": %S, \"shim\": %b, \"batch\": %b, \
          \"fastpath\": %b, \"seed\": %d, \"events\": %d, \"converged\": %b, \
          \"convergence\": %b, \"weak\": %b, \"strong\": %b, \"net\": %s, \
-         \"metrics\": %s}\n"
-        summary.s_protocol
+         \"metrics\": %s%s}\n"
+        outcome.Recorded.o_protocol
         (Rlist_net.Faults.to_string faults)
-        shim batching fastpath seed summary.s_events summary.s_converged
-        (sat summary.s_convergence) (sat summary.s_weak)
-        (sat summary.s_strong)
-        (Rlist_net.Stats.to_json stats)
+        shim batching fastpath seed outcome.Recorded.o_events
+        outcome.Recorded.o_converged outcome.Recorded.o_convergence
+        outcome.Recorded.o_weak outcome.Recorded.o_strong
+        (Rlist_net.Stats.to_json outcome.Recorded.o_net)
         (Rlist_obs.Obs.metrics_json obs)
+        (match dumped with
+        | Some path -> Printf.sprintf ", \"recording\": %S" path
+        | None -> "")
     else begin
-      pp_summary summary;
+      pp_outcome outcome;
       Printf.printf "faults:      %s\n" (Rlist_net.Faults.to_string faults);
       Printf.printf "shim:        %b\n" shim;
       if batching || fastpath then
         Printf.printf "batch:       %b  fastpath: %b\n" batching fastpath;
-      Format.printf "%a@." Rlist_net.Stats.pp stats
+      Format.printf "%a@." Rlist_net.Stats.pp outcome.Recorded.o_net;
+      match dumped with
+      | Some path -> Printf.printf "recording:   %s\n" path
+      | None -> ()
     end;
     (* Strong-spec violations are a theorem for the OT protocols
        (Thm 8.1), so the gate is convergence + weak, like fuzz. *)
-    if not (summary.s_converged && sat summary.s_convergence
-            && sat summary.s_weak)
-    then exit 1
+    if not ok then exit 1
 
 let soak_protocol_arg =
   let protocol_conv = Arg.enum protocol_names in
@@ -507,6 +524,14 @@ let rto_arg =
        & info [ "rto" ] ~docv:"TICKS"
            ~doc:"Shim retransmission timeout in virtual-clock ticks.")
 
+let record_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "record-out" ] ~docv:"FILE"
+           ~doc:
+             "Always dump the flight recording to FILE (by default a \
+              recording is dumped only when the gate fails, to \
+              soak-<protocol>-<seed>.jfr).")
+
 let soak_cmd =
   Cmd.v
     (Cmd.info "soak"
@@ -519,7 +544,7 @@ let soak_cmd =
           on a convergence or weak-specification violation.")
     Term.(const soak $ soak_protocol_arg $ faults_arg $ no_shim_arg $ rto_arg
           $ batch_arg $ fastpath_arg $ clients_arg $ profile_arg
-          $ updates_arg $ seed_arg $ json_arg)
+          $ updates_arg $ seed_arg $ record_out_arg $ json_arg)
 
 (* --- check (bounded model checking) ----------------------------------- *)
 
@@ -874,29 +899,303 @@ let record_cmd =
     Term.(const record $ profile_arg $ clients_arg $ updates_arg $ seed_arg
           $ path_arg)
 
-let replay protocol path =
-  match Rlist_sim.Schedule_text.load ~path with
+(* Deterministic replay of a flight recording: re-execute the run
+   from the spec stored in the header (runs are seed-deterministic;
+   the decision ring is the witness, not the driver) and check the
+   fresh outcome digest and decision stream against the recording. *)
+
+let do_shrink (recording : Rlist_obs.Recorder.recording)
+    (spec : Recorded.spec) path =
+  let aborted =
+    List.assoc_opt "aborted" recording.Rlist_obs.Recorder.digest
+  in
+  match Recorded.schedule_of_recording recording with
   | Error msg ->
-    Printf.eprintf "cannot load %s: %s\n" path msg;
+    Printf.eprintf "shrink: %s\n" msg;
     exit 1
-  | Ok file ->
-    (match replay_protocol protocol file with
-    | summary -> pp_summary summary
-    | exception Invalid_argument msg ->
-      (* Replaying a Jupiter schedule on a non-equivalent protocol can
-         go out of bounds; report rather than crash. *)
-      Printf.printf "replay aborted: %s\n" msg;
+  | Ok schedule ->
+    let choice = List.assoc spec.Recorded.protocol protocol_names in
+    let sat = Rlist_spec.Check.is_satisfied in
+    let still_fails events =
+      match Rlist_sim.Schedule.validate ~nclients:spec.Recorded.nclients
+              events with
+      | Error _ -> false
+      | Ok () -> (
+        let file =
+          {
+            Rlist_sim.Schedule_text.nclients = spec.Recorded.nclients;
+            initial = Document.empty;
+            events;
+          }
+        in
+        match replay_protocol choice file, aborted with
+        | s, None ->
+          not (s.s_converged && sat s.s_convergence && sat s.s_weak)
+        | _, Some _ -> false
+        | exception Invalid_argument msg ->
+          (* For an abort witness, a subset counts as failing only
+             when it dies with the identical diagnostic — removing
+             context changes positions and op ids, and a different
+             crash is a different bug.  Engine-level errors mean the
+             subset is not even a feasible schedule. *)
+          (match aborted with
+          | Some original -> String.equal msg original
+          | None -> not (String.starts_with ~prefix:"Engine" msg)))
+    in
+    if not (still_fails schedule) then
+      Printf.printf
+        "shrink: the failure does not reproduce on perfect channels \
+         (network-timing dependent); nothing to minimize\n"
+    else begin
+      let minimized = Rlist_mc.Witness.shrink ~still_fails schedule in
+      let out = path ^ ".min.sched" in
+      (try
+         Rlist_sim.Schedule_text.save ~path:out
+           ~nclients:spec.Recorded.nclients minimized
+       with Sys_error msg ->
+         Printf.eprintf "cannot write %s: %s\n" out msg;
+         exit 1);
+      Printf.printf "shrink: %d events -> %d minimal; wrote %s\n"
+        (List.length schedule) (List.length minimized) out
+    end
+
+let pp_verdict path (v : Recorded.verdict) =
+  let spec = v.Recorded.v_spec in
+  Printf.printf "recording:   %s\n" path;
+  Printf.printf "protocol:    %s  profile: %s  clients: %d  updates: %d  \
+                 seed: %d\n"
+    spec.Recorded.protocol
+    (Rlist_workload.Workload.profile_name spec.Recorded.profile)
+    spec.Recorded.nclients spec.Recorded.updates spec.Recorded.seed;
+  Printf.printf "faults:      %s  shim: %b  rto: %d  batch: %b  \
+                 fastpath: %b\n"
+    (Rlist_net.Faults.to_string spec.Recorded.faults)
+    spec.Recorded.shim spec.Recorded.rto spec.Recorded.batching
+    spec.Recorded.fastpath;
+  Printf.printf "decisions:   %d recorded, %d replayed\n"
+    v.Recorded.v_total_expected v.Recorded.v_total_got;
+  (match v.Recorded.v_mismatches with
+  | [] -> Printf.printf "digest:      all keys match\n"
+  | ms ->
+    Printf.printf "digest:      %d mismatch(es)\n" (List.length ms);
+    List.iteri
+      (fun i (k, expected, got) ->
+        if i < 8 then
+          Printf.printf "  %-24s expected %s, got %s\n" k expected got)
+      ms);
+  (match v.Recorded.v_divergence with
+  | None -> ()
+  | Some (i, expected, got) ->
+    Printf.printf "divergence:  decision %d: expected %S, got %S\n" i
+      expected got);
+  if v.Recorded.v_ok then
+    Printf.printf "replay:      deterministic (bit-identical)\n"
+  else Printf.printf "replay:      DIVERGED\n"
+
+let verdict_json path (v : Recorded.verdict) =
+  let b = Buffer.create 512 in
+  let spec = v.Recorded.v_spec in
+  Printf.bprintf b
+    "{\"recording\": %S, \"protocol\": %S, \"seed\": %d, \
+     \"decisions_recorded\": %d, \"decisions_replayed\": %d, \
+     \"mismatches\": ["
+    path spec.Recorded.protocol spec.Recorded.seed
+    v.Recorded.v_total_expected v.Recorded.v_total_got;
+  List.iteri
+    (fun i (k, expected, got) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "{\"key\": %S, \"expected\": %S, \"got\": %S}" k
+        expected got)
+    v.Recorded.v_mismatches;
+  Buffer.add_string b "], \"divergence\": ";
+  (match v.Recorded.v_divergence with
+  | None -> Buffer.add_string b "null"
+  | Some (i, expected, got) ->
+    Printf.bprintf b
+      "{\"index\": %d, \"expected\": %S, \"got\": %S}" i expected got);
+  Printf.bprintf b ", \"ok\": %b}" v.Recorded.v_ok;
+  Buffer.contents b
+
+let load_recording path =
+  match Rlist_obs.Recorder.load path with
+  | recording -> recording
+  | exception Rlist_obs.Recorder.Corrupt msg ->
+    Printf.eprintf "replay: %s: %s\n" path msg;
+    exit 1
+  | exception Sys_error msg ->
+    Printf.eprintf "replay: %s\n" msg;
+    exit 1
+
+let replay_recording path trace_out json shrink =
+  let recording = load_recording path in
+  let oc =
+    match trace_out with
+    | None -> None
+    | Some tp -> (
+      try Some (open_out tp)
+      with Sys_error msg ->
+        Printf.eprintf "cannot open %s: %s\n" tp msg;
+        exit 1)
+  in
+  let obs =
+    Option.map (fun oc -> Rlist_obs.Obs.make ~sink:(Rlist_obs.Sink.channel oc) ()) oc
+  in
+  match Recorded.verify ?obs recording with
+  | exception Invalid_argument msg ->
+    Option.iter close_out oc;
+    (* The original run aborted too iff the stored digest says so with
+       the same message — that is this path's bit-identical verdict. *)
+    (match List.assoc_opt "aborted" recording.Rlist_obs.Recorder.digest with
+    | Some original when String.equal original msg ->
+      Printf.printf "replay:      reproduced the recorded abort: %s\n" msg;
+      if shrink then begin
+        match Recorded.spec_of_header recording.Rlist_obs.Recorder.header with
+        | Ok spec -> do_shrink recording spec path
+        | Error msg ->
+          Printf.eprintf "shrink: %s\n" msg;
+          exit 1
+      end
+    | _ ->
+      Printf.printf "replay:      DIVERGED (fresh abort: %s)\n" msg;
       exit 1)
+  | Error msg ->
+    Option.iter close_out oc;
+    Printf.eprintf "replay: %s\n" msg;
+    exit 1
+  | Ok v ->
+    Option.iter close_out oc;
+    if json then print_endline (verdict_json path v) else pp_verdict path v;
+    if shrink then do_shrink recording v.Recorded.v_spec path;
+    if not v.Recorded.v_ok then exit 1
+
+let replay protocol path trace_out json shrink =
+  if Rlist_obs.Recorder.is_recording path then
+    replay_recording path trace_out json shrink
+  else begin
+    if Option.is_some trace_out || shrink then begin
+      Printf.eprintf
+        "replay: --trace/--shrink apply to flight recordings (.jfr), not \
+         schedule files\n";
+      exit 1
+    end;
+    match Rlist_sim.Schedule_text.load ~path with
+    | Error msg ->
+      Printf.eprintf "cannot load %s: %s\n" path msg;
+      exit 1
+    | Ok file ->
+      (match replay_protocol protocol file with
+      | summary -> pp_summary summary
+      | exception Invalid_argument msg ->
+        (* Replaying a Jupiter schedule on a non-equivalent protocol can
+           go out of bounds; report rather than crash. *)
+        Printf.printf "replay aborted: %s\n" msg;
+        exit 1)
+  end
 
 let replay_cmd =
   let path_arg =
     Arg.(value & pos 0 string "session.sched"
-         & info [] ~docv:"FILE" ~doc:"Schedule file to replay.")
+         & info [] ~docv:"FILE"
+             ~doc:
+               "Schedule file, or a flight recording (.jfr) dumped by \
+                $(b,soak)/$(b,fuzz).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "While re-executing a recording, write the full JSONL event \
+                trace to FILE.")
+  in
+  let shrink_arg =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:
+               "After replaying a failing recording, extract its engine \
+                schedule and ddmin-shrink it to a 1-minimal failing \
+                schedule (written next to the recording).")
   in
   Cmd.v
     (Cmd.info "replay"
-       ~doc:"Replay a recorded schedule under a protocol and report on it.")
-    Term.(const replay $ protocol_arg $ path_arg)
+       ~doc:
+         "Replay a recorded schedule under a protocol, or re-execute a \
+          flight recording bit-identically and verify the outcome digest \
+          and decision stream against it.  Exits non-zero when the replay \
+          diverges.")
+    Term.(const replay $ protocol_arg $ path_arg $ trace_arg $ json_flag
+          $ shrink_arg)
+
+(* --- report ------------------------------------------------------------ *)
+
+(* Offline trace analysis: stitch per-op causal spans out of a JSONL
+   trace (or out of a recording, by re-executing it with the tracer
+   on) and report convergence lag, staleness, transform attribution,
+   and the wire timeline. *)
+
+let events_of_jsonl path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "report: %s\n" msg;
+      exit 1
+  in
+  let events = ref [] in
+  (try
+     while true do
+       match Rlist_obs.Event.of_jsonl (input_line ic) with
+       | Some (_, e) -> events := e :: !events
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !events
+
+let report path json =
+  let events =
+    if Rlist_obs.Recorder.is_recording path then begin
+      let recording = load_recording path in
+      let sink = Rlist_obs.Sink.memory () in
+      let obs = Rlist_obs.Obs.make ~sink () in
+      match Recorded.verify ~obs recording with
+      | Error msg ->
+        Printf.eprintf "report: %s\n" msg;
+        exit 1
+      | exception Invalid_argument msg ->
+        Printf.eprintf "report: the recorded run aborts (%s); no trace\n"
+          msg;
+        exit 1
+      | Ok v ->
+        if not v.Recorded.v_ok then
+          Printf.eprintf
+            "report: warning: replay diverged from the recording; the \
+             report reflects the fresh run\n";
+        Rlist_obs.Sink.events sink
+    end
+    else events_of_jsonl path
+  in
+  if events = [] then begin
+    Printf.eprintf "report: no events in %s\n" path;
+    exit 1
+  end;
+  let summary = Rlist_obs.Spans.summarize events in
+  if json then print_endline (Rlist_obs.Spans.summary_to_json summary)
+  else Format.printf "%a@." Rlist_obs.Spans.pp_summary summary
+
+let report_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:
+               "A JSONL trace (from $(b,trace) or $(b,replay --trace)) or \
+                a flight recording (.jfr).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyze a trace offline: per-op convergence-lag percentiles, \
+          per-replica staleness, transform-cost attribution, send/\
+          retransmission amplification, and a wire-fault timeline, as \
+          text or JSON.")
+    Term.(const report $ path_arg $ json_flag)
 
 (* --- stats ------------------------------------------------------------ *)
 
@@ -952,10 +1251,6 @@ let stats name schedule_file json =
     | Some scenario ->
       build scenario.sname scenario.initial scenario.nclients
         scenario.schedule)
-
-let json_flag =
-  Arg.(value & flag
-       & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
 
 let stats_cmd =
   let name_arg =
@@ -1173,5 +1468,5 @@ let () =
          RGA, and a broken OT foil)."
   in
   exit (Cmd.eval (Cmd.group info [ simulate_cmd; mc_cmd; fuzz_cmd; soak_cmd;
-            viz_cmd; figures_cmd; record_cmd; replay_cmd; stats_cmd;
-            trace_cmd ]))
+            viz_cmd; figures_cmd; record_cmd; replay_cmd; report_cmd;
+            stats_cmd; trace_cmd ]))

@@ -130,10 +130,13 @@ let bucket_find t shash state =
   | Some [ n ] -> if set_eq n.state state then Some n else None
   | Some l -> List.find_opt (fun n -> set_eq n.state state) l
 
+(* Every caller either builds an unordered collection, filters by a
+   set predicate, or sorts afterwards, so bucket order cannot leak. *)
 let fold_nodes t f acc =
-  Hashtbl.fold
-    (fun _ l acc -> List.fold_left (fun acc n -> f n acc) acc l)
-    t.nodes acc
+  (Hashtbl.fold
+     (fun _ l acc -> List.fold_left (fun acc n -> f n acc) acc l)
+     t.nodes acc
+   [@lint.allow "hashtbl-iter"])
 
 let create ?(transform = Transform.xform) ~key_of () =
   let nodes = Hashtbl.create 64 in
@@ -524,7 +527,7 @@ let run_segment t seg =
         done;
         (* A tie level transforms lanes individually; the run shape
            may or may not survive. *)
-        if !run_q <> None then run_q := run_start_of forms);
+        if Option.is_some !run_q then run_q := run_start_of forms);
       row := next)
     path;
   let last = !row in

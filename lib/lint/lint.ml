@@ -158,6 +158,16 @@ let check_source ?(mli_exists = true) ?rules ~path source =
     | "raise" | "raise_notrace" | "failwith" | "invalid_arg" | "List.hd"
     | "List.tl" | "Option.get" | "Array.get" ->
       report ~loc "exn-partial" (exn_msg name)
+    | "print_string" | "print_char" | "print_int" | "print_float"
+    | "print_endline" | "print_newline" | "print_bytes" | "prerr_string"
+    | "prerr_char" | "prerr_int" | "prerr_float" | "prerr_endline"
+    | "prerr_newline" | "prerr_bytes" | "Printf.printf" | "Printf.eprintf"
+    | "Format.printf" | "Format.eprintf" ->
+      report ~loc "print-direct"
+        (name
+        ^ " writes directly to stdout/stderr from library code, which \
+           interleaves nondeterministically with the trace stream; route \
+           output through the obs sink or a caller-supplied formatter")
     | n
       when String.starts_with ~prefix:"Random." n
            && not (String.starts_with ~prefix:"Random.State." n) ->

@@ -113,6 +113,14 @@ let all =
         "shortest-round-trip float formatting is representation- \
          sensitive; print with an explicit format (e.g. %.17g)";
     };
+    {
+      name = "print-direct";
+      family = Determinism;
+      scope = libraries;
+      summary =
+        "direct stdout/stderr write in library code; route output \
+         through the obs sink or a caller-supplied formatter";
+    };
     (* -- Exception safety ------------------------------------------- *)
     {
       name = "exn-partial";

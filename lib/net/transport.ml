@@ -12,6 +12,8 @@ type config = {
   rto : int;
   rng : Random.State.t;
   stats : Stats.t;
+  mutable obs : Rlist_obs.Obs.t option;
+  mutable recorder : Rlist_obs.Recorder.t option;
 }
 
 let config ?(shim = true) ?(rto = 12) ~faults ~seed () =
@@ -25,9 +27,15 @@ let config ?(shim = true) ?(rto = 12) ~faults ~seed () =
     rto;
     rng = Random.State.make [| seed; 0x4E37 |];
     stats = Stats.create ();
+    obs = None;
+    recorder = None;
   }
 
 let stats cfg = cfg.stats
+
+let set_obs cfg obs = cfg.obs <- obs
+
+let set_recorder cfg recorder = cfg.recorder <- recorder
 
 type 'a wire_item = {
   w_seq : int;
@@ -45,6 +53,7 @@ type 'a inflight = {
 
 type 'a lossy = {
   cfg : config;
+  name : string;  (* channel label for wire trace events *)
   key : 'a -> string option;
   weight : 'a -> int;  (* operations carried by a payload *)
   mutable now : int;
@@ -66,10 +75,11 @@ let perfect () = Perfect (Queue.create ())
 
 let no_key _ = None
 
-let create ?(key = no_key) ?(weight = fun _ -> 1) cfg =
+let create ?(key = no_key) ?(weight = fun _ -> 1) ?(name = "wire") cfg =
   Lossy
     {
       cfg;
+      name;
       key;
       weight;
       now = 0;
@@ -91,6 +101,23 @@ let down l = Faults.down_at l.cfg.faults ~tick:l.now
 
 let roll l p = p > 0.0 && Random.State.float l.cfg.rng 1.0 < p
 
+(* Wire-level observability: trace anomalies the fault model or the
+   shim produces (drops, duplicates, jitter, retransmissions, acks) so
+   a span analyzer can reconstruct an op's transit, and record the
+   corresponding decision in the flight recorder.  Both are single
+   [None]-branch no-ops when detached. *)
+let emit_wire l ~action ~wseq ~info =
+  match l.cfg.obs with
+  | Some obs when Rlist_obs.Obs.tracing obs ->
+    Rlist_obs.Obs.emit obs
+      (Rlist_obs.Event.Wire { channel = l.name; action; wseq; info; tick = l.now })
+  | _ -> ()
+
+let record_decision l d =
+  match l.cfg.recorder with
+  | Some r -> Rlist_obs.Recorder.record r d
+  | None -> ()
+
 let wire_insert l item =
   let rec go = function
     | [] -> [ item ]
@@ -109,9 +136,20 @@ let transmit l seq payload =
   let s = l.cfg.stats in
   s.Stats.transmissions <- s.Stats.transmissions + 1;
   s.Stats.op_transmissions <- s.Stats.op_transmissions + l.weight payload;
-  if down l then s.Stats.partition_drops <- s.Stats.partition_drops + 1
-  else if roll l l.cfg.faults.Faults.drop then
-    s.Stats.dropped <- s.Stats.dropped + 1
+  if down l then begin
+    s.Stats.partition_drops <- s.Stats.partition_drops + 1;
+    emit_wire l ~action:"partition_drop" ~wseq:seq ~info:0;
+    record_decision l
+      (Rlist_obs.Recorder.Transmit
+         { channel = l.name; seq; outcome = Rlist_obs.Recorder.Partition_dropped })
+  end
+  else if roll l l.cfg.faults.Faults.drop then begin
+    s.Stats.dropped <- s.Stats.dropped + 1;
+    emit_wire l ~action:"drop" ~wseq:seq ~info:0;
+    record_decision l
+      (Rlist_obs.Recorder.Transmit
+         { channel = l.name; seq; outcome = Rlist_obs.Recorder.Dropped })
+  end
   else begin
     let enqueue () =
       let jitter =
@@ -126,12 +164,27 @@ let transmit l seq payload =
           w_birth = l.births }
       in
       l.births <- l.births + 1;
-      wire_insert l item
+      wire_insert l item;
+      jitter
     in
-    enqueue ();
+    let jitter = enqueue () in
+    if jitter > 0 then emit_wire l ~action:"delay" ~wseq:seq ~info:jitter;
+    record_decision l
+      (Rlist_obs.Recorder.Transmit
+         {
+           channel = l.name;
+           seq;
+           outcome =
+             (if jitter > 0 then Rlist_obs.Recorder.Delayed jitter
+              else Rlist_obs.Recorder.Sent);
+         });
     if roll l l.cfg.faults.Faults.duplicate then begin
       s.Stats.duplicated <- s.Stats.duplicated + 1;
-      enqueue ()
+      let jitter = enqueue () in
+      emit_wire l ~action:"dup" ~wseq:seq ~info:jitter;
+      record_decision l
+        (Rlist_obs.Recorder.Transmit
+           { channel = l.name; seq; outcome = Rlist_obs.Recorder.Duplicated })
     end
   end
 
@@ -227,14 +280,18 @@ let deliver t =
             (* Already delivered: suppress, but re-acknowledge so a
                lost ack cannot retransmit forever. *)
             s.Stats.dup_dropped <- s.Stats.dup_dropped + 1;
+            emit_wire l ~action:"dup_drop" ~wseq:item.w_seq ~info:0;
             l.ack_pending <- true;
             None
           end
           else if item.w_seq > l.expected then begin
-            if List.mem_assoc item.w_seq l.resequencer then
-              s.Stats.dup_dropped <- s.Stats.dup_dropped + 1
+            if List.mem_assoc item.w_seq l.resequencer then begin
+              s.Stats.dup_dropped <- s.Stats.dup_dropped + 1;
+              emit_wire l ~action:"dup_drop" ~wseq:item.w_seq ~info:0
+            end
             else begin
               s.Stats.out_of_order <- s.Stats.out_of_order + 1;
+              emit_wire l ~action:"ooo" ~wseq:item.w_seq ~info:0;
               let rec insert = function
                 | [] -> [ item.w_seq, item.w_payload ]
                 | (seq, _) :: _ as all when item.w_seq < seq ->
@@ -295,11 +352,19 @@ let tick t =
        fault model (acks travel the reverse link). *)
     if l.ack_pending then begin
       l.ack_pending <- false;
-      if d || roll l l.cfg.faults.Faults.drop then
-        s.Stats.acks_dropped <- s.Stats.acks_dropped + 1
+      let cum = l.expected - 1 in
+      if d || roll l l.cfg.faults.Faults.drop then begin
+        s.Stats.acks_dropped <- s.Stats.acks_dropped + 1;
+        emit_wire l ~action:"ack_drop" ~wseq:cum ~info:0;
+        record_decision l
+          (Rlist_obs.Recorder.Ack { channel = l.name; seq = cum; dropped = true })
+      end
       else begin
         s.Stats.acks_sent <- s.Stats.acks_sent + 1;
-        l.ack_wire <- l.ack_wire @ [ l.now + 1, l.expected - 1 ]
+        emit_wire l ~action:"ack" ~wseq:cum ~info:0;
+        record_decision l
+          (Rlist_obs.Recorder.Ack { channel = l.name; seq = cum; dropped = false });
+        l.ack_wire <- l.ack_wire @ [ l.now + 1, cum ]
       end
     end;
     (* 3. Retransmit whatever timed out.  The timer models an ideal
@@ -318,6 +383,10 @@ let tick t =
           i.i_last_sent <- l.now;
           i.i_attempts <- i.i_attempts + 1;
           s.Stats.retransmits <- s.Stats.retransmits + 1;
+          emit_wire l ~action:"retransmit" ~wseq:i.i_seq ~info:i.i_attempts;
+          record_decision l
+            (Rlist_obs.Recorder.Retransmit
+               { channel = l.name; seq = i.i_seq; attempts = i.i_attempts });
           transmit l i.i_seq i.i_payload
         end)
       l.unacked

@@ -31,6 +31,19 @@ val config :
 
 val stats : config -> Stats.t
 
+(** Attach (or detach, with [None]) an observability bundle: channels
+    of this config emit a [Wire] trace event for every fault incident
+    the wire produces — drops, partition drops, duplicates, reorder
+    jitter, retransmissions, acks, duplicate suppressions and
+    out-of-order buffering — stamped with the channel label and its
+    virtual clock.  Detached, the hook costs one [None] branch. *)
+val set_obs : config -> Rlist_obs.Obs.t option -> unit
+
+(** Attach (or detach) a flight recorder: every transmission outcome,
+    retransmission, and ack decision the fault model takes is recorded
+    as a replay witness. *)
+val set_recorder : config -> Rlist_obs.Recorder.t option -> unit
+
 type 'a t
 
 (** The seed repository's channel: a plain FIFO queue, no overhead. *)
@@ -42,8 +55,14 @@ val perfect : unit -> 'a t
     reconnects).  [weight] is the number of operations a payload
     carries (default 1) — batching engines pass [List.length] so
     {!Stats.t}'s per-operation counters ([op_payloads],
-    [op_transmissions]) stay meaningful. *)
-val create : ?key:('a -> string option) -> ?weight:('a -> int) -> config -> 'a t
+    [op_transmissions]) stay meaningful.  [name] labels the channel in
+    wire trace events and recorder decisions (default ["wire"]). *)
+val create :
+  ?key:('a -> string option) ->
+  ?weight:('a -> int) ->
+  ?name:string ->
+  config ->
+  'a t
 
 val is_lossy : 'a t -> bool
 

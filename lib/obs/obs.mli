@@ -16,6 +16,8 @@
 module Metrics = Metrics
 module Event = Event
 module Sink = Sink
+module Recorder = Recorder
+module Spans = Spans
 
 type t = {
   metrics : Metrics.t;

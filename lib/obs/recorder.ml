@@ -1,0 +1,328 @@
+(* See recorder.mli. *)
+
+type outcome =
+  | Sent
+  | Dropped
+  | Partition_dropped
+  | Duplicated
+  | Delayed of int
+
+type decision =
+  | Generate of {
+      client : int;
+      intent : string;
+    }
+  | Deliver_to_server of int
+  | Deliver_to_client of int
+  | Deliver_peer of {
+      src : int;
+      dst : int;
+    }
+  | Flush of {
+      channel : string;
+      ops : int;
+    }
+  | Transmit of {
+      channel : string;
+      seq : int;
+      outcome : outcome;
+    }
+  | Retransmit of {
+      channel : string;
+      seq : int;
+      attempts : int;
+    }
+  | Ack of {
+      channel : string;
+      seq : int;
+      dropped : bool;
+    }
+  | Tick of int
+
+type t = {
+  capacity : int;
+  buf : decision option array;
+  mutable head : int;  (* next write slot *)
+  mutable total : int;  (* decisions ever recorded *)
+}
+
+let default_capacity = 1 lsl 18
+
+let create ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  { capacity; buf = Array.make capacity None; head = 0; total = 0 }
+
+let record t d =
+  t.buf.(t.head) <- Some d;
+  t.head <- (t.head + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let total t = t.total
+
+let wrapped t = t.total > t.capacity
+
+let window t =
+  if t.total = 0 then []
+  else begin
+    let stored = min t.total t.capacity in
+    let start = (t.head - stored + t.capacity) mod t.capacity in
+    let out = ref [] in
+    for i = stored - 1 downto 0 do
+      match t.buf.((start + i) mod t.capacity) with
+      | Some d -> out := d :: !out
+      | None -> ()
+    done;
+    !out
+  end
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.head <- 0;
+  t.total <- 0
+
+let outcome_to_string = function
+  | Sent -> "sent"
+  | Dropped -> "dropped"
+  | Partition_dropped -> "partition_dropped"
+  | Duplicated -> "duplicated"
+  | Delayed j -> Printf.sprintf "delayed+%d" j
+
+let decision_to_string = function
+  | Generate { client; intent } -> Printf.sprintf "gen %d %s" client intent
+  | Deliver_to_server i -> Printf.sprintf "c2s %d" i
+  | Deliver_to_client i -> Printf.sprintf "s2c %d" i
+  | Deliver_peer { src; dst } -> Printf.sprintf "p2p %d %d" src dst
+  | Flush { channel; ops } -> Printf.sprintf "flush %s %d" channel ops
+  | Transmit { channel; seq; outcome } ->
+    Printf.sprintf "xmit %s #%d %s" channel seq (outcome_to_string outcome)
+  | Retransmit { channel; seq; attempts } ->
+    Printf.sprintf "rexmit %s #%d try%d" channel seq attempts
+  | Ack { channel; seq; dropped } ->
+    Printf.sprintf "ack %s #%d%s" channel seq (if dropped then " dropped" else "")
+  | Tick n -> Printf.sprintf "tick %d" n
+
+(* --- binary format ------------------------------------------------- *)
+
+(* File layout (all integers unsigned LEB128 varints, all strings
+   length-prefixed):
+
+     "JFR1"
+     nheader  (key value)*        -- run configuration
+     ndigest  (key value)*        -- expected outcome fingerprint
+     total                        -- decisions ever recorded
+     stored                       -- decisions in the window below
+     record*                      -- tag byte + fields
+
+   The header carries everything needed to re-execute the run (the
+   runs are seed-deterministic); the digest carries everything needed
+   to check the re-execution is bit-identical; the decision window is
+   the witness that is compared step by step. *)
+
+let magic = "JFR1"
+
+let put_varint b n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let put_string b s =
+  put_varint b (String.length s);
+  Buffer.add_string b s
+
+let put_pairs b pairs =
+  put_varint b (List.length pairs);
+  List.iter
+    (fun (k, v) ->
+      put_string b k;
+      put_string b v)
+    pairs
+
+let outcome_tag = function
+  | Sent -> 0
+  | Dropped -> 1
+  | Partition_dropped -> 2
+  | Duplicated -> 3
+  | Delayed _ -> 4
+
+let put_decision b = function
+  | Generate { client; intent } ->
+    Buffer.add_char b '\001';
+    put_varint b client;
+    put_string b intent
+  | Deliver_to_server i ->
+    Buffer.add_char b '\002';
+    put_varint b i
+  | Deliver_to_client i ->
+    Buffer.add_char b '\003';
+    put_varint b i
+  | Deliver_peer { src; dst } ->
+    Buffer.add_char b '\004';
+    put_varint b src;
+    put_varint b dst
+  | Flush { channel; ops } ->
+    Buffer.add_char b '\005';
+    put_string b channel;
+    put_varint b ops
+  | Transmit { channel; seq; outcome } ->
+    Buffer.add_char b '\006';
+    put_string b channel;
+    put_varint b seq;
+    put_varint b (outcome_tag outcome);
+    (match outcome with
+    | Delayed j -> put_varint b j
+    | _ -> ())
+  | Retransmit { channel; seq; attempts } ->
+    Buffer.add_char b '\007';
+    put_string b channel;
+    put_varint b seq;
+    put_varint b attempts
+  | Ack { channel; seq; dropped } ->
+    Buffer.add_char b '\008';
+    put_string b channel;
+    put_varint b seq;
+    put_varint b (if dropped then 1 else 0)
+  | Tick n ->
+    Buffer.add_char b '\009';
+    put_varint b n
+
+let encode ~header ~digest t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  put_pairs b header;
+  put_pairs b digest;
+  put_varint b t.total;
+  let w = window t in
+  put_varint b (List.length w);
+  List.iter (put_decision b) w;
+  Buffer.contents b
+
+let dump ~header ~digest t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (encode ~header ~digest t))
+
+(* --- decoding ------------------------------------------------------ *)
+
+type recording = {
+  header : (string * string) list;
+  digest : (string * string) list;
+  r_total : int;
+  r_window : decision list;
+}
+
+exception Corrupt of string
+
+let corrupt msg = raise (Corrupt msg)
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+}
+
+let get_byte c =
+  if c.pos >= String.length c.data then corrupt "truncated";
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let get_varint c =
+  let rec loop shift acc =
+    let b = get_byte c in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then loop (shift + 7) acc else acc
+  in
+  loop 0 0
+
+let get_string c =
+  let len = get_varint c in
+  if c.pos + len > String.length c.data then corrupt "truncated string";
+  let s = String.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_pairs c =
+  let n = get_varint c in
+  List.init n (fun _ ->
+      let k = get_string c in
+      let v = get_string c in
+      (k, v))
+
+let get_outcome c =
+  match get_varint c with
+  | 0 -> Sent
+  | 1 -> Dropped
+  | 2 -> Partition_dropped
+  | 3 -> Duplicated
+  | 4 -> Delayed (get_varint c)
+  | n -> corrupt (Printf.sprintf "unknown outcome tag %d" n)
+
+let get_decision c =
+  match get_byte c with
+  | 1 ->
+    let client = get_varint c in
+    let intent = get_string c in
+    Generate { client; intent }
+  | 2 -> Deliver_to_server (get_varint c)
+  | 3 -> Deliver_to_client (get_varint c)
+  | 4 ->
+    let src = get_varint c in
+    let dst = get_varint c in
+    Deliver_peer { src; dst }
+  | 5 ->
+    let channel = get_string c in
+    let ops = get_varint c in
+    Flush { channel; ops }
+  | 6 ->
+    let channel = get_string c in
+    let seq = get_varint c in
+    let outcome = get_outcome c in
+    Transmit { channel; seq; outcome }
+  | 7 ->
+    let channel = get_string c in
+    let seq = get_varint c in
+    let attempts = get_varint c in
+    Retransmit { channel; seq; attempts }
+  | 8 ->
+    let channel = get_string c in
+    let seq = get_varint c in
+    let dropped = get_varint c <> 0 in
+    Ack { channel; seq; dropped }
+  | 9 -> Tick (get_varint c)
+  | n -> corrupt (Printf.sprintf "unknown decision tag %d" n)
+
+let decode data =
+  if String.length data < 4 || not (String.equal (String.sub data 0 4) magic)
+  then corrupt "bad magic";
+  let c = { data; pos = 4 } in
+  let header = get_pairs c in
+  let digest = get_pairs c in
+  let r_total = get_varint c in
+  let stored = get_varint c in
+  let r_window = List.init stored (fun _ -> get_decision c) in
+  { header; digest; r_total; r_window }
+
+let is_recording path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic 4 with
+        | exception End_of_file -> false
+        | m -> String.equal m magic)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))

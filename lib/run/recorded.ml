@@ -1,0 +1,412 @@
+(* See recorded.mli. *)
+
+open Rlist_model
+module Recorder = Rlist_obs.Recorder
+module Workload = Rlist_workload.Workload
+
+type spec = {
+  protocol : string;
+  profile : Workload.profile;
+  nclients : int;
+  updates : int;
+  seed : int;
+  faults : Rlist_net.Faults.spec;
+  shim : bool;
+  rto : int;
+  batching : bool;
+  fastpath : bool;
+}
+
+let default ~protocol =
+  {
+    protocol;
+    profile = Workload.Uniform;
+    nclients = 4;
+    updates = 100;
+    seed = 1;
+    faults = Rlist_net.Faults.none;
+    shim = true;
+    rto = 12;
+    batching = false;
+    fastpath = false;
+  }
+
+type outcome = {
+  o_protocol : string;
+  o_events : int;
+  o_converged : bool;
+  o_finals : (string * string) list;
+  o_ots : int;
+  o_metadata : int;
+  o_convergence : bool;
+  o_weak : bool;
+  o_strong : bool;
+  o_stats : (string * int) list;
+  o_net : Rlist_net.Stats.t;
+}
+
+let protocol_names =
+  [
+    "css"; "cscw"; "rga"; "naive"; "css-pruned"; "logoot"; "css-seq";
+    "treedoc"; "css-p2p"; "ttf";
+  ]
+
+let is_p2p name = String.equal name "css-p2p" || String.equal name "ttf"
+
+(* The CSS append fast path is a global switch (like
+   [Transform.on_xform]); reset its counters so the recorded numbers
+   cover exactly this run, making them digestible. *)
+let set_fastpath on =
+  Jupiter_css.State_space.Fastpath.reset ();
+  Jupiter_css.State_space.Fastpath.enabled := on
+
+let fastpath_fields () =
+  [
+    "fastpath.context_hits", !Jupiter_css.State_space.Fastpath.context_hits;
+    "fastpath.append_hits", !Jupiter_css.State_space.Fastpath.append_hits;
+    "fastpath.generic_squares",
+    !Jupiter_css.State_space.Fastpath.generic_squares;
+  ]
+
+let publish obs net =
+  match obs with
+  | None -> ()
+  | Some obs ->
+    let m = obs.Rlist_obs.Obs.metrics in
+    Rlist_net.Stats.publish (Rlist_net.Transport.stats net) m;
+    List.iter
+      (fun (name, v) ->
+        Rlist_obs.Metrics.add (Rlist_obs.Metrics.counter m name) v)
+      (fastpath_fields ())
+
+let run_cs (type c s c2s s2c)
+    (module P : Rlist_sim.Protocol_intf.PROTOCOL
+      with type client = c
+       and type server = s
+       and type c2s = c2s
+       and type s2c = s2c) ?obs ?recorder spec =
+  let module E = Rlist_sim.Engine.Make (P) in
+  let net =
+    Rlist_net.Transport.config ~shim:spec.shim ~rto:spec.rto
+      ~faults:spec.faults ~seed:spec.seed ()
+  in
+  let t = E.create ~net ~batching:spec.batching ~nclients:spec.nclients () in
+  (match obs with Some o -> E.attach_obs t o | None -> ());
+  (match recorder with Some r -> E.attach_recorder t r | None -> ());
+  set_fastpath spec.fastpath;
+  let rng = Random.State.make [| spec.seed |] in
+  let intent =
+    Workload.intent_generator spec.profile ~nclients:spec.nclients ~rng
+  in
+  let params = Workload.params spec.profile ~updates:spec.updates in
+  let schedule = E.run_random ~intent t ~rng ~params in
+  let trace = E.trace t in
+  let sat = Rlist_spec.Check.is_satisfied in
+  publish obs net;
+  {
+    o_protocol = P.name;
+    o_events = List.length schedule;
+    o_converged = E.converged t;
+    o_finals =
+      (if P.server_is_replica then
+         [ "server", Document.to_string (E.server_document t) ]
+       else [])
+      @ List.init spec.nclients (fun i ->
+            ( "c" ^ string_of_int (i + 1),
+              Document.to_string (E.client_document t (i + 1)) ));
+    o_ots = E.total_ot_count t;
+    o_metadata = E.total_metadata_size t;
+    o_convergence = sat (Rlist_spec.Convergence.check trace);
+    o_weak = sat (Rlist_spec.Weak_spec.check trace);
+    o_strong = sat (Rlist_spec.Strong_spec.check trace);
+    o_stats =
+      Rlist_net.Stats.fields (Rlist_net.Transport.stats net)
+      @ fastpath_fields ();
+    o_net = Rlist_net.Transport.stats net;
+  }
+
+let run_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ?obs
+    ?recorder spec =
+  let module E = Rlist_sim.P2p_engine.Make (P) in
+  let net =
+    Rlist_net.Transport.config ~shim:spec.shim ~rto:spec.rto
+      ~faults:spec.faults ~seed:spec.seed ()
+  in
+  let t = E.create ~net ~batching:spec.batching ~npeers:spec.nclients () in
+  (match obs with Some o -> E.attach_obs t o | None -> ());
+  (match recorder with Some r -> E.attach_recorder t r | None -> ());
+  set_fastpath spec.fastpath;
+  let rng = Random.State.make [| spec.seed |] in
+  let intent =
+    Workload.intent_generator spec.profile ~nclients:spec.nclients ~rng
+  in
+  let params = Workload.params spec.profile ~updates:spec.updates in
+  let schedule = E.run_random ~intent t ~rng ~params in
+  let trace = E.trace t in
+  let sat = Rlist_spec.Check.is_satisfied in
+  publish obs net;
+  {
+    o_protocol = P.name;
+    o_events = List.length schedule;
+    o_converged = E.converged t;
+    o_finals =
+      List.init spec.nclients (fun i ->
+          ( "p" ^ string_of_int (i + 1),
+            Document.to_string (E.document t (i + 1)) ));
+    o_ots = E.total_ot_count t;
+    o_metadata = E.total_metadata_size t;
+    o_convergence = sat (Rlist_spec.Convergence.check trace);
+    o_weak = sat (Rlist_spec.Weak_spec.check trace);
+    o_strong = sat (Rlist_spec.Strong_spec.check trace);
+    o_stats =
+      Rlist_net.Stats.fields (Rlist_net.Transport.stats net)
+      @ fastpath_fields ();
+    o_net = Rlist_net.Transport.stats net;
+  }
+
+let run ?obs ?recorder spec =
+  match spec.protocol with
+  | "css" -> run_cs (module Jupiter_css.Protocol) ?obs ?recorder spec
+  | "cscw" -> run_cs (module Jupiter_cscw.Protocol) ?obs ?recorder spec
+  | "rga" -> run_cs (module Jupiter_rga.Protocol) ?obs ?recorder spec
+  | "naive" -> run_cs (module Jupiter_cscw.Naive_p2p) ?obs ?recorder spec
+  | "css-pruned" ->
+    run_cs (module Jupiter_css.Pruned_protocol) ?obs ?recorder spec
+  | "logoot" -> run_cs (module Jupiter_logoot.Protocol) ?obs ?recorder spec
+  | "css-seq" ->
+    run_cs (module Jupiter_css.Sequencer_protocol) ?obs ?recorder spec
+  | "treedoc" -> run_cs (module Jupiter_treedoc.Protocol) ?obs ?recorder spec
+  | "css-p2p" ->
+    run_p2p (module Jupiter_css.Distributed_protocol) ?obs ?recorder spec
+  | "ttf" -> run_p2p (module Jupiter_ttf.Adopted_protocol) ?obs ?recorder spec
+  | other -> invalid_arg (Printf.sprintf "Recorded.run: unknown protocol %S" other)
+
+(* The soak gate: strong-spec violations are a theorem for the OT
+   protocols (Thm 8.1), so a run "fails" on convergence or the weak
+   spec only. *)
+let passed o = o.o_converged && o.o_convergence && o.o_weak
+
+(* --- header / digest ---------------------------------------------- *)
+
+let header_of ?(capacity = Recorder.default_capacity) spec =
+  [
+    "version", "1";
+    "protocol", spec.protocol;
+    "profile", Workload.profile_name spec.profile;
+    "nclients", string_of_int spec.nclients;
+    "updates", string_of_int spec.updates;
+    "seed", string_of_int spec.seed;
+    "faults", Rlist_net.Faults.to_string spec.faults;
+    "shim", string_of_bool spec.shim;
+    "rto", string_of_int spec.rto;
+    "batching", string_of_bool spec.batching;
+    "fastpath", string_of_bool spec.fastpath;
+    "capacity", string_of_int capacity;
+  ]
+
+let spec_of_header header =
+  let find key = List.assoc_opt key header in
+  let int key default =
+    match find key with
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "recording header: bad %s %S" key v))
+    | None -> Ok default
+  in
+  let bool key default =
+    match find key with
+    | Some "true" -> Ok true
+    | Some "false" -> Ok false
+    | Some v -> Error (Printf.sprintf "recording header: bad %s %S" key v)
+    | None -> Ok default
+  in
+  let ( let* ) = Result.bind in
+  let* protocol =
+    match find "protocol" with
+    | Some p when List.exists (String.equal p) protocol_names -> Ok p
+    | Some p -> Error (Printf.sprintf "recording header: unknown protocol %S" p)
+    | None -> Error "recording header: no protocol"
+  in
+  let* profile =
+    match find "profile" with
+    | None -> Ok Workload.Uniform
+    | Some name -> (
+      match Workload.profile_of_name name with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "recording header: unknown profile %S" name))
+  in
+  let* faults =
+    match find "faults" with
+    | None -> Ok Rlist_net.Faults.none
+    | Some s -> (
+      match Rlist_net.Faults.of_string s with
+      | Ok f -> Ok f
+      | Error msg -> Error ("recording header: " ^ msg))
+  in
+  let* nclients = int "nclients" 4 in
+  let* updates = int "updates" 100 in
+  let* seed = int "seed" 1 in
+  let* rto = int "rto" 12 in
+  let* shim = bool "shim" true in
+  let* batching = bool "batching" false in
+  let* fastpath = bool "fastpath" false in
+  Ok
+    {
+      protocol;
+      profile;
+      nclients;
+      updates;
+      seed;
+      faults;
+      shim;
+      rto;
+      batching;
+      fastpath;
+    }
+
+let digest_of outcome =
+  [
+    "protocol", outcome.o_protocol;
+    "events", string_of_int outcome.o_events;
+    "converged", string_of_bool outcome.o_converged;
+    "convergence", string_of_bool outcome.o_convergence;
+    "weak", string_of_bool outcome.o_weak;
+    "strong", string_of_bool outcome.o_strong;
+    "ots", string_of_int outcome.o_ots;
+    "metadata", string_of_int outcome.o_metadata;
+  ]
+  @ List.map (fun (r, doc) -> "final." ^ r, doc) outcome.o_finals
+  @ List.map (fun (k, v) -> "net." ^ k, string_of_int v) outcome.o_stats
+
+(* --- record / replay ---------------------------------------------- *)
+
+let record ?obs ?(capacity = Recorder.default_capacity) spec =
+  let recorder = Recorder.create ~capacity () in
+  let outcome = run ?obs ~recorder spec in
+  outcome, recorder
+
+let save ~spec ~outcome ~capacity recorder path =
+  (* The stored capacity is the recorder's actual one, so a replay
+     aligns its window with the recording even if the default ever
+     changes. *)
+  Recorder.dump
+    ~header:(header_of ~capacity spec)
+    ~digest:(digest_of outcome) recorder path
+
+type verdict = {
+  v_spec : spec;
+  v_outcome : outcome;
+  v_total_expected : int;
+  v_total_got : int;
+  v_mismatches : (string * string * string) list;
+  v_divergence : (int * string * string) option;
+  v_ok : bool;
+}
+
+let compare_decisions expected got =
+  (* Align on the shorter suffix: a wrapped recording retains only its
+     tail, and both lists are oldest-first. *)
+  let le = List.length expected and lg = List.length got in
+  let expected =
+    if lg < le then
+      List.filteri (fun i _ -> i >= le - lg) expected
+    else expected
+  in
+  let got =
+    if le < lg then List.filteri (fun i _ -> i >= lg - le) got else got
+  in
+  let rec go i = function
+    | [], [] -> None
+    | e :: es, g :: gs ->
+      let se = Recorder.decision_to_string e in
+      let sg = Recorder.decision_to_string g in
+      if String.equal se sg then go (i + 1) (es, gs) else Some (i, se, sg)
+    | e :: _, [] -> Some (i, Recorder.decision_to_string e, "<none>")
+    | [], g :: _ -> Some (i, "<none>", Recorder.decision_to_string g)
+  in
+  go 0 (expected, got)
+
+let verify ?obs (recording : Recorder.recording) =
+  match spec_of_header recording.Recorder.header with
+  | Error msg -> Error msg
+  | Ok spec ->
+    let capacity =
+      match List.assoc_opt "capacity" recording.Recorder.header with
+      | Some v -> Option.value (int_of_string_opt v) ~default:Recorder.default_capacity
+      | None -> Recorder.default_capacity
+    in
+    let outcome, recorder = record ?obs ~capacity spec in
+    let fresh = digest_of outcome in
+    let mismatches =
+      List.filter_map
+        (fun (k, expected) ->
+          match List.assoc_opt k fresh with
+          | Some got when String.equal got expected -> None
+          | Some got -> Some (k, expected, got)
+          | None -> Some (k, expected, "<absent>"))
+        recording.Recorder.digest
+      @ List.filter_map
+          (fun (k, got) ->
+            if List.mem_assoc k recording.Recorder.digest then None
+            else Some (k, "<absent>", got))
+          fresh
+    in
+    let divergence =
+      compare_decisions recording.Recorder.r_window (Recorder.window recorder)
+    in
+    let total_got = Recorder.total recorder in
+    Ok
+      {
+        v_spec = spec;
+        v_outcome = outcome;
+        v_total_expected = recording.Recorder.r_total;
+        v_total_got = total_got;
+        v_mismatches = mismatches;
+        v_divergence = divergence;
+        v_ok =
+          mismatches = [] && Option.is_none divergence
+          && total_got = recording.Recorder.r_total;
+      }
+
+let replay ?obs path = verify ?obs (Recorder.load path)
+
+(* --- schedule extraction (shrinker handoff) ----------------------- *)
+
+let parse_intent s =
+  match String.split_on_char ' ' s with
+  | [ "read" ] -> Some Intent.Read
+  | [ "del"; p ] ->
+    Option.map (fun p -> Intent.Delete p) (int_of_string_opt p)
+  | [ "ins"; c; p ] when String.length c = 1 ->
+    Option.map (fun p -> Intent.Insert (c.[0], p)) (int_of_string_opt p)
+  | _ -> None
+
+let schedule_of_recording (recording : Recorder.recording) =
+  if recording.Recorder.r_total > List.length recording.Recorder.r_window then
+    Error
+      "recording wrapped: the ring discarded early decisions, so the full \
+       schedule cannot be reconstructed (re-record with a larger capacity)"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | d :: rest -> (
+        match d with
+        | Recorder.Generate { client; intent } -> (
+          match parse_intent intent with
+          | Some i -> go (Rlist_sim.Schedule.Generate (client, i) :: acc) rest
+          | None ->
+            Error (Printf.sprintf "unparseable recorded intent %S" intent))
+        | Recorder.Deliver_to_server i ->
+          go (Rlist_sim.Schedule.Deliver_to_server i :: acc) rest
+        | Recorder.Deliver_to_client i ->
+          go (Rlist_sim.Schedule.Deliver_to_client i :: acc) rest
+        | Recorder.Deliver_peer _ ->
+          Error
+            "peer-to-peer recording: schedule extraction only supports the \
+             client/server engine"
+        | Recorder.Flush _ | Recorder.Transmit _ | Recorder.Retransmit _
+        | Recorder.Ack _ | Recorder.Tick _ ->
+          go acc rest)
+    in
+    go [] recording.Recorder.r_window

@@ -1,0 +1,121 @@
+(** Recorded runs: one driver for every protocol over the unreliable
+    network, shared by the CLI's soak/fuzz/replay commands, the
+    benchmarks, and the tests.
+
+    A run here is fully determined by its {!spec}: the engine draws
+    its randomness from [Random.State.make [| seed |]] and the
+    transport from a state derived from the same seed, so re-executing
+    a spec reproduces the original run bit for bit.  The flight
+    recorder does not drive the replay — it is the {e witness}: replay
+    re-executes from the spec and then checks the fresh decision
+    stream and outcome digest against the recording, flagging the
+    first divergence. *)
+
+module Recorder = Rlist_obs.Recorder
+module Workload = Rlist_workload.Workload
+
+(** Everything that determines a run. *)
+type spec = {
+  protocol : string;  (** One of {!protocol_names}. *)
+  profile : Workload.profile;
+  nclients : int;  (** Clients, or peers for the p2p protocols. *)
+  updates : int;
+  seed : int;
+  faults : Rlist_net.Faults.spec;
+  shim : bool;  (** Reliability shim on the wire. *)
+  rto : int;  (** Retransmission timeout (ticks). *)
+  batching : bool;
+  fastpath : bool;  (** CSS append fast path. *)
+}
+
+(** A spec with the soak defaults: uniform profile, 4 clients, 100
+    updates, seed 1, no faults, shim on, rto 12, no batching, no fast
+    path. *)
+val default : protocol:string -> spec
+
+(** What a run produced — the replay digest is derived from this. *)
+type outcome = {
+  o_protocol : string;
+  o_events : int;  (** Schedule length. *)
+  o_converged : bool;
+  o_finals : (string * string) list;
+      (** Final document per replica: ["server"] (when the protocol
+          keeps a server replica), ["c1"].. for clients, ["p1"].. for
+          peers. *)
+  o_ots : int;
+  o_metadata : int;
+  o_convergence : bool;
+  o_weak : bool;
+  o_strong : bool;
+  o_stats : (string * int) list;
+      (** Network counters plus the fast-path counters. *)
+  o_net : Rlist_net.Stats.t;
+      (** The live counter record, for {!Rlist_net.Stats.pp} /
+          [to_json]. *)
+}
+
+val protocol_names : string list
+
+val is_p2p : string -> bool
+
+(** Run one spec.  [obs] attaches the observability bundle to the
+    engine and the wire (and publishes the network and fast-path
+    counters into its metrics registry after the run); [recorder]
+    attaches the flight recorder to both.  Raises [Invalid_argument]
+    on an unknown protocol name, and propagates the engine's
+    [Invalid_argument] when a shim-less run violates a channel
+    contract. *)
+val run : ?obs:Rlist_obs.Obs.t -> ?recorder:Recorder.t -> spec -> outcome
+
+(** The soak gate: converged, convergence spec, and weak spec.  Strong
+    violations are expected for the OT protocols (Thm 8.1) and do not
+    fail a run. *)
+val passed : outcome -> bool
+
+(** Header key/value pairs stored in a recording: the full spec plus
+    the recorder capacity (default {!Recorder.default_capacity}). *)
+val header_of : ?capacity:int -> spec -> (string * string) list
+
+(** Inverse of {!header_of}; missing keys take the soak defaults. *)
+val spec_of_header : (string * string) list -> (spec, string) result
+
+(** The outcome rendered as key/value pairs: verdicts, counters, and
+    one ["final.<replica>"] entry per replica. *)
+val digest_of : outcome -> (string * string) list
+
+(** Run a spec with a fresh recorder attached. *)
+val record :
+  ?obs:Rlist_obs.Obs.t -> ?capacity:int -> spec -> outcome * Recorder.t
+
+(** Dump a recorded run to [path] (see {!Recorder.dump}). *)
+val save :
+  spec:spec -> outcome:outcome -> capacity:int -> Recorder.t -> string -> unit
+
+(** Replay verdict: the fresh outcome plus every digest mismatch
+    [(key, expected, got)] and the first decision divergence
+    [(index, expected, got)] if any. *)
+type verdict = {
+  v_spec : spec;
+  v_outcome : outcome;
+  v_total_expected : int;
+  v_total_got : int;
+  v_mismatches : (string * string * string) list;
+  v_divergence : (int * string * string) option;
+  v_ok : bool;
+}
+
+(** Re-execute a recording's spec and check the fresh run against the
+    stored digest and decision window.  [Error] on a malformed
+    header. *)
+val verify :
+  ?obs:Rlist_obs.Obs.t -> Recorder.recording -> (verdict, string) result
+
+(** [verify] on a recording loaded from disk.  Raises
+    [Recorder.Corrupt] / [Sys_error] as {!Recorder.load} does. *)
+val replay : ?obs:Rlist_obs.Obs.t -> string -> (verdict, string) result
+
+(** Reconstruct the engine schedule from a recording's decision stream
+    for the ddmin shrinker.  [Error] when the ring wrapped (early
+    decisions lost) or the recording is peer-to-peer. *)
+val schedule_of_recording :
+  Recorder.recording -> (Rlist_sim.Schedule.t, string) result

@@ -2,7 +2,15 @@ open Rlist_model
 module Obs = Rlist_obs.Obs
 module Metrics = Rlist_obs.Metrics
 module Ev = Rlist_obs.Event
+module Recorder = Rlist_obs.Recorder
 module Transport = Rlist_net.Transport
+
+(* The flight-recorder rendering of an intent; Schedule_text's [gen]
+   syntax, so recorded schedules parse back for the shrinker. *)
+let intent_string = function
+  | Intent.Insert (c, p) -> Printf.sprintf "ins %c %d" c p
+  | Intent.Delete p -> Printf.sprintf "del %d" p
+  | Intent.Read -> "read"
 
 (* Channels stuck for this many consecutive virtual-clock ticks (no
    delivery possible anywhere, retransmission timers included) mean the
@@ -58,6 +66,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     mutable behavior : (Replica_id.t * Document.t) list;  (* reversed *)
     initial : Document.t;
     mutable obs : obs_state option;
+    net : Transport.config option;
+    mutable clock : int;  (* mirrors the per-channel virtual clocks *)
+    mutable recorder : Recorder.t option;
   }
 
   (* The dedup key of a batch joins its operations' identifiers: a
@@ -71,10 +82,10 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
   let create ?(initial = Document.empty) ?net ?(batching = false) ~nclients ()
       =
     if nclients < 1 then invalid_arg "Engine.create: need at least one client";
-    let channel key =
+    let channel key name =
       match net with
       | None -> Transport.perfect ()
-      | Some cfg -> Transport.create ~key ~weight:List.length cfg
+      | Some cfg -> Transport.create ~key ~weight:List.length ~name cfg
     in
     let c2s_key batch = batch_key (List.map P.c2s_op_id batch) in
     let s2c_key batch = batch_key (List.map P.s2c_op_id batch) in
@@ -84,8 +95,12 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       clients =
         Array.init (nclients + 1) (fun i ->
             P.create_client ~nclients ~id:(max i 1) ~initial);
-      to_server = Array.init (nclients + 1) (fun _ -> channel c2s_key);
-      to_client = Array.init (nclients + 1) (fun _ -> channel s2c_key);
+      to_server =
+        Array.init (nclients + 1) (fun i ->
+            channel c2s_key (Printf.sprintf "c%d->server" i));
+      to_client =
+        Array.init (nclients + 1) (fun i ->
+            channel s2c_key (Printf.sprintf "server->c%d" i));
       batching;
       out_c2s = Array.make (nclients + 1) [];
       out_s2c = Array.make (nclients + 1) [];
@@ -94,13 +109,23 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       behavior = [];
       initial;
       obs = None;
+      net;
+      clock = 0;
+      recorder = None;
     }
+
+  let record_decision t d =
+    match t.recorder with
+    | Some r -> Recorder.record r d
+    | None -> ()
 
   let tick_channels t =
     for i = 1 to t.nclients do
       Transport.tick t.to_server.(i);
       Transport.tick t.to_client.(i)
-    done
+    done;
+    t.clock <- t.clock + 1;
+    record_decision t (Recorder.Tick t.clock)
 
   let nclients t = t.nclients
 
@@ -172,9 +197,20 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       }
     in
     Metrics.set_gauge os.g_metadata (float_of_int meta_total);
+    (match t.net with
+    | Some cfg -> Transport.set_obs cfg (Some obs)
+    | None -> ());
     t.obs <- Some os
 
   let obs t = Option.map (fun (os : obs_state) -> os.obs) t.obs
+
+  let attach_recorder t r =
+    t.recorder <- Some r;
+    match t.net with
+    | Some cfg -> Transport.set_recorder cfg (Some r)
+    | None -> ()
+
+  let clock t = t.clock
 
   (* Consume the replica's OT-counter delta since the last probe. *)
   let ot_delta os t i =
@@ -209,6 +245,9 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     | rev -> (
       outbox.(i) <- [];
       let batch = List.rev rev in
+      record_decision t
+        (Recorder.Flush
+           { channel = src ^ "->" ^ dst; ops = List.length batch });
       Transport.send channels.(i) batch;
       match t.obs with
       | None -> ()
@@ -230,6 +269,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                  op_id = batch_key (List.map op_id_of batch);
                  bytes = batch_bytes batch;
                  queue = depth;
+                 tick = t.clock;
                }))
 
   let flush_c2s t i =
@@ -257,6 +297,8 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
   let apply_event t = function
     | Schedule.Generate (i, intent) ->
       check_client t i;
+      record_decision t
+        (Recorder.Generate { client = i; intent = intent_string intent });
       let outcome, msg = P.client_generate t.clients.(i) intent in
       record_do t i outcome;
       (match msg with
@@ -301,6 +343,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                  op_id = id_str op_id;
                  intent = intent_kind;
                  queue = depth;
+                 tick = t.clock;
                });
           match msg with
           | None -> ()
@@ -314,6 +357,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                      op_id = id_str (P.c2s_op_id m);
                      bytes = bytes_estimate m;
                      queue = depth;
+                     tick = t.clock;
                    });
             Obs.emit os.obs
               (Ev.Apply
@@ -321,6 +365,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                    replica = rname i;
                    op_id = id_str op_id;
                    doc_len = Document.length (P.client_document t.clients.(i));
+                   tick = t.clock;
                  })
         end);
       record_behavior t (Replica_id.Client i) (P.client_document t.clients.(i))
@@ -336,6 +381,10 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       match Transport.deliver t.to_server.(i) with
       | None -> () (* the fault layer / shim consumed the arrival *)
       | Some batch ->
+        (* Recorded only for payloads that reach the protocol, so the
+           decision stream is the logical (exactly-once) delivery
+           schedule — replayable on perfect channels. *)
+        record_decision t (Recorder.Deliver_to_server i);
         let msg_op_id, outgoing =
           match batch with
           | [ msg ] ->
@@ -378,6 +427,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                    op_id = msg_op_id;
                    transforms;
                    queue = pending_c2s t i;
+                   tick = t.clock;
                  });
             Obs.emit os.obs
               (Ev.Apply
@@ -385,6 +435,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                    replica = "server";
                    op_id = msg_op_id;
                    doc_len = Document.length (P.server_document t.server);
+                   tick = t.clock;
                  });
             if not t.batching then
               List.iter
@@ -397,6 +448,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                          op_id = id_str (P.s2c_op_id m);
                          bytes = bytes_estimate m;
                          queue = Transport.pending t.to_client.(dest);
+                         tick = t.clock;
                        }))
                 outgoing
           end);
@@ -410,6 +462,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       match Transport.deliver t.to_client.(i) with
       | None -> () (* the fault layer / shim consumed the arrival *)
       | Some batch ->
+        record_decision t (Recorder.Deliver_to_client i);
         let op_id =
           match batch with
           | [ msg ] ->
@@ -436,6 +489,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                    op_id;
                    transforms;
                    queue = pending_s2c t i;
+                   tick = t.clock;
                  });
             match op_id with
             | None -> ()  (* pure acknowledgement: nothing was applied *)
@@ -447,6 +501,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
                      op_id;
                      doc_len =
                        Document.length (P.client_document t.clients.(i));
+                     tick = t.clock;
                    })
           end);
         record_behavior t (Replica_id.Client i)

@@ -147,4 +147,17 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
   val attach_obs : t -> Rlist_obs.Obs.t -> unit
 
   val obs : t -> Rlist_obs.Obs.t option
+
+  (** Attach a flight recorder: every nondeterministic decision the
+      run makes from now on — generated intents, delivery order, batch
+      flush boundaries, the tick schedule, and (through the network
+      configuration, when one was given) every fault draw the wire
+      takes — is recorded as a replay witness.  Costs one [None]
+      branch per decision when detached. *)
+  val attach_recorder : t -> Rlist_obs.Recorder.t -> unit
+
+  (** The engine's virtual clock: how many times the channels have
+      been ticked.  Mirrors [Transport.now] of every channel; trace
+      events are stamped with it. *)
+  val clock : t -> int
 end

@@ -2,10 +2,17 @@ open Rlist_model
 module Obs = Rlist_obs.Obs
 module Metrics = Rlist_obs.Metrics
 module Ev = Rlist_obs.Event
+module Recorder = Rlist_obs.Recorder
 module Transport = Rlist_net.Transport
 
 (* Same stall bound as {!Engine}. *)
 let quiesce_fuel = 100_000
+
+(* Schedule-text rendering of an intent, for the flight recorder. *)
+let intent_string = function
+  | Intent.Insert (c, p) -> Printf.sprintf "ins %c %d" c p
+  | Intent.Delete p -> Printf.sprintf "del %d" p
+  | Intent.Read -> "read"
 
 type event =
   | Generate of int * Intent.t
@@ -49,6 +56,9 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     mutable next_eid : int;
     initial : Document.t;
     mutable obs : obs_state option;
+    net : Transport.config option;
+    mutable clock : int;
+    mutable recorder : Recorder.t option;
   }
 
   let batch_key ids =
@@ -62,10 +72,13 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     let key batch =
       batch_key (List.map (fun (_, m) -> P.message_op_id m) batch)
     in
-    let channel () =
+    let channel src dst =
       match net with
       | None -> Transport.perfect ()
-      | Some cfg -> Transport.create ~key ~weight:List.length cfg
+      | Some cfg ->
+        Transport.create ~key ~weight:List.length
+          ~name:(Printf.sprintf "p%d->p%d" src dst)
+          cfg
     in
     {
       npeers;
@@ -73,8 +86,8 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
         Array.init (npeers + 1) (fun i ->
             P.create_peer ~npeers ~id:(max i 1) ~initial);
       channels =
-        Array.init (npeers + 1) (fun _ ->
-            Array.init (npeers + 1) (fun _ -> channel ()));
+        Array.init (npeers + 1) (fun src ->
+            Array.init (npeers + 1) (fun dst -> channel src dst));
       batching;
       outbox =
         Array.init (npeers + 1) (fun _ -> Array.make (npeers + 1) []);
@@ -82,16 +95,26 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       next_eid = 0;
       initial;
       obs = None;
+      net;
+      clock = 0;
+      recorder = None;
     }
 
   let npeers t = t.npeers
+
+  let record_decision t d =
+    match t.recorder with
+    | Some r -> Recorder.record r d
+    | None -> ()
 
   let tick_channels t =
     for src = 1 to t.npeers do
       for dst = 1 to t.npeers do
         if src <> dst then Transport.tick t.channels.(src).(dst)
       done
-    done
+    done;
+    t.clock <- t.clock + 1;
+    record_decision t (Recorder.Tick t.clock)
 
   let check_peer t i =
     if i < 1 || i > t.npeers then
@@ -140,9 +163,20 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       }
     in
     Metrics.set_gauge os.g_metadata (float_of_int meta_total);
+    (match t.net with
+    | Some cfg -> Transport.set_obs cfg (Some obs)
+    | None -> ());
     t.obs <- Some os
 
   let obs t = Option.map (fun (os : obs_state) -> os.obs) t.obs
+
+  let attach_recorder t r =
+    t.recorder <- Some r;
+    match t.net with
+    | Some cfg -> Transport.set_recorder cfg (Some r)
+    | None -> ()
+
+  let clock t = t.clock
 
   let ot_delta os t i =
     let current = P.ot_count t.peers.(i) in
@@ -182,6 +216,12 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     | rev -> (
       t.outbox.(src).(dst) <- [];
       let batch = List.rev rev in
+      record_decision t
+        (Recorder.Flush
+           {
+             channel = Printf.sprintf "p%d->p%d" src dst;
+             ops = List.length batch;
+           });
       Transport.send t.channels.(src).(dst) batch;
       match t.obs with
       | None -> ()
@@ -201,6 +241,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
                      (List.map (fun (_, m) -> P.message_op_id m) batch);
                  bytes = batch_bytes batch;
                  queue = Transport.pending t.channels.(src).(dst);
+                 tick = t.clock;
                }))
 
   let broadcast t ~from message =
@@ -227,6 +268,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
                      op_id = id_str (P.message_op_id message);
                      bytes = bytes_estimate message;
                      queue = Transport.pending t.channels.(from).(dst);
+                     tick = t.clock;
                    })
         end
     done
@@ -244,6 +286,8 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
   let apply_event t = function
     | Generate (i, intent) ->
       check_peer t i;
+      record_decision t
+        (Recorder.Generate { client = i; intent = intent_string intent });
       let outcome, message = P.generate t.peers.(i) intent in
       record_do t i outcome;
       (match t.obs with
@@ -270,6 +314,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
                  op_id = id_str op_id;
                  intent = intent_kind;
                  queue = 0;
+                 tick = t.clock;
                });
           match op_id with
           | None -> ()
@@ -280,6 +325,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
                    replica = pname i;
                    op_id = id_str op_id;
                    doc_len = Document.length (P.document t.peers.(i));
+                   tick = t.clock;
                  })
         end);
       (match message with
@@ -295,6 +341,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       match Transport.deliver t.channels.(src).(dst) with
       | None -> () (* the fault layer / shim consumed the arrival *)
       | Some batch ->
+        record_decision t (Recorder.Deliver_peer { src; dst });
         let op_id, reactions =
           match batch with
           | [ (from, message) ] ->
@@ -323,6 +370,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
                    op_id;
                    transforms;
                    queue = chan_pending t ~src ~dst;
+                   tick = t.clock;
                  }));
         List.iter (fun reaction -> broadcast t ~from:dst reaction) reactions)
 

@@ -77,4 +77,13 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
   val attach_obs : t -> Rlist_obs.Obs.t -> unit
 
   val obs : t -> Rlist_obs.Obs.t option
+
+  (** Attach a flight recorder (see {!Engine.attach_recorder}):
+      records generated intents, peer deliveries, batch flushes, the
+      tick schedule, and — through the network configuration — the
+      wire's fault draws. *)
+  val attach_recorder : t -> Rlist_obs.Recorder.t -> unit
+
+  (** The engine's virtual clock (ticks performed). *)
+  val clock : t -> int
 end

@@ -107,6 +107,27 @@ let test_wall_clock () =
   check_rules "bench harness wall-clock reads are sanctioned" []
     ~path:"bench/fixture.ml" "let t () = Unix.gettimeofday ()\n"
 
+let test_print_direct () =
+  check_rules "print_endline fires in library code" [ "print-direct" ]
+    ~path:"lib/sim/fixture.ml" "let f () = print_endline \"hi\"\n";
+  check_rules "Printf.eprintf fires too" [ "print-direct" ]
+    ~path:"lib/obs/fixture.ml"
+    "let warn msg = Printf.eprintf \"warning: %s\\n\" msg\n";
+  check_rules "prerr_string fires" [ "print-direct" ]
+    ~path:"lib/net/fixture.ml" "let f () = prerr_string \"x\"\n";
+  check_rules "Format.printf fires" [ "print-direct" ]
+    ~path:"lib/core/fixture.ml" "let f () = Format.printf \"x\"\n";
+  check_rules "printing to an explicit formatter is the sanctioned form" []
+    ~path:"lib/sim/fixture.ml"
+    "let pp ppf x = Format.fprintf ppf \"%d\" x\n";
+  check_rules "Printf.sprintf builds a string, not output" []
+    ~path:"lib/sim/fixture.ml" "let s x = Printf.sprintf \"%d\" x\n";
+  check_rules "bin and test code may print" []
+    ~path:"bin/fixture.ml" "let f () = print_endline \"hi\"\n";
+  check_rules "a suppressed debug seam is accepted" []
+    ~path:"lib/sim/fixture.ml"
+    "let f () = (print_endline \"dbg\") [@lint.allow \"print-direct\"]\n"
+
 let test_float_format () =
   check_rules "string_of_float fires in the deterministic core"
     [ "float-format" ] ~path:"lib/core/fixture.ml"
@@ -301,6 +322,7 @@ let () =
           Alcotest.test_case "hashtbl-iter" `Quick test_hashtbl_iter;
           Alcotest.test_case "wall-clock" `Quick test_wall_clock;
           Alcotest.test_case "float-format" `Quick test_float_format;
+          Alcotest.test_case "print-direct" `Quick test_print_direct;
         ] );
       ( "exception safety",
         [ Alcotest.test_case "exn-partial" `Quick test_exn_partial ] );

@@ -121,13 +121,17 @@ let test_memory_sink () =
   let obs = Obs.make ~sink () in
   Alcotest.(check bool) "memory sink traces" true (Obs.tracing obs);
   Obs.emit obs
-    (Event.Generate { replica = "c1"; op_id = Some "1.1"; intent = "ins"; queue = 0 });
+    (Event.Generate
+       { replica = "c1"; op_id = Some "1.1"; intent = "ins"; queue = 0;
+         tick = 0 });
   Obs.emit obs
     (Event.Deliver
-       { replica = "server"; src = "c1"; op_id = Some "1.1"; transforms = 3; queue = 0 });
+       { replica = "server"; src = "c1"; op_id = Some "1.1"; transforms = 3;
+         queue = 0; tick = 0 });
   Obs.emit obs
     (Event.Deliver
-       { replica = "c2"; src = "server"; op_id = Some "1.1"; transforms = 2; queue = 0 });
+       { replica = "c2"; src = "server"; op_id = Some "1.1"; transforms = 2;
+         queue = 0; tick = 0 });
   let events = Sink.events sink in
   Alcotest.(check int) "three events" 3 (List.length events);
   Alcotest.(check int) "kind count" 2 (Obs.count_kind events "deliver");
