@@ -1,20 +1,31 @@
-(* Project lint CLI — a thin front end over the [Rlist_lint] AST
-   analyzer (lib/lint).  The analysis itself (rules, scopes,
-   [[@lint.allow]] suppressions) lives in the library; this file only
-   parses arguments, renders the report, and turns finding families
-   into exit-code bits:
+(* Project lint CLI — a thin front end over the [Rlist_lint] analyzer
+   (lib/lint).  The analysis itself (rules, scopes, [[@lint.allow]]
+   suppressions, the typed interprocedural passes) lives in the
+   library; this file only parses arguments, renders the report, and
+   turns finding families into exit-code bits:
 
-     bit 1  hygiene            (poly-eq/poly-cmp/poly-hash/obj-magic/
-                                sys-time/parse-error)
-     bit 2  determinism        (rand-global/hashtbl-iter/wall-clock/
-                                float-format)
-     bit 4  exception safety   (exn-partial)
-     bit 8  interface          (missing-mli)
+     bit 1   hygiene            (poly-eq/poly-cmp/poly-hash/obj-magic/
+                                 sys-time/parse-error/unused-allow)
+     bit 2   determinism        (rand-global/hashtbl-iter/wall-clock/
+                                 float-format/print-direct/det-reach)
+     bit 4   exception safety   (exn-partial)
+     bit 8   interface          (missing-mli)
+     bit 16  domain safety      (module-mutable)
 
    Exit 0 is clean, 64 is a usage error.  `--list-rules` documents the
    registry; `--rules a,b` restricts a run; `--baseline f` accepts the
    findings recorded in [f] (one `path:rule` per line); `--json` emits
-   the machine-readable report for CI artifacts. *)
+   the machine-readable report for CI artifacts.
+
+   The typed layer (`--typed`) loads the [.cmt] artifacts dune saved
+   under `--cmt-root` (default: `_build/default` when it exists),
+   keeps the units whose sources lie under the given roots, and runs
+   the determinism-reachability and domain-safety passes on top of the
+   Parsetree pass; findings double-reported by both layers are deduped
+   in favor of the typed one (which carries the witness chain).
+   `--callgraph dot|json FILE` and `--domain-report FILE` write the CI
+   artifacts; `--entry PAT` (repeatable) overrides the entry-point
+   patterns. *)
 
 open Rlist_lint
 
@@ -23,22 +34,37 @@ let default_roots = [ "lib"; "bin"; "test"; "bench"; "examples" ]
 let usage () =
   prerr_endline
     "usage: rlist_lint [--json] [--rules r1,r2] [--baseline FILE] \
-     [--list-rules] [roots...]";
+     [--list-rules]\n\
+    \                  [--typed] [--cmt-root DIR] [--entry PAT]\n\
+    \                  [--callgraph dot|json FILE] [--domain-report FILE] \
+     [roots...]";
   exit 64
 
 let list_rules () =
   List.iter
     (fun (r : Rules.t) ->
-      Printf.printf "%-12s %-16s %s\n" r.name
+      Printf.printf "%-14s %-16s %s%s\n" r.name
         (Rules.family_name r.family)
+        (if r.typed then "[typed] " else "")
         r.summary)
     Rules.all;
   exit 0
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
 
 let () =
   let json = ref false in
   let rules = ref None in
   let baseline = ref None in
+  let typed = ref false in
+  let cmt_root = ref None in
+  let entry_pats = ref [] in
+  let callgraph_out = ref None in
+  let domain_out = ref None in
   let roots = ref [] in
   let rec parse = function
     | [] -> ()
@@ -46,6 +72,22 @@ let () =
       json := true;
       parse rest
     | "--list-rules" :: _ -> list_rules ()
+    | "--typed" :: rest ->
+      typed := true;
+      parse rest
+    | "--cmt-root" :: dir :: rest ->
+      cmt_root := Some dir;
+      parse rest
+    | "--entry" :: pat :: rest ->
+      entry_pats := pat :: !entry_pats;
+      parse rest
+    | "--callgraph" :: fmt :: file :: rest
+      when String.equal fmt "dot" || String.equal fmt "json" ->
+      callgraph_out := Some (fmt, file);
+      parse rest
+    | "--domain-report" :: file :: rest ->
+      domain_out := Some file;
+      parse rest
     | "--rules" :: spec :: rest ->
       let names =
         String.split_on_char ',' spec
@@ -69,7 +111,11 @@ let () =
       end;
       baseline := Some (Lint.load_baseline file);
       parse rest
-    | ("--help" | "-h") :: _ | ("--rules" | "--baseline") :: [] -> usage ()
+    | ("--help" | "-h") :: _
+    | ("--rules" | "--baseline" | "--cmt-root" | "--entry" | "--domain-report")
+      :: [] ->
+      usage ()
+    | "--callgraph" :: _ -> usage ()
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "rlist_lint: unknown option %s\n" arg;
       usage ()
@@ -87,6 +133,55 @@ let () =
       end)
     roots;
   let findings = Lint.run ?rules:!rules roots in
+  let findings =
+    if not !typed then findings
+    else begin
+      let cmt_root =
+        match !cmt_root with
+        | Some d -> d
+        | None -> if Sys.file_exists "_build/default" then "_build/default" else "."
+      in
+      let corpus = Cmt_loader.load_dir ~roots cmt_root in
+      (match Cmt_loader.units corpus with
+      | [] ->
+        Printf.eprintf
+          "rlist_lint: no .cmt artifacts under %S for roots %s; build first \
+           (dune build) or pass --cmt-root\n"
+          cmt_root (String.concat "," roots);
+        exit 64
+      | _ -> ());
+      List.iter
+        (fun e -> Printf.eprintf "rlist_lint: warning: %s\n" e)
+        (Cmt_loader.errors corpus);
+      let g = Callgraph.build corpus in
+      let entries =
+        match List.rev !entry_pats with
+        | [] -> Typed.default_entries
+        | pats -> pats
+      in
+      let reach = Typed.det_reach ~entries g in
+      let muts = Typed.domain_scan corpus in
+      (match !callgraph_out with
+      | Some ("dot", file) ->
+        write_file file
+          (Callgraph.dot ~entries:reach.r_entries ~reached:reach.r_reached g)
+      | Some (_, file) ->
+        write_file file
+          (Callgraph.json ~entries:reach.r_entries ~reached:reach.r_reached g)
+      | None -> ());
+      (match !domain_out with
+      | Some file -> write_file file (Typed.domain_report_json muts)
+      | None -> ());
+      let typed_findings = reach.r_findings @ Typed.domain_findings muts in
+      let selected =
+        match !rules with
+        | None -> typed_findings
+        | Some l ->
+          List.filter (fun (f : Finding.t) -> List.mem f.rule l) typed_findings
+      in
+      Lint.dedupe (List.sort Finding.compare (findings @ selected))
+    end
+  in
   let findings =
     match !baseline with
     | None -> findings

@@ -163,7 +163,7 @@ let client_receive_batch t batch =
         if origin <> t.id then Some (Context.with_context op ~ctx) else None)
       batch
   in
-  if foreign <> [] then process_run r foreign
+  match foreign with [] -> () | _ :: _ -> process_run r foreign
 
 let c2s_op_id ({ op; _ } : c2s) = Some op.Op.id
 

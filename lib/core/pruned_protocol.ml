@@ -223,10 +223,11 @@ let client_receive_batch t batch =
         | _ -> None)
       batch
   in
-  if foreign <> [] then begin
+  (match foreign with
+  | [] -> ()
+  | _ :: _ ->
     let forms = State_space.add_run r.space foreign in
-    List.iter (fun form -> r.doc <- Op.apply form r.doc) forms
-  end;
+    List.iter (fun form -> r.doc <- Op.apply form r.doc) forms);
   let stable =
     List.fold_left
       (fun acc -> function

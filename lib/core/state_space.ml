@@ -9,7 +9,13 @@ open Rlist_ot
    transformations, so [ot_count] drops); the context-match shortcut
    is a pure strength reduction and is always on. *)
 module Fastpath = struct
-  let enabled = ref false
+  (* Shard-readiness (ROADMAP item 2): these knobs and counters are
+     process-global by design — the bench harness toggles them around
+     whole runs, never concurrently with protocol work.  Under a
+     multi-domain server they must become per-shard or atomic; until
+     then they are suppressed here and tracked as shared-unsafe in the
+     domain-safety report (rlist_lint --typed --domain-report). *)
+  let enabled = ref false [@@lint.allow "module-mutable"]
 
   (* Seed-equivalent ablation mode for the C16 benchmark: a space
      created under [baseline] re-derives every created node's hash
@@ -18,13 +24,13 @@ module Fastpath = struct
      — the O(|state|)-per-square costs the incremental hashing and
      the pointer mirror below eliminate.  Captured at {!create} time
      so a space's hashing strategy never changes mid-life. *)
-  let baseline = ref false
+  let baseline = ref false [@@lint.allow "module-mutable"]
 
-  let context_hits = ref 0
+  let context_hits = ref 0 [@@lint.allow "module-mutable"]
 
-  let append_hits = ref 0
+  let append_hits = ref 0 [@@lint.allow "module-mutable"]
 
-  let generic_squares = ref 0
+  let generic_squares = ref 0 [@@lint.allow "module-mutable"]
 
   let reset () =
     context_hits := 0;

@@ -1,0 +1,243 @@
+(* The typed front end: load [.cmt] artifacts (dune emits them under
+   [_build/default/**/.objs/byte/]) and index what the interprocedural
+   passes need — each implementation unit's Typedtree, and a corpus-
+   wide table of type declarations so "visibly comparable" questions
+   can be answered across module boundaries without re-running the
+   typer.
+
+   Everything here is keyed on the *flat* unit names the compiler
+   itself uses ("Rlist_net__Transport" for dune's wrapped
+   [lib/net/transport.ml]), so resolution of a reference like
+   [Rlist_net.Faults.validate] is a table lookup, not a guess. *)
+
+let normalize path =
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+type unit_info = {
+  modname : string;  (* flat unit name, e.g. "Rlist_net__Transport" *)
+  source : string;  (* normalized source path recorded in the .cmt *)
+  str : Typedtree.structure;
+}
+
+type t = {
+  units : unit_info list;
+  by_name : (string, unit_info) Hashtbl.t;
+  type_decls : (string, Types.type_declaration) Hashtbl.t;
+  errors : string list;
+}
+
+let units t = t.units
+let errors t = t.errors
+let mem_unit t name = Hashtbl.mem t.by_name name
+let find_type t name = Hashtbl.find_opt t.type_decls name
+
+(* Record every type declaration of [u], keyed "Unit.Sub.t", walking
+   into nested (non-functor) modules. *)
+let collect_type_decls table (u : unit_info) =
+  let rec structure prefix (str : Typedtree.structure) =
+    List.iter (item prefix) str.str_items
+  and item prefix (si : Typedtree.structure_item) =
+    match si.str_desc with
+    | Tstr_type (_, decls) ->
+      List.iter
+        (fun (d : Typedtree.type_declaration) ->
+          let key =
+            String.concat "." (u.modname :: (prefix @ [ d.typ_name.txt ]))
+          in
+          if not (Hashtbl.mem table key) then
+            Hashtbl.replace table key d.typ_type)
+        decls
+    | Tstr_module mb -> module_binding prefix mb
+    | Tstr_recmodule mbs -> List.iter (module_binding prefix) mbs
+    | _ -> ()
+  and module_binding prefix (mb : Typedtree.module_binding) =
+    match mb.mb_id with
+    | None -> ()
+    | Some id -> module_expr (prefix @ [ Ident.name id ]) mb.mb_expr
+  and module_expr prefix (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure str -> structure prefix str
+    | Tmod_constraint (me, _, _, _) -> module_expr prefix me
+    | _ -> ()
+  in
+  structure [] u.str
+
+let read_one path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> Error (Printf.sprintf "%s: unreadable .cmt" path)
+  | cmt -> (
+    match cmt.cmt_annots with
+    | Cmt_format.Implementation str ->
+      let source =
+        match cmt.cmt_sourcefile with
+        | Some s -> normalize s
+        | None -> cmt.cmt_modname
+      in
+      Ok (Some { modname = cmt.cmt_modname; source; str })
+    | _ -> Ok None)
+
+(* All [.cmt] files under [dir], dot-directories included (that is
+   where dune keeps them), sorted for run-to-run stability. *)
+let scan dir =
+  let acc = ref [] in
+  let rec go path =
+    match Sys.is_directory path with
+    | true ->
+      Array.iter
+        (fun entry ->
+          if not (String.equal entry "..") && not (String.equal entry ".")
+          then go (Filename.concat path entry))
+        (Sys.readdir path)
+    | false -> if Filename.check_suffix path ".cmt" then acc := path :: !acc
+    | exception _ -> ()
+  in
+  if Sys.file_exists dir then go dir;
+  List.sort String.compare !acc
+
+let under prefixes source =
+  match prefixes with
+  | [] -> true
+  | _ ->
+    List.exists
+      (fun p ->
+        let lp = String.length p and ls = String.length source in
+        ls >= lp
+        && String.equal (String.sub source 0 lp) p
+        && (ls = lp || source.[lp] = '/'))
+      prefixes
+
+let load_files ?(roots = []) paths =
+  let by_name = Hashtbl.create 64 in
+  let errors = ref [] in
+  let units = ref [] in
+  List.iter
+    (fun path ->
+      match read_one path with
+      | Error e -> errors := e :: !errors
+      | Ok None -> ()
+      | Ok (Some u) ->
+        if under roots u.source && not (Hashtbl.mem by_name u.modname)
+        then begin
+          Hashtbl.replace by_name u.modname u;
+          units := u :: !units
+        end)
+    paths;
+  let units =
+    List.sort (fun a b -> String.compare a.modname b.modname) !units
+  in
+  let type_decls = Hashtbl.create 256 in
+  List.iter (collect_type_decls type_decls) units;
+  { units; by_name; type_decls; errors = List.rev !errors }
+
+let load_dir ?roots dir = load_files ?roots (scan dir)
+
+(* --- qualified-name resolution --------------------------------------- *)
+
+(* Map the component list of a [Path.t] as seen at a use site onto a
+   corpus unit: ["Rlist_net"; "Faults"; "validate"] resolves through
+   the wrapper alias to unit "Rlist_net__Faults" with ["validate"]
+   left over.  Order matters — the two-component wrapped form is the
+   common case and must win over the bare library alias module. *)
+let has_flat_sep name =
+  let n = String.length name in
+  let rec go i = i + 1 < n && ((name.[i] = '_' && name.[i + 1] = '_') || go (i + 1)) in
+  go 0
+
+let resolve_qualified t = function
+  | [] -> None
+  | head :: rest -> (
+    if has_flat_sep head && mem_unit t head then Some (head, rest)
+    else
+      match rest with
+      | sub :: rest' when mem_unit t (head ^ "__" ^ sub) ->
+        Some (head ^ "__" ^ sub, rest')
+      | _ -> if mem_unit t head then Some (head, rest) else None)
+
+(* --- visible comparability ------------------------------------------- *)
+
+let strip_stdlib name =
+  if String.starts_with ~prefix:"Stdlib." name then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+let base_comparable =
+  [
+    "int"; "string"; "char"; "bool"; "unit"; "float"; "int32"; "int64";
+    "nativeint"; "bytes";
+    "Int.t"; "String.t"; "Char.t"; "Bool.t"; "Float.t"; "Unit.t";
+    "Int32.t"; "Int64.t"; "Nativeint.t"; "Bytes.t";
+  ]
+
+(* Would polymorphic [=]/[compare] at this type be structurally
+   deterministic and total "by inspection"?  Builtins and containers
+   of comparable things are; so are records/variants whose components
+   all are (resolved through the corpus type table, across modules).
+   Anything abstract, functional, polymorphic or unresolvable is not —
+   conservative in the direction that produces a finding. *)
+let visibly_comparable t ty =
+  let rec comparable seen ty =
+    match Types.get_desc ty with
+    | Ttuple ts -> List.for_all (comparable seen) ts
+    | Tpoly (ty, _) -> comparable seen ty
+    | Tconstr (p, args, _) -> (
+      let name = strip_stdlib (Path.name p) in
+      if List.mem name base_comparable then true
+      else
+        match name with
+        | "list" | "option" | "array" | "ref" ->
+          List.for_all (comparable seen) args
+        | _ ->
+          if List.mem name seen then true (* recursive type: assume *)
+          else
+            let seen = name :: seen in
+            let decl =
+              match find_type t name with
+              | Some d -> Some d
+              | None -> (
+                (* use-site spelling -> flat unit spelling *)
+                match resolve_qualified t (String.split_on_char '.' name) with
+                | Some (unit_name, rest) ->
+                  find_type t (String.concat "." (unit_name :: rest))
+                | None -> None)
+            in
+            decl_comparable seen args decl)
+    | _ -> false
+  and decl_comparable seen args = function
+    | None -> false
+    | Some (d : Types.type_declaration) -> (
+      (* Parameterized abbreviations would need substitution; only the
+         closed cases are decided, everything else stays "not visibly
+         comparable". *)
+      match d.type_manifest with
+      | Some m when List.is_empty d.type_params -> comparable seen m
+      | Some _ -> false
+      | None -> (
+        match d.type_kind with
+        | Type_record (fields, _) ->
+          List.is_empty d.type_params && List.is_empty args
+          && List.for_all
+               (fun (f : Types.label_declaration) ->
+                 comparable seen f.ld_type)
+               fields
+        | Type_variant (cstrs, _) ->
+          List.is_empty d.type_params && List.is_empty args
+          && List.for_all
+               (fun (c : Types.constructor_declaration) ->
+                 match c.cd_args with
+                 | Cstr_tuple ts -> List.for_all (comparable seen) ts
+                 | Cstr_record fields ->
+                   List.for_all
+                     (fun (f : Types.label_declaration) ->
+                       comparable seen f.ld_type)
+                     fields)
+               cstrs
+        | _ -> false))
+  in
+  comparable [] ty
+
+let type_to_string ty =
+  match Format.asprintf "%a" Printtyp.type_expr ty with
+  | s -> s
+  | exception _ -> "<type>"

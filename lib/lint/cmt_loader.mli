@@ -1,0 +1,66 @@
+(** The typed front end: a corpus of [.cmt] artifacts (the Typedtree
+    the compiler saved next to each object file) indexed for the
+    interprocedural passes.
+
+    Loading is forgiving by design: unreadable or non-implementation
+    [.cmt]s are skipped (and recorded in {!errors}) rather than
+    aborting the run — the analyzer must stay usable on a partially
+    built tree. *)
+
+type unit_info = {
+  modname : string;
+      (** flat compilation-unit name, e.g. ["Rlist_net__Transport"]
+          for dune's wrapped [lib/net/transport.ml] *)
+  source : string;  (** normalized source path recorded in the .cmt *)
+  str : Typedtree.structure;
+}
+
+type t
+
+val load_dir : ?roots:string list -> string -> t
+(** Scan [dir] recursively (dot-directories included — that is where
+    dune keeps [.objs]) for [.cmt] files and load every implementation
+    unit.  [roots], when non-empty, keeps only units whose recorded
+    source path lies under one of the given '/'-separated prefixes
+    (e.g. [["lib"]]). *)
+
+val load_files : ?roots:string list -> string list -> t
+(** Load an explicit list of [.cmt] paths (same filtering). *)
+
+val units : t -> unit_info list
+(** Loaded units, sorted by unit name. *)
+
+val errors : t -> string list
+(** Files that could not be read as [.cmt] implementations. *)
+
+val mem_unit : t -> string -> bool
+(** Is this flat unit name in the corpus? *)
+
+val find_type : t -> string -> Types.type_declaration option
+(** Look up a type declaration by its corpus key
+    (["Unit.Sub.t"], flat unit name first). *)
+
+val resolve_qualified : t -> string list -> (string * string list) option
+(** Map the dot-components of a path as spelled at a use site
+    (["Rlist_net"; "Faults"; "validate"]) onto [(flat_unit,
+    remaining_components)] — here [("Rlist_net__Faults",
+    ["validate"])].  [None] when the head does not resolve to a
+    corpus unit (an external reference). *)
+
+val visibly_comparable : t -> Types.type_expr -> bool
+(** Would polymorphic [=]/[compare] at this type be structurally
+    deterministic and total "by inspection"?  Builtin scalars and
+    containers of comparable things are; records/variants whose
+    components all are (resolved through the corpus across modules)
+    are too.  Abstract, functional, polymorphic or unresolvable types
+    are not — conservative in the direction that produces a
+    finding. *)
+
+val type_to_string : Types.type_expr -> string
+(** Render a type for a finding message (best effort). *)
+
+val strip_stdlib : string -> string
+(** Drop a leading ["Stdlib."] from a printed path. *)
+
+val normalize : string -> string
+(** Strip a leading ["./"]. *)

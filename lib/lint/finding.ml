@@ -4,7 +4,11 @@ type t = {
   col : int;
   rule : string;
   msg : string;
+  chain : string list;
 }
+
+let v ?(chain = []) ~file ~line ~col ~rule msg =
+  { file; line; col; rule; msg; chain }
 
 let compare a b =
   match String.compare a.file b.file with
@@ -18,7 +22,11 @@ let compare a b =
   | c -> c
 
 let pp ppf f =
-  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg;
+  match f.chain with
+  | [] -> ()
+  | chain ->
+    Format.fprintf ppf "@\n    via %s" (String.concat " -> " chain)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -42,7 +50,15 @@ let to_json f =
     | Some r -> Rules.family_name r.Rules.family
     | None -> "unknown"
   in
+  let chain =
+    match f.chain with
+    | [] -> ""
+    | links ->
+      Printf.sprintf ",\"chain\":[%s]"
+        (String.concat ","
+           (List.map (fun l -> Printf.sprintf "\"%s\"" (json_escape l)) links))
+  in
   Printf.sprintf
-    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"family\":\"%s\",\"message\":\"%s\"}"
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"family\":\"%s\",\"message\":\"%s\"%s}"
     (json_escape f.file) f.line f.col (json_escape f.rule) family
-    (json_escape f.msg)
+    (json_escape f.msg) chain

@@ -46,6 +46,26 @@ let allows_of_attrs attrs =
       else [])
     attrs
 
+(* One [[@lint.allow]] occurrence, tracked so suppressions that never
+   suppress anything can themselves be reported (unused-allow). *)
+type allow_site = {
+  a_loc : Location.t;
+  a_names : string list;
+  mutable a_used : string list;
+}
+
+let site_of_attrs attrs =
+  match
+    List.find_opt
+      (fun (a : attribute) -> String.equal a.attr_name.txt "lint.allow")
+      attrs
+  with
+  | Some a -> (
+    match allows_of_attrs attrs with
+    | [] -> None
+    | names -> Some { a_loc = a.attr_loc; a_names = names; a_used = [] })
+  | None -> None
+
 let rec flatten = function
   | Longident.Lident s -> s
   | Longident.Ldot (l, s) -> flatten l ^ "." ^ s
@@ -95,10 +115,32 @@ let check_source ?(mli_exists = true) ?rules ~path source =
   let findings = ref [] in
   let file_allows = ref [] in
   let allow_stack = ref [] in
+  let all_sites = ref [] in
+  let parse_failed = ref false in
   let defines_compare = ref false in
   let suppressed rule =
-    let hit = List.exists (fun a -> String.equal a "all" || String.equal a rule) in
-    hit !file_allows || List.exists hit !allow_stack
+    (* Every in-scope site naming the rule (or "all") counts as doing
+       work — marking them keeps nested duplicates out of the
+       unused-allow report rather than litigating which one "won". *)
+    let hits site =
+      if
+        List.exists
+          (fun a -> String.equal a "all" || String.equal a rule)
+          site.a_names
+      then begin
+        if not (List.mem rule site.a_used) then
+          site.a_used <- rule :: site.a_used;
+        true
+      end
+      else false
+    in
+    let in_stack =
+      List.fold_left (fun acc s -> hits s || acc) false !allow_stack
+    in
+    let in_file =
+      List.fold_left (fun acc s -> hits s || acc) false !file_allows
+    in
+    in_stack || in_file
   in
   let selected rule =
     match rules with None -> true | Some l -> List.mem rule l
@@ -109,17 +151,14 @@ let check_source ?(mli_exists = true) ?rules ~path source =
       when Rules.applies r path && selected rule && not (suppressed rule) ->
       let p = loc.Location.loc_start in
       findings :=
-        {
-          Finding.file = path;
-          line = p.Lexing.pos_lnum;
-          col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1;
-          rule;
-          msg;
-        }
+        Finding.v ~file:path ~line:p.Lexing.pos_lnum
+          ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol + 1)
+          ~rule msg
         :: !findings
     | _ -> ()
   in
   let report_parse_error exn =
+    parse_failed := true;
     let loc, what =
       match exn with
       | Syntaxerr.Error err -> Syntaxerr.location_of_error err, "syntax error"
@@ -197,10 +236,11 @@ let check_source ?(mli_exists = true) ?rules ~path source =
     | _ -> ()
   in
   let with_allows attrs f =
-    match allows_of_attrs attrs with
-    | [] -> f ()
-    | names ->
-      allow_stack := names :: !allow_stack;
+    match site_of_attrs attrs with
+    | None -> f ()
+    | Some site ->
+      all_sites := site :: !all_sites;
+      allow_stack := site :: !allow_stack;
       Fun.protect ~finally:(fun () -> allow_stack := List.tl !allow_stack) f
   in
   let lexbuf = Lexing.from_string source in
@@ -226,8 +266,12 @@ let check_source ?(mli_exists = true) ?rules ~path source =
            structure_item =
              (fun it si ->
                (match si.pstr_desc with
-               | Pstr_attribute a ->
-                 file_allows := allows_of_attrs [ a ] @ !file_allows
+               | Pstr_attribute a -> (
+                 match site_of_attrs [ a ] with
+                 | Some site ->
+                   all_sites := site :: !all_sites;
+                   file_allows := site :: !file_allows
+                 | None -> ())
                | _ -> ());
                default.structure_item it si);
          }
@@ -261,6 +305,32 @@ let check_source ?(mli_exists = true) ?rules ~path source =
      match Parse.interface lexbuf with
      | exception exn -> report_parse_error exn
      | _signature -> ());
+  (* Suppression hygiene: a [[@lint.allow]] under which the named rule
+     never fired is stale and reported.  Judged only on a full-rule
+     run of a parseable file; rules of the typed (.cmt) passes and
+     rules whose scope does not cover this file are out of the
+     Parsetree pass's jurisdiction and skipped. *)
+  (if Option.is_none rules && not !parse_failed then
+     let judge site name =
+       if List.mem name site.a_used then ()
+       else
+         let stale reason =
+           report ~loc:site.a_loc "unused-allow"
+             (Printf.sprintf
+                "[@lint.allow %S] suppresses nothing here (%s); remove the \
+                 stale seam"
+                name reason)
+         in
+         match name with
+         | "all" -> if List.is_empty site.a_used then stale "no rule fires"
+         | _ -> (
+           match Rules.find name with
+           | None -> stale "no such rule"
+           | Some r when r.Rules.typed -> ()
+           | Some r when not (Rules.applies r path) -> ()
+           | Some _ -> stale "the rule never fires in this scope")
+     in
+     List.iter (fun site -> List.iter (judge site) site.a_names) !all_sites);
   List.sort_uniq Finding.compare !findings
 
 let read_file path =
@@ -324,6 +394,31 @@ let apply_baseline baseline findings =
            (fun (path, rule) ->
              String.equal path f.file && String.equal rule f.rule)
            baseline))
+    findings
+
+(* When the Parsetree and Typedtree passes flag the same site — e.g.
+   [rand-global] and a [det-reach] whose sink is that same call — keep
+   the typed finding only: it is the more precise one (it carries the
+   witness chain).  Matching is by (file, line) plus the registry's
+   subsumption map; exit-code bits are stable because a typed rule
+   shares its family with the rules it subsumes. *)
+let dedupe findings =
+  let typed_sites =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        match Rules.find f.rule with
+        | Some r when r.Rules.typed -> Some (f.file, f.line, f.rule)
+        | _ -> None)
+      findings
+  in
+  List.filter
+    (fun (f : Finding.t) ->
+      not
+        (List.exists
+           (fun (file, line, typed_rule) ->
+             String.equal file f.file && line = f.line
+             && Rules.subsumed_by ~typed_rule f.rule)
+           typed_sites))
     findings
 
 let exit_code findings =

@@ -50,6 +50,12 @@ type baseline
 val load_baseline : string -> baseline
 val apply_baseline : baseline -> Finding.t list -> Finding.t list
 
+val dedupe : Finding.t list -> Finding.t list
+(** Drop Parsetree findings that a typed finding at the same
+    [(file, line)] subsumes (see {!Rules.subsumed_by}): the typed rule
+    is the more precise report of the same defect, and shares its
+    exit-code family with the rules it subsumes. *)
+
 (** {1 Reporting} *)
 
 val exit_code : Finding.t list -> int

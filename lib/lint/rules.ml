@@ -1,22 +1,31 @@
-type family = Hygiene | Determinism | Exception_safety | Interface
+type family =
+  | Hygiene
+  | Determinism
+  | Exception_safety
+  | Interface
+  | Domain_safety
 
 let family_name = function
   | Hygiene -> "hygiene"
   | Determinism -> "determinism"
   | Exception_safety -> "exception-safety"
   | Interface -> "interface"
+  | Domain_safety -> "domain-safety"
 
 let family_bit = function
   | Hygiene -> 1
   | Determinism -> 2
   | Exception_safety -> 4
   | Interface -> 8
+  | Domain_safety -> 16
 
 type t = {
   name : string;
   family : family;
   scope : string list option;
   summary : string;
+  typed : bool;
+  subsumes : string list;
 }
 
 (* The protocol libraries, where operation and state types carry
@@ -36,108 +45,73 @@ let transform_paths = Some [ "lib/ot"; "lib/cscw/two_d_space.ml" ]
 
 let libraries = Some [ "lib" ]
 
+let rule ?(typed = false) ?(subsumes = []) name family scope summary =
+  { name; family; scope; summary; typed; subsumes }
+
 let all =
   [
     (* -- Hygiene: ports of the old textual scanner ------------------ *)
-    {
-      name = "obj-magic";
-      family = Hygiene;
-      scope = None;
-      summary = "Obj.magic is forbidden";
-    };
-    {
-      name = "sys-time";
-      family = Hygiene;
-      scope = None;
-      summary =
-        "Sys.time measures CPU seconds; use the metrics clock or \
-         Unix.gettimeofday (outside the deterministic core)";
-    };
-    {
-      name = "poly-eq";
-      family = Hygiene;
-      scope = strict;
-      summary =
-        "polymorphic =/<> against a constructor; match instead";
-    };
-    {
-      name = "poly-cmp";
-      family = Hygiene;
-      scope = strict;
-      summary =
-        "bare polymorphic compare; use the type's own compare";
-    };
-    {
-      name = "poly-hash";
-      family = Hygiene;
-      scope = strict;
-      summary =
-        "Hashtbl.hash is structural and follows irrelevant fields";
-    };
-    {
-      name = "parse-error";
-      family = Hygiene;
-      scope = None;
-      summary = "the file does not parse (analysis impossible)";
-    };
+    rule "obj-magic" Hygiene None "Obj.magic is forbidden";
+    rule "sys-time" Hygiene None
+      "Sys.time measures CPU seconds; use the metrics clock or \
+       Unix.gettimeofday (outside the deterministic core)";
+    rule "poly-eq" Hygiene strict
+      "polymorphic =/<> against a constructor; match instead";
+    rule "poly-cmp" Hygiene strict
+      "bare polymorphic compare; use the type's own compare";
+    rule "poly-hash" Hygiene strict
+      "Hashtbl.hash is structural and follows irrelevant fields";
+    rule "parse-error" Hygiene None
+      "the file does not parse (analysis impossible)";
+    rule "unused-allow" Hygiene None
+      "a [@lint.allow] suppression under which the named rule never \
+       fires; remove the stale seam before it excuses a future bug";
     (* -- Determinism ------------------------------------------------ *)
-    {
-      name = "rand-global";
-      family = Determinism;
-      scope = deterministic;
-      summary =
-        "global-state Random.* call; thread an explicit seeded \
-         Random.State.t instead";
-    };
-    {
-      name = "hashtbl-iter";
-      family = Determinism;
-      scope = deterministic;
-      summary =
-        "Hashtbl.iter/fold visits in hash-bucket order, which is not \
-         deterministic across inputs; iterate a sorted view instead";
-    };
-    {
-      name = "wall-clock";
-      family = Determinism;
-      scope = deterministic;
-      summary =
-        "wall-clock read in replayed code; take time through the \
-         obs/bench clock seams";
-    };
-    {
-      name = "float-format";
-      family = Determinism;
-      scope = deterministic;
-      summary =
-        "shortest-round-trip float formatting is representation- \
-         sensitive; print with an explicit format (e.g. %.17g)";
-    };
-    {
-      name = "print-direct";
-      family = Determinism;
-      scope = libraries;
-      summary =
-        "direct stdout/stderr write in library code; route output \
-         through the obs sink or a caller-supplied formatter";
-    };
+    rule "rand-global" Determinism deterministic
+      "global-state Random.* call; thread an explicit seeded \
+       Random.State.t instead";
+    rule "hashtbl-iter" Determinism deterministic
+      "Hashtbl.iter/fold visits in hash-bucket order, which is not \
+       deterministic across inputs; iterate a sorted view instead";
+    rule "wall-clock" Determinism deterministic
+      "wall-clock read in replayed code; take time through the \
+       obs/bench clock seams";
+    rule "float-format" Determinism deterministic
+      "shortest-round-trip float formatting is representation- \
+       sensitive; print with an explicit format (e.g. %.17g)";
+    rule "print-direct" Determinism libraries
+      "direct stdout/stderr write in library code; route output \
+       through the obs sink or a caller-supplied formatter";
+    rule "det-reach" Determinism None ~typed:true
+      ~subsumes:
+        [
+          "rand-global";
+          "hashtbl-iter";
+          "wall-clock";
+          "sys-time";
+          "poly-hash";
+          "float-format";
+          "print-direct";
+          "poly-eq";
+          "poly-cmp";
+        ]
+      "a protocol entry point transitively reaches a nondeterministic \
+       primitive (typed interprocedural pass over .cmt call graphs; \
+       the finding prints the witness call chain)";
     (* -- Exception safety ------------------------------------------- *)
-    {
-      name = "exn-partial";
-      family = Exception_safety;
-      scope = transform_paths;
-      summary =
-        "partial construct in a transform path (raise/failwith/\
-         invalid_arg/assert false/List.hd/Option.get/array access); \
-         OT transforms must be total";
-    };
+    rule "exn-partial" Exception_safety transform_paths
+      "partial construct in a transform path (raise/failwith/\
+       invalid_arg/assert false/List.hd/Option.get/array access); \
+       OT transforms must be total";
     (* -- Interface completeness ------------------------------------- *)
-    {
-      name = "missing-mli";
-      family = Interface;
-      scope = libraries;
-      summary = "library module without a matching .mli";
-    };
+    rule "missing-mli" Interface libraries
+      "library module without a matching .mli";
+    (* -- Domain safety (shard readiness, ROADMAP item 2) ------------- *)
+    rule "module-mutable" Domain_safety None ~typed:true
+      "module-level mutable state (toplevel ref/Hashtbl/Buffer/array \
+       or escaping mutable record) is shared the moment documents are \
+       pinned to domains; confine it to a shard, make it atomic, or \
+       carry a justified suppression";
   ]
 
 let find name = List.find_opt (fun r -> String.equal r.name name) all
@@ -153,3 +127,8 @@ let applies r path =
         && String.equal (String.sub path 0 lp) p
         && (lpath = lp || path.[lp] = '/'))
       prefixes
+
+let subsumed_by ~typed_rule untyped_rule =
+  match find typed_rule with
+  | Some r -> r.typed && List.mem untyped_rule r.subsumes
+  | None -> false

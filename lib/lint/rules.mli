@@ -5,15 +5,25 @@
     class of invariant broke:
     {ul
     {- [Hygiene] (bit 1) — comparison/unsafe-cast hygiene ported from
-       the old textual scanner.}
+       the old textual scanner, plus suppression hygiene
+       ([unused-allow]).}
     {- [Determinism] (bit 2) — sources of hidden nondeterminism that
        would invalidate byte-for-byte differential replays (Thm 7.1
-       evidence).}
+       evidence), including the typed reachability pass
+       ([det-reach]).}
     {- [Exception_safety] (bit 4) — partial constructs in the OT
        transform paths, which must be demonstrably total.}
-    {- [Interface] (bit 8) — interface completeness of the libraries.}} *)
+    {- [Interface] (bit 8) — interface completeness of the libraries.}
+    {- [Domain_safety] (bit 16) — module-level mutable state that
+       becomes a data race once documents are sharded across OCaml 5
+       domains (ROADMAP item 2).}} *)
 
-type family = Hygiene | Determinism | Exception_safety | Interface
+type family =
+  | Hygiene
+  | Determinism
+  | Exception_safety
+  | Interface
+  | Domain_safety
 
 val family_name : family -> string
 val family_bit : family -> int
@@ -23,8 +33,18 @@ type t = {
   family : family;
   scope : string list option;
       (** path prefixes ('/'-separated, repo-relative) the rule fires
-          under; [None] means everywhere under the scanned roots *)
+          under; [None] means everywhere under the scanned roots.  The
+          typed rules carry [None]: their scope is whatever set of
+          [.cmt] units the corpus was loaded with. *)
   summary : string;  (** one-line description for [--list-rules] *)
+  typed : bool;
+      (** [true] for rules produced by the typed (.cmt) passes only;
+          the Parsetree pass can neither fire nor judge the staleness
+          of suppressions for these. *)
+  subsumes : string list;
+      (** untyped rules this rule reports more precisely; when both
+          fire at the same [(file, line)] the untyped finding is
+          dropped (see {!Lint.dedupe}). *)
 }
 
 val all : t list
@@ -37,3 +57,8 @@ val applies : t -> string -> bool
 (** [applies rule path] — does [rule]'s scope cover the (normalized)
     [path]?  Prefix matching respects path-component boundaries, so
     ["lib/ot"] covers ["lib/ot/op.ml"] but not ["lib/other/x.ml"]. *)
+
+val subsumed_by : typed_rule:string -> string -> bool
+(** [subsumed_by ~typed_rule untyped] — is a finding of [untyped] at
+    the same location a less precise duplicate of one of
+    [typed_rule]? *)

@@ -38,8 +38,12 @@ let generic_xform ~tie_shifts ~strict o1 o2 =
     end
 
 (* Global observability tap: one indirect no-op call per primitive
-   transformation when nothing is listening. *)
-let on_xform : (unit -> unit) ref = ref (fun () -> ())
+   transformation when nothing is listening.  Shard-readiness (ROADMAP
+   item 2): process-global and written only at instrumentation setup;
+   must become per-shard or atomic before the multi-domain server —
+   suppressed here, tracked in the domain-safety report. *)
+let on_xform : (unit -> unit) ref =
+  ref (fun () -> ()) [@@lint.allow "module-mutable"]
 
 let xform o1 o2 =
   !on_xform ();

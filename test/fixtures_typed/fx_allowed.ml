@@ -1,0 +1,5 @@
+(* A reachable sink under an explicit suppression: the typed pass must
+   honor the same [@lint.allow] seams as the Parsetree pass. *)
+let jitter n = (Random.int n) [@lint.allow "rand-global"]
+
+let transform n = jitter n

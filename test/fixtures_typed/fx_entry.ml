@@ -1,0 +1,3 @@
+(* A protocol entry point ("transform") whose nondeterminism is two
+   modules away. *)
+let transform n = Fx_mid.step n * 2

@@ -1,0 +1,3 @@
+(* Seeded determinism bug: the global PRNG, three calls below an
+   entry point (fx_entry -> fx_mid -> here). *)
+let pick n = Random.int n

@@ -1,0 +1,2 @@
+(* Middle hop of the transitive chain: no sink of its own. *)
+let step n = Fx_leaf.pick (n + 1)

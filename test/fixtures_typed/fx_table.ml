@@ -1,0 +1,10 @@
+(* Seeded domain-safety bug: module-level mutable state (a shared
+   hashtable) with no suppression — and a seeded determinism bug: an
+   entry point iterating it in hash-bucket order. *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let remember k v = Hashtbl.replace table k v
+
+let recall k = Hashtbl.find_opt table k
+
+let server_receive_all f = Hashtbl.iter f table

@@ -185,8 +185,10 @@ let test_suppressions () =
   check_rules "allow \"all\" silences everything" []
     ~path:"lib/ot/fixture.ml"
     "[@@@lint.allow \"all\"]\nlet f () = failwith (string_of_float 1.0)\n";
+  (* rule B's finding still fires, and the allow for A — which did no
+     work here — is now itself stale *)
   check_rules "an allow for rule A does not silence rule B"
-    [ "poly-eq" ] ~path:"lib/core/fixture.ml"
+    [ "poly-eq"; "unused-allow" ] ~path:"lib/core/fixture.ml"
     "let f x = (x = Some 1) [@lint.allow \"poly-cmp\"]\n";
   check_rules "suppression is scoped, not file-wide" [ "poly-eq" ]
     ~path:"lib/core/fixture.ml"
@@ -197,6 +199,33 @@ let test_suppressions () =
   check_rules "a payload-less allow suppresses nothing" [ "poly-eq" ]
     ~path:"lib/core/fixture.ml"
     "let f x = (x = Some 1) [@lint.allow]\n"
+
+let test_unused_allow () =
+  check_rules "a suppression that suppresses nothing is reported"
+    [ "unused-allow" ] ~path:"lib/core/fixture.ml"
+    "let f x = (x + 1) [@lint.allow \"poly-eq\"]\n";
+  check_rules "a floating allow that never fires is reported"
+    [ "unused-allow" ] ~path:"lib/core/fixture.ml"
+    "[@@@lint.allow \"poly-cmp\"]\nlet f x = x + 1\n";
+  check_rules "an allow naming a nonexistent rule is reported"
+    [ "unused-allow" ] ~path:"lib/core/fixture.ml"
+    "let f x = x [@@lint.allow \"poly-eqq\"]\n";
+  check_rules "allows for typed rules are outside this pass's jurisdiction"
+    [] ~path:"lib/core/fixture.ml"
+    "let t = ref 0 [@@lint.allow \"module-mutable\"]\n";
+  check_rules "an allow for a rule out of scope here is left alone" []
+    ~path:"bench/fixture.ml"
+    "let r () = (Random.int 5) [@lint.allow \"rand-global\"]\n";
+  check_rules "a used allow is not stale" []
+    ~path:"lib/core/fixture.ml"
+    "let f x = (x = Some 1) [@lint.allow \"poly-eq\"]\n";
+  (* staleness is only judged on full-rule runs: under --rules the
+     unselected rules never got the chance to do the suppressing *)
+  Alcotest.(check (list string))
+    "not judged under --rules selection" []
+    (rules_of
+       (Lint.check_source ~rules:[ "poly-cmp" ] ~path:"lib/core/fixture.ml"
+          "let f x = (x = Some 1) [@lint.allow \"poly-eq\"]\n"))
 
 let test_rule_selection () =
   let src = "let f x = x = Some 1\nlet g a b = compare a b\n" in
@@ -259,7 +288,47 @@ let test_exit_code () =
        (Lint.check_source ~mli_exists:false ~path:"lib/sim/f.ml" "let x = 1\n"));
   Alcotest.(check int) "families OR together" 6
     (Lint.exit_code
-       (at "lib/ot/f.ml" "let f t = Hashtbl.iter ignore t; failwith \"no\"\n"))
+       (at "lib/ot/f.ml" "let f t = Hashtbl.iter ignore t; failwith \"no\"\n"));
+  Alcotest.(check int) "domain safety is bit 16" 16
+    (Lint.exit_code
+       [ Finding.v ~file:"lib/x.ml" ~line:1 ~col:1 ~rule:"module-mutable" "m" ]);
+  Alcotest.(check int) "det-reach shares the determinism bit" 2
+    (Lint.exit_code
+       [ Finding.v ~file:"lib/x.ml" ~line:1 ~col:1 ~rule:"det-reach" "m" ])
+
+let test_dedupe () =
+  let untyped =
+    Finding.v ~file:"lib/core/f.ml" ~line:3 ~col:14 ~rule:"rand-global"
+      "global PRNG"
+  in
+  let typed =
+    Finding.v
+      ~chain:[ "Engine.tick"; "F.pick"; "Random.int" ]
+      ~file:"lib/core/f.ml" ~line:3 ~col:14 ~rule:"det-reach"
+      "reachable global PRNG"
+  in
+  let other =
+    Finding.v ~file:"lib/core/f.ml" ~line:9 ~col:1 ~rule:"rand-global"
+      "another site, no typed twin"
+  in
+  let kept = Lint.dedupe [ untyped; typed; other ] in
+  Alcotest.(check (list string))
+    "the typed finding subsumes its same-site untyped twin"
+    [ "det-reach"; "rand-global" ] (rules_of kept);
+  Alcotest.(check int)
+    "exit bits are unchanged by the dedupe"
+    (Lint.exit_code [ untyped; typed; other ])
+    (Lint.exit_code kept);
+  Alcotest.(check (list string))
+    "unrelated rules at the same site survive"
+    [ "det-reach"; "exn-partial" ]
+    (rules_of
+       (Lint.dedupe
+          [
+            typed;
+            Finding.v ~file:"lib/core/f.ml" ~line:3 ~col:2 ~rule:"exn-partial"
+              "partial";
+          ]))
 
 let test_json_report () =
   let findings =
@@ -331,6 +400,7 @@ let () =
       ( "suppressions and selection",
         [
           Alcotest.test_case "lint.allow scoping" `Quick test_suppressions;
+          Alcotest.test_case "unused-allow" `Quick test_unused_allow;
           Alcotest.test_case "--rules selection" `Quick test_rule_selection;
           Alcotest.test_case "parse errors surface" `Quick test_parse_error;
           Alcotest.test_case "locations are precise" `Quick test_locations;
@@ -339,6 +409,7 @@ let () =
       ( "report",
         [
           Alcotest.test_case "exit-code bits" `Quick test_exit_code;
+          Alcotest.test_case "typed/untyped dedupe" `Quick test_dedupe;
           Alcotest.test_case "JSON shape" `Quick test_json_report;
           Alcotest.test_case "registry" `Quick test_registry;
         ] );

@@ -1,0 +1,237 @@
+(* Tests for the typed interprocedural layer (lib/lint over .cmt
+   artifacts): corpus loading, call-graph construction, the
+   determinism-reachability pass (including witness-chain content and
+   formatting), the domain-safety inventory and its shard-readiness
+   report, and the graph exports.
+
+   The corpus is test/fixtures_typed/ — six hand-written modules
+   compiled with -bin-annot by a dune rule, carrying two seeded bugs
+   (a 3-hop transitive Random chain and a module-level hashtable), a
+   clean module, and a suppressed sink. *)
+
+open Rlist_lint
+
+let fixture_dir = "fixtures_typed"
+
+let corpus = lazy (Cmt_loader.load_dir fixture_dir)
+
+let graph = lazy (Callgraph.build (Lazy.force corpus))
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.equal (String.sub haystack i nn) needle || go (i + 1)
+  in
+  go 0
+
+let test_loading () =
+  let c = Lazy.force corpus in
+  Alcotest.(check (list string))
+    "all six fixture units load"
+    [ "Fx_allowed"; "Fx_clean"; "Fx_entry"; "Fx_leaf"; "Fx_mid"; "Fx_table" ]
+    (List.map
+       (fun (u : Cmt_loader.unit_info) -> u.modname)
+       (Cmt_loader.units c));
+  Alcotest.(check (list string)) "no load errors" [] (Cmt_loader.errors c)
+
+let test_graph_edges () =
+  let g = Lazy.force graph in
+  let calls id =
+    match Callgraph.find g id with
+    | Some d -> d.Callgraph.d_calls
+    | None -> Alcotest.failf "node %s missing from the graph" id
+  in
+  Alcotest.(check (list string))
+    "entry calls mid across the unit boundary" [ "Fx_mid.step" ]
+    (calls "Fx_entry.transform");
+  Alcotest.(check (list string))
+    "mid calls leaf" [ "Fx_leaf.pick" ] (calls "Fx_mid.step");
+  Alcotest.(check (list string))
+    "same-unit call resolves by ident, not name" [ "Fx_allowed.jitter" ]
+    (calls "Fx_allowed.transform")
+
+let test_entry_matching () =
+  let g = Lazy.force graph in
+  Alcotest.(check (list string))
+    "the default patterns pick up every fixture entry point"
+    [
+      "Fx_allowed.transform";
+      "Fx_clean.server_receive";
+      "Fx_entry.transform";
+      "Fx_table.server_receive_all";
+    ]
+    (List.sort String.compare (Typed.entry_ids g Typed.default_entries));
+  Alcotest.(check (list string))
+    "a dotted pattern matches the display path" [ "Fx_table.remember" ]
+    (Typed.entry_ids g [ "Fx_table.rem*" ])
+
+let test_det_reach () =
+  let r = Typed.det_reach (Lazy.force graph) in
+  match r.r_findings with
+  | [ rand; iter ] ->
+    Alcotest.(check string) "rule" "det-reach" rand.Finding.rule;
+    Alcotest.(check string)
+      "the finding is anchored at the sink site" "fx_leaf.ml"
+      rand.Finding.file;
+    Alcotest.(check int) "sink line" 3 rand.Finding.line;
+    Alcotest.(check (list string))
+      "witness chain runs entry -> mid -> leaf -> primitive"
+      [ "Fx_entry.transform"; "Fx_mid.step"; "Fx_leaf.pick"; "Random.int" ]
+      rand.Finding.chain;
+    Alcotest.(check string)
+      "the hash-order iteration is the second seeded bug" "fx_table.ml"
+      iter.Finding.file;
+    Alcotest.(check (list string))
+      "with its own witness chain"
+      [ "Fx_table.server_receive_all"; "Hashtbl.iter" ]
+      iter.Finding.chain
+  | fs ->
+    Alcotest.failf
+      "expected exactly the two seeded findings, got %d: %s" (List.length fs)
+      (String.concat "; "
+         (List.map (fun (f : Finding.t) -> f.file ^ ":" ^ f.rule) fs))
+
+let test_suppressed_sink () =
+  let r = Typed.det_reach (Lazy.force graph) in
+  Alcotest.(check bool)
+    "the [@lint.allow]ed sink in fx_allowed is exempt" false
+    (List.exists
+       (fun (f : Finding.t) -> String.equal f.file "fx_allowed.ml")
+       r.r_findings);
+  Alcotest.(check bool)
+    "the clean module stays clean" false
+    (List.exists
+       (fun (f : Finding.t) -> String.equal f.file "fx_clean.ml")
+       r.r_findings)
+
+let test_witness_formatting () =
+  let r = Typed.det_reach (Lazy.force graph) in
+  match r.r_findings with
+  | [ f; _ ] ->
+    let rendered = Format.asprintf "%a" Finding.pp f in
+    Alcotest.(check bool)
+      "pp prints the chain on a continuation line" true
+      (contains
+         ~needle:
+           "via Fx_entry.transform -> Fx_mid.step -> Fx_leaf.pick -> \
+            Random.int"
+         rendered);
+    let json = Finding.to_json f in
+    Alcotest.(check bool)
+      "to_json carries the chain array" true
+      (contains
+         ~needle:
+           "\"chain\":[\"Fx_entry.transform\",\"Fx_mid.step\",\"Fx_leaf.pick\",\"Random.int\"]"
+         json)
+  | fs -> Alcotest.failf "expected two findings, got %d" (List.length fs)
+
+let test_untyped_json_has_no_chain () =
+  let f = Finding.v ~file:"x.ml" ~line:1 ~col:1 ~rule:"poly-eq" "m" in
+  Alcotest.(check bool)
+    "single-site findings keep the old JSON shape" false
+    (contains ~needle:"chain" (Finding.to_json f))
+
+let test_domain_scan () =
+  let muts = Typed.domain_scan (Lazy.force corpus) in
+  match muts with
+  | [ m ] ->
+    Alcotest.(check string) "the table is found" "Fx_table.table" m.Typed.m_disp;
+    Alcotest.(check string) "kind" "Hashtbl.t" m.m_kind;
+    Alcotest.(check string)
+      "classified shared-unsafe" "shared-unsafe"
+      (Typed.class_name m.m_class);
+    Alcotest.(check bool) "not suppressed" false m.m_suppressed;
+    Alcotest.(check (list string))
+      "and it is a module-mutable finding" [ "module-mutable" ]
+      (List.map
+         (fun (f : Finding.t) -> f.rule)
+         (Typed.domain_findings muts))
+  | ms ->
+    Alcotest.failf "expected exactly the seeded table, got %d" (List.length ms)
+
+let test_domain_report () =
+  let muts = Typed.domain_scan (Lazy.force corpus) in
+  let json = Typed.domain_report_json muts in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report contains %s" needle)
+        true (contains ~needle json))
+    [
+      "\"version\":1";
+      "\"shard_ready\":false";
+      "\"shared-unsafe\":1";
+      "\"unsuppressed_shared_unsafe\":1";
+      "\"name\":\"Fx_table.table\"";
+      "\"kind\":\"Hashtbl.t\"";
+    ];
+  Alcotest.(check bool)
+    "an empty inventory is shard-ready" true
+    (contains ~needle:"\"shard_ready\":true" (Typed.domain_report_json []))
+
+let test_run_combined () =
+  Alcotest.(check (list string))
+    "both passes' findings come back merged and sorted"
+    [ "det-reach"; "module-mutable"; "det-reach" ]
+    (List.map
+       (fun (f : Finding.t) -> f.rule)
+       (Typed.run (Lazy.force corpus)))
+
+let test_exports () =
+  let g = Lazy.force graph in
+  let r = Typed.det_reach g in
+  let dot = Callgraph.dot ~entries:r.r_entries ~reached:r.r_reached g in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dot contains %s" needle)
+        true (contains ~needle dot))
+    [
+      "digraph callgraph";
+      "\"Fx_entry.transform\" -> \"Fx_mid.step\"";
+      "fillcolor=lightblue";
+      "fillcolor=salmon";
+    ];
+  let json = Callgraph.json ~entries:r.r_entries ~reached:r.r_reached g in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "graph json contains %s" needle)
+        true (contains ~needle json))
+    [
+      "\"version\":1";
+      "[\"Fx_entry.transform\",\"Fx_mid.step\"]";
+      "\"entry\":true";
+      "\"sinks\":1";
+    ]
+
+let () =
+  Alcotest.run "typed-lint"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "fixture loading" `Quick test_loading;
+          Alcotest.test_case "call-graph edges" `Quick test_graph_edges;
+          Alcotest.test_case "entry matching" `Quick test_entry_matching;
+        ] );
+      ( "determinism reachability",
+        [
+          Alcotest.test_case "3-hop transitive sink" `Quick test_det_reach;
+          Alcotest.test_case "suppressed and clean stay quiet" `Quick
+            test_suppressed_sink;
+          Alcotest.test_case "witness formatting" `Quick
+            test_witness_formatting;
+          Alcotest.test_case "no chain on untyped findings" `Quick
+            test_untyped_json_has_no_chain;
+        ] );
+      ( "domain safety",
+        [
+          Alcotest.test_case "inventory and classes" `Quick test_domain_scan;
+          Alcotest.test_case "shard-readiness report" `Quick
+            test_domain_report;
+          Alcotest.test_case "combined run" `Quick test_run_combined;
+        ] );
+      ( "exports",
+        [ Alcotest.test_case "dot and json" `Quick test_exports ] );
+    ]
