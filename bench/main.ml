@@ -19,7 +19,10 @@
    Pass --trace to run only the C17 flight-recorder family
    (regenerates BENCH_trace.json with --json; carries the < 5%
    recorder-overhead acceptance number and the convergence-lag
-   percentiles per loss rate). *)
+   percentiles per loss rate).
+   Pass --longrun to run only the C18 continuous-GC soak family
+   (regenerates BENCH_longrun.json with --json at the full
+   million-op-per-profile horizon — expect it to run for a while). *)
 
 open Rlist_model
 open Bechamel
@@ -124,6 +127,7 @@ let () =
   let net_json_path = if json then Some "BENCH_net.json" else None in
   let batch_json_path = if json then Some "BENCH_batch.json" else None in
   let trace_json_path = if json then Some "BENCH_trace.json" else None in
+  let longrun_json_path = if json then Some "BENCH_longrun.json" else None in
   Harness.install_metrics_clock ();
   if flag "--mc" then
     ignore (Experiments.c14_model_checking ?json_path:mc_json_path ())
@@ -133,6 +137,10 @@ let () =
     Experiments.c16_batching ?json_path:batch_json_path ()
   else if flag "--trace" then
     Experiments.c17_trace ?json_path:trace_json_path ()
+  else if flag "--longrun" then
+    (* --longrun --smoke runs the same family and gates at CI horizons
+       (the longrun CI job uses it to regenerate the artifact). *)
+    ignore (Experiments.c18_longrun ?json_path:longrun_json_path ~smoke ())
   else if smoke then begin
     (* Tiny quota, small sizes: catches document-layer regressions and
        crashes in seconds, without a full bench run.  The observability
@@ -151,7 +159,13 @@ let () =
     Experiments.c16_batching ~json_path:"BENCH_batch.json" ~smoke:true ();
     (* Also always emitted: BENCH_trace.json carries the C17 recorder
        overhead acceptance number and the convergence-lag percentiles. *)
-    Experiments.c17_trace ~json_path:"BENCH_trace.json" ~smoke:true ()
+    Experiments.c17_trace ~json_path:"BENCH_trace.json" ~smoke:true ();
+    (* And the C18 soak, at CI horizons: the flatness gates and the
+       GC-on/GC-off digest equality run on every smoke pass, and the
+       emitted BENCH_longrun.json is the artifact the longrun CI job
+       uploads. *)
+    ignore
+      (Experiments.c18_longrun ~json_path:"BENCH_longrun.json" ~smoke:true ())
   end
   else begin
     print_endline
@@ -165,6 +179,10 @@ let () =
     Experiments.c15_network ?json_path:net_json_path ();
     Experiments.c16_batching ?json_path:batch_json_path ();
     Experiments.c17_trace ?json_path:trace_json_path ();
+    (* The full C18 soak (a million ops per profile) dwarfs the rest of
+       the harness; regenerate BENCH_longrun.json with --longrun --json
+       instead.  The full run still smoke-checks the family. *)
+    ignore (Experiments.c18_longrun ?json_path:longrun_json_path ~smoke:true ());
     if not quick then micro_benchmarks ();
     ignore (Experiments.document_scaling ?json_path ())
   end;

@@ -279,6 +279,24 @@ let fastpath_arg =
               shortcut; the fastpath.* counters attribute the skipped \
               ladder work.")
 
+let gc_conv =
+  Arg.conv
+    ( (fun s ->
+        match Rlist_gc.of_string s with
+        | Ok p -> Ok p
+        | Error msg -> Error (`Msg msg)),
+      fun ppf p -> Format.pp_print_string ppf (Rlist_gc.to_string p) )
+
+let gc_arg =
+  Arg.(value & opt (some gc_conv) None
+       & info [ "gc" ] ~docv:"POLICY"
+           ~doc:
+             "Continuous metadata GC: $(b,default) or a field list like \
+              $(b,ops=64,meta=4096,lag=256,retain=64,snap=4) (at least one \
+              of ops/meta/lag).  Compaction cycles run out of band, so the \
+              run's schedule, digest, and final documents are bit-identical \
+              to the same seed without GC — it just retains less metadata.")
+
 (* The append specialization is a global switch shared by every CSS
    state-space (like [Transform.on_xform]); the CLI is one-shot, so
    setting it for the run is enough.  Counters restart at zero so the
@@ -345,14 +363,14 @@ let dump_recording ~spec ?outcome ?aborted recorder path =
     false
 
 
-let fuzz protocol profile nclients updates seeds =
+let fuzz protocol profile nclients updates seeds gc =
   let violations = ref 0 in
   let crashes = ref 0 in
   let pname = protocol_key protocol in
   for seed = 1 to seeds do
     let spec =
       { (Recorded.default ~protocol:pname) with profile; nclients; updates;
-        seed }
+        seed; gc }
     in
     let recorder = Rlist_obs.Recorder.create () in
     match Recorded.run ~recorder spec with
@@ -390,7 +408,7 @@ let fuzz_cmd =
           the naive protocol only).  For exhaustive checking at small bounds \
           use $(b,check).")
     Term.(const fuzz $ protocol_arg $ profile_arg $ clients_arg $ updates_arg
-          $ seeds_arg)
+          $ seeds_arg $ gc_arg)
 
 (* --- soak ------------------------------------------------------------- *)
 
@@ -402,8 +420,8 @@ let fuzz_cmd =
    the gate fails (or on demand with --record-out) so the failing run
    can be re-executed bit-identically with `jupiter_sim replay`. *)
 
-let soak protocol faults_str no_shim rto batching fastpath nclients profile
-    updates seed record_out json =
+let soak protocol faults_str no_shim rto batching fastpath gc nclients
+    profile updates seed record_out json =
   let faults =
     match Rlist_net.Faults.of_string faults_str with
     | Ok f -> f
@@ -424,6 +442,7 @@ let soak protocol faults_str no_shim rto batching fastpath nclients profile
       rto;
       batching;
       fastpath;
+      gc;
     }
   in
   let obs = Rlist_obs.Obs.make () in
@@ -543,8 +562,96 @@ let soak_cmd =
           suppressed duplicates, message amplification).  Exits non-zero \
           on a convergence or weak-specification violation.")
     Term.(const soak $ soak_protocol_arg $ faults_arg $ no_shim_arg $ rto_arg
-          $ batch_arg $ fastpath_arg $ clients_arg $ profile_arg
+          $ batch_arg $ fastpath_arg $ gc_arg $ clients_arg $ profile_arg
           $ updates_arg $ seed_arg $ record_out_arg $ json_arg)
+
+(* --- longrun ----------------------------------------------------------- *)
+
+(* Million-op soak through one engine (lib/run/longrun): chunked
+   sampling of metadata, heap, and per-op latency, to demonstrate the
+   continuous GC keeps both flat where the unbounded run grows.  The
+   digest line is the CI gate's handle for GC-on/GC-off equality. *)
+
+let longrun protocol profile nclients updates chunk seed faults_str gc
+    assert_flat max_meta json =
+  let faults =
+    match Rlist_net.Faults.of_string faults_str with
+    | Ok f -> f
+    | Error msg ->
+      Printf.eprintf "longrun: %s\n" msg;
+      exit 1
+  in
+  let r =
+    match
+      Rlist_run.Longrun.run ?gc ~faults ~now:Unix.gettimeofday
+        ~protocol:(protocol_key protocol) ~profile ~nclients ~updates ~chunk
+        ~seed ()
+    with
+    | r -> r
+    | exception Invalid_argument msg ->
+      Printf.eprintf "longrun: %s\n" msg;
+      exit 1
+  in
+  if json then print_endline (Rlist_run.Longrun.result_to_json r)
+  else Format.printf "%a@." Rlist_run.Longrun.pp r;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  if not r.Rlist_run.Longrun.l_converged then fail "run did not converge";
+  (match max_meta with
+  | Some bound when r.Rlist_run.Longrun.l_meta_peak > bound ->
+    fail "metadata peak %d exceeds --max-meta %d"
+      r.Rlist_run.Longrun.l_meta_peak bound
+  | _ -> ());
+  if assert_flat && r.Rlist_run.Longrun.l_flat_meta > 2.0 then
+    fail "metadata is not flat: late/early ratio %.2f > 2.0"
+      r.Rlist_run.Longrun.l_flat_meta;
+  List.iter (Printf.eprintf "longrun: GATE: %s\n") (List.rev !failures);
+  if !failures <> [] then exit 1
+
+let longrun_cmd =
+  let updates_arg =
+    Arg.(value & opt int 1_000_000
+         & info [ "u"; "updates" ] ~docv:"K"
+             ~doc:"Total update operations over the whole horizon.")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 10_000
+         & info [ "chunk" ] ~docv:"K"
+             ~doc:
+               "Updates per sampled chunk (the engine quiesces between \
+                chunks).")
+  in
+  let faults_arg =
+    Arg.(value & opt string "none"
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Fault model for the wire (as in $(b,soak)); default none.")
+  in
+  let assert_flat_arg =
+    Arg.(value & flag
+         & info [ "assert-flat" ]
+             ~doc:
+               "Exit non-zero unless live metadata stays flat (mean over \
+                the last quarter of chunks at most 2x the first quarter) — \
+                the CI gate for GC-on runs.")
+  in
+  let max_meta_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-meta" ] ~docv:"NODES"
+             ~doc:"Exit non-zero if peak live metadata ever exceeds NODES.")
+  in
+  Cmd.v
+    (Cmd.info "longrun"
+       ~doc:
+         "Soak one client/server protocol through a very long horizon \
+          (default one million updates) in sampled chunks, reporting \
+          metadata, heap, and per-op latency curves plus a final-document \
+          digest.  With $(b,--gc) the continuous compaction keeps the \
+          curves flat; without it they grow with the horizon — the \
+          digest is identical either way (compaction is semantically \
+          transparent).")
+    Term.(const longrun $ soak_protocol_arg $ profile_arg $ clients_arg
+          $ updates_arg $ chunk_arg $ seed_arg $ faults_arg $ gc_arg
+          $ assert_flat_arg $ max_meta_arg $ json_arg)
 
 (* --- check (bounded model checking) ----------------------------------- *)
 
@@ -584,27 +691,29 @@ let mc_result ~render (workload : Rlist_mc.Workload.t) elapsed
         outcome.Rlist_mc.Mc.violations;
   }
 
-let mc_check_cs (module P : Rlist_sim.Protocol_intf.PROTOCOL) ~equiv ~specs
-    ~workloads ~por ~max_states ~batching =
+let mc_check_cs (module P : Rlist_sim.Protocol_intf.PROTOCOL) ~equiv ~gc
+    ~specs ~workloads ~por ~max_states ~batching =
   let module M = Rlist_mc.Mc.Cs (P) in
   List.map
     (fun workload ->
       let t0 = Unix.gettimeofday () in
       let outcome =
-        M.check ?equiv ~por ~max_states ~batching ~specs ~workload ()
+        M.check ?equiv ?gc ~por ~max_states ~batching ~specs ~workload ()
       in
       let elapsed = Unix.gettimeofday () -. t0 in
       mc_result workload elapsed outcome
         ~render:(Format.asprintf "%a" M.pp_violation))
     workloads
 
-let mc_check_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL)
+let mc_check_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ~gc
     ~specs ~workloads ~por ~max_states ~batching =
   let module M = Rlist_mc.Mc.P2p (P) in
   List.map
     (fun workload ->
       let t0 = Unix.gettimeofday () in
-      let outcome = M.check ~por ~max_states ~batching ~specs ~workload () in
+      let outcome =
+        M.check ?gc ~por ~max_states ~batching ~specs ~workload ()
+      in
       let elapsed = Unix.gettimeofday () -. t0 in
       mc_result workload elapsed outcome
         ~render:(Format.asprintf "%a" M.pp_violation))
@@ -621,7 +730,7 @@ let cs_protocol_module = function
   | P_treedoc -> Some (module Jupiter_treedoc.Protocol)
   | P_css_p2p | P_ttf -> None
 
-let mc_check protocol nclients ops specs equiv_partner por max_states
+let mc_check protocol nclients ops specs equiv_partner gc por max_states
     batching expect_violation json =
   let specs =
     match specs with
@@ -638,6 +747,15 @@ let mc_check protocol nclients ops specs equiv_partner por max_states
     | _ -> true
   in
   let workloads = Rlist_mc.Workload.catalog ~include_thm81 ~nclients ~ops () in
+  (* With GC on, also enumerate the compaction-vs-delivery race: the
+     workload whose interleavings fire a cycle between an update's
+     generation and its delivery (client/server engines only; the p2p
+     cycles are shim-level and raceless). *)
+  let workloads =
+    match gc, protocol with
+    | Some _, (P_css_p2p | P_ttf) | None, _ -> workloads
+    | Some _, _ -> workloads @ [ Rlist_mc.Workload.compaction_race ]
+  in
   let equiv =
     match equiv_partner with
     | None -> None
@@ -657,7 +775,7 @@ let mc_check protocol nclients ops specs equiv_partner por max_states
           "check: --equiv is not supported for peer-to-peer protocols";
         exit 1
       end;
-      mc_check_p2p (module Jupiter_css.Distributed_protocol) ~specs
+      mc_check_p2p (module Jupiter_css.Distributed_protocol) ~gc ~specs
         ~workloads ~por ~max_states ~batching
     | P_ttf ->
       if equiv <> None then begin
@@ -665,12 +783,12 @@ let mc_check protocol nclients ops specs equiv_partner por max_states
           "check: --equiv is not supported for peer-to-peer protocols";
         exit 1
       end;
-      mc_check_p2p (module Jupiter_ttf.Adopted_protocol) ~specs ~workloads
-        ~por ~max_states ~batching
+      mc_check_p2p (module Jupiter_ttf.Adopted_protocol) ~gc ~specs
+        ~workloads ~por ~max_states ~batching
     | cs -> (
       match cs_protocol_module cs with
       | Some (module P) ->
-        mc_check_cs (module P) ~equiv ~specs ~workloads ~por ~max_states
+        mc_check_cs (module P) ~equiv ~gc ~specs ~workloads ~por ~max_states
           ~batching
       | None -> assert false)
   in
@@ -832,7 +950,7 @@ let mc_cmd =
           1-minimal witness.  Partial-order reduction (sleep sets + state \
           caching) is on by default and preserves all verdicts.")
     Term.(const mc_check $ mc_protocol_arg $ mc_clients_arg $ mc_ops_arg
-          $ mc_spec_arg $ mc_equiv_arg
+          $ mc_spec_arg $ mc_equiv_arg $ gc_arg
           $ Term.app (Term.const not) mc_no_por_arg
           $ mc_max_states_arg $ mc_batching_arg $ mc_expect_arg $ json_arg)
 
@@ -968,10 +1086,13 @@ let pp_verdict path (v : Recorded.verdict) =
     (Rlist_workload.Workload.profile_name spec.Recorded.profile)
     spec.Recorded.nclients spec.Recorded.updates spec.Recorded.seed;
   Printf.printf "faults:      %s  shim: %b  rto: %d  batch: %b  \
-                 fastpath: %b\n"
+                 fastpath: %b  gc: %s\n"
     (Rlist_net.Faults.to_string spec.Recorded.faults)
     spec.Recorded.shim spec.Recorded.rto spec.Recorded.batching
-    spec.Recorded.fastpath;
+    spec.Recorded.fastpath
+    (match spec.Recorded.gc with
+    | None -> "off"
+    | Some p -> Rlist_gc.to_string p);
   Printf.printf "decisions:   %d recorded, %d replayed\n"
     v.Recorded.v_total_expected v.Recorded.v_total_got;
   (match v.Recorded.v_mismatches with
@@ -1468,5 +1589,5 @@ let () =
          RGA, and a broken OT foil)."
   in
   exit (Cmd.eval (Cmd.group info [ simulate_cmd; mc_cmd; fuzz_cmd; soak_cmd;
-            viz_cmd; figures_cmd; record_cmd; replay_cmd; report_cmd;
-            stats_cmd; trace_cmd ]))
+            longrun_cmd; viz_cmd; figures_cmd; record_cmd; replay_cmd;
+            report_cmd; stats_cmd; trace_cmd ]))

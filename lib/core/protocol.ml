@@ -227,3 +227,7 @@ let rebuild_client ~id ~next_seq ~doc ~serials ~space ~root ~final =
     replica = { space; serials = table; doc; path = [ final ] };
     next_seq;
   }
+
+(* No ack-driven pruning machinery; GC-enabled runs degrade to
+   shim-level pruning only. *)
+let gc_support = None

@@ -20,6 +20,10 @@ type s2c =
       serial : int;
       origin : int;
       stable : int;
+      base : int;
+          (* the server's compaction frontier [ctx] is relative to:
+             the receiver widens [ctx] with the operations between its
+             own frontier and [base] before looking it up *)
     }
   | Stable of { stable : int }
 
@@ -30,6 +34,14 @@ type replica = {
   mutable doc : Document.t;
   mutable base_doc : Document.t;  (* document at the space's root *)
   mutable pruned_to : int;
+  (* Per-client stable watermarks: client [c]'s operations with
+     sequence number <= [stable_seqs.(c)] have been compacted into the
+     space's root.  FIFO channels serialize each client's operations
+     in sequence order, so the compacted prefix of every client is
+     contiguous and these [nclients + 1] integers are the {e entire}
+     bookkeeping needed to reconstruct the absolute visible set — the
+     rebased space itself only holds the live window. *)
+  stable_seqs : int array;
 }
 
 type client = {
@@ -46,7 +58,7 @@ type server = {
   client_acked : int array;  (* per-client acknowledged serial *)
 }
 
-let make_replica ~initial ~own_client =
+let make_replica ~nclients ~initial ~own_client =
   let serials = Op_id.Table.create 64 in
   let key_of id =
     match Op_id.Table.find_opt serials id with
@@ -66,6 +78,7 @@ let make_replica ~initial ~own_client =
     doc = initial;
     base_doc = initial;
     pruned_to = 0;
+    stable_seqs = Array.make (nclients + 1) 0;
   }
 
 let record_serial r id serial =
@@ -77,7 +90,12 @@ let process r (oc : Context.op_in_context) =
   r.doc <- Op.apply form r.doc
 
 (* Compact the replica's space onto the state holding every operation
-   with serial <= [stable]. *)
+   with serial <= [stable], then truncate the serial log (the WAL) up
+   to that point.  Truncation is safe because after compaction the
+   space's root contains every operation with serial <= stable, so no
+   retained transition has one as its original operation, and [prune]
+   itself only ever walks serials from [pruned_to + 1] up — the
+   truncated entries can never be consulted again. *)
 let prune r ~stable =
   if stable > r.pruned_to then begin
     let stable_state =
@@ -97,18 +115,70 @@ let prune r ~stable =
     in
     r.base_doc <-
       State_space.compact r.space ~stable:stable_state ~base_doc:r.base_doc;
+    for serial = r.pruned_to + 1 to stable do
+      match Hashtbl.find_opt r.by_serial serial with
+      | Some id ->
+        (* FIFO serialization: per client the seqs arrive in order, so
+           a max-update keeps the watermark at the compacted prefix. *)
+        let c = id.Op_id.client in
+        if id.Op_id.seq > r.stable_seqs.(c) then
+          r.stable_seqs.(c) <- id.Op_id.seq;
+        Hashtbl.remove r.by_serial serial;
+        Op_id.Table.remove r.serials id
+      | None -> ()
+    done;
     r.pruned_to <- stable
   end
 
+(* --- context translation across compaction frontiers ----------------
+
+   The rebased space represents states relative to its own frontier
+   ([pruned_to]); contexts cross replica boundaries relative to the
+   {e sender's} frontier, so each receive translates.
+
+   c2s: a client's frontier never runs ahead of the server's (clients
+   learn stability from the server), so the server only has to {e drop}
+   the context's already-compacted identifiers.  Membership in the
+   serial table is the test: every identifier in a client context has
+   been serialized by the server (the client's own earlier updates by
+   c2s FIFO, everything else because the client saw it in a Deliver),
+   so an unknown identifier can only be a compacted one.
+
+   s2c: the server's frontier at broadcast time ([Deliver.base]) may
+   run ahead of the receiving client's, so the client {e widens} the
+   context with the operations between its own frontier and [base] —
+   all present in its serial log, because [base] only covers serials
+   every client acknowledged and s2c FIFO delivered them here first. *)
+
+let narrow_ctx r ctx = Op_id.Set.filter (Op_id.Table.mem r.serials) ctx
+
+let widen_ctx r ctx ~base =
+  let rec go ctx serial =
+    if serial > base then ctx
+    else
+      match Hashtbl.find_opt r.by_serial serial with
+      | Some id -> go (Op_id.Set.add id ctx) (serial + 1)
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "css-pruned: deliver base %d references an unknown serial %d"
+             base serial)
+  in
+  go ctx (r.pruned_to + 1)
+
 let create_client ~nclients ~id ~initial =
-  ignore nclients;
   if id < 1 then invalid_arg "css-pruned: client identifiers start at 1";
-  { id; replica = make_replica ~initial ~own_client:id; next_seq = 1; acked = 0 }
+  {
+    id;
+    replica = make_replica ~nclients ~initial ~own_client:id;
+    next_seq = 1;
+    acked = 0;
+  }
 
 let create_server ~nclients ~initial =
   {
     nclients;
-    server_replica = make_replica ~initial ~own_client:0;
+    server_replica = make_replica ~nclients ~initial ~own_client:0;
     next_serial = 1;
     client_acked = Array.make (nclients + 1) 0;
   }
@@ -138,14 +208,28 @@ let server_receive t ~from (msg : c2s) =
   match msg with
   | Update { op; ctx; acked } ->
     t.client_acked.(from) <- max t.client_acked.(from) acked;
+    let r = t.server_replica in
     let serial = t.next_serial in
     t.next_serial <- serial + 1;
-    record_serial t.server_replica op.Op.id serial;
-    process t.server_replica (Context.with_context op ~ctx);
+    record_serial r op.Op.id serial;
+    let ctx = narrow_ctx r ctx in
+    (* [base] is the frontier [ctx] was narrowed against, captured
+       {e before} the prune below advances it.  Soundness: any stable
+       point the server computed strictly before processing this
+       update is covered by the update's own acknowledgement (the
+       origin's acks are monotone and c2s is FIFO), so the absolute
+       context covers [base] — which is exactly what the receiver's
+       widening assumes.  The {e post}-prune frontier does not have
+       this property: acknowledgements piggybacked on later updates of
+       the same batch can push stability past what this context ever
+       saw, and advertising that frontier would make the receiver
+       widen operations into the context that were never in it. *)
+    let base = r.pruned_to in
+    process r (Context.with_context op ~ctx);
     let stable = stable_serial t in
-    prune t.server_replica ~stable;
+    prune r ~stable;
     List.init t.nclients (fun i ->
-        i + 1, Deliver { op; ctx; serial; origin = from; stable })
+        i + 1, Deliver { op; ctx; serial; origin = from; stable; base })
   | Heartbeat { acked } ->
     t.client_acked.(from) <- max t.client_acked.(from) acked;
     let stable = stable_serial t in
@@ -157,10 +241,13 @@ let server_receive t ~from (msg : c2s) =
 
 let client_receive t (msg : s2c) =
   match msg with
-  | Deliver { op; ctx; serial; origin; stable } ->
+  | Deliver { op; ctx; serial; origin; stable; base } ->
     let r = t.replica in
     record_serial r op.Op.id serial;
-    if origin <> t.id then process r (Context.with_context op ~ctx);
+    if origin <> t.id then begin
+      let ctx = widen_ctx r ctx ~base in
+      process r (Context.with_context op ~ctx)
+    end;
     t.acked <- max t.acked serial;
     prune r ~stable
   | Stable { stable } -> prune t.replica ~stable
@@ -183,17 +270,22 @@ let server_receive_batch t ~from batch =
   if List.length updates <> List.length batch then
     List.concat_map (fun msg -> server_receive t ~from msg) batch
   else begin
+    let r = t.server_replica in
     let stamped =
       List.map
         (fun (op, ctx, acked) ->
           t.client_acked.(from) <- max t.client_acked.(from) acked;
           let serial = t.next_serial in
           t.next_serial <- serial + 1;
-          record_serial t.server_replica op.Rlist_ot.Op.id serial;
-          op, ctx, serial)
+          record_serial r op.Rlist_ot.Op.id serial;
+          op, narrow_ctx r ctx, serial)
         updates
     in
-    let r = t.server_replica in
+    (* As in {!server_receive}: the broadcast base is the stamp-time
+       frontier, captured before the batch's acks advance it — the
+       batch's later acknowledgements can push stability past what its
+       earlier contexts cover. *)
+    let base = r.pruned_to in
     let forms =
       State_space.add_run r.space
         (List.map (fun (op, ctx, _) -> Context.with_context op ~ctx) stamped)
@@ -204,7 +296,7 @@ let server_receive_batch t ~from batch =
     List.concat_map
       (fun (op, ctx, serial) ->
         List.init t.nclients (fun i ->
-            i + 1, Deliver { op; ctx; serial; origin = from; stable }))
+            i + 1, Deliver { op; ctx; serial; origin = from; stable; base }))
       stamped
   end
 
@@ -218,8 +310,8 @@ let client_receive_batch t batch =
   let foreign =
     List.filter_map
       (function
-        | Deliver { op; ctx; origin; _ } when origin <> t.id ->
-          Some (Context.with_context op ~ctx)
+        | Deliver { op; ctx; origin; base; _ } when origin <> t.id ->
+          Some (Context.with_context op ~ctx:(widen_ctx r ctx ~base))
         | _ -> None)
       batch
   in
@@ -251,9 +343,26 @@ let client_document t = t.replica.doc
 
 let server_document t = t.server_replica.doc
 
-let client_visible t = State_space.final t.replica.space
+(* The absolute visible set (Definition 4.5): the rebased space's
+   final state covers only the live window, so the compacted prefix is
+   reconstructed from the per-client stable watermarks.  O(total ops)
+   per call — the spec checker's and history mode's price, never paid
+   on the message path. *)
+let absolute r set =
+  let abs = ref set in
+  Array.iteri
+    (fun c m ->
+      if c > 0 then
+        for seq = 1 to m do
+          abs := Op_id.Set.add (Op_id.make ~client:c ~seq) !abs
+        done)
+    r.stable_seqs;
+  !abs
 
-let server_visible t = State_space.final t.server_replica.space
+let client_visible t = absolute t.replica (State_space.final t.replica.space)
+
+let server_visible t =
+  absolute t.server_replica (State_space.final t.server_replica.space)
 
 let client_ot_count t = State_space.ot_count t.replica.space
 
@@ -270,3 +379,27 @@ let server_space t = t.server_replica.space
 let client_pruned_to t = t.replica.pruned_to
 
 let server_pruned_to t = t.server_replica.pruned_to
+
+let server_log_length t = t.next_serial - 1 - t.server_replica.pruned_to
+
+(* The server's stable snapshot: the document at the space's root (the
+   stable state — every replica has executed everything in it) plus
+   the serial it covers.  This is the Raft snapshot at the
+   log-truncation point: snapshot + retained log suffix reconstructs
+   the replica. *)
+let server_snapshot t =
+  Snapshot.stable_to_string
+    {
+      Snapshot.at_serial = t.server_replica.pruned_to;
+      stable_doc = t.server_replica.base_doc;
+    }
+
+let gc_support =
+  Some
+    {
+      Rlist_sim.Protocol_intf.gc_heartbeat = client_heartbeat;
+      gc_client_frontier = client_pruned_to;
+      gc_server_frontier = server_pruned_to;
+      gc_server_lag = server_log_length;
+      gc_snapshot = server_snapshot;
+    }

@@ -43,6 +43,14 @@ type s2c =
       serial : int;
       origin : int;
       stable : int;  (** Minimum acknowledged serial across clients. *)
+      base : int;
+          (** The server's compaction frontier [ctx] is relative to.
+              Spaces represent states relative to their own frontier
+              (see {!State_space.compact}), so the receiving client
+              widens [ctx] with the serials between its frontier and
+              [base] before the lookup — they are always in its serial
+              log, because [base] only ever covers operations every
+              client acknowledged. *)
     }
   | Stable of { stable : int }
       (** The stable prefix advanced on acknowledgements alone. *)
@@ -64,3 +72,13 @@ val server_space : server -> State_space.t
 val client_pruned_to : client -> int
 
 val server_pruned_to : server -> int
+
+(** Serials past the stable frontier — the length of the retained
+    serialization log (the WAL suffix that survives truncation). *)
+val server_log_length : server -> int
+
+(** The server's stable snapshot ({!Snapshot.stable_to_string}): the
+    document at the acked-stable frontier plus the serial it covers.
+    The GC driver persists this as the Raft-style compaction
+    artifact. *)
+val server_snapshot : server -> string

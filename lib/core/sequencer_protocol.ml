@@ -63,3 +63,7 @@ let client_metadata_size = Protocol.client_metadata_size
 let server_metadata_size _ = 0
 
 let client_space = Protocol.client_space
+
+(* No ack-driven pruning machinery; GC-enabled runs degrade to
+   shim-level pruning only. *)
+let gc_support = None

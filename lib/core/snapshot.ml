@@ -165,6 +165,75 @@ let client_of_string text =
       ~space:(List.rev_map (fun (s, trs) -> s, List.rev trs) !nodes)
       ~root ~final
 
+(* --- stable snapshots ---------------------------------------------- *)
+
+(* The stable snapshot is the Raft-style compaction artifact: the
+   document at the acked-stable frontier plus the serial it covers.
+   It deliberately carries no state-space — everything at or below
+   [at_serial] has been executed at every replica, so the ladder above
+   it is reconstructible from the retained log suffix.
+
+     css-stable 1
+     at <serial>
+     delt <char-code> <client> <seq>         one per document element *)
+
+type stable = {
+  at_serial : int;
+  stable_doc : Document.t;
+}
+
+let stable_to_string { at_serial; stable_doc } =
+  let buffer = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
+  line "css-stable 1";
+  line "at %d" at_serial;
+  Document.iter
+    (fun e ->
+      line "delt %d %d %d" (Char.code e.Element.value) e.Element.id.Op_id.client
+        e.Element.id.Op_id.seq)
+    stable_doc;
+  Buffer.contents buffer
+
+let stable_of_string text =
+  let fail lineno fmt =
+    Format.kasprintf
+      (fun s -> invalid_arg (Printf.sprintf "Snapshot: line %d: %s" lineno s))
+      fmt
+  in
+  let parse_int lineno s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> fail lineno "bad integer %S" s
+  in
+  let header = ref false in
+  let at_serial = ref 0 in
+  let doc_elements = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' line with
+        | [ "css-stable"; "1" ] -> header := true
+        | "css-stable" :: v ->
+          fail lineno "unsupported version %s" (String.concat " " v)
+        | [ "at"; serial ] -> at_serial := parse_int lineno serial
+        | [ "delt"; code; ec; es ] ->
+          let value = Char.chr (parse_int lineno code) in
+          let c = parse_int lineno ec and s = parse_int lineno es in
+          let eid =
+            if c = 0 then Op_id.initial ~seq:s else Op_id.make ~client:c ~seq:s
+          in
+          doc_elements := Element.make ~value ~id:eid :: !doc_elements
+        | _ -> fail lineno "unrecognized directive %S" line)
+    (String.split_on_char '\n' text);
+  if not !header then invalid_arg "Snapshot: missing css-stable header";
+  {
+    at_serial = !at_serial;
+    stable_doc = Document.of_elements (List.rev !doc_elements);
+  }
+
 let save_client ~path client =
   let oc = open_out path in
   Fun.protect

@@ -22,3 +22,20 @@ val client_of_string : string -> Protocol.client
 val save_client : path:string -> Protocol.client -> unit
 
 val load_client : path:string -> Protocol.client
+
+(** A stable snapshot — the Raft-style compaction artifact the GC
+    driver emits: the document at the acked-stable frontier together
+    with the serial it covers.  Everything at or below [at_serial] has
+    been executed by every replica, so the snapshot plus the retained
+    log suffix reconstructs any replica's state; no state-space ladder
+    needs to be serialized. *)
+type stable = {
+  at_serial : int;
+  stable_doc : Rlist_model.Document.t;
+}
+
+val stable_to_string : stable -> string
+
+(** @raise Invalid_argument on malformed input (message names the
+    offending line). *)
+val stable_of_string : string -> stable

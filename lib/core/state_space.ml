@@ -68,8 +68,13 @@ let state_hash s = Op_id.Set.fold (fun id acc -> acc + id_mix id) s 0
    mirror is unordered (lookups go through the transition's [orig])
    and its fanout is bounded by the client count. *)
 type node = {
-  state : state;
-  shash : int;  (* [state_hash state], maintained incrementally *)
+  (* [state] and [shash] are mutable for exactly one writer:
+     {!compact}'s rebase, which subtracts the newly stable operations
+     from every surviving state in place (pointer identity is load-
+     bearing — the [children] mirror and [final_node] cache hold node
+     pointers). *)
+  mutable state : state;
+  mutable shash : int;  (* [state_hash state], maintained incrementally *)
   mutable transitions : transition list;  (* sorted, leftmost first *)
   mutable children : (Op_id.t * node) list;
 }
@@ -554,15 +559,6 @@ let ot_count t = t.ot_count
 
 let set_observer t notify = t.observer <- Some notify
 
-let unregister t node =
-  (match Hashtbl.find_opt t.nodes node.shash with
-  | None -> ()
-  | Some l -> (
-    match List.filter (fun n -> n != node) l with
-    | [] -> Hashtbl.remove t.nodes node.shash
-    | l' -> Hashtbl.replace t.nodes node.shash l'));
-  t.nstates <- t.nstates - 1
-
 let compact t ~stable ~base_doc =
   if Option.is_none (find_node_opt t stable) then
     invalid_arg
@@ -597,18 +593,45 @@ let compact t ~stable ~base_doc =
      context can match it.  (A transition from a surviving state
      targets a superset of it, hence also survives — only the doomed
      nodes' own transitions leave the count.) *)
-  let doomed =
+  let doomed, survivors =
     fold_nodes t
-      (fun node acc ->
-        if Op_id.Set.subset stable node.state then acc else node :: acc)
-      []
+      (fun node (doomed, survivors) ->
+        if Op_id.Set.subset stable node.state then doomed, node :: survivors
+        else node :: doomed, survivors)
+      ([], [])
   in
   List.iter
     (fun node ->
-      t.ntransitions <- t.ntransitions - List.length node.transitions;
-      unregister t node)
+      t.ntransitions <- t.ntransitions - List.length node.transitions)
     doomed;
-  t.root <- stable;
+  (* Rebase the survivors: subtract the stable set from every retained
+     state, in place, so set sizes track the live window rather than
+     the full operation history — without this, every context lookup
+     and state hash would cost O(total ops ever) and a long-running
+     replica's per-op latency would grow with its uptime.  The Zobrist
+     sum makes the hash update O(|stable|) overall, and the root
+     returns to the empty set: states are always relative to the
+     current compaction frontier, which is why contexts crossing
+     replica boundaries must be translated by the protocol (see
+     Pruned_protocol).  The bucket table is rebuilt because the hashes
+     changed; node pointers (the [children] mirror, [final_node])
+     survive untouched. *)
+  let stable_mix = Op_id.Set.fold (fun id acc -> acc + id_mix id) stable 0 in
+  Hashtbl.reset t.nodes;
+  t.nstates <- 0;
+  List.iter
+    (fun node ->
+      node.state <- Op_id.Set.diff node.state stable;
+      node.shash <-
+        (if t.baseline then state_hash node.state else node.shash - stable_mix);
+      node.transitions <-
+        List.map
+          (fun tr -> { tr with target = Op_id.Set.diff tr.target stable })
+          node.transitions;
+      register t node)
+    survivors;
+  t.root <- initial_state;
+  t.final <- Op_id.Set.diff t.final stable;
   stable_doc
 
 let transition_equal a b =

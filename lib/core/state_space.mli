@@ -52,8 +52,11 @@ val create :
 (** The empty state every space starts from. *)
 val initial_state : state
 
-(** The current root of the space: {!initial_state} until a
-    {!compact} rebases it onto a stable state. *)
+(** The current root of the space.  Always {!initial_state}: states
+    are represented {e relative} to the compaction frontier, and
+    {!compact} rebases every survivor back onto the empty set.  Kept
+    in the signature (rather than hard-coding the constant at call
+    sites) so compaction-frontier bookkeeping reads explicitly. *)
 val root : t -> state
 
 val final : t -> state
@@ -164,13 +167,20 @@ val set_observer :
   unit
 
 (** [compact t ~stable ~base_doc] prunes every state that is not a
-    superset of [stable] and rebases the space's root onto [stable] —
-    the garbage collection addressing the metadata-overhead question
-    the paper's conclusion raises.  [stable] must be safe: every
-    operation context that can still arrive is a superset of it (in
+    superset of [stable], then {e rebases} the survivors: [stable] is
+    subtracted from every retained state and transition target, so the
+    root returns to the empty set and set sizes track the live window
+    rather than the full operation history — the garbage collection
+    addressing the metadata-overhead question the paper's conclusion
+    raises, and the property that keeps a long-running replica's
+    per-op cost flat (an absolute representation would make every
+    context hash and lookup O(total ops ever)).  [stable] must be
+    safe: every operation context that can still arrive covers it (in
     the pruning protocol, the set of operations acknowledged by every
-    client).  [base_doc] is the document at the current root; the
-    document at the new root is returned.
+    client), and after the rebase such contexts must be translated to
+    the new frontier before lookup — the pruning protocol's job.
+    [base_doc] is the document at the current root; the document at
+    the new root is returned.
 
     @raise Invalid_argument if [stable] is not a state of the space or
     is not reachable from the root along serialized operations. *)

@@ -127,3 +127,7 @@ let server_receive_batch t ~from batch =
   List.concat_map (fun msg -> server_receive t ~from msg) batch
 
 let client_receive_batch t batch = List.iter (client_receive t) batch
+
+(* No ack-driven pruning machinery; GC-enabled runs degrade to
+   shim-level pruning only. *)
+let gc_support = None

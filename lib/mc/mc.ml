@@ -103,7 +103,7 @@ module Cs (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
   module E = Rlist_sim.Engine.Make (P)
   module S = Rlist_sim.Schedule
 
-  let make_system ~(workload : Workload.t) ~equiv ~specs ~batching :
+  let make_system ~(workload : Workload.t) ~equiv ~specs ~batching ~gc :
       (module Explore.SYSTEM with type action = S.event) =
     let n = workload.Workload.nclients in
     if n > 8 then invalid_arg "Mc.Cs: at most 8 clients";
@@ -118,8 +118,8 @@ module Cs (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
       let fresh () =
         {
           e =
-            E.create ~initial:workload.Workload.initial ~batching ~nclients:n
-              ();
+            E.create ~initial:workload.Workload.initial ~batching ?gc
+              ~nclients:n ();
           scripts = Array.copy workload.Workload.scripts;
         }
 
@@ -250,9 +250,9 @@ module Cs (P : Rlist_sim.Protocol_intf.PROTOCOL) = struct
           spec_checks @ [ (name, result) ]
     end)
 
-  let check ?equiv ?(por = true) ?(max_states = 500_000) ?(shrink = true)
+  let check ?equiv ?gc ?(por = true) ?(max_states = 500_000) ?(shrink = true)
       ?(batching = false) ~specs ~workload () =
-    let module Sys = (val make_system ~workload ~equiv ~specs ~batching) in
+    let module Sys = (val make_system ~workload ~equiv ~specs ~batching ~gc) in
     let module X = Explore.Make (Sys) in
     let report = X.run ~por ~max_states () in
     let violations =
@@ -274,7 +274,7 @@ end
 module P2p (P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) = struct
   module E = Rlist_sim.P2p_engine.Make (P)
 
-  let make_system ~(workload : Workload.t) ~specs ~batching :
+  let make_system ~(workload : Workload.t) ~specs ~batching ~gc :
       (module Explore.SYSTEM with type action = Rlist_sim.P2p_engine.event) =
     let n = workload.Workload.nclients in
     if n > 8 then invalid_arg "Mc.P2p: at most 8 peers";
@@ -289,7 +289,8 @@ module P2p (P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) = struct
       let fresh () =
         {
           e =
-            E.create ~initial:workload.Workload.initial ~batching ~npeers:n ();
+            E.create ~initial:workload.Workload.initial ~batching ?gc
+              ~npeers:n ();
           scripts = Array.copy workload.Workload.scripts;
         }
 
@@ -400,9 +401,9 @@ module P2p (P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) = struct
           specs
     end)
 
-  let check ?(por = true) ?(max_states = 500_000) ?(shrink = true)
+  let check ?gc ?(por = true) ?(max_states = 500_000) ?(shrink = true)
       ?(batching = false) ~specs ~workload () =
-    let module Sys = (val make_system ~workload ~specs ~batching) in
+    let module Sys = (val make_system ~workload ~specs ~batching ~gc) in
     let module X = Explore.Make (Sys) in
     let report = X.run ~por ~max_states () in
     let violations =

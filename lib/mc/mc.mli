@@ -50,7 +50,18 @@ module Cs (_ : Rlist_sim.Protocol_intf.PROTOCOL) : sig
       the target channel's outbox, so it stops commuting with the
       sends feeding that outbox — the independence relation shrinks
       accordingly and delivery footprints extend every outbox they
-      touch, keeping both sleep sets and the state cache sound. *)
+      touch, keeping both sleep sets and the state cache sound.
+
+      [gc], when given, runs each explored execution with the
+      continuous compaction discipline ({!Rlist_sim.Engine.Make.create}'s
+      [gc]): cycles interleave with the enumerated deliveries at the
+      trigger points the policy dictates.  Cycles are out of band, so
+      they change no enabled-action set and no observable behaviour —
+      which is exactly the property the compaction-race workload
+      checks.  Because a cycle fires as a function of the {e path}
+      (ops applied so far), not of the reduced state, gate runs that
+      care about GC placement should pass [~por:false] and use the
+      POR run as a cross-check. *)
   val check :
     ?equiv:
       (string
@@ -58,6 +69,7 @@ module Cs (_ : Rlist_sim.Protocol_intf.PROTOCOL) : sig
          initial:Document.t ->
          Rlist_sim.Schedule.t ->
          (Replica_id.t * Document.t) list)) ->
+    ?gc:Rlist_gc.policy ->
     ?por:bool ->
     ?max_states:int ->
     ?shrink:bool ->
@@ -86,8 +98,10 @@ val behavior_of :
 (** Peer-to-peer checker over {!Rlist_sim.P2p_engine}. *)
 module P2p (_ : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) : sig
   (** As {!Cs.check}; [batching] likewise shrinks the reduction's
-      independence relation instead of disabling it. *)
+      independence relation instead of disabling it, and [gc] runs
+      the shim-level pruning cycles of {!Rlist_sim.P2p_engine}. *)
   val check :
+    ?gc:Rlist_gc.policy ->
     ?por:bool ->
     ?max_states:int ->
     ?shrink:bool ->

@@ -41,6 +41,22 @@ let combinatorial ~nclients ~ops =
     ~initial:(Document.of_string "x")
     (List.init nclients (fun i -> script (i + 1)))
 
+(* One client streams two dependent updates while two others inject
+   single conflicting ops.  Under an aggressive GC policy
+   (every-ops=1) a compaction cycle can fire between the generation
+   and the delivery of the streak's second update, so the rebase onto
+   the acked-stable state races a delivery whose context straddles
+   the stable frontier — the scenario the out-of-band discipline
+   (heartbeats only on empty channels) must keep legal. *)
+let compaction_race =
+  make ~wname:"compaction-race" ~nclients:3
+    ~initial:(Document.of_string "x")
+    [
+      [ Intent.Insert ('a', 0); Intent.Delete 1 ];
+      [ Intent.Insert ('b', 1) ];
+      [ Intent.Delete 0 ];
+    ]
+
 let catalog ?(include_thm81 = true) ~nclients ~ops () =
   let base = [ combinatorial ~nclients ~ops ] in
   if include_thm81 then base @ [ thm81 ] else base

@@ -32,6 +32,16 @@ val thm81 : t
     one-element initial document. *)
 val combinatorial : nclients:int -> ops:int -> t
 
+(** The compaction-vs-delivery race: three clients, one of which
+    streams two dependent updates while the others inject single
+    conflicting operations.  Checked with a GC policy of
+    [every-ops=1], some interleavings run a compaction cycle between
+    the streak's generation and its delivery, so the rebase onto the
+    acked-stable state races an in-flight operation whose context
+    straddles the stable frontier.  The gate asserts the discipline
+    keeps every such interleaving legal and spec-clean. *)
+val compaction_race : t
+
 (** The workload family checked at bounds [(nclients, ops)]: the
     combinatorial workload at exactly those bounds, plus — for
     client/server protocols — the fixed {!thm81} scenario.  The

@@ -66,6 +66,9 @@ type 'a lossy = {
   mutable resequencer : (int * 'a) list;  (* receiver buffer, by seq *)
   mutable ack_pending : bool;
   seen_keys : (string, unit) Hashtbl.t;
+  seen_order : (int * string) Queue.t;
+      (* the same keys in delivery (seq) order, so the GC driver can
+         prune the oldest without iterating the hash table *)
   mutable was_down : bool;
 }
 
@@ -92,6 +95,7 @@ let create ?(key = no_key) ?(weight = fun _ -> 1) ?(name = "wire") cfg =
       resequencer = [];
       ack_pending = false;
       seen_keys = Hashtbl.create 64;
+      seen_order = Queue.create ();
       was_down = false;
     }
 
@@ -246,7 +250,7 @@ let pop_ready l =
   (match found with Some _ -> l.wire <- remaining | None -> ());
   found
 
-let accept_app l payload =
+let accept_app l ~seq payload =
   let s = l.cfg.stats in
   match l.key payload with
   | Some k when Hashtbl.mem l.seen_keys k ->
@@ -256,7 +260,11 @@ let accept_app l payload =
     s.Stats.opid_dup_dropped <- s.Stats.opid_dup_dropped + 1;
     None
   | key ->
-    (match key with Some k -> Hashtbl.replace l.seen_keys k () | None -> ());
+    (match key with
+    | Some k ->
+      Hashtbl.replace l.seen_keys k ();
+      Queue.push (seq, k) l.seen_order
+    | None -> ());
     s.Stats.delivered <- s.Stats.delivered + 1;
     Some payload
 
@@ -271,7 +279,7 @@ let deliver t =
         l.resequencer <- rest;
         l.expected <- l.expected + 1;
         l.ack_pending <- true;
-        accept_app l payload
+        accept_app l ~seq payload
       | _ -> (
         match pop_ready l with
         | None -> None
@@ -305,7 +313,7 @@ let deliver t =
           else begin
             l.expected <- l.expected + 1;
             l.ack_pending <- true;
-            accept_app l item.w_payload
+            accept_app l ~seq:item.w_seq item.w_payload
           end)
     end
     else begin
@@ -393,6 +401,35 @@ let tick t =
 
 let now = function Perfect _ -> 0 | Lossy l -> l.now
 
+(* Drop dedup keys for payloads delivered more than [retain] sequence
+   numbers ago.  In an uninterrupted session the sequence check alone
+   suppresses duplicates (a key is only ever sent under one seqno, and
+   retransmits reuse it), so the keys exist for the reconnect path: a
+   restored receiver replays the keys from its last checkpoint to
+   catch rolled-back seqno reuse.  [retain] therefore only needs to
+   cover the checkpoint lag; the GC policy's [retain_keys] documents
+   that contract. *)
+let prune_delivered t ~retain =
+  match t with
+  | Perfect _ -> 0
+  | Lossy l ->
+    let cutoff = l.expected - 1 - retain in
+    let removed = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt l.seen_order with
+      | Some (seq, key) when seq <= cutoff ->
+        ignore (Queue.pop l.seen_order);
+        Hashtbl.remove l.seen_keys key;
+        incr removed
+      | _ -> continue := false
+    done;
+    !removed
+
+let dedup_keys = function
+  | Perfect _ -> 0
+  | Lossy l -> Hashtbl.length l.seen_keys
+
 (* --- crash / reconnect ------------------------------------------------- *)
 
 type 'a sender_state = { ck_next_seq : int; ck_unacked : (int * 'a) list }
@@ -400,7 +437,7 @@ type 'a sender_state = { ck_next_seq : int; ck_unacked : (int * 'a) list }
 type 'a receiver_state = {
   ck_expected : int;
   ck_resequencer : (int * 'a) list;
-  ck_keys : string list;
+  ck_keys : (int * string) list;  (* (delivery seq, key), seq-sorted *)
 }
 
 let lossy_of name = function
@@ -430,13 +467,12 @@ let receiver_checkpoint t =
     ck_expected = l.expected;
     ck_resequencer = l.resequencer;
     ck_keys =
-      (* Sorted: checkpoint contents must not depend on hash-bucket
-         iteration order, or two replicas checkpointing the same state
-         would disagree byte-for-byte.  The fold itself is
-         order-insensitive once sorted. *)
-      List.sort String.compare
-        ((Hashtbl.fold (fun k () acc -> k :: acc) l.seen_keys [])
-        [@lint.allow "hashtbl-iter"]);
+      (* The queue mirrors the hash table in delivery order, which is
+         already deterministic; sorting by seq keeps the checkpoint
+         bytes canonical even so. *)
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Queue.fold (fun acc entry -> entry :: acc) [] l.seen_order);
   }
 
 let restore_receiver t ck =
@@ -445,7 +481,12 @@ let restore_receiver t ck =
   l.resequencer <- ck.ck_resequencer;
   l.ack_pending <- false;
   Hashtbl.reset l.seen_keys;
-  List.iter (fun k -> Hashtbl.replace l.seen_keys k ()) ck.ck_keys
+  Queue.clear l.seen_order;
+  List.iter
+    (fun (seq, k) ->
+      Hashtbl.replace l.seen_keys k ();
+      Queue.push (seq, k) l.seen_order)
+    ck.ck_keys
 
 (* A connection reset: everything in flight (data and acks) is lost.
    The endpoints' shim state survives — or is restored from a

@@ -90,6 +90,26 @@ val tick : 'a t -> unit
 
 val now : 'a t -> int
 
+(** {1 Metadata GC}
+
+    The receiver-side dedup table ([seen_keys]) grows with every
+    keyed delivery and is the shim's only unbounded structure (the
+    retransmission buffer is already ack-pruned on {!tick}).  The GC
+    driver calls {!prune_delivered} during each compaction cycle. *)
+
+(** [prune_delivered t ~retain] drops dedup keys for payloads
+    delivered more than [retain] sequence numbers before the newest
+    delivery; returns how many were dropped.  In-session duplicates
+    are already suppressed by the sequence check alone (a key is only
+    ever sent under one seqno), so the retained window only needs to
+    cover the checkpoint lag: a receiver restored from a checkpoint
+    replays that checkpoint's keys to catch rolled-back seqno reuse.
+    No-op on perfect channels. *)
+val prune_delivered : 'a t -> retain:int -> int
+
+(** Current dedup-table population ([0] for perfect channels). *)
+val dedup_keys : 'a t -> int
+
 (** {1 Crash / reconnect}
 
     A crash loses a replica's volatile state; what survives is

@@ -53,6 +53,22 @@ type t =
       name : string;
       dur_ns : float;
     }
+  | Gc_begin of {
+      cycle : int;
+      trigger : string;
+      meta : int;
+      tick : int;
+    }
+  | Gc_end of {
+      cycle : int;
+      reclaimed_states : int;
+      reclaimed_log : int;
+      reclaimed_keys : int;
+      meta : int;
+      snapshot_bytes : int;
+      skipped : int;
+      tick : int;
+    }
 
 let kind = function
   | Generate _ -> "generate"
@@ -63,16 +79,21 @@ let kind = function
   | Wire _ -> "wire"
   | State_space_grow _ -> "state_space_grow"
   | Span _ -> "span"
+  | Gc_begin _ -> "gc_begin"
+  | Gc_end _ -> "gc_end"
 
 let op_id = function
   | Generate { op_id; _ } | Send { op_id; _ } | Deliver { op_id; _ }
   | Apply { op_id; _ } ->
     op_id
-  | Transform _ | Wire _ | State_space_grow _ | Span _ -> None
+  | Transform _ | Wire _ | State_space_grow _ | Span _ | Gc_begin _ | Gc_end _
+    ->
+    None
 
 let tick = function
   | Generate { tick; _ } | Send { tick; _ } | Deliver { tick; _ }
-  | Apply { tick; _ } | Wire { tick; _ } ->
+  | Apply { tick; _ } | Wire { tick; _ } | Gc_begin { tick; _ }
+  | Gc_end { tick; _ } ->
     Some tick
   | Transform _ | State_space_grow _ | Span _ -> None
 
@@ -130,6 +151,27 @@ let to_jsonl ~seq e =
     | Span { name; dur_ns } ->
       Printf.sprintf "\"name\": \"%s\", \"dur_ns\": %.0f" (escape name)
         dur_ns
+    | Gc_begin { cycle; trigger; meta; tick } ->
+      Printf.sprintf
+        "\"cycle\": %d, \"trigger\": \"%s\", \"meta\": %d, \"tick\": %d"
+        cycle (escape trigger) meta tick
+    | Gc_end
+        {
+          cycle;
+          reclaimed_states;
+          reclaimed_log;
+          reclaimed_keys;
+          meta;
+          snapshot_bytes;
+          skipped;
+          tick;
+        } ->
+      Printf.sprintf
+        "\"cycle\": %d, \"reclaimed_states\": %d, \"reclaimed_log\": %d, \
+         \"reclaimed_keys\": %d, \"meta\": %d, \"snapshot_bytes\": %d, \
+         \"skipped\": %d, \"tick\": %d"
+        cycle reclaimed_states reclaimed_log reclaimed_keys meta
+        snapshot_bytes skipped tick
   in
   head ^ body ^ "}"
 
@@ -324,6 +366,26 @@ let of_jsonl line =
             }
         | "span" ->
           Span { name = fstr fields "name"; dur_ns = ffloat fields "dur_ns" }
+        | "gc_begin" ->
+          Gc_begin
+            {
+              cycle = fint fields "cycle";
+              trigger = fstr fields "trigger";
+              meta = fint fields "meta";
+              tick = fint fields "tick";
+            }
+        | "gc_end" ->
+          Gc_end
+            {
+              cycle = fint fields "cycle";
+              reclaimed_states = fint fields "reclaimed_states";
+              reclaimed_log = fint fields "reclaimed_log";
+              reclaimed_keys = fint fields "reclaimed_keys";
+              meta = fint fields "meta";
+              snapshot_bytes = fint fields "snapshot_bytes";
+              skipped = fint fields "skipped";
+              tick = fint fields "tick";
+            }
         | _ -> raise Bad_line
       in
       Some (seq, e)

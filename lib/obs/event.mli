@@ -73,10 +73,28 @@ type t =
       name : string;
       dur_ns : float;
     }
+  | Gc_begin of {
+      cycle : int;  (** 1-based compaction-cycle index. *)
+      trigger : string;  (** The fired trigger, e.g. ["ops=64"]. *)
+      meta : int;  (** Total live metadata when the cycle started. *)
+      tick : int;
+    }
+  | Gc_end of {
+      cycle : int;
+      reclaimed_states : int;  (** State-space nodes freed. *)
+      reclaimed_log : int;  (** Serialization-log entries truncated. *)
+      reclaimed_keys : int;  (** Shim dedup keys pruned. *)
+      meta : int;  (** Total live metadata after the cycle. *)
+      snapshot_bytes : int;  (** [0] when no snapshot was taken. *)
+      skipped : int;
+          (** Busy channels the cycle declined to touch (their
+              pruning lags until a later cycle). *)
+      tick : int;
+    }
 
 (** The event's type tag as it appears in the JSON ([generate],
     [send], [deliver], [transform], [apply], [wire],
-    [state_space_grow], [span]). *)
+    [state_space_grow], [span], [gc_begin], [gc_end]). *)
 val kind : t -> string
 
 (** The operation identifier the event concerns, when it carries one.

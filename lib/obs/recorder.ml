@@ -38,6 +38,10 @@ type decision =
       dropped : bool;
     }
   | Tick of int
+  | Gc of {
+      cycle : int;
+      trigger : string;
+    }
 
 type t = {
   capacity : int;
@@ -100,6 +104,7 @@ let decision_to_string = function
   | Ack { channel; seq; dropped } ->
     Printf.sprintf "ack %s #%d%s" channel seq (if dropped then " dropped" else "")
   | Tick n -> Printf.sprintf "tick %d" n
+  | Gc { cycle; trigger } -> Printf.sprintf "gc #%d %s" cycle trigger
 
 (* --- binary format ------------------------------------------------- *)
 
@@ -192,6 +197,10 @@ let put_decision b = function
   | Tick n ->
     Buffer.add_char b '\009';
     put_varint b n
+  | Gc { cycle; trigger } ->
+    Buffer.add_char b '\010';
+    put_varint b cycle;
+    put_string b trigger
 
 let encode ~header ~digest t =
   let b = Buffer.create 4096 in
@@ -297,6 +306,10 @@ let get_decision c =
     let dropped = get_varint c <> 0 in
     Ack { channel; seq; dropped }
   | 9 -> Tick (get_varint c)
+  | 10 ->
+    let cycle = get_varint c in
+    let trigger = get_string c in
+    Gc { cycle; trigger }
   | n -> corrupt (Printf.sprintf "unknown decision tag %d" n)
 
 let decode data =

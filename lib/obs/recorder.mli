@@ -60,6 +60,15 @@ type decision =
       dropped : bool;
     }
   | Tick of int  (** Engine clock after advancing every channel. *)
+  | Gc of {
+      cycle : int;
+      trigger : string;  (** The fired trigger, e.g. ["ops=64"]. *)
+    }
+      (** A compaction cycle started here.  GC cycles are themselves
+          deterministic functions of the simulation state, so the
+          entry carries no outcome — it exists so the replayed
+          decision stream (and hence [jupiter_sim replay]) stays
+          bit-identical when GC is enabled. *)
 
 type t
 

@@ -30,6 +30,9 @@ type summary = {
   su_wire : (string * int) list;
   su_amplification : float;
   su_timeline : (int * int * int) list;
+  su_gc_cycles : int;
+  su_gc_reclaimed : int;
+  su_gc_skipped : int;
 }
 
 let split_ids id = String.split_on_char '+' id
@@ -262,6 +265,22 @@ let summarize events =
         | _ -> acc)
       0 events
   in
+  (* GC attribution: cycle count and reclaimed metadata come from the
+     gc_end events the engine emits at cycle boundaries. *)
+  let gc_cycles = ref 0 in
+  let gc_reclaimed = ref 0 in
+  let gc_skipped = ref 0 in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Gc_end
+          { reclaimed_states; reclaimed_log; reclaimed_keys; skipped; _ } ->
+        incr gc_cycles;
+        gc_reclaimed :=
+          !gc_reclaimed + reclaimed_states + reclaimed_log + reclaimed_keys;
+        gc_skipped := !gc_skipped + skipped
+      | _ -> ())
+    events;
   {
     su_events = List.length events;
     su_ops = List.length spans;
@@ -281,6 +300,9 @@ let summarize events =
     su_wire = wire;
     su_amplification = amplification;
     su_timeline = timeline;
+    su_gc_cycles = !gc_cycles;
+    su_gc_reclaimed = !gc_reclaimed;
+    su_gc_skipped = !gc_skipped;
   }
 
 let pp_summary ppf s =
@@ -315,6 +337,10 @@ let pp_summary ppf s =
           Format.fprintf ppf "  @@%-6d %d/%d@," t rex drops)
       s.su_timeline
   end;
+  if s.su_gc_cycles > 0 then
+    Format.fprintf ppf
+      "gc: %d cycles, %d metadata reclaimed, %d busy-channel skips@,"
+      s.su_gc_cycles s.su_gc_reclaimed s.su_gc_skipped;
   Format.fprintf ppf "@]"
 
 let summary_to_json s =
@@ -352,5 +378,7 @@ let summary_to_json s =
       if i > 0 then add ", ";
       add "{\"tick\": %d, \"retransmits\": %d, \"drops\": %d}" t rex drops)
     s.su_timeline;
-  add "]}";
+  add "], ";
+  add "\"gc\": {\"cycles\": %d, \"reclaimed\": %d, \"skipped\": %d}}"
+    s.su_gc_cycles s.su_gc_reclaimed s.su_gc_skipped;
   Buffer.contents b

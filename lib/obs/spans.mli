@@ -52,6 +52,13 @@ type summary = {
   su_amplification : float;  (** (sends + retransmits) / sends. *)
   su_timeline : (int * int * int) list;
       (** (bucket start tick, retransmits, drops) — at most 20 buckets. *)
+  su_gc_cycles : int;  (** Compaction cycles seen in the trace. *)
+  su_gc_reclaimed : int;
+      (** Metadata reclaimed across those cycles: state-space nodes +
+          truncated log entries + pruned dedup keys (from the
+          [gc_end] events). *)
+  su_gc_skipped : int;
+      (** Busy-channel heartbeats/stables the cycles skipped. *)
 }
 
 (** Build the per-op spans of a trace, in first-appearance order. *)

@@ -15,6 +15,7 @@ type spec = {
   rto : int;
   batching : bool;
   fastpath : bool;
+  gc : Rlist_gc.policy option;
 }
 
 let default ~protocol =
@@ -29,6 +30,7 @@ let default ~protocol =
     rto = 12;
     batching = false;
     fastpath = false;
+    gc = None;
   }
 
 type outcome = {
@@ -90,7 +92,10 @@ let run_cs (type c s c2s s2c)
     Rlist_net.Transport.config ~shim:spec.shim ~rto:spec.rto
       ~faults:spec.faults ~seed:spec.seed ()
   in
-  let t = E.create ~net ~batching:spec.batching ~nclients:spec.nclients () in
+  let t =
+    E.create ~net ~batching:spec.batching ?gc:spec.gc
+      ~nclients:spec.nclients ()
+  in
   (match obs with Some o -> E.attach_obs t o | None -> ());
   (match recorder with Some r -> E.attach_recorder t r | None -> ());
   set_fastpath spec.fastpath;
@@ -132,7 +137,9 @@ let run_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ?obs
     Rlist_net.Transport.config ~shim:spec.shim ~rto:spec.rto
       ~faults:spec.faults ~seed:spec.seed ()
   in
-  let t = E.create ~net ~batching:spec.batching ~npeers:spec.nclients () in
+  let t =
+    E.create ~net ~batching:spec.batching ?gc:spec.gc ~npeers:spec.nclients ()
+  in
   (match obs with Some o -> E.attach_obs t o | None -> ());
   (match recorder with Some r -> E.attach_recorder t r | None -> ());
   set_fastpath spec.fastpath;
@@ -203,6 +210,9 @@ let header_of ?(capacity = Recorder.default_capacity) spec =
     "fastpath", string_of_bool spec.fastpath;
     "capacity", string_of_int capacity;
   ]
+  @ match spec.gc with
+    | None -> []
+    | Some p -> [ "gc", Rlist_gc.to_string p ]
 
 let spec_of_header header =
   let find key = List.assoc_opt key header in
@@ -244,6 +254,14 @@ let spec_of_header header =
       | Ok f -> Ok f
       | Error msg -> Error ("recording header: " ^ msg))
   in
+  let* gc =
+    match find "gc" with
+    | None -> Ok None
+    | Some s -> (
+      match Rlist_gc.of_string s with
+      | Ok p -> Ok (Some p)
+      | Error msg -> Error ("recording header: " ^ msg))
+  in
   let* nclients = int "nclients" 4 in
   let* updates = int "updates" 100 in
   let* seed = int "seed" 1 in
@@ -263,6 +281,7 @@ let spec_of_header header =
       rto;
       batching;
       fastpath;
+      gc;
     }
 
 let digest_of outcome =
@@ -406,7 +425,7 @@ let schedule_of_recording (recording : Recorder.recording) =
             "peer-to-peer recording: schedule extraction only supports the \
              client/server engine"
         | Recorder.Flush _ | Recorder.Transmit _ | Recorder.Retransmit _
-        | Recorder.Ack _ | Recorder.Tick _ ->
+        | Recorder.Ack _ | Recorder.Tick _ | Recorder.Gc _ ->
           go acc rest)
     in
     go [] recording.Recorder.r_window

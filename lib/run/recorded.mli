@@ -26,11 +26,17 @@ type spec = {
   rto : int;  (** Retransmission timeout (ticks). *)
   batching : bool;
   fastpath : bool;  (** CSS append fast path. *)
+  gc : Rlist_gc.policy option;
+      (** Continuous metadata GC; [None] (the default) runs
+          unbounded.  GC cycles are out of band, so the decision
+          stream and digest of a run are identical with and without a
+          policy — the header records it only so a replay reproduces
+          the same memory profile and GC accounting. *)
 }
 
 (** A spec with the soak defaults: uniform profile, 4 clients, 100
     updates, seed 1, no faults, shim on, rto 12, no batching, no fast
-    path. *)
+    path, no GC. *)
 val default : protocol:string -> spec
 
 (** What a run produced — the replay digest is derived from this. *)

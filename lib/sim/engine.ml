@@ -18,6 +18,8 @@ let intent_string = function
    the shim disabled. *)
 let quiesce_fuel = 100_000
 
+module Driver = Rlist_gc.Driver
+
 module Make (P : Protocol_intf.PROTOCOL) = struct
   (* Everything the observability layer needs, allocated once at
      {!attach_obs}: metric handles plus per-replica counter snapshots
@@ -69,6 +71,17 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     net : Transport.config option;
     mutable clock : int;  (* mirrors the per-channel virtual clocks *)
     mutable recorder : Recorder.t option;
+    gc : gc_state option;
+    history : bool;
+        (* retain the spec-event trace and behavior lists; switched
+           off for unbounded soaks, where they are the one engine
+           structure that grows with the horizon *)
+  }
+
+  and gc_state = {
+    g_driver : Driver.t;
+    g_support : (P.client, P.server, P.c2s) Protocol_intf.gc_support option;
+    mutable g_last_snapshot : string option;
   }
 
   (* The dedup key of a batch joins its operations' identifiers: a
@@ -79,8 +92,8 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     | [] -> None
     | keys -> Some (String.concat "+" keys)
 
-  let create ?(initial = Document.empty) ?net ?(batching = false) ~nclients ()
-      =
+  let create ?(initial = Document.empty) ?net ?(batching = false) ?gc
+      ?(history = true) ~nclients () =
     if nclients < 1 then invalid_arg "Engine.create: need at least one client";
     let channel key name =
       match net with
@@ -112,6 +125,16 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       net;
       clock = 0;
       recorder = None;
+      gc =
+        Option.map
+          (fun policy ->
+            {
+              g_driver = Driver.create policy;
+              g_support = P.gc_support;
+              g_last_snapshot = None;
+            })
+          gc;
+      history;
     }
 
   let record_decision t d =
@@ -281,26 +304,179 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       ~dst:(rname i) ~op_id_of:P.s2c_op_id
 
   let record_behavior t replica doc =
-    t.behavior <- (replica, doc) :: t.behavior
+    if t.history then t.behavior <- (replica, doc) :: t.behavior
 
   let record_do t i (outcome : Protocol_intf.do_outcome) =
-    let client = t.clients.(i) in
-    let event =
-      Rlist_spec.Event.make ~eid:t.next_eid ~replica:(Replica_id.Client i)
-        ~op:outcome.Protocol_intf.op ~op_id:outcome.Protocol_intf.op_id
-        ~result:(P.client_document client)
-        ~visible:(P.client_visible client)
-    in
-    t.next_eid <- t.next_eid + 1;
-    t.events <- event :: t.events
+    if t.history then begin
+      let client = t.clients.(i) in
+      let event =
+        Rlist_spec.Event.make ~eid:t.next_eid ~replica:(Replica_id.Client i)
+          ~op:outcome.Protocol_intf.op ~op_id:outcome.Protocol_intf.op_id
+          ~result:(P.client_document client)
+          ~visible:(P.client_visible client)
+      in
+      t.next_eid <- t.next_eid + 1;
+      t.events <- event :: t.events
+    end
 
-  let apply_event t = function
+  (* --- continuous GC ------------------------------------------------- *)
+
+  let note_gc_ops t n =
+    match t.gc with
+    | Some g when n > 0 -> Driver.note_ops g.g_driver n
+    | _ -> ()
+
+  let op_count op_id_of batch =
+    List.fold_left
+      (fun n m -> match op_id_of m with Some _ -> n + 1 | None -> n)
+      0 batch
+
+  let system_meta t =
+    let sum = ref (P.server_metadata_size t.server) in
+    for i = 1 to t.nclients do
+      sum := !sum + P.client_metadata_size t.clients.(i)
+    done;
+    !sum
+
+  let emit_gc_event t ev =
+    match t.obs with
+    | Some os when Obs.tracing os.obs -> Obs.emit os.obs ev
+    | _ -> ()
+
+  (* One compaction cycle.  Everything here is out of band: heartbeats
+     are injected and processed atomically only for clients whose c2s
+     channel (transport + outbox) is empty, and the resulting [Stable]
+     notifications are applied directly only to clients whose s2c
+     channel is empty — busy channels are skipped and their pruning
+     lags until a later cycle.  Under that restriction the synchronous
+     exchange is equivalent to appending legal delivery events to the
+     schedule (nothing in flight is overtaken), and no transport send,
+     sequence number, RNG draw, or behavior entry is consumed — which
+     is what keeps a GC-on run's schedule, behavior, and final
+     documents bit-identical to the same seed with GC off.  The MC
+     workload [Workload.compaction_race] checks the racy variant of
+     this argument; DESIGN.md section 14 spells it out. *)
+  let run_gc_cycle t g trigger ~meta_before =
+    let d = g.g_driver in
+    let before = Driver.stats d in
+    let cycle = Driver.begin_cycle d trigger in
+    let trigger_s = Rlist_gc.trigger_name trigger in
+    record_decision t (Recorder.Gc { cycle; trigger = trigger_s });
+    emit_gc_event t
+      (Ev.Gc_begin
+         { cycle; trigger = trigger_s; meta = meta_before; tick = t.clock });
+    let frontier_sum support =
+      let sum = ref (support.Protocol_intf.gc_server_frontier t.server) in
+      for i = 1 to t.nclients do
+        sum := !sum + support.Protocol_intf.gc_client_frontier t.clients.(i)
+      done;
+      !sum
+    in
+    let log_before =
+      match g.g_support with None -> 0 | Some s -> frontier_sum s
+    in
+    (* 1. Ack-driven pruning: synchronous heartbeat exchange on the
+       empty channels. *)
+    (match g.g_support with
+    | None -> ()
+    | Some s ->
+      for i = 1 to t.nclients do
+        if pending_c2s t i = 0 then begin
+          Driver.note_heartbeat d;
+          let outgoing =
+            P.server_receive t.server ~from:i
+              (s.Protocol_intf.gc_heartbeat t.clients.(i))
+          in
+          List.iter
+            (fun (dest, m) ->
+              check_client t dest;
+              if pending_s2c t dest = 0 then begin
+                P.client_receive t.clients.(dest) m;
+                Driver.note_stable d
+              end
+              else Driver.note_skipped_stable d)
+            outgoing
+        end
+        else Driver.note_skipped_heartbeat d
+      done);
+    (* 2. Shim pruning: acked retransmission entries are already
+       dropped by [Transport.tick]; what grows is the receiver-side
+       dedup table. *)
+    let retain = (Driver.policy d).Rlist_gc.retain_keys in
+    let reclaimed_keys = ref 0 in
+    for i = 1 to t.nclients do
+      reclaimed_keys :=
+        !reclaimed_keys
+        + Transport.prune_delivered t.to_server.(i) ~retain
+        + Transport.prune_delivered t.to_client.(i) ~retain
+    done;
+    (* 3. Periodic stable snapshot. *)
+    let snapshot_bytes =
+      match g.g_support with
+      | Some s when Driver.snapshot_due d ->
+        let snap = s.Protocol_intf.gc_snapshot t.server in
+        g.g_last_snapshot <- Some snap;
+        Some (String.length snap)
+      | _ -> None
+    in
+    let meta_after = system_meta t in
+    let reclaimed_log =
+      match g.g_support with None -> 0 | Some s -> frontier_sum s - log_before
+    in
+    Driver.end_cycle d
+      ~reclaimed_states:(max 0 (meta_before - meta_after))
+      ~reclaimed_log ~reclaimed_keys:!reclaimed_keys ~snapshot_bytes
+      ~meta:meta_after;
+    let after = Driver.stats d in
+    (* Re-baseline the per-replica metadata snapshots so the next
+       delivery's [meta_delta] is not charged with the compaction. *)
+    (match t.obs with
+    | None -> ()
+    | Some os ->
+      for i = 0 to t.nclients do
+        ignore (meta_delta os t i)
+      done);
+    emit_gc_event t
+      (Ev.Gc_end
+         {
+           cycle;
+           reclaimed_states = max 0 (meta_before - meta_after);
+           reclaimed_log;
+           reclaimed_keys = !reclaimed_keys;
+           meta = meta_after;
+           snapshot_bytes = Option.value snapshot_bytes ~default:0;
+           skipped =
+             after.Rlist_gc.skipped_heartbeats
+             - before.Rlist_gc.skipped_heartbeats
+             + after.Rlist_gc.skipped_stables
+             - before.Rlist_gc.skipped_stables;
+           tick = t.clock;
+         })
+
+  let maybe_gc t =
+    match t.gc with
+    | None -> ()
+    | Some g -> (
+      let meta = system_meta t in
+      let lag =
+        match g.g_support with
+        | None -> 0
+        | Some s -> s.Protocol_intf.gc_server_lag t.server
+      in
+      match Driver.due g.g_driver ~meta ~lag with
+      | None -> ()
+      | Some trigger -> run_gc_cycle t g trigger ~meta_before:meta)
+
+  let apply_one t = function
     | Schedule.Generate (i, intent) ->
       check_client t i;
       record_decision t
         (Recorder.Generate { client = i; intent = intent_string intent });
       let outcome, msg = P.client_generate t.clients.(i) intent in
       record_do t i outcome;
+      (match outcome.Protocol_intf.op_id with
+      | Some _ -> note_gc_ops t 1
+      | None -> ());
       (match msg with
       | None -> ()
       | Some m ->
@@ -385,6 +561,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
            decision stream is the logical (exactly-once) delivery
            schedule — replayable on perfect channels. *)
         record_decision t (Recorder.Deliver_to_server i);
+        note_gc_ops t (op_count P.c2s_op_id batch);
         let msg_op_id, outgoing =
           match batch with
           | [ msg ] ->
@@ -463,6 +640,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       | None -> () (* the fault layer / shim consumed the arrival *)
       | Some batch ->
         record_decision t (Recorder.Deliver_to_client i);
+        note_gc_ops t (op_count P.s2c_op_id batch);
         let op_id =
           match batch with
           | [ msg ] ->
@@ -506,6 +684,13 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
           end);
         record_behavior t (Replica_id.Client i)
           (P.client_document t.clients.(i)))
+
+  (* Every simulation event, from any driver, funnels through here;
+     the GC trigger check rides on the tail so a cycle can start at
+     any point of the execution — which is what "continuous" means. *)
+  let apply_event t ev =
+    apply_one t ev;
+    maybe_gc t
 
   let run t schedule = List.iter (apply_event t) schedule
 
@@ -796,4 +981,18 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
   let client t i =
     check_client t i;
     t.clients.(i)
+
+  let gc_stats t = Option.map (fun g -> Driver.stats g.g_driver) t.gc
+
+  let gc_last_snapshot t = Option.bind t.gc (fun g -> g.g_last_snapshot)
+
+  let dedup_keys t =
+    let sum = ref 0 in
+    for i = 1 to t.nclients do
+      sum :=
+        !sum
+        + Transport.dedup_keys t.to_server.(i)
+        + Transport.dedup_keys t.to_client.(i)
+    done;
+    !sum
 end

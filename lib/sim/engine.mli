@@ -28,11 +28,31 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
       singletons take the ordinary one-message path, so a
       non-coalescing run is identical to the unbatched engine.  FIFO
       order is preserved because the outbox drains entirely, in send
-      order, before the payload behind it is delivered. *)
+      order, before the payload behind it is delivered.
+
+      [gc], when given, runs the continuous compaction discipline: the
+      policy's triggers are checked after every applied event, and a
+      firing trigger runs one cycle — an out-of-band heartbeat
+      exchange on the empty channels (protocols with
+      [Protocol_intf.gc_support]; others degrade to shim-level
+      pruning), dedup-key pruning in the reliability shim, and a
+      periodic stable snapshot.  Cycles consume no transport sends, no
+      sequence numbers, no RNG draws, and no behavior entries, so a
+      GC-on run is schedule- and behavior-identical to the same seed
+      with GC off — it just retains less metadata.  Cycle boundaries
+      land in the flight recorder and (as [gc_begin]/[gc_end] events)
+      in the trace.
+
+      [history] (default [true]): retain the spec-event trace and the
+      behavior list.  These are the engine's only structures that grow
+      with the horizon regardless of GC, so unbounded soaks switch
+      them off; {!trace} and {!behavior} then return empty. *)
   val create :
     ?initial:Document.t ->
     ?net:Rlist_net.Transport.config ->
     ?batching:bool ->
+    ?gc:Rlist_gc.policy ->
+    ?history:bool ->
     nclients:int ->
     unit ->
     t
@@ -135,6 +155,19 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
   val server : t -> P.server
 
   val client : t -> int -> P.client
+
+  (** Cumulative GC accounting; [None] when the engine was created
+      without a policy. *)
+  val gc_stats : t -> Rlist_gc.stats option
+
+  (** The most recent stable snapshot taken by a GC cycle
+      ([Snapshot.stable_of_string] parses it), if any cycle has
+      snapshotted yet. *)
+  val gc_last_snapshot : t -> string option
+
+  (** Total dedup-key population across all channel shims — the
+      metadata the GC's shim-pruning step bounds. *)
+  val dedup_keys : t -> int
 
   (** Attach an observability context: from now on the engine feeds
       counters and histograms into [obs]'s metrics registry and, when

@@ -59,6 +59,11 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     net : Transport.config option;
     mutable clock : int;
     mutable recorder : Recorder.t option;
+    gc : Rlist_gc.Driver.t option;
+        (* Peer-to-peer protocols carry no ack-driven stable frontier
+           (no [gc_support] analogue), so a GC policy here drives the
+           shim-level dedup-key pruning only — the same out-of-band,
+           schedule-transparent discipline as {!Engine}. *)
   }
 
   let batch_key ids =
@@ -66,8 +71,8 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     | [] -> None
     | keys -> Some (String.concat "+" keys)
 
-  let create ?(initial = Document.empty) ?net ?(batching = false) ~npeers ()
-      =
+  let create ?(initial = Document.empty) ?net ?(batching = false) ?gc ~npeers
+      () =
     if npeers < 2 then invalid_arg "P2p_engine.create: need at least two peers";
     let key batch =
       batch_key (List.map (fun (_, m) -> P.message_op_id m) batch)
@@ -98,6 +103,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       net;
       clock = 0;
       recorder = None;
+      gc = Option.map Rlist_gc.Driver.create gc;
     }
 
   let npeers t = t.npeers
@@ -283,13 +289,77 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     t.next_eid <- t.next_eid + 1;
     t.events <- event :: t.events
 
-  let apply_event t = function
+  (* --- continuous GC (shim-level only; see the [gc] field) ---------- *)
+
+  let note_gc_ops t n =
+    match t.gc with
+    | Some d when n > 0 -> Rlist_gc.Driver.note_ops d n
+    | _ -> ()
+
+  let system_meta t =
+    let sum = ref 0 in
+    for i = 1 to t.npeers do
+      sum := !sum + P.metadata_size t.peers.(i)
+    done;
+    !sum
+
+  let run_gc_cycle t d trigger ~meta_before =
+    let cycle = Rlist_gc.Driver.begin_cycle d trigger in
+    let trigger_s = Rlist_gc.trigger_name trigger in
+    record_decision t (Recorder.Gc { cycle; trigger = trigger_s });
+    let emit ev =
+      match t.obs with
+      | Some os when Obs.tracing os.obs -> Obs.emit os.obs ev
+      | _ -> ()
+    in
+    emit
+      (Ev.Gc_begin
+         { cycle; trigger = trigger_s; meta = meta_before; tick = t.clock });
+    let retain = (Rlist_gc.Driver.policy d).Rlist_gc.retain_keys in
+    let reclaimed_keys = ref 0 in
+    for src = 1 to t.npeers do
+      for dst = 1 to t.npeers do
+        if src <> dst then
+          reclaimed_keys :=
+            !reclaimed_keys
+            + Transport.prune_delivered t.channels.(src).(dst) ~retain
+      done
+    done;
+    let meta_after = system_meta t in
+    Rlist_gc.Driver.end_cycle d ~reclaimed_states:0 ~reclaimed_log:0
+      ~reclaimed_keys:!reclaimed_keys ~snapshot_bytes:None ~meta:meta_after;
+    emit
+      (Ev.Gc_end
+         {
+           cycle;
+           reclaimed_states = 0;
+           reclaimed_log = 0;
+           reclaimed_keys = !reclaimed_keys;
+           meta = meta_after;
+           snapshot_bytes = 0;
+           skipped = 0;
+           tick = t.clock;
+         })
+
+  let maybe_gc t =
+    match t.gc with
+    | None -> ()
+    | Some d -> (
+      let meta = system_meta t in
+      match Rlist_gc.Driver.due d ~meta ~lag:0 with
+      | None -> ()
+      | Some trigger -> run_gc_cycle t d trigger ~meta_before:meta)
+
+  let apply_one t = function
     | Generate (i, intent) ->
       check_peer t i;
       record_decision t
         (Recorder.Generate { client = i; intent = intent_string intent });
       let outcome, message = P.generate t.peers.(i) intent in
       record_do t i outcome;
+      (match outcome.Protocol_intf.op_id with
+      | Some _ -> note_gc_ops t 1
+      | None -> ());
       (match t.obs with
       | None -> ()
       | Some os ->
@@ -342,6 +412,11 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       | None -> () (* the fault layer / shim consumed the arrival *)
       | Some batch ->
         record_decision t (Recorder.Deliver_peer { src; dst });
+        note_gc_ops t
+          (List.fold_left
+             (fun n (_, m) ->
+               match P.message_op_id m with Some _ -> n + 1 | None -> n)
+             0 batch);
         let op_id, reactions =
           match batch with
           | [ (from, message) ] ->
@@ -373,6 +448,10 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
                    tick = t.clock;
                  }));
         List.iter (fun reaction -> broadcast t ~from:dst reaction) reactions)
+
+  let apply_event t ev =
+    apply_one t ev;
+    maybe_gc t
 
   let run t events = List.iter (apply_event t) events
 
@@ -451,6 +530,8 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
   let peer t i =
     check_peer t i;
     t.peers.(i)
+
+  let gc_stats t = Option.map Rlist_gc.Driver.stats t.gc
 
   let random_intent t rng ~params i =
     let doc_length = Document.length (document t i) in

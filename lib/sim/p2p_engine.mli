@@ -21,11 +21,18 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
       outboxes, flushed as one batch payload — one sequence number,
       one retransmission unit — when a delivery event targets the
       channel; multi-message batches reach the protocol through
-      [receive_batch]. *)
+      [receive_batch].
+
+      [gc], when given, runs the continuous compaction discipline at
+      the shim level: peer-to-peer protocols have no ack-driven stable
+      frontier, so a cycle prunes the channels' dedup tables only.
+      Cycles are out of band (no sends, no RNG draws), so a GC-on run
+      is schedule-identical to the same seed with GC off. *)
   val create :
     ?initial:Document.t ->
     ?net:Rlist_net.Transport.config ->
     ?batching:bool ->
+    ?gc:Rlist_gc.policy ->
     npeers:int ->
     unit ->
     t
@@ -60,6 +67,9 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
   val total_buffered : t -> int
 
   val peer : t -> int -> P.peer
+
+  (** Cumulative GC accounting; [None] without a policy. *)
+  val gc_stats : t -> Rlist_gc.stats option
 
   (** Random driver, mirroring [Engine.run_random]: generates [updates]
       intents at random peers under random valid interleavings, then

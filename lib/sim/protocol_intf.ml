@@ -23,6 +23,37 @@ type do_outcome = {
   op_id : Op_id.t option;  (** [None] for reads. *)
 }
 
+(** The hooks a protocol exposes to the continuous GC driver
+    ([Rlist_gc], wired in by the engines).  Only protocols with an
+    ack-driven stable frontier (css-pruned) provide them; everything
+    else sets {!PROTOCOL.gc_support} to [None] and a GC-enabled run
+    degrades to shim-level pruning only.
+
+    Contract for the engine: the calls are {e out of band} — they
+    bypass the transports, so the engine may only invoke
+    [gc_heartbeat]+[server_receive] for a client whose c2s channel is
+    empty, and may only deliver the resulting [Stable] messages
+    directly to clients whose s2c channel is empty.  Under that
+    restriction the synchronous exchange is equivalent to appending
+    legal deliveries to the schedule (there is nothing in flight to
+    overtake), so FIFO and the context invariants are preserved; a
+    heartbeat that {e did} overtake an in-flight update could advance
+    the stable frontier past that update's context and crash
+    compaction.  [test/test_mc.ml] checks the race. *)
+type ('client, 'server, 'c2s) gc_support = {
+  gc_heartbeat : 'client -> 'c2s;
+      (** The client's current acknowledgement, as a c2s message. *)
+  gc_client_frontier : 'client -> int;
+      (** The serial the client has pruned to. *)
+  gc_server_frontier : 'server -> int;
+      (** The serial the server has pruned to. *)
+  gc_server_lag : 'server -> int;
+      (** Serials past the stable frontier — the retained log length,
+          the [Ack_lag] trigger input. *)
+  gc_snapshot : 'server -> string;
+      (** Serialized stable snapshot ([Snapshot.stable_to_string]). *)
+}
+
 module type PROTOCOL = sig
   val name : string
 
@@ -105,4 +136,8 @@ module type PROTOCOL = sig
   val client_metadata_size : client -> int
 
   val server_metadata_size : server -> int
+
+  (** Hooks for the continuous compaction driver; [None] when the
+      protocol has no ack-driven pruning machinery. *)
+  val gc_support : (client, server, c2s) gc_support option
 end

@@ -39,3 +39,14 @@ val intent_generator :
 (** Scheduling parameters that suit the profile (concurrency level,
     read mix) with the given number of updates. *)
 val params : profile -> updates:int -> Rlist_sim.Schedule.random_params
+
+(** Timed-scheduler counterpart of {!params}, for long-horizon soaks
+    ([Engine.run_timed]).  Each profile picks a channel {e utilization}
+    (its concurrency level); the mean latency is derived from it so
+    that every FIFO channel — a single-server queue under the timed
+    model's arrival discipline — stays stable.  An unstable channel's
+    backlog, and with it the transform lattice, would grow linearly
+    with the horizon; a stable one keeps the in-flight window at a
+    bounded steady state over millions of operations. *)
+val timed_params :
+  profile -> nclients:int -> updates:int -> Rlist_sim.Schedule.timed_params

@@ -47,16 +47,25 @@ let test_compact_noop () =
   Alcotest.(check string) "base doc unchanged" "" (Document.to_string doc)
 
 let test_compact_one_op () =
-  let space, o1, _, _ = build_square () in
+  let space, o1, o2, o3 = build_square () in
   let stable = Op_id.Set.singleton o1.Op.id in
   let doc = Space.compact space ~stable ~base_doc:Document.empty in
-  (* States dropped: {} and {2}; kept: {1}, {1,2}, {1,2,3}. *)
+  (* States dropped: {} and {2}; kept: {1}, {1,2}, {1,2,3} — then the
+     survivors are rebased by subtracting the stable set, so the space
+     holds {}, {2}, {2,3} and the root is the initial state again. *)
   Alcotest.(check int) "three states left" 3 (Space.num_states space);
-  Alcotest.check Helpers.op_id_set "root rebased" stable (Space.root space);
+  Alcotest.check Helpers.op_id_set "root rebased to empty"
+    Space.initial_state (Space.root space);
   Alcotest.(check string) "doc at new root" "a" (Document.to_string doc);
   Alcotest.(check bool)
-    "old root gone" false
-    (Space.mem_state space Space.initial_state)
+    "rebased survivor present" true
+    (Space.mem_state space (Op_id.Set.singleton o2.Op.id));
+  Alcotest.check Helpers.op_id_set "final rebased"
+    (Op_id.Set.of_list [ o2.Op.id; o3.Op.id ])
+    (Space.final space);
+  Alcotest.(check bool)
+    "pre-rebase survivor representation gone" false
+    (Space.mem_state space (Op_id.Set.of_list [ o1.Op.id; o2.Op.id ]))
 
 let test_compact_to_final () =
   let space, o1, o2, o3 = build_square () in
@@ -241,6 +250,17 @@ let test_heartbeat_through_faults () =
     ~net:(Rlist_net.Transport.config ~faults ~seed:17 ())
     ()
 
+(* And over cyclic partitions: every link is down for a window of each
+   period, so the heartbeat (and the [Stable] answers) may be blocked
+   or dropped repeatedly — the retransmission shim must carry them
+   through once connectivity returns, and a partitioned silent client
+   must not stall the stable frontier forever. *)
+let test_heartbeat_through_partitions () =
+  let faults = Option.get (Rlist_net.Faults.preset "partition") in
+  run_heartbeat_session
+    ~net:(Rlist_net.Transport.config ~faults ~seed:23 ())
+    ()
+
 let () =
   Alcotest.run "pruning"
     [
@@ -269,5 +289,7 @@ let () =
             test_heartbeat_unsticks_pruning;
           Alcotest.test_case "heartbeats work through faulty channels" `Quick
             test_heartbeat_through_faults;
+          Alcotest.test_case "heartbeats work through cyclic partitions" `Quick
+            test_heartbeat_through_partitions;
         ] );
     ]

@@ -71,6 +71,47 @@ let test_batched_replays () =
     (record_and_verify "css batched"
        { chaos_spec with Recorded.batching = true; seed = 3 })
 
+(* The GC satellite: a pruning-protocol chaos soak with continuous
+   compaction on dumps a recording that replays bit-identically, the
+   GC cycle decisions land in the ring, and the span report
+   attributes the reclaimed metadata. *)
+let gc_policy =
+  match Rlist_gc.of_string "ops=16,retain=32,snap=2" with
+  | Ok p -> p
+  | Error msg -> failwith msg
+
+let gc_spec =
+  {
+    (Recorded.default ~protocol:"css-pruned") with
+    Recorded.faults = chaos;
+    nclients = 3;
+    updates = 80;
+    seed = 11;
+    gc = Some gc_policy;
+  }
+
+let test_gc_soak_replays () =
+  let _, recording = record_and_verify "css-pruned gc" gc_spec in
+  let gc_decisions =
+    List.filter
+      (function Recorder.Gc _ -> true | _ -> false)
+      recording.Recorder.r_window
+  in
+  Alcotest.(check bool)
+    "GC cycles landed in the decision ring" true (gc_decisions <> [])
+
+let test_gc_report_attributes_reclaimed () =
+  let sink = Sink.memory () in
+  let obs = Obs.make ~sink () in
+  ignore (Recorded.run ~obs gc_spec);
+  let summary = Spans.summarize (Sink.events sink) in
+  Alcotest.(check bool)
+    "span summary counts GC cycles" true
+    (summary.Spans.su_gc_cycles > 0);
+  Alcotest.(check bool)
+    "span summary attributes reclaimed metadata" true
+    (summary.Spans.su_gc_reclaimed > 0)
+
 let test_p2p_replays () =
   ignore
     (record_and_verify "ttf"
@@ -95,6 +136,7 @@ let test_header_round_trips () =
       rto = 20;
       batching = true;
       fastpath = true;
+      gc = Some { Rlist_gc.default with Rlist_gc.snapshot_every = 2 };
     }
   in
   match Recorded.spec_of_header (Recorded.header_of spec) with
@@ -239,6 +281,10 @@ let () =
             test_chaos_soak_replays;
           Alcotest.test_case "batched soak replays" `Quick
             test_batched_replays;
+          Alcotest.test_case "gc soak replays bit-identically" `Quick
+            test_gc_soak_replays;
+          Alcotest.test_case "gc report attributes reclaimed metadata"
+            `Quick test_gc_report_attributes_reclaimed;
           Alcotest.test_case "p2p soak replays" `Quick test_p2p_replays;
           Alcotest.test_case "traces reproducible" `Quick
             test_traces_reproducible;
