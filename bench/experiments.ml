@@ -1057,8 +1057,9 @@ let c15_network ?json_path ?(smoke = false) () =
    engine time):
 
    - "baseline": the seed's cost model — one op per message and, for
-     the CSS space, {!State_space.Fastpath.baseline} (every ladder
-     square re-hashes its full state set, the pre-optimization cost);
+     the CSS space, the fast-path record's [baseline] ablation (every
+     ladder square re-hashes its full state set, the pre-optimization
+     cost);
    - "unbatched": the current default wire, optimized space, fast
      paths off;
    - "batched": per-channel batching plus the leftmost-path fast
@@ -1142,17 +1143,17 @@ let c16_batching ?json_path ?(smoke = false) () =
          and type server = s
          and type c2s = c2s
          and type s2c = s2c) ~workload ~loss ~mode faults =
-    let module Fastpath = Jupiter_css.State_space.Fastpath in
     let batched = mode = `Batched in
-    Fastpath.reset ();
-    Fastpath.enabled := batched;
-    (* Baseline spaces capture the flag at creation time; clear it
-       immediately so no other space inherits the ablation. *)
-    Fastpath.baseline := mode = `Baseline;
+    (* One fast-path record per measured run: [baseline] is captured
+       by each space at creation time, and the counters cover exactly
+       this engine's replicas. *)
+    let fp =
+      Rlist_ot.Fastpath.create ~enabled:batched ~baseline:(mode = `Baseline)
+        ()
+    in
     let net = Rlist_net.Transport.config ~faults ~seed:42 () in
     let module E = Rlist_sim.Engine.Make (P) in
-    let t = E.create ~net ~batching:batched ~nclients:4 () in
-    Fastpath.baseline := false;
+    let t = E.create ~net ~batching:batched ~fastpath:fp ~nclients:4 () in
     let t0 = Harness.now_ns () in
     let total =
       match workload with
@@ -1179,7 +1180,6 @@ let c16_batching ?json_path ?(smoke = false) () =
         bursts * E.nclients t * burst
     in
     let elapsed = (Harness.now_ns () -. t0) /. 1e9 in
-    Fastpath.enabled := false;
     let mode_name =
       match mode with
       | `Baseline -> "baseline"
@@ -1206,8 +1206,8 @@ let c16_batching ?json_path ?(smoke = false) () =
         bt_payloads = st.Rlist_net.Stats.payloads;
         bt_op_payloads = st.Rlist_net.Stats.op_payloads;
         bt_amplification = Rlist_net.Stats.amplification st;
-        bt_context_hits = !Fastpath.context_hits;
-        bt_append_hits = !Fastpath.append_hits;
+        bt_context_hits = fp.Rlist_ot.Fastpath.context_hits;
+        bt_append_hits = fp.Rlist_ot.Fastpath.append_hits;
         bt_elapsed_s = elapsed;
         bt_ops_per_s = float_of_int total /. elapsed;
       }

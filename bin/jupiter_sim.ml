@@ -297,22 +297,14 @@ let gc_arg =
               run's schedule, digest, and final documents are bit-identical \
               to the same seed without GC — it just retains less metadata.")
 
-(* The append specialization is a global switch shared by every CSS
-   state-space (like [Transform.on_xform]); the CLI is one-shot, so
-   setting it for the run is enough.  Counters restart at zero so the
-   report covers exactly this run. *)
-let set_fastpath on =
-  Jupiter_css.State_space.Fastpath.reset ();
-  Jupiter_css.State_space.Fastpath.enabled := on
-
-let publish_fastpath metrics =
-  let add name v =
-    Rlist_obs.Metrics.add (Rlist_obs.Metrics.counter metrics name) v
-  in
-  add "fastpath.context_hits" !Jupiter_css.State_space.Fastpath.context_hits;
-  add "fastpath.append_hits" !Jupiter_css.State_space.Fastpath.append_hits;
-  add "fastpath.generic_squares"
-    !Jupiter_css.State_space.Fastpath.generic_squares
+(* The append specialization is engine-scoped: one fast-path record
+   per CLI run, handed to the engine constructor, so the counters
+   cover exactly this run. *)
+let publish_fastpath fp metrics =
+  List.iter
+    (fun (name, v) ->
+      Rlist_obs.Metrics.add (Rlist_obs.Metrics.counter metrics name) v)
+    (Rlist_ot.Fastpath.fields fp)
 
 (* --- simulate --------------------------------------------------------- *)
 
@@ -652,6 +644,56 @@ let longrun_cmd =
     Term.(const longrun $ soak_protocol_arg $ profile_arg $ clients_arg
           $ updates_arg $ chunk_arg $ seed_arg $ faults_arg $ gc_arg
           $ assert_flat_arg $ max_meta_arg $ json_arg)
+
+(* --- shard-smoke ------------------------------------------------------- *)
+
+(* Two documents, two domains (lib/run/shard_smoke): the dynamic
+   witness behind the escape pass's shard_ready verdict.  Exits
+   non-zero when the two-domain digests differ from the single-domain
+   reference run. *)
+
+let shard_smoke protocol profile nclients updates chunk seed gc json =
+  let r =
+    match
+      Rlist_run.Shard_smoke.run ?gc ~now:Unix.gettimeofday
+        ~protocol:(protocol_key protocol) ~profile ~nclients ~updates ~chunk
+        ~seed ()
+    with
+    | r -> r
+    | exception Invalid_argument msg ->
+      Printf.eprintf "shard-smoke: %s\n" msg;
+      exit 1
+  in
+  if json then print_endline (Rlist_run.Shard_smoke.result_to_json r)
+  else Format.printf "@[<v>%a@]@." Rlist_run.Shard_smoke.pp r;
+  if not r.Rlist_run.Shard_smoke.s_equal then begin
+    Printf.eprintf
+      "shard-smoke: GATE: two-domain digests differ from the \
+       single-domain run\n";
+    exit 1
+  end
+
+let shard_smoke_cmd =
+  let updates_arg =
+    Arg.(value & opt int 50_000
+         & info [ "u"; "updates" ] ~docv:"K"
+             ~doc:"Update operations per document.")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 5_000
+         & info [ "chunk" ] ~docv:"K" ~doc:"Updates per sampled chunk.")
+  in
+  Cmd.v
+    (Cmd.info "shard-smoke"
+       ~doc:
+         "Run two independent documents through the soak workload, once \
+          sequentially and once pinned to one Domain each, and require \
+          bit-identical digests — the dynamic witness that every \
+          engine-reachable mutable allocation really is instance-confined \
+          (the lint's shard_ready gate, DESIGN.md sec. 15).  Exits \
+          non-zero on a digest mismatch.")
+    Term.(const shard_smoke $ soak_protocol_arg $ profile_arg $ clients_arg
+          $ updates_arg $ chunk_arg $ seed_arg $ gc_arg $ json_arg)
 
 (* --- check (bounded model checking) ----------------------------------- *)
 
@@ -1320,7 +1362,7 @@ let report_cmd =
 
 (* --- stats ------------------------------------------------------------ *)
 
-let stats_json ~source (st : Jupiter_css.Analysis.stats) ~lemmas =
+let stats_json ~source (st : Jupiter_css.Analysis.stats) ~lemmas ~fp =
   let widths =
     String.concat ","
       (List.map (fun (l, w) -> Printf.sprintf "[%d,%d]" l w) st.width_per_level)
@@ -1331,23 +1373,21 @@ let stats_json ~source (st : Jupiter_css.Analysis.stats) ~lemmas =
      \"lemmas_ok\":%b,\"fastpath\":{\"enabled\":%b,\"context_hits\":%d,\
      \"append_hits\":%d,\"generic_squares\":%d}}"
     source st.states st.transitions st.depth st.max_branching st.nop_forms
-    widths lemmas
-    !Jupiter_css.State_space.Fastpath.enabled
-    !Jupiter_css.State_space.Fastpath.context_hits
-    !Jupiter_css.State_space.Fastpath.append_hits
-    !Jupiter_css.State_space.Fastpath.generic_squares
+    widths lemmas fp.Rlist_ot.Fastpath.enabled
+    fp.Rlist_ot.Fastpath.context_hits fp.Rlist_ot.Fastpath.append_hits
+    fp.Rlist_ot.Fastpath.generic_squares
 
 let stats name schedule_file json =
-  Jupiter_css.State_space.Fastpath.reset ();
   let build source initial nclients events =
+    let fp = Rlist_ot.Fastpath.create () in
     let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
-    let t = E.create ~initial ~nclients () in
+    let t = E.create ~initial ~fastpath:fp ~nclients () in
     E.run t events;
     let space = Jupiter_css.Protocol.server_space (E.server t) in
     let st = Jupiter_css.Analysis.stats space in
     let lemmas = Jupiter_css.Analysis.check_all space ~nclients ~initial in
     if json then
-      print_endline (stats_json ~source st ~lemmas:(Result.is_ok lemmas))
+      print_endline (stats_json ~source st ~lemmas:(Result.is_ok lemmas) ~fp)
     else begin
       Format.printf "%a@." Jupiter_css.Analysis.pp_stats st;
       match lemmas with
@@ -1397,11 +1437,11 @@ let stats_cmd =
    the JSONL sink pointed at [oc].  The CSS run additionally wires
    [State_space.set_observer] on every replica, so the trace shows the
    state-space growing level by level (the paper's Figure 4). *)
-let trace_css obs ~batching (scenario : Rlist_sim.Figures.scenario) =
+let trace_css obs ~batching ~fastpath (scenario : Rlist_sim.Figures.scenario) =
   let module E = Rlist_sim.Engine.Make (Jupiter_css.Protocol) in
   let t =
-    E.create ~initial:scenario.initial ~batching ~nclients:scenario.nclients
-      ()
+    E.create ~initial:scenario.initial ~batching ~fastpath
+      ~nclients:scenario.nclients ()
   in
   E.attach_obs t obs;
   let wire name set =
@@ -1428,12 +1468,12 @@ let trace_generic (type c s c2s s2c)
       with type client = c
        and type server = s
        and type c2s = c2s
-       and type s2c = s2c) obs ~batching
+       and type s2c = s2c) obs ~batching ~fastpath
     (scenario : Rlist_sim.Figures.scenario) =
   let module E = Rlist_sim.Engine.Make (P) in
   let t =
-    E.create ~initial:scenario.initial ~batching ~nclients:scenario.nclients
-      ()
+    E.create ~initial:scenario.initial ~batching ~fastpath
+      ~nclients:scenario.nclients ()
   in
   E.attach_obs t obs;
   E.run t scenario.schedule;
@@ -1462,9 +1502,9 @@ let trace name protocol batching fastpath out_file json =
     in
     let sink = Rlist_obs.Sink.channel oc in
     let obs = Rlist_obs.Obs.make ~sink () in
-    set_fastpath fastpath;
+    let fp = Rlist_ot.Fastpath.create ~enabled:fastpath () in
     let run (converged, ots, metadata, space_stats) =
-      publish_fastpath obs.Rlist_obs.Obs.metrics;
+      publish_fastpath fp obs.Rlist_obs.Obs.metrics;
       let space_json =
         match space_stats with
         | None -> ""
@@ -1486,26 +1526,26 @@ let trace name protocol batching fastpath out_file json =
       if not converged then exit 1
     in
     (match protocol with
-    | P_css -> run (trace_css obs ~batching scenario)
+    | P_css -> run (trace_css obs ~batching ~fastpath:fp scenario)
     | P_cscw ->
-      run (trace_generic (module Jupiter_cscw.Protocol) obs ~batching
+      run (trace_generic (module Jupiter_cscw.Protocol) obs ~batching ~fastpath:fp
              scenario)
     | P_rga ->
-      run (trace_generic (module Jupiter_rga.Protocol) obs ~batching scenario)
+      run (trace_generic (module Jupiter_rga.Protocol) obs ~batching ~fastpath:fp scenario)
     | P_naive ->
-      run (trace_generic (module Jupiter_cscw.Naive_p2p) obs ~batching
+      run (trace_generic (module Jupiter_cscw.Naive_p2p) obs ~batching ~fastpath:fp
              scenario)
     | P_pruned ->
-      run (trace_generic (module Jupiter_css.Pruned_protocol) obs ~batching
+      run (trace_generic (module Jupiter_css.Pruned_protocol) obs ~batching ~fastpath:fp
              scenario)
     | P_logoot ->
-      run (trace_generic (module Jupiter_logoot.Protocol) obs ~batching
+      run (trace_generic (module Jupiter_logoot.Protocol) obs ~batching ~fastpath:fp
              scenario)
     | P_sequencer ->
       run (trace_generic (module Jupiter_css.Sequencer_protocol) obs
-             ~batching scenario)
+             ~batching ~fastpath:fp scenario)
     | P_treedoc ->
-      run (trace_generic (module Jupiter_treedoc.Protocol) obs ~batching
+      run (trace_generic (module Jupiter_treedoc.Protocol) obs ~batching ~fastpath:fp
              scenario)
     | P_css_p2p | P_ttf ->
       Printf.eprintf
@@ -1589,5 +1629,6 @@ let () =
          RGA, and a broken OT foil)."
   in
   exit (Cmd.eval (Cmd.group info [ simulate_cmd; mc_cmd; fuzz_cmd; soak_cmd;
-            longrun_cmd; viz_cmd; figures_cmd; record_cmd; replay_cmd;
+            longrun_cmd; shard_smoke_cmd; viz_cmd; figures_cmd; record_cmd;
+            replay_cmd;
             report_cmd; stats_cmd; trace_cmd ]))

@@ -23,9 +23,9 @@
    the determinism-reachability and domain-safety passes on top of the
    Parsetree pass; findings double-reported by both layers are deduped
    in favor of the typed one (which carries the witness chain).
-   `--callgraph dot|json FILE` and `--domain-report FILE` write the CI
-   artifacts; `--entry PAT` (repeatable) overrides the entry-point
-   patterns. *)
+   `--callgraph dot|json FILE`, `--domain-report FILE` and
+   `--escape-report FILE` write the CI artifacts; `--entry PAT`
+   (repeatable) overrides the entry-point patterns. *)
 
 open Rlist_lint
 
@@ -36,8 +36,8 @@ let usage () =
     "usage: rlist_lint [--json] [--rules r1,r2] [--baseline FILE] \
      [--list-rules]\n\
     \                  [--typed] [--cmt-root DIR] [--entry PAT]\n\
-    \                  [--callgraph dot|json FILE] [--domain-report FILE] \
-     [roots...]";
+    \                  [--callgraph dot|json FILE] [--domain-report FILE]\n\
+    \                  [--escape-report FILE] [roots...]";
   exit 64
 
 let list_rules () =
@@ -65,6 +65,7 @@ let () =
   let entry_pats = ref [] in
   let callgraph_out = ref None in
   let domain_out = ref None in
+  let escape_out = ref None in
   let roots = ref [] in
   let rec parse = function
     | [] -> ()
@@ -87,6 +88,9 @@ let () =
       parse rest
     | "--domain-report" :: file :: rest ->
       domain_out := Some file;
+      parse rest
+    | "--escape-report" :: file :: rest ->
+      escape_out := Some file;
       parse rest
     | "--rules" :: spec :: rest ->
       let names =
@@ -112,7 +116,8 @@ let () =
       baseline := Some (Lint.load_baseline file);
       parse rest
     | ("--help" | "-h") :: _
-    | ("--rules" | "--baseline" | "--cmt-root" | "--entry" | "--domain-report")
+    | ( "--rules" | "--baseline" | "--cmt-root" | "--entry" | "--domain-report"
+      | "--escape-report" )
       :: [] ->
       usage ()
     | "--callgraph" :: _ -> usage ()
@@ -161,6 +166,7 @@ let () =
       in
       let reach = Typed.det_reach ~entries g in
       let muts = Typed.domain_scan corpus in
+      let esc = Escape.analyze ~reached:reach.r_reached corpus in
       (match !callgraph_out with
       | Some ("dot", file) ->
         write_file file
@@ -170,9 +176,18 @@ let () =
           (Callgraph.json ~entries:reach.r_entries ~reached:reach.r_reached g)
       | None -> ());
       (match !domain_out with
-      | Some file -> write_file file (Typed.domain_report_json muts)
+      | Some file ->
+        write_file file
+          (Typed.domain_report_json
+             ~escaping_unsuppressed:(Escape.unsuppressed_escaping esc)
+             muts)
       | None -> ());
-      let typed_findings = reach.r_findings @ Typed.domain_findings muts in
+      (match !escape_out with
+      | Some file -> write_file file (Escape.report_json esc)
+      | None -> ());
+      let typed_findings =
+        reach.r_findings @ Typed.domain_findings muts @ Escape.findings esc
+      in
       let selected =
         match !rules with
         | None -> typed_findings

@@ -35,7 +35,7 @@ type peer = {
    order-preserving. *)
 let packed_key ~npeers (ts, origin) = (ts * (npeers + 1)) + origin
 
-let create_peer ~npeers ~id ~initial =
+let create_peer ~fastpath ~npeers ~id ~initial =
   if id < 1 then invalid_arg "css-p2p: peer identifiers start at 1";
   let order = Op_id.Table.create 64 in
   let key_of op_id =
@@ -49,7 +49,7 @@ let create_peer ~npeers ~id ~initial =
   {
     id;
     npeers;
-    space = State_space.create ~key_of ();
+    space = State_space.create ~fastpath ~key_of ();
     order;
     doc = initial;
     next_seq = 1;

@@ -36,7 +36,7 @@ type server = {
   mutable next_serial : int;
 }
 
-let make_replica ~initial ~own_client =
+let make_replica ~fastpath ~initial ~own_client =
   let serials = Op_id.Table.create 64 in
   let key_of id =
     match Op_id.Table.find_opt serials id with
@@ -52,7 +52,7 @@ let make_replica ~initial ~own_client =
              "CSS replica %d: no order key for foreign operation %a"
              own_client Op_id.pp id)
   in
-  let space = State_space.create ~key_of () in
+  let space = State_space.create ~fastpath ~key_of () in
   { space; serials; doc = initial; path = [ State_space.initial_state ] }
 
 (* Uniform processing (Section 6.2): match the context, extend the
@@ -62,17 +62,17 @@ let process replica (oc : Context.op_in_context) =
   replica.doc <- Op.apply form replica.doc;
   replica.path <- State_space.final replica.space :: replica.path
 
-let create_client ~nclients ~id ~initial =
+let create_client ~fastpath ~nclients ~id ~initial =
   ignore nclients;
   if id < 1 then invalid_arg "CSS: client identifiers start at 1";
-  { id; replica = make_replica ~initial ~own_client:id; next_seq = 1 }
+  { id; replica = make_replica ~fastpath ~initial ~own_client:id; next_seq = 1 }
 
-let create_server ~nclients ~initial =
+let create_server ~fastpath ~nclients ~initial =
   {
     nclients;
     (* The server has no own operations; [own_client = 0] makes every
        unknown identifier an error. *)
-    server_replica = make_replica ~initial ~own_client:0;
+    server_replica = make_replica ~fastpath ~initial ~own_client:0;
     next_serial = 1;
   }
 

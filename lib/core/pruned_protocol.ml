@@ -58,7 +58,7 @@ type server = {
   client_acked : int array;  (* per-client acknowledged serial *)
 }
 
-let make_replica ~nclients ~initial ~own_client =
+let make_replica ~fastpath ~nclients ~initial ~own_client =
   let serials = Op_id.Table.create 64 in
   let key_of id =
     match Op_id.Table.find_opt serials id with
@@ -72,7 +72,7 @@ let make_replica ~nclients ~initial ~own_client =
              own_client Op_id.pp id)
   in
   {
-    space = State_space.create ~key_of ();
+    space = State_space.create ~fastpath ~key_of ();
     serials;
     by_serial = Hashtbl.create 64;
     doc = initial;
@@ -166,19 +166,19 @@ let widen_ctx r ctx ~base =
   in
   go ctx (r.pruned_to + 1)
 
-let create_client ~nclients ~id ~initial =
+let create_client ~fastpath ~nclients ~id ~initial =
   if id < 1 then invalid_arg "css-pruned: client identifiers start at 1";
   {
     id;
-    replica = make_replica ~nclients ~initial ~own_client:id;
+    replica = make_replica ~fastpath ~nclients ~initial ~own_client:id;
     next_seq = 1;
     acked = 0;
   }
 
-let create_server ~nclients ~initial =
+let create_server ~fastpath ~nclients ~initial =
   {
     nclients;
-    server_replica = make_replica ~nclients ~initial ~own_client:0;
+    server_replica = make_replica ~fastpath ~nclients ~initial ~own_client:0;
     next_serial = 1;
     client_acked = Array.make (nclients + 1) 0;
   }

@@ -18,7 +18,7 @@ type server = {
 
 let create_client = Protocol.create_client
 
-let create_server ~nclients ~initial =
+let create_server ~fastpath:_ ~nclients ~initial =
   ignore initial;
   { nclients; next_serial = 1; seen = Op_id.Set.empty }
 

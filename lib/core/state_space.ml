@@ -1,42 +1,15 @@
 open Rlist_model
 open Rlist_ot
 
-(* Fast-path accounting and the opt-in toggle.  Global, like
-   {!Transform.on_xform}: the spaces of every replica in a simulation
-   share one switch and one set of counters, which is what the CLI and
-   the benchmarks want to report.  Only {!add_run}'s append
-   specialization changes any observable number (it skips primitive
-   transformations, so [ot_count] drops); the context-match shortcut
-   is a pure strength reduction and is always on. *)
-module Fastpath = struct
-  (* Shard-readiness (ROADMAP item 2): these knobs and counters are
-     process-global by design — the bench harness toggles them around
-     whole runs, never concurrently with protocol work.  Under a
-     multi-domain server they must become per-shard or atomic; until
-     then they are suppressed here and tracked as shared-unsafe in the
-     domain-safety report (rlist_lint --typed --domain-report). *)
-  let enabled = ref false [@@lint.allow "module-mutable"]
-
-  (* Seed-equivalent ablation mode for the C16 benchmark: a space
-     created under [baseline] re-derives every created node's hash
-     from the full state set and replays the hash-table probes the
-     pre-optimization implementation performed on every ladder square
-     — the O(|state|)-per-square costs the incremental hashing and
-     the pointer mirror below eliminate.  Captured at {!create} time
-     so a space's hashing strategy never changes mid-life. *)
-  let baseline = ref false [@@lint.allow "module-mutable"]
-
-  let context_hits = ref 0 [@@lint.allow "module-mutable"]
-
-  let append_hits = ref 0 [@@lint.allow "module-mutable"]
-
-  let generic_squares = ref 0 [@@lint.allow "module-mutable"]
-
-  let reset () =
-    context_hits := 0;
-    append_hits := 0;
-    generic_squares := 0
-end
+(* Fast-path accounting and the opt-in toggle: an engine-scoped
+   record ({!Rlist_ot.Fastpath.t}) passed in at {!create} — the
+   engine hands the same record to every replica of one run, so the
+   counters aggregate per run, while nothing is shared across runs
+   (or, under the sharded server, across domains).  Only {!add_run}'s
+   append specialization changes any observable number (it skips
+   primitive transformations, so [ot_count] drops); the context-match
+   shortcut is a pure strength reduction and is always on. *)
+module Fastpath = Fastpath
 
 type state = Op_id.Set.t
 
@@ -94,7 +67,10 @@ type t = {
      transform (TTF, the broken no-priority variant) must never take
      it. *)
   fast_ok : bool;
-  (* {!Fastpath.baseline} at creation time: recompute node hashes from
+  (* The run's fast-path switch and counters, shared with every other
+     space of the same engine run. *)
+  fp : Fastpath.t;
+  (* [fp.baseline] at creation time: recompute node hashes from
      scratch (seed-equivalent cost, benchmark ablation only). *)
   baseline : bool;
   mutable root : state;
@@ -149,7 +125,10 @@ let fold_nodes t f acc =
      t.nodes acc
    [@lint.allow "hashtbl-iter"])
 
-let create ?(transform = Transform.xform) ~key_of () =
+let create ?(transform = Transform.xform) ?fastpath ~key_of () =
+  let fp =
+    match fastpath with Some fp -> fp | None -> Fastpath.create ()
+  in
   let nodes = Hashtbl.create 64 in
   let root_node =
     { state = initial_state; shash = 0; transitions = []; children = [] }
@@ -161,7 +140,8 @@ let create ?(transform = Transform.xform) ~key_of () =
     key_of;
     transform;
     fast_ok = transform == Transform.xform;
-    baseline = !Fastpath.baseline;
+    fp;
+    baseline = fp.Fastpath.baseline;
     root = initial_state;
     final = initial_state;
     final_node = root_node;
@@ -257,7 +237,7 @@ let xform t o1 o2 =
   t.ot_count <- t.ot_count + 1;
   t.transform o1 o2
 
-(* Baseline-mode cost replay (see {!Fastpath.baseline}): one probe of
+(* Baseline-mode cost replay (see {!Fastpath.t}'s [baseline]): one probe of
    the node table as the seed performed it — an O(|state|) content
    hash, plus an O(|state|) set equality when the bucket hits.  The
    rewrite either follows the pointer mirror or knows the state is
@@ -292,7 +272,7 @@ let add_op t { Context.op; ctx } =
     (* Context-match fast path: O(1) node work, zero transformations,
        and — by Lemma 6.4 — exactly what the generic walk below would
        have produced from an empty leftmost path. *)
-    incr Fastpath.context_hits;
+    t.fp.Fastpath.context_hits <- t.fp.Fastpath.context_hits + 1;
     let node = t.final_node in
     let final_plus = Op_id.Set.add op.Op.id node.state in
     let fnode = fresh_node t ~shash:(node.shash + mh) final_plus in
@@ -355,7 +335,7 @@ let add_op t { Context.op; ctx } =
         let tr_form' = xform t tr.form o_here in
         insert_transition t s_plus ~tnode:tgt_plus
           { orig = tr.orig; form = tr_form'; target = tgt_plus.state };
-        incr Fastpath.generic_squares;
+        t.fp.Fastpath.generic_squares <- t.fp.Fastpath.generic_squares + 1;
         o := xform t o_here tr.form;
         src := tgt;
         src_plus := Some tgt_plus)
@@ -436,7 +416,7 @@ let shift_by d o =
    only on its own neighbours.  [ot_count] is therefore unchanged by
    batching alone.
 
-   The append specialization (enabled by {!Fastpath.enabled}, valid
+   The append specialization (enabled by the run's {!Fastpath.t}, valid
    only for the standard view-position transform): when the lanes are
    a pure append run starting at [q] and the path form acts strictly
    outside the run — an insertion at [r <> q], any deletion, or a
@@ -464,10 +444,10 @@ let run_segment t seg =
   in
   let path = if quiescent then [] else leftmost_steps t entry_ctx entry_node in
   if quiescent then
-    Fastpath.context_hits := !Fastpath.context_hits + k;
+    t.fp.Fastpath.context_hits <- t.fp.Fastpath.context_hits + k;
   (* While [Some q], the lanes form a pure append run starting at [q]. *)
   let run_q =
-    ref (if !Fastpath.enabled && t.fast_ok then run_start_of forms else None)
+    ref (if t.fp.Fastpath.enabled && t.fast_ok then run_start_of forms else None)
   in
   (* Entry row: lane nodes [ctx ∪ {o1..oi}], each original operation
      saved along its transition in order (Algorithm 1's first step,
@@ -518,7 +498,7 @@ let run_segment t seg =
             { orig = tr.orig; form = f_i; target = st };
           next.(i) <- node
         done;
-        Fastpath.append_hits := !Fastpath.append_hits + k;
+        t.fp.Fastpath.append_hits <- t.fp.Fastpath.append_hits + k;
         run_q := Option.map (fun q -> q + lane_shift) !run_q
       | None ->
         let f = ref tr.form in
@@ -534,7 +514,7 @@ let run_segment t seg =
             { orig = tr.orig; form = f'; target = st };
           f := f';
           next.(i) <- node;
-          incr Fastpath.generic_squares
+          t.fp.Fastpath.generic_squares <- t.fp.Fastpath.generic_squares + 1
         done;
         (* A tie level transforms lanes individually; the run shape
            may or may not survive. *)
@@ -556,6 +536,8 @@ let add_run t ops =
     (segment_runs ops)
 
 let ot_count t = t.ot_count
+
+let fastpath t = t.fp
 
 let set_observer t notify = t.observer <- Some notify
 
@@ -660,6 +642,7 @@ let of_raw ~key_of ~root ~final assoc =
       key_of;
       transform = Transform.xform;
       fast_ok = true;
+      fp = Fastpath.create ();
       baseline = false;
       root;
       final;

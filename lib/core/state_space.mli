@@ -45,6 +45,7 @@ type t
     total-order-free adOPTed-style protocol exploits. *)
 val create :
   ?transform:(Rlist_ot.Op.t -> Rlist_ot.Op.t -> Rlist_ot.Op.t) ->
+  ?fastpath:Rlist_ot.Fastpath.t ->
   key_of:(Op_id.t -> Order_key.t) ->
   unit ->
   t
@@ -90,7 +91,7 @@ val leftmost_path : t -> state -> transition list
     quiescent replica), the leftmost path is empty and the whole
     algorithm collapses to appending one transition — this
     context-match fast path is taken unconditionally (it is a pure
-    strength reduction) and counted in {!Fastpath.context_hits}.
+    strength reduction) and counted in the space's {!Fastpath.t}.
 
     @raise Invalid_argument if no state matches the operation's
     context (a protocol violation), or if the operation was already
@@ -108,8 +109,8 @@ val add_op : t -> Context.op_in_context -> Op.t
     The resulting space — states, transitions, forms, and {!ot_count}
     — is identical to folding {!add_op} over the batch: the per-square
     transformation recurrences are the same, only their evaluation
-    order changes.  Exception: when {!Fastpath.enabled} is set and the
-    space uses the standard transform, runs of consecutive ascending
+    order changes.  Exception: when the space's {!Fastpath.t} is
+    enabled and the space uses the standard transform, runs of consecutive ascending
     insertions (pure appends) resolve path steps by position
     arithmetic, skipping the primitive transformations a fold would
     perform — forms and structure are still identical, but
@@ -121,35 +122,18 @@ val add_op : t -> Context.op_in_context -> Op.t
     @raise Invalid_argument under the same conditions as {!add_op}. *)
 val add_run : t -> Context.op_in_context list -> Op.t list
 
-(** Fast-path accounting, shared by every space (like
-    {!Rlist_ot.Transform.on_xform}): [enabled] switches the append
-    specialization of {!add_run} on; the counters attribute the
-    speedup ([context_hits] and [append_hits] count operations that
-    skipped ladder work, [generic_squares] counts ladder squares
+(** Fast-path configuration and accounting, re-exported from
+    {!Rlist_ot.Fastpath}: an engine-scoped record passed to {!create}
+    and shared by every space of one engine run — [enabled] switches
+    the append specialization of {!add_run} on; the counters attribute
+    the speedup ([context_hits] and [append_hits] count operations
+    that skipped ladder work, [generic_squares] counts ladder squares
     processed the ordinary way). *)
-module Fastpath : sig
-  val enabled : bool ref
+module Fastpath = Rlist_ot.Fastpath
 
-  (** Benchmark ablation: spaces created while [baseline] is set pay
-      the pre-optimization cost model — every node created re-hashes
-      its full state set instead of extending the parent's hash by one
-      mix, and {!add_op} replays the hash-table probes the seed
-      performed at every ladder square instead of following the
-      pointer mirror.  Captured at {!create} time; structure and forms
-      are unchanged (only the constant work per square).  Used by the
-      C16 bench to attribute the hot-path speedup; never set it in
-      protocol code. *)
-  val baseline : bool ref
-
-  val context_hits : int ref
-
-  val append_hits : int ref
-
-  val generic_squares : int ref
-
-  (** Reset the counters (not [enabled]). *)
-  val reset : unit -> unit
-end
+(** The fast-path record this space was created with ({!create}'s
+    [?fastpath], or a private fresh record when none was passed). *)
+val fastpath : t -> Fastpath.t
 
 (** Number of primitive transformation-function calls performed by
     this state-space so far. *)

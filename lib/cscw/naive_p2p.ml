@@ -47,7 +47,7 @@ type server = {
   mutable sot_count : int;
 }
 
-let create_client ~nclients ~id ~initial =
+let create_client ~fastpath:_ ~nclients ~id ~initial =
   {
     id;
     nclients;
@@ -59,7 +59,7 @@ let create_client ~nclients ~id ~initial =
     ot_count = 0;
   }
 
-let create_server ~nclients ~initial =
+let create_server ~fastpath:_ ~nclients ~initial =
   {
     snclients = nclients;
     sdoc = initial;

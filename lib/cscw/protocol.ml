@@ -35,7 +35,7 @@ type server = {
   server_ot_counter : int ref;
 }
 
-let create_client ~nclients ~id ~initial =
+let create_client ~fastpath:_ ~nclients ~id ~initial =
   ignore nclients;
   if id < 1 then invalid_arg "CSCW: client identifiers start at 1";
   let ot_counter = ref 0 in
@@ -49,7 +49,7 @@ let create_client ~nclients ~id ~initial =
     ot_counter;
   }
 
-let create_server ~nclients ~initial =
+let create_server ~fastpath:_ ~nclients ~initial =
   let server_ot_counter = ref 0 in
   {
     nclients;

@@ -44,16 +44,7 @@ type t = { defs : (string, def) Hashtbl.t; order : string list }
 let find t id = Hashtbl.find_opt t.defs id
 let order t = t.order
 
-(* "Rlist_net__Transport" -> "Transport" *)
-let short_base modname =
-  let n = String.length modname in
-  let rec last_sep i best =
-    if i + 1 >= n then best
-    else if modname.[i] = '_' && modname.[i + 1] = '_' then last_sep (i + 2) (i + 2)
-    else last_sep (i + 1) best
-  in
-  let cut = last_sep 0 0 in
-  String.sub modname cut (n - cut)
+let short_base = Cmt_loader.short_base
 
 let print_names =
   [
@@ -188,6 +179,7 @@ let build corpus =
       match me.mod_desc with
       | Tmod_structure str -> structure prefix str
       | Tmod_constraint (me, _, _, _) -> module_expr prefix me
+      | Tmod_functor (_, me) -> module_expr prefix me
       | _ -> ()
     in
     structure [] u.str
@@ -253,8 +245,14 @@ let build corpus =
           | Some (rule, what) -> add_sink ~loc:e.exp_loc rule what
           | None ->
             if List.mem name poly_ops then (
+              let home =
+                match String.rindex_opt def.d_id '.' with
+                | Some i -> String.sub def.d_id 0 i
+                | None -> def.d_id
+              in
               match compared_type e.exp_type with
-              | Some ty when not (Cmt_loader.visibly_comparable corpus ty) ->
+              | Some ty
+                when not (Cmt_loader.visibly_comparable ~home corpus ty) ->
                 let rule =
                   if String.equal name "compare" then "poly-cmp" else "poly-eq"
                 in
@@ -371,6 +369,7 @@ let build corpus =
       match me.mod_desc with
       | Tmod_structure str -> structure prefix str
       | Tmod_constraint (me, _, _, _) -> module_expr prefix me
+      | Tmod_functor (_, me) -> module_expr prefix me
       | _ -> ()
     in
     structure [] u.str
@@ -387,6 +386,25 @@ let build corpus =
   { defs; order }
 
 (* --- exports ---------------------------------------------------------- *)
+
+(* Escape a string for a double-quoted DOT id or label: backslashes
+   and quotes are escaped, and angle brackets are too (a quoted label
+   starting with [<] would otherwise be parsed as an HTML-like label —
+   nested-module names like "M.(init)" or functor spellings can carry
+   any of these). *)
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '<' -> Buffer.add_string buf "\\<"
+      | '>' -> Buffer.add_string buf "\\>"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let dot ?(entries = []) ?(reached = []) t =
   let buf = Buffer.create 4096 in
@@ -405,8 +423,8 @@ let dot ?(entries = []) ?(reached = []) t =
           else ""
         in
         Buffer.add_string buf
-          (Printf.sprintf "  \"%s\" [label=\"%s\\n%s\"%s];\n" d.d_id d.d_disp
-             d.d_file attrs))
+          (Printf.sprintf "  \"%s\" [label=\"%s\\n%s\"%s];\n" (dot_escape d.d_id)
+             (dot_escape d.d_disp) (dot_escape d.d_file) attrs))
     t.order;
   List.iter
     (fun id ->
@@ -417,7 +435,8 @@ let dot ?(entries = []) ?(reached = []) t =
           (fun callee ->
             if Hashtbl.mem t.defs callee then
               Buffer.add_string buf
-                (Printf.sprintf "  \"%s\" -> \"%s\";\n" d.d_id callee))
+                (Printf.sprintf "  \"%s\" -> \"%s\";\n" (dot_escape d.d_id)
+                   (dot_escape callee)))
           d.d_calls)
     t.order;
   Buffer.add_string buf "}\n";

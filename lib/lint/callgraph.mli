@@ -55,6 +55,13 @@ val find : t -> string -> def option
 val order : t -> string list
 (** Node ids in deterministic (definition) order. *)
 
+val dot_escape : string -> string
+(** Escape a string for a double-quoted DOT id or label: quotes,
+    backslashes, newlines and angle brackets (nested-module spellings
+    like ["M.(init)"] or operator names can carry any of these;
+    unescaped angle brackets make Graphviz read the label as
+    HTML-like). *)
+
 val dot : ?entries:string list -> ?reached:string list -> t -> string
 (** Graphviz rendering; entry nodes are blue, sink-bearing nodes
     salmon, other reached nodes yellow. *)

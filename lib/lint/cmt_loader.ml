@@ -25,8 +25,17 @@ type t = {
   units : unit_info list;
   by_name : (string, unit_info) Hashtbl.t;
   type_decls : (string, Types.type_declaration) Hashtbl.t;
+  aliases : (string, string) Hashtbl.t;
+      (* "Unit.Prefix.Alias" -> target module path ("Rlist_obs.Event")
+         for top-level [module A = Path] bindings, so type names
+         spelled through a local alias resolve across units *)
   errors : string list;
 }
+
+let strip_stdlib name =
+  if String.starts_with ~prefix:"Stdlib." name then
+    String.sub name 7 (String.length name - 7)
+  else name
 
 let units t = t.units
 let errors t = t.errors
@@ -34,8 +43,9 @@ let mem_unit t name = Hashtbl.mem t.by_name name
 let find_type t name = Hashtbl.find_opt t.type_decls name
 
 (* Record every type declaration of [u], keyed "Unit.Sub.t", walking
-   into nested (non-functor) modules. *)
-let collect_type_decls table (u : unit_info) =
+   into nested modules (functor bodies included), plus every
+   [module A = Path] alias binding, keyed the same way. *)
+let collect_type_decls table aliases (u : unit_info) =
   let rec structure prefix (str : Typedtree.structure) =
     List.iter (item prefix) str.str_items
   and item prefix (si : Typedtree.structure_item) =
@@ -55,11 +65,25 @@ let collect_type_decls table (u : unit_info) =
   and module_binding prefix (mb : Typedtree.module_binding) =
     match mb.mb_id with
     | None -> ()
-    | Some id -> module_expr (prefix @ [ Ident.name id ]) mb.mb_expr
+    | Some id ->
+      let prefix = prefix @ [ Ident.name id ] in
+      (match alias_target mb.mb_expr with
+      | Some target ->
+        let key = String.concat "." (u.modname :: prefix) in
+        if not (Hashtbl.mem aliases key) then
+          Hashtbl.replace aliases key target
+      | None -> ());
+      module_expr prefix mb.mb_expr
+  and alias_target (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_ident (p, _) -> Some (strip_stdlib (Path.name p))
+    | Tmod_constraint (me, _, _, _) -> alias_target me
+    | _ -> None
   and module_expr prefix (me : Typedtree.module_expr) =
     match me.mod_desc with
     | Tmod_structure str -> structure prefix str
     | Tmod_constraint (me, _, _, _) -> module_expr prefix me
+    | Tmod_functor (_, me) -> module_expr prefix me
     | _ -> ()
   in
   structure [] u.str
@@ -128,10 +152,24 @@ let load_files ?(roots = []) paths =
     List.sort (fun a b -> String.compare a.modname b.modname) !units
   in
   let type_decls = Hashtbl.create 256 in
-  List.iter (collect_type_decls type_decls) units;
-  { units; by_name; type_decls; errors = List.rev !errors }
+  let aliases = Hashtbl.create 64 in
+  List.iter (collect_type_decls type_decls aliases) units;
+  { units; by_name; type_decls; aliases; errors = List.rev !errors }
 
 let load_dir ?roots dir = load_files ?roots (scan dir)
+
+(* "Rlist_net__Transport" -> "Transport": the short display base of a
+   flat unit name, shared by every pass that prints module paths. *)
+let short_base modname =
+  let n = String.length modname in
+  let rec last_sep i best =
+    if i + 1 >= n then best
+    else if modname.[i] = '_' && modname.[i + 1] = '_' then
+      last_sep (i + 2) (i + 2)
+    else last_sep (i + 1) best
+  in
+  let cut = last_sep 0 0 in
+  String.sub modname cut (n - cut)
 
 (* --- qualified-name resolution --------------------------------------- *)
 
@@ -157,10 +195,67 @@ let resolve_qualified t = function
 
 (* --- visible comparability ------------------------------------------- *)
 
-let strip_stdlib name =
-  if String.starts_with ~prefix:"Stdlib." name then
-    String.sub name 7 (String.length name - 7)
-  else name
+(* --- relative declaration lookup ------------------------------------- *)
+
+let prefix_of key =
+  match String.rindex_opt key '.' with
+  | Some i -> Some (String.sub key 0 i)
+  | None -> None
+
+(* Resolve a type-constructor spelling as it appears *inside* the
+   declaration prefix [home] ("Rlist_model__Document", or deeper for
+   nested modules): try home-relative keys walking outwards, then the
+   spelling as-is, then top-level module aliases of the home unit
+   ([module Ev = Rlist_obs.Event] makes "Ev.replica" resolve), then
+   the wrapped-library flat mapping.  Returns the declaration together
+   with the prefix it was found under — the [home] for recursing into
+   its components. *)
+let find_decl_rel t ~home name =
+  let try_key k =
+    match find_type t k with
+    | Some d -> Some (d, prefix_of k)
+    | None -> None
+  in
+  let flat n =
+    match resolve_qualified t (String.split_on_char '.' n) with
+    | Some (unit_name, rest) ->
+      try_key (String.concat "." (unit_name :: rest))
+    | None -> None
+  in
+  let rec outward h =
+    match try_key (h ^ "." ^ name) with
+    | Some r -> Some r
+    | None -> ( match prefix_of h with Some h' -> outward h' | None -> None)
+  in
+  let home_relative () =
+    match home with Some h -> outward h | None -> None
+  in
+  let via_alias () =
+    match home, String.index_opt name '.' with
+    | Some h, Some i -> (
+      let unit =
+        match String.index_opt h '.' with
+        | Some j -> String.sub h 0 j
+        | None -> h
+      in
+      let head = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      match Hashtbl.find_opt t.aliases (unit ^ "." ^ head) with
+      | Some target ->
+        let expanded = target ^ "." ^ rest in
+        (match try_key expanded with
+        | Some r -> Some r
+        | None -> flat expanded)
+      | None -> None)
+    | _ -> None
+  in
+  match home_relative () with
+  | Some r -> Some r
+  | None -> (
+    match try_key name with
+    | Some r -> Some r
+    | None -> (
+      match via_alias () with Some r -> Some r | None -> flat name))
 
 let base_comparable =
   [
@@ -176,42 +271,33 @@ let base_comparable =
    all are (resolved through the corpus type table, across modules).
    Anything abstract, functional, polymorphic or unresolvable is not —
    conservative in the direction that produces a finding. *)
-let visibly_comparable t ty =
-  let rec comparable seen ty =
+let visibly_comparable ?home t ty =
+  let rec comparable home seen ty =
     match Types.get_desc ty with
-    | Ttuple ts -> List.for_all (comparable seen) ts
-    | Tpoly (ty, _) -> comparable seen ty
+    | Ttuple ts -> List.for_all (comparable home seen) ts
+    | Tpoly (ty, _) -> comparable home seen ty
     | Tconstr (p, args, _) -> (
       let name = strip_stdlib (Path.name p) in
       if List.mem name base_comparable then true
       else
         match name with
         | "list" | "option" | "array" | "ref" ->
-          List.for_all (comparable seen) args
+          List.for_all (comparable home seen) args
         | _ ->
           if List.mem name seen then true (* recursive type: assume *)
           else
             let seen = name :: seen in
-            let decl =
-              match find_type t name with
-              | Some d -> Some d
-              | None -> (
-                (* use-site spelling -> flat unit spelling *)
-                match resolve_qualified t (String.split_on_char '.' name) with
-                | Some (unit_name, rest) ->
-                  find_type t (String.concat "." (unit_name :: rest))
-                | None -> None)
-            in
-            decl_comparable seen args decl)
+            decl_comparable home seen args (find_decl_rel t ~home name))
     | _ -> false
-  and decl_comparable seen args = function
+  and decl_comparable home seen args = function
     | None -> false
-    | Some (d : Types.type_declaration) -> (
+    | Some ((d : Types.type_declaration), dhome) -> (
+      let home = match dhome with Some _ -> dhome | None -> home in
       (* Parameterized abbreviations would need substitution; only the
          closed cases are decided, everything else stays "not visibly
          comparable". *)
       match d.type_manifest with
-      | Some m when List.is_empty d.type_params -> comparable seen m
+      | Some m when List.is_empty d.type_params -> comparable home seen m
       | Some _ -> false
       | None -> (
         match d.type_kind with
@@ -219,25 +305,175 @@ let visibly_comparable t ty =
           List.is_empty d.type_params && List.is_empty args
           && List.for_all
                (fun (f : Types.label_declaration) ->
-                 comparable seen f.ld_type)
+                 comparable home seen f.ld_type)
                fields
         | Type_variant (cstrs, _) ->
           List.is_empty d.type_params && List.is_empty args
           && List.for_all
                (fun (c : Types.constructor_declaration) ->
                  match c.cd_args with
-                 | Cstr_tuple ts -> List.for_all (comparable seen) ts
+                 | Cstr_tuple ts -> List.for_all (comparable home seen) ts
                  | Cstr_record fields ->
                    List.for_all
                      (fun (f : Types.label_declaration) ->
-                       comparable seen f.ld_type)
+                       comparable home seen f.ld_type)
                      fields)
                cstrs
         | _ -> false))
   in
-  comparable [] ty
+  comparable home [] ty
 
 let type_to_string ty =
   match Format.asprintf "%a" Printtyp.type_expr ty with
   | s -> s
   | exception _ -> "<type>"
+
+(* --- mutability ------------------------------------------------------- *)
+
+(* What kind of mutability, if any, does a value at this type expose?
+   Containers are looked through one level (a [ref list] is still
+   mutable state); record types resolve through the corpus so
+   cross-module mutable records are caught too.  Shared by the
+   domain-safety scan (module-level bindings) and the escape pass
+   (module-path reads). *)
+let mutable_kind corpus ty =
+  let rec kind depth seen ty =
+    if depth > 4 then None
+    else
+      match Types.get_desc ty with
+      | Ttuple ts -> List.find_map (kind (depth + 1) seen) ts
+      | Tconstr (p, args, _) -> (
+        let name = strip_stdlib (Path.name p) in
+        match name with
+        | "ref" -> Some "ref"
+        | "array" -> Some "array"
+        | "bytes" | "Bytes.t" -> Some "bytes"
+        | "Hashtbl.t" -> Some "Hashtbl.t"
+        | "Queue.t" -> Some "Queue.t"
+        | "Stack.t" -> Some "Stack.t"
+        | "Buffer.t" -> Some "Buffer.t"
+        | "Atomic.t" -> Some "Atomic.t"
+        | "Mutex.t" -> Some "Mutex.t"
+        | "Condition.t" -> Some "Condition.t"
+        | "list" | "option" | "Lazy.t" ->
+          List.find_map (kind (depth + 1) seen) args
+        | _ ->
+          if List.mem name seen then None
+          else
+            let seen = name :: seen in
+            let decl =
+              match find_type corpus name with
+              | Some d -> Some d
+              | None -> (
+                match
+                  resolve_qualified corpus (String.split_on_char '.' name)
+                with
+                | Some (unit_name, rest) ->
+                  find_type corpus (String.concat "." (unit_name :: rest))
+                | None -> None)
+            in
+            Option.bind decl (fun (d : Types.type_declaration) ->
+                match d.type_kind with
+                | Type_record (fields, _)
+                  when List.exists
+                         (fun (f : Types.label_declaration) ->
+                           match f.ld_mutable with
+                           | Mutable -> true
+                           | Immutable -> false)
+                         fields ->
+                  Some "record with mutable fields"
+                | _ -> (
+                  match d.type_manifest with
+                  | Some m -> kind (depth + 1) seen m
+                  | None -> None)))
+      | _ -> None
+  in
+  kind 0 [] ty
+
+(* Can a value of this type transitively hold mutable state at all?
+   [inert_type] answers the *negative* question: [true] means the type
+   provably cannot carry a ref/array/table/closure, so a value-flow
+   pass can drop its tokens.  Scalars and immutable compositions of
+   inert things are inert; arrows are not (a closure captures
+   anything); abstract, polymorphic and unresolvable types are not —
+   conservative in the direction that keeps tokens flowing. *)
+let inert_base =
+  [
+    "int"; "bool"; "char"; "unit"; "float"; "string"; "int32"; "int64";
+    "nativeint";
+    "Int.t"; "Bool.t"; "Char.t"; "Float.t"; "Unit.t"; "String.t";
+    "Int32.t"; "Int64.t"; "Nativeint.t";
+  ]
+
+let inert_type ?home corpus ty =
+  let rec inert home depth seen ty =
+    depth <= 8
+    &&
+    match Types.get_desc ty with
+    | Ttuple ts -> List.for_all (inert home (depth + 1) seen) ts
+    | Tconstr (p, args, _) -> (
+      let name = strip_stdlib (Path.name p) in
+      if List.mem name inert_base then true
+      else
+        match name with
+        | "list" | "option" | "result" | "Either.t" ->
+          List.for_all (inert home (depth + 1) seen) args
+        (* A lazy of an inert payload is accepted: the memo cell is the
+           only mutation, concurrent force raises rather than corrupts,
+           and nothing mutable is reachable through the value.  Stdlib
+           [Map.Make]/[Set.Make] instances are immutable trees; the key
+           type is baked into the functor and assumed immutable (an
+           [OrderedType] with mutable keys is broken anyway).  Both are
+           stated soundness caveats in DESIGN.md §15. *)
+        | "Lazy.t" | "lazy_t" ->
+          List.for_all (inert home (depth + 1) seen) args
+        | _
+          when String.ends_with ~suffix:".Map.t" name
+               || String.ends_with ~suffix:".Set.t" name ->
+          List.for_all (inert home (depth + 1) seen) args
+        | "ref" | "array" | "bytes" | "Bytes.t" | "Hashtbl.t" | "Queue.t"
+        | "Stack.t" | "Buffer.t" | "Atomic.t" | "Mutex.t" | "Condition.t" ->
+          false
+        | _ ->
+          if List.mem name seen then true (* recursive type: assume *)
+          else
+            let seen = name :: seen in
+            decl_inert home depth seen args (find_decl_rel corpus ~home name))
+    | _ -> false
+  and decl_inert home depth seen args = function
+    | None -> false
+    | Some ((d : Types.type_declaration), dhome) -> (
+      let home = match dhome with Some _ -> dhome | None -> home in
+      match d.type_manifest with
+      | Some m when List.is_empty d.type_params -> inert home depth seen m
+      | Some _ -> false
+      | None -> (
+        match d.type_kind with
+        | Type_record (fields, _) ->
+          List.is_empty d.type_params && List.is_empty args
+          && List.for_all
+               (fun (f : Types.label_declaration) ->
+                 (match f.ld_mutable with
+                 | Mutable -> false
+                 | Immutable -> true)
+                 && inert home (depth + 1) seen f.ld_type)
+               fields
+        | Type_variant (cstrs, _) ->
+          List.is_empty d.type_params && List.is_empty args
+          && List.for_all
+               (fun (c : Types.constructor_declaration) ->
+                 match c.cd_args with
+                 | Cstr_tuple ts ->
+                   List.for_all (inert home (depth + 1) seen) ts
+                 | Cstr_record fields ->
+                   List.for_all
+                     (fun (f : Types.label_declaration) ->
+                       (match f.ld_mutable with
+                       | Mutable -> false
+                       | Immutable -> true)
+                       && inert home (depth + 1) seen f.ld_type)
+                     fields)
+               cstrs
+        | _ -> false))
+  in
+  inert home 0 [] ty

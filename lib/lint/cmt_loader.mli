@@ -47,7 +47,7 @@ val resolve_qualified : t -> string list -> (string * string list) option
     ["validate"])].  [None] when the head does not resolve to a
     corpus unit (an external reference). *)
 
-val visibly_comparable : t -> Types.type_expr -> bool
+val visibly_comparable : ?home:string -> t -> Types.type_expr -> bool
 (** Would polymorphic [=]/[compare] at this type be structurally
     deterministic and total "by inspection"?  Builtin scalars and
     containers of comparable things are; records/variants whose
@@ -61,6 +61,24 @@ val type_to_string : Types.type_expr -> string
 
 val strip_stdlib : string -> string
 (** Drop a leading ["Stdlib."] from a printed path. *)
+
+val short_base : string -> string
+(** ["Rlist_net__Transport"] -> ["Transport"]: the display base of a
+    flat unit name, shared by every pass that prints module paths. *)
+
+val inert_type : ?home:string -> t -> Types.type_expr -> bool
+(** Can a value of this type provably {e not} carry mutable state
+    (directly or nested)?  Scalars and immutable compositions of inert
+    things are inert; arrows, abstract, polymorphic and unresolvable
+    types are not — conservative in the direction that keeps a
+    value-flow pass tracking.  Used by the escape pass to prune flows
+    through scalar-typed intermediaries. *)
+
+val mutable_kind : t -> Types.type_expr -> string option
+(** What kind of mutability, if any, does a value at this type
+    expose?  ["ref"], ["array"], ["Hashtbl.t"], ["record with mutable
+    fields"], … — containers are looked through one level, record
+    types resolve through the corpus.  [None] for immutable types. *)
 
 val normalize : string -> string
 (** Strip a leading ["./"]. *)

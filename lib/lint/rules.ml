@@ -112,6 +112,11 @@ let all =
        or escaping mutable record) is shared the moment documents are \
        pinned to domains; confine it to a shard, make it atomic, or \
        carry a justified suppression";
+    rule "escape" Domain_safety None ~typed:true
+      "an engine-reachable mutable allocation escapes to module-level \
+       state (typed value-flow pass over the .cmt corpus; the finding \
+       prints the witness flow chain); escaping state is shared the \
+       moment documents are pinned to domains";
   ]
 
 let find name = List.find_opt (fun r -> String.equal r.name name) all

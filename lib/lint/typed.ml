@@ -150,67 +150,6 @@ type mut_entry = {
   m_suppressed : bool;
 }
 
-(* What kind of mutability, if any, does a module-level binding at
-   this type expose?  Containers are looked through one level (a
-   [ref list] at the toplevel is still shared mutable state); record
-   types resolve through the corpus so cross-module mutable records
-   are caught too. *)
-let mutable_kind corpus ty =
-  let rec kind depth seen ty =
-    if depth > 4 then None
-    else
-      match Types.get_desc ty with
-      | Ttuple ts -> List.find_map (kind (depth + 1) seen) ts
-      | Tconstr (p, args, _) -> (
-        let name = Cmt_loader.strip_stdlib (Path.name p) in
-        match name with
-        | "ref" -> Some "ref"
-        | "array" -> Some "array"
-        | "bytes" | "Bytes.t" -> Some "bytes"
-        | "Hashtbl.t" -> Some "Hashtbl.t"
-        | "Queue.t" -> Some "Queue.t"
-        | "Stack.t" -> Some "Stack.t"
-        | "Buffer.t" -> Some "Buffer.t"
-        | "Atomic.t" -> Some "Atomic.t"
-        | "Mutex.t" -> Some "Mutex.t"
-        | "Condition.t" -> Some "Condition.t"
-        | "list" | "option" | "Lazy.t" ->
-          List.find_map (kind (depth + 1) seen) args
-        | _ ->
-          if List.mem name seen then None
-          else
-            let seen = name :: seen in
-            let decl =
-              match Cmt_loader.find_type corpus name with
-              | Some d -> Some d
-              | None -> (
-                match
-                  Cmt_loader.resolve_qualified corpus
-                    (String.split_on_char '.' name)
-                with
-                | Some (unit_name, rest) ->
-                  Cmt_loader.find_type corpus
-                    (String.concat "." (unit_name :: rest))
-                | None -> None)
-            in
-            Option.bind decl (fun (d : Types.type_declaration) ->
-                match d.type_kind with
-                | Type_record (fields, _)
-                  when List.exists
-                         (fun (f : Types.label_declaration) ->
-                           match f.ld_mutable with
-                           | Mutable -> true
-                           | Immutable -> false)
-                         fields ->
-                  Some "record with mutable fields"
-                | _ -> (
-                  match d.type_manifest with
-                  | Some m -> kind (depth + 1) seen m
-                  | None -> None)))
-      | _ -> None
-  in
-  kind 0 [] ty
-
 let classify ~file ~kind =
   if in_obs_seam file then Obs_seam
   else
@@ -234,18 +173,7 @@ let domain_scan corpus =
         str.str_items
     in
     collect_file_allows u.str;
-    let short =
-      (* "Rlist_core__State_space" -> "State_space" *)
-      let n = String.length u.modname in
-      let rec last_sep i best =
-        if i + 1 >= n then best
-        else if u.modname.[i] = '_' && u.modname.[i + 1] = '_' then
-          last_sep (i + 2) (i + 2)
-        else last_sep (i + 1) best
-      in
-      let cut = last_sep 0 0 in
-      String.sub u.modname cut (n - cut)
-    in
+    let short = Cmt_loader.short_base u.modname in
     let rec structure prefix (str : Typedtree.structure) =
       List.iter (item prefix) str.str_items
     and item prefix (si : Typedtree.structure_item) =
@@ -260,7 +188,7 @@ let domain_scan corpus =
             in
             List.iter
               (fun (_, name, loc, ty) ->
-                match mutable_kind corpus ty with
+                match Cmt_loader.mutable_kind corpus ty with
                 | None -> ()
                 | Some kind ->
                   let pos = loc.Location.loc_start in
@@ -291,6 +219,7 @@ let domain_scan corpus =
       match me.mod_desc with
       | Tmod_structure str -> structure prefix str
       | Tmod_constraint (me, _, _, _) -> module_expr prefix me
+      | Tmod_functor (_, me) -> module_expr prefix me
       | _ -> ()
     in
     structure [] u.str
@@ -320,7 +249,7 @@ let domain_findings entries =
       | _ -> None)
     entries
 
-let domain_report_json entries =
+let domain_report_json ?(escaping_unsuppressed = 0) entries =
   let count cls =
     List.length (List.filter (fun e -> e.m_class == cls) entries)
   in
@@ -333,11 +262,11 @@ let domain_report_json entries =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"version\":1,\"total\":%d,\"shard_ready\":%b,\"classes\":{\"obs-seam\":%d,\"domain-confined\":%d,\"shared-unsafe\":%d},\"unsuppressed_shared_unsafe\":%d,\"entries\":["
+       "{\"version\":1,\"total\":%d,\"shard_ready\":%b,\"classes\":{\"obs-seam\":%d,\"domain-confined\":%d,\"shared-unsafe\":%d},\"unsuppressed_shared_unsafe\":%d,\"escaping_unsuppressed\":%d,\"entries\":["
        (List.length entries)
-       (unsuppressed_unsafe = 0)
+       (unsuppressed_unsafe = 0 && escaping_unsuppressed = 0)
        (count Obs_seam) (count Domain_confined) (count Shared_unsafe)
-       unsuppressed_unsafe);
+       unsuppressed_unsafe escaping_unsuppressed);
   List.iteri
     (fun i e ->
       if i > 0 then Buffer.add_char buf ',';
@@ -358,4 +287,6 @@ let run ?entries corpus =
   let g = Callgraph.build corpus in
   let reach = det_reach ?entries g in
   let muts = domain_scan corpus in
-  List.sort Finding.compare (reach.r_findings @ domain_findings muts)
+  let esc = Escape.analyze ~reached:reach.r_reached corpus in
+  List.sort Finding.compare
+    (reach.r_findings @ domain_findings muts @ Escape.findings esc)

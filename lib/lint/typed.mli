@@ -62,10 +62,13 @@ val domain_findings : mut_entry list -> Finding.t list
 (** A [module-mutable] finding for each unsuppressed shared-unsafe
     entry. *)
 
-val domain_report_json : mut_entry list -> string
+val domain_report_json : ?escaping_unsuppressed:int -> mut_entry list -> string
 (** The shard-readiness report: totals per class, a [shard_ready]
-    verdict (no unsuppressed shared-unsafe state), and every entry —
-    including suppressed ones, which are the burn-down list. *)
+    verdict (no unsuppressed shared-unsafe state {e and} no
+    unsuppressed escaping allocation from the escape pass — pass the
+    count via [escaping_unsuppressed]), and every entry — including
+    suppressed ones, which are the burn-down list. *)
 
 val run : ?entries:string list -> Cmt_loader.t -> Finding.t list
-(** Build the graph and run both passes; findings come back sorted. *)
+(** Build the graph and run the determinism, domain-safety and escape
+    passes; findings come back sorted. *)

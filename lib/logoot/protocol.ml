@@ -37,7 +37,7 @@ type server = {
   mutable svisible : Op_id.Set.t;
 }
 
-let create_client ~nclients ~id ~initial =
+let create_client ~fastpath:_ ~nclients ~id ~initial =
   ignore nclients;
   {
     id;
@@ -50,7 +50,7 @@ let create_client ~nclients ~id ~initial =
     visible = Op_id.Set.empty;
   }
 
-let create_server ~nclients ~initial =
+let create_server ~fastpath:_ ~nclients ~initial =
   {
     nclients;
     slist =

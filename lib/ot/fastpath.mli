@@ -1,0 +1,47 @@
+(** Fast-path configuration and accounting for Algorithm 1's batched
+    ladder walks — one record per engine run, threaded from the
+    engine's constructor down to every {!State_space} it creates.
+
+    This used to be a module-level switch with module-level counters;
+    the escape/confinement pass (DESIGN.md §15) demands instance
+    scoping: under the multi-domain sharded server (ROADMAP item 2)
+    each document's spaces live on one domain, and a process-global
+    knob written by one domain while another walks a ladder is a data
+    race.  An engine passes the {e same} record to its server and all
+    its clients, so the counters still aggregate per run — per-domain
+    confinement, per-run accounting. *)
+
+type t = {
+  mutable enabled : bool;
+      (** Switches the append specialization of
+          {!Jupiter_css.State_space.add_run} on.  The context-match
+          shortcut is a pure strength reduction and is always on. *)
+  mutable baseline : bool;
+      (** Benchmark ablation (C16): spaces created from a [baseline]
+          record pay the pre-optimization cost model — every node
+          created re-hashes its full state set instead of extending
+          the parent's hash by one mix, and [add_op] replays the
+          hash-table probes the seed performed at every ladder square
+          instead of following the pointer mirror.  Captured at space
+          creation time; structure and forms are unchanged (only the
+          constant work per square).  Never set it in protocol code. *)
+  mutable context_hits : int;
+      (** Operations whose context matched the final state (ladder
+          collapsed to one appended transition). *)
+  mutable append_hits : int;
+      (** Operations resolved by append-run position arithmetic
+          instead of primitive transformations. *)
+  mutable generic_squares : int;
+      (** Ladder squares processed the ordinary way. *)
+}
+
+(** A fresh record, counters at zero.  [enabled] and [baseline]
+    default to [false]. *)
+val create : ?enabled:bool -> ?baseline:bool -> unit -> t
+
+(** Reset the counters (not [enabled] or [baseline]). *)
+val reset : t -> unit
+
+(** The counters as metric fields, for publication:
+    [("fastpath.context_hits", n); ...]. *)
+val fields : t -> (string * int) list

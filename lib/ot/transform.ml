@@ -37,20 +37,14 @@ let generic_xform ~tie_shifts ~strict o1 o2 =
       Op.nop ~id:o1.Op.id
     end
 
-(* Global observability tap: one indirect no-op call per primitive
-   transformation when nothing is listening.  Shard-readiness (ROADMAP
-   item 2): process-global and written only at instrumentation setup;
-   must become per-shard or atomic before the multi-domain server —
-   suppressed here, tracked in the domain-safety report. *)
-let on_xform : (unit -> unit) ref =
-  ref (fun () -> ()) [@@lint.allow "module-mutable"]
-
-let xform o1 o2 =
-  !on_xform ();
-  generic_xform ~tie_shifts:true ~strict:true o1 o2
+(* Pure: per-instance transform accounting lives with the caller —
+   every state-space counts its own [ot_count] and the engines'
+   [attach_obs] derives per-run transform metrics from those, so the
+   old process-global [on_xform] tap (a shared-unsafe write under the
+   multi-domain server, per the escape/confinement pass) is gone. *)
+let xform o1 o2 = generic_xform ~tie_shifts:true ~strict:true o1 o2
 
 let xform_no_priority o1 o2 =
-  !on_xform ();
   generic_xform ~tie_shifts:false ~strict:false o1 o2
 
 let xform_pair o1 o2 = xform o1 o2, xform o2 o1

@@ -19,14 +19,6 @@
 
 open Rlist_model
 
-(** Observability tap, called once per primitive transformation (by
-    both {!xform} and {!xform_no_priority}, hence by every protocol
-    layer).  The default does nothing; the metrics layer installs a
-    counter increment here to obtain exact system-wide OT counts that
-    are independent of any protocol's own bookkeeping.  Restore the
-    default ([fun () -> ()]) to detach. *)
-val on_xform : (unit -> unit) ref
-
 (** [xform o1 o2] transforms [o1] to take into account the effect of
     [o2]: both must be defined on the same state, and the result
     [o1{o2}] is defined on that state extended with [o2]

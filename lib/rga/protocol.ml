@@ -42,11 +42,11 @@ type server = {
   mutable svisible : Op_id.Set.t;
 }
 
-let create_client ~nclients ~id ~initial =
+let create_client ~fastpath:_ ~nclients ~id ~initial =
   ignore nclients;
   { id; rga = Rga_list.create ~initial; next_seq = 1; visible = Op_id.Set.empty }
 
-let create_server ~nclients ~initial =
+let create_server ~fastpath:_ ~nclients ~initial =
   { nclients; srga = Rga_list.create ~initial; svisible = Op_id.Set.empty }
 
 let integrate rga op =

@@ -55,22 +55,11 @@ let protocol_names =
 
 let is_p2p name = String.equal name "css-p2p" || String.equal name "ttf"
 
-(* The CSS append fast path is a global switch (like
-   [Transform.on_xform]); reset its counters so the recorded numbers
-   cover exactly this run, making them digestible. *)
-let set_fastpath on =
-  Jupiter_css.State_space.Fastpath.reset ();
-  Jupiter_css.State_space.Fastpath.enabled := on
-
-let fastpath_fields () =
-  [
-    "fastpath.context_hits", !Jupiter_css.State_space.Fastpath.context_hits;
-    "fastpath.append_hits", !Jupiter_css.State_space.Fastpath.append_hits;
-    "fastpath.generic_squares",
-    !Jupiter_css.State_space.Fastpath.generic_squares;
-  ]
-
-let publish obs net =
+(* The CSS append fast path is an engine-scoped record: one fresh
+   record per run, handed to the engine's constructor, so the
+   counters cover exactly this run and nothing leaks across runs (or,
+   under the sharded server, across domains). *)
+let publish obs net fp =
   match obs with
   | None -> ()
   | Some obs ->
@@ -79,7 +68,7 @@ let publish obs net =
     List.iter
       (fun (name, v) ->
         Rlist_obs.Metrics.add (Rlist_obs.Metrics.counter m name) v)
-      (fastpath_fields ())
+      (Rlist_ot.Fastpath.fields fp)
 
 let run_cs (type c s c2s s2c)
     (module P : Rlist_sim.Protocol_intf.PROTOCOL
@@ -92,13 +81,13 @@ let run_cs (type c s c2s s2c)
     Rlist_net.Transport.config ~shim:spec.shim ~rto:spec.rto
       ~faults:spec.faults ~seed:spec.seed ()
   in
+  let fp = Rlist_ot.Fastpath.create ~enabled:spec.fastpath () in
   let t =
-    E.create ~net ~batching:spec.batching ?gc:spec.gc
+    E.create ~net ~batching:spec.batching ?gc:spec.gc ~fastpath:fp
       ~nclients:spec.nclients ()
   in
   (match obs with Some o -> E.attach_obs t o | None -> ());
   (match recorder with Some r -> E.attach_recorder t r | None -> ());
-  set_fastpath spec.fastpath;
   let rng = Random.State.make [| spec.seed |] in
   let intent =
     Workload.intent_generator spec.profile ~nclients:spec.nclients ~rng
@@ -107,7 +96,7 @@ let run_cs (type c s c2s s2c)
   let schedule = E.run_random ~intent t ~rng ~params in
   let trace = E.trace t in
   let sat = Rlist_spec.Check.is_satisfied in
-  publish obs net;
+  publish obs net fp;
   {
     o_protocol = P.name;
     o_events = List.length schedule;
@@ -126,7 +115,7 @@ let run_cs (type c s c2s s2c)
     o_strong = sat (Rlist_spec.Strong_spec.check trace);
     o_stats =
       Rlist_net.Stats.fields (Rlist_net.Transport.stats net)
-      @ fastpath_fields ();
+      @ Rlist_ot.Fastpath.fields fp;
     o_net = Rlist_net.Transport.stats net;
   }
 
@@ -137,12 +126,13 @@ let run_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ?obs
     Rlist_net.Transport.config ~shim:spec.shim ~rto:spec.rto
       ~faults:spec.faults ~seed:spec.seed ()
   in
+  let fp = Rlist_ot.Fastpath.create ~enabled:spec.fastpath () in
   let t =
-    E.create ~net ~batching:spec.batching ?gc:spec.gc ~npeers:spec.nclients ()
+    E.create ~net ~batching:spec.batching ?gc:spec.gc ~fastpath:fp
+      ~npeers:spec.nclients ()
   in
   (match obs with Some o -> E.attach_obs t o | None -> ());
   (match recorder with Some r -> E.attach_recorder t r | None -> ());
-  set_fastpath spec.fastpath;
   let rng = Random.State.make [| spec.seed |] in
   let intent =
     Workload.intent_generator spec.profile ~nclients:spec.nclients ~rng
@@ -151,7 +141,7 @@ let run_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ?obs
   let schedule = E.run_random ~intent t ~rng ~params in
   let trace = E.trace t in
   let sat = Rlist_spec.Check.is_satisfied in
-  publish obs net;
+  publish obs net fp;
   {
     o_protocol = P.name;
     o_events = List.length schedule;
@@ -167,7 +157,7 @@ let run_p2p (module P : Rlist_sim.P2p_protocol_intf.P2P_PROTOCOL) ?obs
     o_strong = sat (Rlist_spec.Strong_spec.check trace);
     o_stats =
       Rlist_net.Stats.fields (Rlist_net.Transport.stats net)
-      @ fastpath_fields ();
+      @ Rlist_ot.Fastpath.fields fp;
     o_net = Rlist_net.Transport.stats net;
   }
 

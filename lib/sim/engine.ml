@@ -93,8 +93,13 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     | keys -> Some (String.concat "+" keys)
 
   let create ?(initial = Document.empty) ?net ?(batching = false) ?gc
-      ?(history = true) ~nclients () =
+      ?(history = true) ?fastpath ~nclients () =
     if nclients < 1 then invalid_arg "Engine.create: need at least one client";
+    let fastpath =
+      match fastpath with
+      | Some fp -> fp
+      | None -> Rlist_ot.Fastpath.create ()
+    in
     let channel key name =
       match net with
       | None -> Transport.perfect ()
@@ -104,10 +109,10 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let s2c_key batch = batch_key (List.map P.s2c_op_id batch) in
     {
       nclients;
-      server = P.create_server ~nclients ~initial;
+      server = P.create_server ~fastpath ~nclients ~initial;
       clients =
         Array.init (nclients + 1) (fun i ->
-            P.create_client ~nclients ~id:(max i 1) ~initial);
+            P.create_client ~fastpath ~nclients ~id:(max i 1) ~initial);
       to_server =
         Array.init (nclients + 1) (fun i ->
             channel c2s_key (Printf.sprintf "c%d->server" i));

@@ -53,6 +53,7 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
     ?batching:bool ->
     ?gc:Rlist_gc.policy ->
     ?history:bool ->
+    ?fastpath:Rlist_ot.Fastpath.t ->
     nclients:int ->
     unit ->
     t

@@ -71,9 +71,14 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
     | [] -> None
     | keys -> Some (String.concat "+" keys)
 
-  let create ?(initial = Document.empty) ?net ?(batching = false) ?gc ~npeers
-      () =
+  let create ?(initial = Document.empty) ?net ?(batching = false) ?gc
+      ?fastpath ~npeers () =
     if npeers < 2 then invalid_arg "P2p_engine.create: need at least two peers";
+    let fastpath =
+      match fastpath with
+      | Some fp -> fp
+      | None -> Rlist_ot.Fastpath.create ()
+    in
     let key batch =
       batch_key (List.map (fun (_, m) -> P.message_op_id m) batch)
     in
@@ -89,7 +94,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) = struct
       npeers;
       peers =
         Array.init (npeers + 1) (fun i ->
-            P.create_peer ~npeers ~id:(max i 1) ~initial);
+            P.create_peer ~fastpath ~npeers ~id:(max i 1) ~initial);
       channels =
         Array.init (npeers + 1) (fun src ->
             Array.init (npeers + 1) (fun dst -> channel src dst));

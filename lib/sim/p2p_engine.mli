@@ -33,6 +33,7 @@ module Make (P : P2p_protocol_intf.P2P_PROTOCOL) : sig
     ?net:Rlist_net.Transport.config ->
     ?batching:bool ->
     ?gc:Rlist_gc.policy ->
+    ?fastpath:Rlist_ot.Fastpath.t ->
     npeers:int ->
     unit ->
     t

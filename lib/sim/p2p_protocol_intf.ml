@@ -19,7 +19,15 @@ module type P2P_PROTOCOL = sig
 
   type message
 
-  val create_peer : npeers:int -> id:int -> initial:Document.t -> peer
+  (** [fastpath] is the engine run's fast-path configuration record
+      ({!Rlist_ot.Fastpath}), one record shared by every peer of a
+      run; peers without Algorithm 1 ladders ignore it. *)
+  val create_peer :
+    fastpath:Rlist_ot.Fastpath.t ->
+    npeers:int ->
+    id:int ->
+    initial:Document.t ->
+    peer
 
   (** Perform a user intent; the returned message, if any, is
       broadcast to every other peer.

@@ -73,9 +73,20 @@ module type PROTOCOL = sig
   type s2c
   (** Server-to-client message. *)
 
-  val create_client : nclients:int -> id:int -> initial:Document.t -> client
+  (** [fastpath] is the engine run's fast-path configuration record
+      ({!Rlist_ot.Fastpath}): the engine passes the {e same} record to
+      the server and every client, so its counters aggregate per run.
+      Protocols without Algorithm 1 ladders (the CRDT baselines, the
+      naive foil) ignore it. *)
+  val create_client :
+    fastpath:Rlist_ot.Fastpath.t ->
+    nclients:int ->
+    id:int ->
+    initial:Document.t ->
+    client
 
-  val create_server : nclients:int -> initial:Document.t -> server
+  val create_server :
+    fastpath:Rlist_ot.Fastpath.t -> nclients:int -> initial:Document.t -> server
 
   (** Perform a user intent at a client: execute it locally and
       immediately (optimistic replication) and return the message to

@@ -37,7 +37,7 @@ type server = {
   mutable svisible : Op_id.Set.t;
 }
 
-let create_client ~nclients ~id ~initial =
+let create_client ~fastpath:_ ~nclients ~id ~initial =
   ignore nclients;
   {
     id;
@@ -46,7 +46,7 @@ let create_client ~nclients ~id ~initial =
     visible = Op_id.Set.empty;
   }
 
-let create_server ~nclients ~initial =
+let create_server ~fastpath:_ ~nclients ~initial =
   {
     nclients;
     slist = Treedoc_list.create ~site:0 ~initial;

@@ -23,7 +23,7 @@ type peer = {
   mutable pend : message list;  (* not yet causally ready *)
 }
 
-let create_peer ~npeers ~id ~initial =
+let create_peer ~fastpath:_ ~npeers ~id ~initial =
   if id < 1 then invalid_arg "ttf-adopted: peer identifiers start at 1";
   {
     id;

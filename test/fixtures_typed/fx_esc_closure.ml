@@ -1,0 +1,9 @@
+(* Escaping via closure capture: the cell is captured by a closure
+   that is itself bound at module level, so every caller shares it. *)
+let counter =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    !c
+
+let server_receive () = counter ()

@@ -1,0 +1,10 @@
+(* Instance-confined: the table lives behind the record the
+   constructor returns, so each caller owns its own copy. *)
+type t = {
+  size : int;
+  tbl : (int, int) Hashtbl.t;
+}
+
+let create () = { size = 8; tbl = Hashtbl.create 8 }
+
+let transform t k v = Hashtbl.replace t.tbl k v

@@ -1,0 +1,10 @@
+(* Container-nested escape: the cell is stored one level deep inside a
+   module-level table, so it escapes transitively through its holder. *)
+let registry : (string, int ref) Hashtbl.t = Hashtbl.create 4
+
+let register k =
+  let cell = ref 0 in
+  Hashtbl.replace registry k cell;
+  cell
+
+let server_receive k = !(register k)

@@ -1,0 +1,6 @@
+(* Stack-confined: the accumulator never leaves the function — the
+   dereference that does leave is an [int], which carries nothing. *)
+let server_receive xs =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := !acc + x) xs;
+  !acc

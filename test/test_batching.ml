@@ -31,13 +31,13 @@ let differential ~fastpath ~prefix ~batch =
   List.iteri
     (fun i oc -> Hashtbl.replace serials oc.Context.op.Op.id (i + 1))
     (prefix @ batch);
-  let was = !Space.Fastpath.enabled in
   let run enabled ops_into =
-    Space.Fastpath.enabled := enabled;
-    let space = Space.create ~key_of:key () in
+    (* A fresh per-space record: the counters below are exactly this
+       space's, nothing shared across test cases. *)
+    let fp = Space.Fastpath.create ~enabled () in
+    let space = Space.create ~fastpath:fp ~key_of:key () in
     List.iter (fun oc -> ignore (Space.add_op space oc)) prefix;
     let forms = ops_into space in
-    Space.Fastpath.enabled := was;
     space, forms
   in
   let batched, batched_forms =
@@ -86,13 +86,13 @@ let appends ~client ~seq0 ~pos0 n =
 
 let test_quiescent_run () =
   let batch = chain ~ctx:Context.empty (appends ~client:1 ~seq0:1 ~pos0:0 5) in
-  let hits = !Space.Fastpath.context_hits in
   check_same ~fastpath:false ~prefix:[] ~batch ();
+  (* A quiescent run performs no transformation at all, and every
+     operation of it lands on the context-match shortcut. *)
+  let batched, _, _, _ = differential ~fastpath:false ~prefix:[] ~batch in
   Alcotest.(check bool)
     "context hits counted" true
-    (!Space.Fastpath.context_hits > hits);
-  (* A quiescent run performs no transformation at all. *)
-  let batched, _, _, _ = differential ~fastpath:false ~prefix:[] ~batch in
+    ((Space.fastpath batched).Space.Fastpath.context_hits > 0);
   Alcotest.(check int) "no transformations" 0 (Space.ot_count batched)
 
 (* --- Append fast path: one case per transform shape ------------------ *)
@@ -107,13 +107,12 @@ let crossing_case f =
 
 let test_cross_ins_before () =
   let prefix, batch = crossing_case (Helpers.ins ~client:2 'z' 1) in
-  let hits = !Space.Fastpath.append_hits in
   check_same ~same_ot:false ~fastpath:true ~prefix ~batch ();
-  Alcotest.(check bool)
-    "append hits counted" true
-    (!Space.Fastpath.append_hits > hits);
   (* The arithmetic levels replace every crossing transformation. *)
   let batched, folded, _, _ = differential ~fastpath:true ~prefix ~batch in
+  Alcotest.(check bool)
+    "append hits counted" true
+    ((Space.fastpath batched).Space.Fastpath.append_hits > 0);
   Alcotest.(check bool)
     (Printf.sprintf "strictly fewer transformations (%d < %d)"
        (Space.ot_count batched) (Space.ot_count folded))
@@ -205,7 +204,7 @@ let test_non_insert_runs () =
   check_same ~same_ot:true ~fastpath:false ~prefix ~batch ();
   check_same ~same_ot:false ~fastpath:true ~prefix ~batch ()
 
-(* The C16 benchmark ablation ({!Space.Fastpath.baseline}) restores
+(* The C16 benchmark ablation (the fast-path record's [baseline]) restores
    the seed's constant work per ladder square but must change nothing
    observable: a space built under it is equal to the normal one, with
    the same forms and transformation count. *)
@@ -217,10 +216,11 @@ let test_baseline_mode_equivalent () =
     (fun i oc -> Hashtbl.replace serials oc.Context.op.Op.id (i + 1))
     ops;
   let build baseline =
-    let was = !Space.Fastpath.baseline in
-    Space.Fastpath.baseline := baseline;
-    let space = Space.create ~key_of:key () in
-    Space.Fastpath.baseline := was;
+    let space =
+      Space.create
+        ~fastpath:(Space.Fastpath.create ~baseline ())
+        ~key_of:key ()
+    in
     let forms = List.map (Space.add_op space) ops in
     space, forms
   in

@@ -296,8 +296,11 @@ let test_css_crash_reconnect () =
       ~key:(fun m -> Option.map Op_id.to_string (P.s2c_op_id m))
       cfg
   in
-  let client = ref (P.create_client ~nclients:1 ~id:1 ~initial:Document.empty) in
-  let server = P.create_server ~nclients:1 ~initial:Document.empty in
+  let fp = Rlist_ot.Fastpath.create () in
+  let client =
+    ref (P.create_client ~fastpath:fp ~nclients:1 ~id:1 ~initial:Document.empty)
+  in
+  let server = P.create_server ~fastpath:fp ~nclients:1 ~initial:Document.empty in
   let checkpoint () =
     ( Jupiter_css.Snapshot.client_to_string !client,
       Transport.sender_checkpoint c2s,

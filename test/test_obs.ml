@@ -93,25 +93,38 @@ let test_timer_uses_installed_clock () =
   Alcotest.(check (float 1e-9)) "span is one clock step" 7.0
     (Metrics.hist_max h)
 
-let test_on_xform_hook () =
-  (* The OT layer's primitive-call hook: every [xform] /
-     [xform_no_priority] invocation fires it, so a metrics counter
-     plugged in here sees exactly the per-pair call count. *)
+let test_ot_observer_hook () =
+  (* The per-space growth observer is the per-instance replacement for
+     the old process-global transform tap: after every [add_op] it
+     reports the primitive transformation calls that operation caused,
+     so a metrics counter plugged in here aggregates exactly this
+     space's own [ot_count] — and nothing from any other space. *)
   let m = Metrics.create () in
   let c = Metrics.counter m "ot.primitive_calls" in
-  let saved = !Rlist_ot.Transform.on_xform in
-  Rlist_ot.Transform.on_xform := (fun () -> Metrics.incr c);
-  let doc = Document.of_string "abc" in
-  let o1 =
-    let id = Op_id.make ~client:1 ~seq:1 in
-    Rlist_ot.Op.make_ins ~id (Element.make ~value:'x' ~id) 1
+  let serials : (Op_id.t, int) Hashtbl.t = Hashtbl.create 8 in
+  let key id =
+    match Hashtbl.find_opt serials id with
+    | Some s -> Jupiter_css.Order_key.Serialized s
+    | None -> Jupiter_css.Order_key.Pending id.Op_id.seq
   in
-  let o2 =
-    Rlist_ot.Op.make_del ~id:(Op_id.make ~client:2 ~seq:1) (Document.nth doc 2) 2
+  let space = Jupiter_css.State_space.create ~key_of:key () in
+  Jupiter_css.State_space.set_observer space
+    (fun ~level:_ ~states:_ ~transitions:_ ~ots -> Metrics.add c ots);
+  let o1 = Helpers.ins ~client:1 ~seq:1 'x' 0 in
+  let o2 = Helpers.ins ~client:2 ~seq:1 'y' 0 in
+  Hashtbl.replace serials o1.Rlist_ot.Op.id 0;
+  Hashtbl.replace serials o2.Rlist_ot.Op.id 1;
+  let add o =
+    ignore
+      (Jupiter_css.State_space.add_op space
+         (Rlist_ot.Context.with_context o ~ctx:Rlist_ot.Context.empty))
   in
-  ignore (Rlist_ot.Transform.xform_pair o1 o2);
-  Rlist_ot.Transform.on_xform := saved;
-  Alcotest.(check int) "xform_pair makes two primitive calls" 2
+  add o1;
+  add o2;
+  Alcotest.(check bool) "concurrent pair transforms" true
+    (Jupiter_css.State_space.ot_count space > 0);
+  Alcotest.(check int) "observer sees exactly the space's OT count"
+    (Jupiter_css.State_space.ot_count space)
     (Metrics.counter_value c)
 
 (* --- sink and events --------------------------------------------------- *)
@@ -312,7 +325,7 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "timer" `Quick test_timer_uses_installed_clock;
           Alcotest.test_case "ot primitive-call hook" `Quick
-            test_on_xform_hook;
+            test_ot_observer_hook;
         ] );
       ( "sink",
         [

@@ -4,10 +4,12 @@
    formatting), the domain-safety inventory and its shard-readiness
    report, and the graph exports.
 
-   The corpus is test/fixtures_typed/ — six hand-written modules
+   The corpus is test/fixtures_typed/ — eleven hand-written modules
    compiled with -bin-annot by a dune rule, carrying two seeded bugs
    (a 3-hop transitive Random chain and a module-level hashtable), a
-   clean module, and a suppressed sink. *)
+   clean module, a suppressed sink, and one module per escape-pass
+   verdict (stack-confined, instance-confined, and the closure /
+   module-binding / container-nested escapes). *)
 
 open Rlist_lint
 
@@ -28,8 +30,12 @@ let contains ~needle haystack =
 let test_loading () =
   let c = Lazy.force corpus in
   Alcotest.(check (list string))
-    "all six fixture units load"
-    [ "Fx_allowed"; "Fx_clean"; "Fx_entry"; "Fx_leaf"; "Fx_mid"; "Fx_table" ]
+    "all eleven fixture units load"
+    [
+      "Fx_allowed"; "Fx_clean"; "Fx_entry"; "Fx_esc_closure";
+      "Fx_esc_instance"; "Fx_esc_module"; "Fx_esc_nested"; "Fx_esc_stack";
+      "Fx_leaf"; "Fx_mid"; "Fx_table";
+    ]
     (List.map
        (fun (u : Cmt_loader.unit_info) -> u.modname)
        (Cmt_loader.units c));
@@ -59,6 +65,11 @@ let test_entry_matching () =
       "Fx_allowed.transform";
       "Fx_clean.server_receive";
       "Fx_entry.transform";
+      "Fx_esc_closure.server_receive";
+      "Fx_esc_instance.transform";
+      "Fx_esc_module.transform";
+      "Fx_esc_nested.server_receive";
+      "Fx_esc_stack.server_receive";
       "Fx_table.server_receive_all";
     ]
     (List.sort String.compare (Typed.entry_ids g Typed.default_entries));
@@ -134,21 +145,26 @@ let test_untyped_json_has_no_chain () =
 
 let test_domain_scan () =
   let muts = Typed.domain_scan (Lazy.force corpus) in
-  match muts with
-  | [ m ] ->
-    Alcotest.(check string) "the table is found" "Fx_table.table" m.Typed.m_disp;
-    Alcotest.(check string) "kind" "Hashtbl.t" m.m_kind;
-    Alcotest.(check string)
-      "classified shared-unsafe" "shared-unsafe"
-      (Typed.class_name m.m_class);
-    Alcotest.(check bool) "not suppressed" false m.m_suppressed;
-    Alcotest.(check (list string))
-      "and it is a module-mutable finding" [ "module-mutable" ]
-      (List.map
-         (fun (f : Finding.t) -> f.rule)
-         (Typed.domain_findings muts))
-  | ms ->
-    Alcotest.failf "expected exactly the seeded table, got %d" (List.length ms)
+  Alcotest.(check (list (pair string string)))
+    "module-level mutables: the seeded table plus the two escape seeds"
+    [
+      "Fx_esc_module.buf", "Buffer.t";
+      "Fx_esc_nested.registry", "Hashtbl.t";
+      "Fx_table.table", "Hashtbl.t";
+    ]
+    (List.map (fun (m : Typed.mut_entry) -> m.Typed.m_disp, m.m_kind) muts);
+  List.iter
+    (fun (m : Typed.mut_entry) ->
+      Alcotest.(check string)
+        (m.Typed.m_disp ^ " classified shared-unsafe")
+        "shared-unsafe"
+        (Typed.class_name m.m_class);
+      Alcotest.(check bool) "not suppressed" false m.m_suppressed)
+    muts;
+  Alcotest.(check (list string))
+    "each is a module-mutable finding"
+    [ "module-mutable"; "module-mutable"; "module-mutable" ]
+    (List.map (fun (f : Finding.t) -> f.rule) (Typed.domain_findings muts))
 
 let test_domain_report () =
   let muts = Typed.domain_scan (Lazy.force corpus) in
@@ -161,9 +177,10 @@ let test_domain_report () =
     [
       "\"version\":1";
       "\"shard_ready\":false";
-      "\"shared-unsafe\":1";
-      "\"unsuppressed_shared_unsafe\":1";
+      "\"shared-unsafe\":3";
+      "\"unsuppressed_shared_unsafe\":3";
       "\"name\":\"Fx_table.table\"";
+      "\"name\":\"Fx_esc_module.buf\"";
       "\"kind\":\"Hashtbl.t\"";
     ];
   Alcotest.(check bool)
@@ -171,11 +188,22 @@ let test_domain_report () =
     (contains ~needle:"\"shard_ready\":true" (Typed.domain_report_json []))
 
 let test_run_combined () =
-  Alcotest.(check (list string))
-    "both passes' findings come back merged and sorted"
-    [ "det-reach"; "module-mutable"; "det-reach" ]
+  Alcotest.(check (list (pair string string)))
+    "all three passes' findings come back merged and sorted"
+    [
+      "fx_esc_closure.ml", "escape";
+      "fx_esc_module.ml", "module-mutable";
+      "fx_esc_module.ml", "escape";
+      "fx_esc_nested.ml", "module-mutable";
+      "fx_esc_nested.ml", "escape";
+      "fx_esc_nested.ml", "escape";
+      "fx_leaf.ml", "det-reach";
+      "fx_table.ml", "module-mutable";
+      "fx_table.ml", "escape";
+      "fx_table.ml", "det-reach";
+    ]
     (List.map
-       (fun (f : Finding.t) -> f.rule)
+       (fun (f : Finding.t) -> f.file, f.rule)
        (Typed.run (Lazy.force corpus)))
 
 let test_exports () =
@@ -193,6 +221,10 @@ let test_exports () =
       "fillcolor=lightblue";
       "fillcolor=salmon";
     ];
+  Alcotest.(check string)
+    "dot ids and labels escape quotes, angle brackets and backslashes"
+    "M.(init) \\\"x\\\" \\<t\\> a\\\\b"
+    (Callgraph.dot_escape "M.(init) \"x\" <t> a\\b");
   let json = Callgraph.json ~entries:r.r_entries ~reached:r.r_reached g in
   List.iter
     (fun needle ->
@@ -205,6 +237,120 @@ let test_exports () =
       "\"entry\":true";
       "\"sinks\":1";
     ]
+
+let escape_result =
+  lazy
+    (let r = Typed.det_reach (Lazy.force graph) in
+     Escape.analyze ~reached:r.Typed.r_reached (Lazy.force corpus))
+
+let find_alloc ~file ~line =
+  let esc = Lazy.force escape_result in
+  match
+    List.find_opt
+      (fun (a : Escape.alloc) ->
+        String.equal a.a_file file && a.a_line = line)
+      esc.Escape.allocs
+  with
+  | Some a -> a
+  | None -> Alcotest.failf "no allocation inventoried at %s:%d" file line
+
+let check_alloc ~file ~line ~kind ~verdict ~chain () =
+  let a = find_alloc ~file ~line in
+  Alcotest.(check string) (file ^ " kind") kind a.Escape.a_kind;
+  Alcotest.(check string)
+    (file ^ " verdict") verdict
+    (Escape.verdict_name a.a_verdict);
+  Alcotest.(check (list string)) (file ^ " witness chain") chain a.a_chain
+
+(* One fixture per verdict, each with its exact witness chain — the
+   chain is the user-facing artifact, so its shape is pinned. *)
+let test_escape_stack () =
+  check_alloc ~file:"fx_esc_stack.ml" ~line:4 ~kind:"ref"
+    ~verdict:"stack-confined" ~chain:[] ()
+
+let test_escape_instance () =
+  check_alloc ~file:"fx_esc_instance.ml" ~line:8 ~kind:"Hashtbl.t"
+    ~verdict:"instance-confined"
+    ~chain:
+      [
+        "Hashtbl.t allocated in Fx_esc_instance.create (fx_esc_instance.ml:8)";
+        "returned from Fx_esc_instance.create";
+      ]
+    ()
+
+let test_escape_closure () =
+  check_alloc ~file:"fx_esc_closure.ml" ~line:4 ~kind:"ref"
+    ~verdict:"escaping"
+    ~chain:
+      [
+        "ref allocated in Fx_esc_closure.counter (fx_esc_closure.ml:4)";
+        "module-level binding Fx_esc_closure.counter (fx_esc_closure.ml:3)";
+      ]
+    ()
+
+let test_escape_module () =
+  check_alloc ~file:"fx_esc_module.ml" ~line:3 ~kind:"Buffer.t"
+    ~verdict:"escaping"
+    ~chain:
+      [
+        "Buffer.t allocated in Fx_esc_module.buf (fx_esc_module.ml:3)";
+        "module-level binding Fx_esc_module.buf (fx_esc_module.ml:3)";
+      ]
+    ()
+
+let test_escape_nested () =
+  (* the cell escapes *transitively*: stored one container level deep
+     into the module-level registry *)
+  check_alloc ~file:"fx_esc_nested.ml" ~line:6 ~kind:"ref"
+    ~verdict:"escaping"
+    ~chain:
+      [
+        "ref allocated in Fx_esc_nested.register (fx_esc_nested.ml:6)";
+        "stored via Hashtbl.replace (fx_esc_nested.ml:7)";
+        "module-level binding Fx_esc_nested.registry (fx_esc_nested.ml:3)";
+      ]
+    ();
+  check_alloc ~file:"fx_esc_nested.ml" ~line:3 ~kind:"Hashtbl.t"
+    ~verdict:"escaping"
+    ~chain:
+      [
+        "Hashtbl.t allocated in Fx_esc_nested.registry (fx_esc_nested.ml:3)";
+        "module-level binding Fx_esc_nested.registry (fx_esc_nested.ml:3)";
+      ]
+    ()
+
+let test_escape_findings_and_report () =
+  let esc = Lazy.force escape_result in
+  Alcotest.(check int)
+    "every reachable escaping allocation is a finding" 5
+    (Escape.unsuppressed_escaping esc);
+  Alcotest.(check (list string))
+    "findings carry the escape rule"
+    [ "escape"; "escape"; "escape"; "escape"; "escape" ]
+    (List.map (fun (f : Finding.t) -> f.rule) (Escape.findings esc));
+  let json = Escape.report_json esc in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "escape report contains %s" needle)
+        true (contains ~needle json))
+    [
+      "\"version\":1";
+      "\"escaping\":5";
+      "\"stack-confined\":";
+      "\"instance-confined\":";
+      "\"escaping_unsuppressed\":5";
+      "\"def\":\"Fx_esc_nested.register\"";
+      "stored via Hashtbl.replace (fx_esc_nested.ml:7)";
+    ];
+  let dr =
+    Typed.domain_report_json
+      ~escaping_unsuppressed:(Escape.unsuppressed_escaping esc)
+      []
+  in
+  Alcotest.(check bool)
+    "unsuppressed escapes veto shard-readiness" true
+    (contains ~needle:"\"shard_ready\":false" dr)
 
 let () =
   Alcotest.run "typed-lint"
@@ -231,6 +377,19 @@ let () =
           Alcotest.test_case "shard-readiness report" `Quick
             test_domain_report;
           Alcotest.test_case "combined run" `Quick test_run_combined;
+        ] );
+      ( "escape confinement",
+        [
+          Alcotest.test_case "stack-confined" `Quick test_escape_stack;
+          Alcotest.test_case "instance-confined" `Quick test_escape_instance;
+          Alcotest.test_case "closure-capture escape" `Quick
+            test_escape_closure;
+          Alcotest.test_case "module-binding escape" `Quick
+            test_escape_module;
+          Alcotest.test_case "container-nested escape" `Quick
+            test_escape_nested;
+          Alcotest.test_case "findings and report" `Quick
+            test_escape_findings_and_report;
         ] );
       ( "exports",
         [ Alcotest.test_case "dot and json" `Quick test_exports ] );
